@@ -1,0 +1,68 @@
+//! Criterion benches for the end-to-end stages: Monte-Carlo library
+//! generation, tuning (all five methods) and full constrained synthesis —
+//! the costs behind Tables 1/3 and Figs. 8–11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use varitune_core::flow::{Flow, FlowConfig};
+use varitune_core::{tune, TuningMethod, TuningParams};
+use varitune_libchar::{generate_mc_libraries, generate_nominal, GenerateConfig};
+use varitune_synth::{synthesize, LibraryConstraints, SynthConfig};
+
+fn bench_mc_generation(c: &mut Criterion) {
+    let cfg = GenerateConfig::small_for_tests();
+    let nominal = generate_nominal(&cfg);
+    c.bench_function("mc_characterize_10_libraries_small", |b| {
+        b.iter(|| generate_mc_libraries(black_box(&nominal), &cfg, 10, 3))
+    });
+}
+
+fn bench_tuning_methods(c: &mut Criterion) {
+    let flow = Flow::prepare(FlowConfig::small_for_tests()).expect("flow");
+    let mut g = c.benchmark_group("tune_method");
+    for method in TuningMethod::ALL {
+        let params = TuningParams::table2_sweep(method)[1];
+        g.bench_with_input(
+            BenchmarkId::from_parameter(method),
+            &(method, params),
+            |b, &(m, p)| b.iter(|| tune(black_box(&flow.stat), m, p)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let flow = Flow::prepare(FlowConfig::small_for_tests()).expect("flow");
+    let tuned = tune(
+        &flow.stat,
+        TuningMethod::SigmaCeiling,
+        TuningParams::with_sigma_ceiling(0.02),
+    );
+    let mut g = c.benchmark_group("synthesize_small_mcu");
+    g.sample_size(10);
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            synthesize(
+                black_box(&flow.netlist),
+                &flow.stat.mean,
+                &LibraryConstraints::unconstrained(),
+                &SynthConfig::with_clock_period(8.0),
+            )
+        })
+    });
+    g.bench_function("sigma_ceiling_constrained", |b| {
+        b.iter(|| {
+            synthesize(
+                black_box(&flow.netlist),
+                &flow.stat.mean,
+                &tuned.constraints,
+                &SynthConfig::with_clock_period(8.0),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(flow_benches, bench_mc_generation, bench_tuning_methods, bench_synthesis);
+criterion_main!(flow_benches);

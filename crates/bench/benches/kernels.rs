@@ -1,0 +1,77 @@
+//! Criterion benches for the tuning kernels: largest-rectangle extraction
+//! (Algorithm 1 brute force vs summed-area), slope tables, bilinear
+//! interpolation and statistical-library construction. These are the inner
+//! loops behind Figs. 4–7 and the Stage-1/Stage-2 tuning passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use varitune_core::slope::{binarize, load_slope_table, slew_slope_table};
+use varitune_core::{largest_rectangle, largest_rectangle_bruteforce};
+use varitune_libchar::{generate_mc_libraries, generate_nominal, GenerateConfig, StatLibrary};
+use varitune_liberty::Lut;
+
+fn checkerboardish(n: usize) -> Vec<Vec<bool>> {
+    (0..n)
+        .map(|i| (0..n).map(|j| (i * 7 + j * 3) % 5 != 0).collect())
+        .collect()
+}
+
+fn bench_rectangle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("largest_rectangle");
+    for n in [7usize, 12, 16] {
+        let grid = checkerboardish(n);
+        g.bench_with_input(BenchmarkId::new("summed_area", n), &grid, |b, grid| {
+            b.iter(|| largest_rectangle(black_box(grid)))
+        });
+        g.bench_with_input(BenchmarkId::new("bruteforce_alg1", n), &grid, |b, grid| {
+            b.iter(|| largest_rectangle_bruteforce(black_box(grid)))
+        });
+    }
+    g.finish();
+}
+
+fn demo_lut() -> Lut {
+    let slew: Vec<f64> = (0..7).map(|i| 0.01 * (i + 1) as f64).collect();
+    let load: Vec<f64> = (0..7).map(|j| 0.002 * (j + 1) as f64).collect();
+    let values = (0..7)
+        .map(|i| (0..7).map(|j| 0.01 + 0.003 * (i * j) as f64).collect())
+        .collect();
+    Lut::new(slew, load, values)
+}
+
+fn bench_interpolation(c: &mut Criterion) {
+    let lut = demo_lut();
+    c.bench_function("bilinear_interpolate_7x7", |b| {
+        b.iter(|| lut.interpolate(black_box(0.033), black_box(0.0071)))
+    });
+}
+
+fn bench_slope_tables(c: &mut Criterion) {
+    let lut = demo_lut();
+    c.bench_function("slope_tables_and_binarize_7x7", |b| {
+        b.iter(|| {
+            let s = slew_slope_table(black_box(&lut));
+            let l = load_slope_table(black_box(&lut));
+            (binarize(&s, 0.01), binarize(&l, 0.01))
+        })
+    });
+}
+
+fn bench_statlib_build(c: &mut Criterion) {
+    let cfg = GenerateConfig::small_for_tests();
+    let nominal = generate_nominal(&cfg);
+    let libs = generate_mc_libraries(&nominal, &cfg, 20, 11);
+    c.bench_function("statlib_from_20_libraries_small", |b| {
+        b.iter(|| StatLibrary::from_libraries(black_box(&libs)))
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_rectangle,
+    bench_interpolation,
+    bench_slope_tables,
+    bench_statlib_build
+);
+criterion_main!(kernels);

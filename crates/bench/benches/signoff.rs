@@ -1,0 +1,57 @@
+//! Criterion benches for the sign-off stages added beyond the paper's
+//! scope: hold analysis, power estimation (blanket and simulated
+//! activity), logic simulation, exclusion tuning, and the Verilog/SDF
+//! writers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use varitune_core::flow::{Flow, FlowConfig};
+use varitune_core::tune_by_exclusion;
+use varitune_netlist::random_activity;
+use varitune_sta::{
+    analyze, analyze_hold, estimate_power, write_sdf, HoldConfig, PowerConfig, StaConfig,
+};
+use varitune_synth::{synthesize, write_verilog, LibraryConstraints, SynthConfig};
+
+fn bench_signoff(c: &mut Criterion) {
+    let flow = Flow::prepare(FlowConfig::small_for_tests()).expect("flow");
+    let result = synthesize(
+        &flow.netlist,
+        &flow.stat.mean,
+        &LibraryConstraints::unconstrained(),
+        &SynthConfig::with_clock_period(8.0),
+    )
+    .expect("synthesis");
+    let design = &result.design;
+    let lib = &flow.stat.mean;
+    let report = analyze(design, lib, &StaConfig::with_clock_period(8.0)).expect("sta");
+
+    c.bench_function("hold_analysis_small_mcu", |b| {
+        b.iter(|| analyze_hold(black_box(design), lib, &HoldConfig::default()))
+    });
+
+    let pcfg = PowerConfig::with_clock_period(8.0);
+    c.bench_function("power_estimate_small_mcu", |b| {
+        b.iter(|| estimate_power(black_box(design), lib, &report, &pcfg))
+    });
+
+    c.bench_function("logic_sim_64_cycles_small_mcu", |b| {
+        b.iter(|| random_activity(black_box(&design.netlist), 64, 1))
+    });
+
+    c.bench_function("exclusion_tuning_small_library", |b| {
+        b.iter(|| tune_by_exclusion(black_box(&flow.stat), 0.02))
+    });
+
+    c.bench_function("verilog_export_small_mcu", |b| {
+        b.iter(|| write_verilog(black_box(design), lib))
+    });
+
+    c.bench_function("sdf_export_small_mcu", |b| {
+        b.iter(|| write_sdf(black_box(design), lib, &report))
+    });
+}
+
+criterion_group!(signoff, bench_signoff);
+criterion_main!(signoff);

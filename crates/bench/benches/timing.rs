@@ -1,0 +1,40 @@
+//! Criterion benches for the timing engine: forward STA, backward required
+//! times and per-endpoint worst-path extraction with statistical
+//! convolution — the machinery behind Figs. 12–14 and eq. (11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use varitune_core::flow::{Flow, FlowConfig};
+use varitune_sta::paths::worst_paths;
+use varitune_sta::{analyze, required_times, StaConfig};
+use varitune_synth::{synthesize, LibraryConstraints, SynthConfig};
+
+fn bench_timing(c: &mut Criterion) {
+    let flow = Flow::prepare(FlowConfig::small_for_tests()).expect("flow");
+    let result = synthesize(
+        &flow.netlist,
+        &flow.stat.mean,
+        &LibraryConstraints::unconstrained(),
+        &SynthConfig::with_clock_period(8.0),
+    )
+    .expect("synthesis");
+    let design = &result.design;
+    let cfg = StaConfig::with_clock_period(8.0);
+
+    c.bench_function("sta_analyze_small_mcu", |b| {
+        b.iter(|| analyze(black_box(design), &flow.stat.mean, &cfg))
+    });
+
+    let report = analyze(design, &flow.stat.mean, &cfg).expect("sta");
+    c.bench_function("sta_required_times_small_mcu", |b| {
+        b.iter(|| required_times(black_box(design), &flow.stat.mean, &report))
+    });
+
+    c.bench_function("worst_paths_with_statistics_small_mcu", |b| {
+        b.iter(|| worst_paths(black_box(design), &flow.stat.mean, &flow.stat, &report, 0.0))
+    });
+}
+
+criterion_group!(timing, bench_timing);
+criterion_main!(timing);

@@ -1,0 +1,71 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--scale small|paper] [all | <id> ...]
+//! ```
+//!
+//! Ids: fig1..fig16, tab1..tab3. `all` (the default) runs everything in
+//! reporting order. `--scale paper` uses the 304-cell library, 50 MC
+//! libraries and the ~20 k-gate design; `--scale small` is a fast sanity
+//! run.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use varitune_bench::experiments::{run_experiment, ALL_IDS};
+use varitune_bench::{Ctx, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::paper();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match it.next().as_deref() {
+                Some("paper") => scale = Scale::paper(),
+                Some("small") => scale = Scale::small(),
+                other => {
+                    eprintln!("--scale expects `small` or `paper`, got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--scale small|paper] [all | <id> ...]");
+                eprintln!("ids: {}", ALL_IDS.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_IDS.iter().map(|s| s.to_string()));
+    }
+    for id in &ids {
+        if !ALL_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment `{id}`; known: {}", ALL_IDS.join(" "));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("[experiments] preparing context at scale `{}`...", scale.label);
+    let t0 = Instant::now();
+    let ctx = Ctx::new(scale);
+    eprintln!(
+        "[experiments] ready in {:.1}s: min period {:.2} ns, design `{}` ({} gates)",
+        t0.elapsed().as_secs_f64(),
+        ctx.periods.high,
+        ctx.flow.netlist.name,
+        ctx.flow.netlist.gates.len()
+    );
+
+    for id in &ids {
+        let t = Instant::now();
+        let out = run_experiment(&ctx, id);
+        println!("==================== {id} ====================");
+        println!("{out}");
+        eprintln!("[experiments] {id} done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

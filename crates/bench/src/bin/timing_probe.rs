@@ -1,0 +1,73 @@
+//! Diagnostic: synthesize the paper-scale MCU at a given clock period and
+//! report slack, critical-path shape and depth statistics.
+//!
+//! ```text
+//! timing_probe [period_ns] [--small]
+//! ```
+
+use varitune_core::flow::{Flow, FlowConfig};
+use varitune_sta::PathTiming;
+use varitune_synth::SynthConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let period: f64 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(20.0);
+
+    let cfg = if small {
+        FlowConfig::small_for_tests()
+    } else {
+        FlowConfig::paper_scale()
+    };
+    let flow = Flow::prepare(cfg)?;
+    eprintln!(
+        "design {} gates; synthesizing @ {period} ns",
+        flow.netlist.gates.len()
+    );
+    let run = flow.run_baseline(&SynthConfig::with_clock_period(period))?;
+    let r = &run.synthesis.report;
+    println!(
+        "met={} worst_slack={:.3} iterations={} buffers={} area={:.0}",
+        run.synthesis.met_timing,
+        r.worst_slack(),
+        run.synthesis.iterations,
+        run.synthesis.buffers_inserted,
+        run.synthesis.area,
+    );
+    let mut paths: Vec<&PathTiming> = run.paths.iter().collect();
+    paths.sort_by(|a, b| b.arrival.partial_cmp(&a.arrival).expect("finite"));
+    println!("endpoints: {}", run.paths.len());
+    let maxd = paths.iter().map(|p| p.depth()).max().unwrap_or(0);
+    println!("max path depth: {maxd}");
+    for p in paths.iter().take(3) {
+        println!(
+            "  arrival {:.3} depth {:>3} endpoint {}",
+            p.arrival,
+            p.depth(),
+            p.endpoint
+        );
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for c in &p.cells {
+            *counts.entry(c.cell.as_str()).or_default() += 1;
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+        let summary: Vec<String> = v.iter().take(6).map(|(c, n)| format!("{c} x{n}")).collect();
+        println!("    cells: {}", summary.join(", "));
+        // Slowest three cells on the path.
+        let mut cells: Vec<_> = p.cells.iter().collect();
+        cells.sort_by(|a, b| b.delay.partial_cmp(&a.delay).expect("finite"));
+        for c in cells.iter().take(3) {
+            println!(
+                "    slow: {} delay {:.3} slew {:.3} load {:.4}",
+                c.cell, c.delay, c.slew, c.load
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! Whole-cell exclusion tuning — the related-work baseline.
+//!
+//! Prior library-tuning work (the paper cites soft-error, compile-speed and
+//! power subsetting) builds a subset by **removing complete cells**. The
+//! paper's contribution is precisely *not* doing that: it restricts LUT
+//! regions instead, which is finer grained. This module implements the
+//! coarse baseline so the two can be compared head-to-head: a cell is
+//! dropped when its worst-case sigma exceeds the budget, with a guard that keeps at least one variant per family so
+//! synthesis stays feasible.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use varitune_libchar::{StatLibrary, TableKind};
+use varitune_liberty::{Library, Lut};
+
+/// Result of exclusion-based tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExclusionTuning {
+    /// Sigma budget used (ns).
+    pub ceiling: f64,
+    /// Cells removed from the library.
+    pub excluded: Vec<String>,
+    /// Cells kept.
+    pub kept: usize,
+    /// Cells that violated the budget but were kept as the last usable
+    /// variant of their family.
+    pub kept_for_feasibility: Vec<String>,
+}
+
+/// Excludes every cell whose **worst-entry** delay sigma exceeds `ceiling`
+/// — the whole cell is judged by its worst behaviour, because exclusion
+/// cannot express "use this cell, but only in its quiet region". That
+/// bluntness is exactly what the paper's windowed restriction fixes: a
+/// window keeps the same cell available at the operating points where its
+/// sigma is fine.
+///
+/// One variant per family is always kept (the one with the lowest worst
+/// sigma) so technology mapping remains possible.
+pub fn tune_by_exclusion(stat: &StatLibrary, ceiling: f64) -> ExclusionTuning {
+    // Worst-case (maximum-entry) delay sigma per cell.
+    let worst_sigma = |cell: &varitune_liberty::Cell| -> Option<f64> {
+        let mut worst: Option<f64> = None;
+        for pin in cell.output_pins() {
+            for arc in &pin.timing {
+                for kind in TableKind::DELAYS {
+                    if let Some(v) = kind.of(arc).and_then(Lut::max_value) {
+                        worst = Some(worst.map_or(v, |b: f64| b.max(v)));
+                    }
+                }
+            }
+        }
+        worst
+    };
+
+    let mut families: BTreeMap<&str, Vec<(&str, f64)>> = BTreeMap::new();
+    let mut sigma_of: BTreeMap<&str, f64> = BTreeMap::new();
+    for cell in &stat.sigma.cells {
+        let Some(s) = worst_sigma(cell) else { continue };
+        let family = cell.name.rsplit_once('_').map_or(cell.name.as_str(), |(f, _)| f);
+        families.entry(family).or_default().push((cell.name.as_str(), s));
+        sigma_of.insert(cell.name.as_str(), s);
+    }
+
+    let mut excluded = Vec::new();
+    let mut kept_for_feasibility = Vec::new();
+    let mut kept = 0usize;
+    for (_family, members) in families {
+        let all_violate = members.iter().all(|(_, s)| *s > ceiling);
+        let champion = members
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite sigmas"))
+            .map(|(n, _)| *n);
+        for (name, s) in &members {
+            if *s > ceiling {
+                if all_violate && Some(*name) == champion {
+                    kept_for_feasibility.push(name.to_string());
+                    kept += 1;
+                } else {
+                    excluded.push(name.to_string());
+                }
+            } else {
+                kept += 1;
+            }
+        }
+    }
+    excluded.sort();
+    ExclusionTuning {
+        ceiling,
+        excluded,
+        kept,
+        kept_for_feasibility,
+    }
+}
+
+/// Applies the exclusion: a copy of `lib` without the excluded cells.
+pub fn apply_exclusion(lib: &Library, tuning: &ExclusionTuning) -> Library {
+    let banned: std::collections::BTreeSet<&str> =
+        tuning.excluded.iter().map(String::as_str).collect();
+    let mut out = lib.clone();
+    out.cells.retain(|c| !banned.contains(c.name.as_str()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varitune_libchar::{generate_mc_libraries, generate_nominal, GenerateConfig};
+
+    fn stat_fixture() -> StatLibrary {
+        let cfg = GenerateConfig::small_for_tests();
+        let nominal = generate_nominal(&cfg);
+        let mc = generate_mc_libraries(&nominal, &cfg, 25, 77);
+        StatLibrary::from_libraries(&mc).unwrap()
+    }
+
+    #[test]
+    fn huge_ceiling_excludes_nothing() {
+        let stat = stat_fixture();
+        let t = tune_by_exclusion(&stat, 100.0);
+        assert!(t.excluded.is_empty());
+        assert_eq!(t.kept, stat.sigma.cells.len());
+    }
+
+    #[test]
+    fn tiny_ceiling_keeps_one_variant_per_family() {
+        let stat = stat_fixture();
+        let t = tune_by_exclusion(&stat, 1e-9);
+        // Small library: INV, ND2, NR2, MU2, DF at 4 drives = 20 cells,
+        // 5 families -> 5 survivors.
+        assert_eq!(t.kept, 5);
+        assert_eq!(t.excluded.len(), stat.sigma.cells.len() - 5);
+        assert_eq!(t.kept_for_feasibility.len(), 5);
+        // The survivor of each family should be its largest drive (lowest
+        // Pelgrom sigma).
+        assert!(t.kept_for_feasibility.iter().any(|n| n == "INV_8"), "{:?}", t.kept_for_feasibility);
+    }
+
+    #[test]
+    fn excluded_cells_are_high_sigma_small_drives() {
+        let stat = stat_fixture();
+        // Pick a budget between INV_1's and INV_8's worst sigma.
+        let s1 = stat.worst_delay_sigma("INV_1").unwrap();
+        let s8 = stat.worst_delay_sigma("INV_8").unwrap();
+        assert!(s8 < s1);
+        let t = tune_by_exclusion(&stat, 0.5 * (s1 + s8));
+        assert!(t.excluded.iter().any(|n| n == "INV_1"));
+        assert!(!t.excluded.iter().any(|n| n == "INV_8"));
+    }
+
+    #[test]
+    fn apply_exclusion_removes_exactly_the_banned_cells() {
+        let stat = stat_fixture();
+        let t = tune_by_exclusion(&stat, 1e-9);
+        let filtered = apply_exclusion(&stat.mean, &t);
+        assert_eq!(filtered.cells.len(), t.kept);
+        for name in &t.excluded {
+            assert!(filtered.cell(name).is_none());
+        }
+    }
+
+    #[test]
+    fn exclusion_is_deterministic() {
+        let stat = stat_fixture();
+        assert_eq!(tune_by_exclusion(&stat, 0.01), tune_by_exclusion(&stat, 0.01));
+    }
+}

@@ -1,0 +1,387 @@
+//! End-to-end flow: characterize → synthesize → tune → re-synthesize →
+//! compare.
+//!
+//! [`Flow::prepare`] builds everything the experiments need once (nominal
+//! library, Monte-Carlo statistical library, the microcontroller netlist);
+//! [`Flow::run`] synthesizes under a set of constraints and measures the
+//! design's statistical timing; [`Comparison`] quantifies a tuned run
+//! against the baseline — the sigma-reduction / area-increase numbers of
+//! Figs. 10–11.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use varitune_libchar::{generate_mc_libraries, generate_nominal, GenerateConfig, StatLibrary};
+use varitune_liberty::Library;
+use varitune_netlist::{generate_mcu, McuConfig, Netlist};
+use varitune_sta::paths::worst_paths;
+use varitune_sta::{DesignTiming, PathTiming, StaError};
+use varitune_synth::{synthesize, LibraryConstraints, SynthConfig, SynthError, SynthesisResult};
+
+use crate::methods::{TuningMethod, TuningParams};
+use crate::tuning::{tune, TunedLibrary};
+
+/// Everything the flow needs to prepare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Library generation parameters.
+    pub generate: GenerateConfig,
+    /// Design generation parameters.
+    pub mcu: McuConfig,
+    /// Number of Monte-Carlo libraries behind the statistical library (the
+    /// paper combines 50).
+    pub mc_libraries: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Inter-cell correlation for path sigma (the paper argues ρ = 0).
+    pub rho: f64,
+}
+
+impl FlowConfig {
+    /// The paper-scale configuration: 304-cell library, 50 MC libraries,
+    /// ~20 k-gate design.
+    pub fn paper_scale() -> Self {
+        Self {
+            generate: GenerateConfig::full(),
+            mcu: McuConfig::paper_scale(),
+            mc_libraries: 50,
+            seed: 20_140_324, // DATE 2014 week
+            rho: 0.0,
+        }
+    }
+
+    /// A small configuration for tests: reduced library, ~1 k-gate design,
+    /// fewer MC samples.
+    pub fn small_for_tests() -> Self {
+        Self {
+            generate: GenerateConfig::full(),
+            mcu: McuConfig::small_for_tests(),
+            mc_libraries: 20,
+            seed: 7,
+            rho: 0.0,
+        }
+    }
+}
+
+/// Error from the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Synthesis failed.
+    Synth(SynthError),
+    /// Timing/statistics extraction failed.
+    Sta(StaError),
+    /// The statistical library could not be built.
+    Stat(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Synth(e) => write!(f, "synthesis failed: {e}"),
+            FlowError::Sta(e) => write!(f, "timing failed: {e}"),
+            FlowError::Stat(e) => write!(f, "statistical library failed: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+impl From<SynthError> for FlowError {
+    fn from(e: SynthError) -> Self {
+        FlowError::Synth(e)
+    }
+}
+
+impl From<StaError> for FlowError {
+    fn from(e: StaError) -> Self {
+        FlowError::Sta(e)
+    }
+}
+
+/// Prepared inputs shared by every run of an experiment.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Configuration used to prepare.
+    pub config: FlowConfig,
+    /// The nominal (unperturbed) library.
+    pub nominal: Library,
+    /// The §IV statistical library.
+    pub stat: StatLibrary,
+    /// The design under test.
+    pub netlist: Netlist,
+}
+
+impl Flow {
+    /// Generates the library, its Monte-Carlo statistical companion and the
+    /// design. Deterministic in `config.seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Stat`] if statistical-library construction
+    /// fails (it cannot for generator-produced inputs, but the error is
+    /// propagated rather than unwrapped).
+    pub fn prepare(config: FlowConfig) -> Result<Self, FlowError> {
+        let nominal = generate_nominal(&config.generate);
+        let mc = generate_mc_libraries(&nominal, &config.generate, config.mc_libraries, config.seed);
+        let stat = StatLibrary::from_libraries(&mc).map_err(|e| FlowError::Stat(e.to_string()))?;
+        let netlist = generate_mcu(&config.mcu);
+        Ok(Self {
+            config,
+            nominal,
+            stat,
+            netlist,
+        })
+    }
+
+    /// Synthesizes the design under `constraints` and extracts statistical
+    /// timing. Synthesis and STA run against the statistical library's
+    /// *mean* tables, as in the paper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SynthError`] and [`StaError`].
+    pub fn run(
+        &self,
+        constraints: &LibraryConstraints,
+        synth_cfg: &SynthConfig,
+    ) -> Result<FlowRun, FlowError> {
+        let synthesis = synthesize(&self.netlist, &self.stat.mean, constraints, synth_cfg)?;
+        let (paths, design) = worst_paths(
+            &synthesis.design,
+            &self.stat.mean,
+            &self.stat,
+            &synthesis.report,
+            self.config.rho,
+        )?;
+        Ok(FlowRun {
+            synthesis,
+            paths,
+            design,
+        })
+    }
+
+    /// Baseline run: no constraints.
+    ///
+    /// # Errors
+    ///
+    /// See [`Flow::run`].
+    pub fn run_baseline(&self, synth_cfg: &SynthConfig) -> Result<FlowRun, FlowError> {
+        self.run(&LibraryConstraints::unconstrained(), synth_cfg)
+    }
+
+    /// Tunes the library with `method`/`params` and runs synthesis under
+    /// the resulting windows.
+    ///
+    /// # Errors
+    ///
+    /// See [`Flow::run`].
+    pub fn run_tuned(
+        &self,
+        method: TuningMethod,
+        params: TuningParams,
+        synth_cfg: &SynthConfig,
+    ) -> Result<(TunedLibrary, FlowRun), FlowError> {
+        let tuned = tune(&self.stat, method, params);
+        let run = self.run(&tuned.constraints, synth_cfg)?;
+        Ok((tuned, run))
+    }
+}
+
+/// One synthesized-and-measured design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRun {
+    /// Synthesis outcome (mapped design, timing report, area).
+    pub synthesis: SynthesisResult,
+    /// Worst path per unique endpoint with statistical parameters.
+    pub paths: Vec<PathTiming>,
+    /// Design-level distribution (eq. 11).
+    pub design: DesignTiming,
+}
+
+impl FlowRun {
+    /// Design sigma (ns).
+    pub fn sigma(&self) -> f64 {
+        self.design.sigma
+    }
+
+    /// Total cell area (µm²).
+    pub fn area(&self) -> f64 {
+        self.synthesis.area
+    }
+}
+
+/// Sigma/area comparison of a tuned run against the baseline (the axes of
+/// Figs. 10–11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Baseline design sigma (ns).
+    pub baseline_sigma: f64,
+    /// Tuned design sigma (ns).
+    pub tuned_sigma: f64,
+    /// Baseline area (µm²).
+    pub baseline_area: f64,
+    /// Tuned area (µm²).
+    pub tuned_area: f64,
+}
+
+impl Comparison {
+    /// Builds the comparison from two runs.
+    pub fn between(baseline: &FlowRun, tuned: &FlowRun) -> Self {
+        Self {
+            baseline_sigma: baseline.sigma(),
+            tuned_sigma: tuned.sigma(),
+            baseline_area: baseline.area(),
+            tuned_area: tuned.area(),
+        }
+    }
+
+    /// Relative sigma decrease in percent (positive = improvement).
+    pub fn sigma_reduction_pct(&self) -> f64 {
+        100.0 * (1.0 - self.tuned_sigma / self.baseline_sigma)
+    }
+
+    /// Relative area increase in percent (positive = cost).
+    pub fn area_increase_pct(&self) -> f64 {
+        100.0 * (self.tuned_area / self.baseline_area - 1.0)
+    }
+}
+
+/// Sweeps `candidates` for `method` and returns the outcome with the
+/// highest sigma reduction whose area increase stays under
+/// `area_cap_pct` — the selection rule behind Fig. 10 / Table 3.
+///
+/// Returns `None` when no candidate stays under the cap (Fig. 10 then shows
+/// the method as absent).
+///
+/// # Errors
+///
+/// Propagates the first [`FlowError`].
+#[allow(clippy::type_complexity)]
+pub fn best_tuning_under_area_cap(
+    flow: &Flow,
+    baseline: &FlowRun,
+    method: TuningMethod,
+    candidates: &[TuningParams],
+    synth_cfg: &SynthConfig,
+    area_cap_pct: f64,
+) -> Result<Option<(TuningParams, FlowRun, Comparison)>, FlowError> {
+    let mut best: Option<(TuningParams, FlowRun, Comparison)> = None;
+    for &params in candidates {
+        let (_tuned, run) = flow.run_tuned(method, params, synth_cfg)?;
+        let cmp = Comparison::between(baseline, &run);
+        if cmp.area_increase_pct() > area_cap_pct {
+            continue;
+        }
+        let better = best
+            .as_ref()
+            .is_none_or(|(_, _, b)| cmp.sigma_reduction_pct() > b.sigma_reduction_pct());
+        if better {
+            best = Some((params, run, cmp));
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow_fixture() -> Flow {
+        Flow::prepare(FlowConfig::small_for_tests()).unwrap()
+    }
+
+    #[test]
+    fn prepare_is_deterministic() {
+        let a = flow_fixture();
+        let b = flow_fixture();
+        assert_eq!(a.nominal, b.nominal);
+        assert_eq!(a.netlist, b.netlist);
+        assert_eq!(a.stat.sigma, b.stat.sigma);
+    }
+
+    #[test]
+    fn baseline_run_produces_paths_and_sigma() {
+        let flow = flow_fixture();
+        let run = flow.run_baseline(&SynthConfig::with_clock_period(8.0)).unwrap();
+        assert!(run.synthesis.met_timing);
+        assert!(!run.paths.is_empty());
+        assert!(run.sigma() > 0.0);
+        assert!(run.design.mean > 0.0);
+        assert_eq!(run.design.path_count, run.paths.len());
+    }
+
+    #[test]
+    fn sigma_ceiling_tuning_reduces_design_sigma() {
+        // The headline mechanism: restricting LUTs to low-sigma regions
+        // must lower design sigma at some area cost.
+        let flow = flow_fixture();
+        let cfg = SynthConfig::with_clock_period(8.0);
+        let baseline = flow.run_baseline(&cfg).unwrap();
+        let (tuned_lib, tuned) = flow
+            .run_tuned(
+                TuningMethod::SigmaCeiling,
+                TuningParams::with_sigma_ceiling(0.02),
+                &cfg,
+            )
+            .unwrap();
+        assert!(tuned_lib.restricted_pins > 0);
+        let cmp = Comparison::between(&baseline, &tuned);
+        assert!(
+            cmp.sigma_reduction_pct() > 0.0,
+            "sigma should drop: baseline {} tuned {}",
+            cmp.baseline_sigma,
+            cmp.tuned_sigma
+        );
+        assert!(
+            cmp.area_increase_pct() > -1.0,
+            "area should not shrink materially: {}",
+            cmp.area_increase_pct()
+        );
+    }
+
+    #[test]
+    fn comparison_percentages() {
+        let c = Comparison {
+            baseline_sigma: 0.10,
+            tuned_sigma: 0.063,
+            baseline_area: 1000.0,
+            tuned_area: 1070.0,
+        };
+        assert!((c.sigma_reduction_pct() - 37.0).abs() < 1e-9);
+        assert!((c.area_increase_pct() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_tuning_respects_area_cap() {
+        let flow = flow_fixture();
+        let cfg = SynthConfig::with_clock_period(8.0);
+        let baseline = flow.run_baseline(&cfg).unwrap();
+        // An impossible cap (negative) rejects every candidate with area
+        // growth; a generous cap accepts some candidate.
+        let none = best_tuning_under_area_cap(
+            &flow,
+            &baseline,
+            TuningMethod::SigmaCeiling,
+            &[TuningParams::with_sigma_ceiling(0.015)],
+            &cfg,
+            -50.0,
+        )
+        .unwrap();
+        assert!(none.is_none());
+        let some = best_tuning_under_area_cap(
+            &flow,
+            &baseline,
+            TuningMethod::SigmaCeiling,
+            &[
+                TuningParams::with_sigma_ceiling(0.03),
+                TuningParams::with_sigma_ceiling(0.02),
+            ],
+            &cfg,
+            1000.0,
+        )
+        .unwrap();
+        assert!(some.is_some());
+    }
+}

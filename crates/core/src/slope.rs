@@ -1,0 +1,178 @@
+//! Slope tables and binary thresholding (§VI.B, eqs. 12–13).
+//!
+//! The slope tables measure how fast the sigma surface climbs along the slew
+//! direction (row differences, eq. 12) and the load direction (column
+//! differences, eq. 13). Because indexing starts at the second row/column,
+//! the first row and column are zero — exactly as the paper specifies — so a
+//! table entry adjacent to the origin is never excluded by its own slope.
+//!
+//! Differences are taken per index step (the paper's `Δi`/`Δj` are index
+//! deltas), which keeps slope thresholds comparable across cells whose load
+//! axes span different absolute ranges (a drive-32 inverter's axis covers
+//! 32× the capacitance of a drive-1 inverter's).
+
+use varitune_liberty::Lut;
+
+/// Eq. (12): slope of `lut` along the slew (row) direction. The first row is
+/// zeros.
+///
+/// # Example
+///
+/// ```
+/// use varitune_core::slope::{binarize, slew_slope_table};
+/// use varitune_liberty::Lut;
+///
+/// let lut = Lut::new(
+///     vec![0.0, 1.0],
+///     vec![0.0, 1.0],
+///     vec![vec![0.10, 0.11], vec![0.30, 0.35]],
+/// );
+/// let slope = slew_slope_table(&lut);
+/// assert_eq!(slope.at(0, 0), 0.0);         // first row is zeros
+/// assert!((slope.at(1, 0) - 0.20).abs() < 1e-12);
+/// // Thresholding keeps only the flat entries.
+/// let flat = binarize(&slope, 0.05);
+/// assert!(flat[0][0] && !flat[1][0]);
+/// ```
+pub fn slew_slope_table(lut: &Lut) -> Lut {
+    let mut out = lut.map(|_| 0.0);
+    for i in 1..lut.rows() {
+        for j in 0..lut.cols() {
+            out.values[i][j] = lut.at(i, j) - lut.at(i - 1, j);
+        }
+    }
+    out
+}
+
+/// Eq. (13): slope of `lut` along the load (column) direction. The first
+/// column is zeros.
+pub fn load_slope_table(lut: &Lut) -> Lut {
+    let mut out = lut.map(|_| 0.0);
+    for i in 0..lut.rows() {
+        for j in 1..lut.cols() {
+            out.values[i][j] = lut.at(i, j) - lut.at(i, j - 1);
+        }
+    }
+    out
+}
+
+/// Thresholds a table into the binary acceptance LUT: entries **at or
+/// below** `limit` become `true`.
+pub fn binarize(lut: &Lut, limit: f64) -> Vec<Vec<bool>> {
+    lut.values
+        .iter()
+        .map(|row| row.iter().map(|&v| v <= limit).collect())
+        .collect()
+}
+
+/// Logical AND of two same-shaped binary LUTs (combining the slew- and
+/// load-slope acceptance maps).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn and_tables(a: &[Vec<bool>], b: &[Vec<bool>]) -> Vec<Vec<bool>> {
+    assert_eq!(a.len(), b.len(), "binary LUT row mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(ra, rb)| {
+            assert_eq!(ra.len(), rb.len(), "binary LUT column mismatch");
+            ra.iter().zip(rb).map(|(&x, &y)| x && y).collect()
+        })
+        .collect()
+}
+
+/// Entry-wise maximum of several same-shaped LUTs — the "maximum equivalent
+/// LUT" the paper builds over a cluster of cells (§VI.B) and over a pin's
+/// timing arcs (§VI.C).
+///
+/// Returns `None` for an empty iterator.
+///
+/// # Panics
+///
+/// Panics if the tables disagree in shape.
+pub fn max_equivalent<'a>(tables: impl IntoIterator<Item = &'a Lut>) -> Option<Lut> {
+    let mut it = tables.into_iter();
+    let first = it.next()?.clone();
+    Some(it.fold(first, |acc, t| acc.max_with(t)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lut(values: Vec<Vec<f64>>) -> Lut {
+        let rows = values.len();
+        let cols = values[0].len();
+        Lut::new(
+            (0..rows).map(|i| i as f64).collect(),
+            (0..cols).map(|j| j as f64).collect(),
+            values,
+        )
+    }
+
+    #[test]
+    fn slew_slope_first_row_zero() {
+        let l = lut(vec![vec![1.0, 2.0], vec![4.0, 8.0], vec![9.0, 18.0]]);
+        let s = slew_slope_table(&l);
+        assert_eq!(s.values[0], vec![0.0, 0.0]);
+        assert_eq!(s.at(1, 0), 3.0);
+        assert_eq!(s.at(1, 1), 6.0);
+        assert_eq!(s.at(2, 1), 10.0);
+    }
+
+    #[test]
+    fn load_slope_first_col_zero() {
+        let l = lut(vec![vec![1.0, 2.0, 4.0], vec![4.0, 8.0, 16.0]]);
+        let s = load_slope_table(&l);
+        assert_eq!(s.at(0, 0), 0.0);
+        assert_eq!(s.at(1, 0), 0.0);
+        assert_eq!(s.at(0, 1), 1.0);
+        assert_eq!(s.at(0, 2), 2.0);
+        assert_eq!(s.at(1, 2), 8.0);
+    }
+
+    #[test]
+    fn binarize_is_inclusive() {
+        let l = lut(vec![vec![0.01, 0.05], vec![0.08, 0.05]]);
+        let b = binarize(&l, 0.05);
+        assert_eq!(b, vec![vec![true, true], vec![false, true]]);
+    }
+
+    #[test]
+    fn and_tables_intersects() {
+        let a = vec![vec![true, true], vec![false, true]];
+        let b = vec![vec![true, false], vec![true, true]];
+        assert_eq!(and_tables(&a, &b), vec![vec![true, false], vec![false, true]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row mismatch")]
+    fn and_tables_checks_shape() {
+        let _ = and_tables(&[vec![true]], &[]);
+    }
+
+    #[test]
+    fn max_equivalent_takes_entrywise_max() {
+        let a = lut(vec![vec![1.0, 5.0]]);
+        let b = lut(vec![vec![3.0, 2.0]]);
+        let m = max_equivalent([&a, &b]).unwrap();
+        assert_eq!(m.values, vec![vec![3.0, 5.0]]);
+        assert!(max_equivalent(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn flat_region_survives_slope_threshold() {
+        // A surface flat near the origin and steep far away: thresholding
+        // the load slope keeps the near-origin columns.
+        let l = lut(vec![
+            vec![0.010, 0.011, 0.012, 0.080],
+            vec![0.010, 0.011, 0.013, 0.090],
+        ]);
+        let s = load_slope_table(&l);
+        let b = binarize(&s, 0.005);
+        assert!(b[0][0] && b[0][1] && b[0][2]);
+        assert!(!b[0][3]);
+        assert!(!b[1][3]);
+    }
+}

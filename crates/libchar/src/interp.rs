@@ -1,0 +1,159 @@
+//! Bilinear interpolation in the paper's notation (§V.A, eqs. 2–4).
+//!
+//! [`varitune_liberty::Lut::interpolate`] is the production entry point;
+//! this module exposes the textbook two-step formulation — interpolate along
+//! the load axis to get `P1`, `P2` (eqs. 2–3), then along the slew axis to
+//! get `X` (eq. 4) — both as a free function over four corner samples and as
+//! a reference implementation validated against the production one.
+
+use varitune_liberty::{InterpolateError, Lut};
+
+/// One step of linear interpolation between `(x0, q0)` and `(x1, q1)` at
+/// `x`, matching the ratio form of eqs. (2)–(4).
+///
+/// # Panics
+///
+/// Panics if `x0 == x1` (degenerate bracket).
+pub fn lerp_between(x0: f64, x1: f64, q0: f64, q1: f64, x: f64) -> f64 {
+    assert!(x0 != x1, "degenerate interpolation bracket");
+    let w1 = (x1 - x) / (x1 - x0);
+    let w0 = (x - x0) / (x1 - x0);
+    w1 * q0 + w0 * q1
+}
+
+/// Eqs. (2)–(4): bilinear interpolation over the four bracketing samples
+/// `q11 = Q(Lᵢ, Sⱼ)`, `q12 = Q(Lᵢ, Sⱼ₊₁)`, `q21 = Q(Lᵢ₊₁, Sⱼ)`,
+/// `q22 = Q(Lᵢ₊₁, Sⱼ₊₁)` at load `l ∈ [lᵢ, lᵢ₊₁]` and slew `s ∈ [sⱼ, sⱼ₊₁]`.
+///
+/// # Panics
+///
+/// Panics on a degenerate bracket (`li == li1` or `sj == sj1`).
+#[allow(clippy::too_many_arguments)]
+pub fn bilinear(
+    li: f64,
+    li1: f64,
+    sj: f64,
+    sj1: f64,
+    q11: f64,
+    q12: f64,
+    q21: f64,
+    q22: f64,
+    l: f64,
+    s: f64,
+) -> f64 {
+    // Eq. (2): P1 along the load axis at slew sj.
+    let p1 = lerp_between(li, li1, q11, q21, l);
+    // Eq. (3): P2 along the load axis at slew sj1.
+    let p2 = lerp_between(li, li1, q12, q22, l);
+    // Eq. (4): X along the slew axis.
+    lerp_between(sj, sj1, p1, p2, s)
+}
+
+/// Reference LUT interpolation built directly on [`bilinear`]; exists to
+/// cross-validate [`Lut::interpolate`] (property-tested in the crate's
+/// integration tests). Queries must lie inside the table.
+///
+/// # Errors
+///
+/// Returns [`InterpolateError::EmptyTable`] if the table is smaller than
+/// 2×2 or the query lies outside the grid (this reference version does not
+/// clamp).
+pub fn interpolate_reference(lut: &Lut, slew: f64, load: f64) -> Result<f64, InterpolateError> {
+    let si = lut.index_slew.iter().position(|&s| s >= slew);
+    let li = lut.index_load.iter().position(|&l| l >= load);
+    let (Some(si), Some(li)) = (si, li) else {
+        return Err(InterpolateError::EmptyTable);
+    };
+    if lut.rows() < 2 || lut.cols() < 2 || slew < lut.index_slew[0] || load < lut.index_load[0] {
+        return Err(InterpolateError::EmptyTable);
+    }
+    let j = si.max(1);
+    let i = li.max(1);
+    Ok(bilinear(
+        lut.index_load[i - 1],
+        lut.index_load[i],
+        lut.index_slew[j - 1],
+        lut.index_slew[j],
+        lut.at(j - 1, i - 1),
+        lut.at(j, i - 1),
+        lut.at(j - 1, i),
+        lut.at(j, i),
+        load,
+        slew,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        assert_eq!(lerp_between(0.0, 1.0, 10.0, 20.0, 0.0), 10.0);
+        assert_eq!(lerp_between(0.0, 1.0, 10.0, 20.0, 1.0), 20.0);
+        assert_eq!(lerp_between(0.0, 1.0, 10.0, 20.0, 0.5), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn lerp_rejects_equal_brackets() {
+        let _ = lerp_between(1.0, 1.0, 0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn bilinear_recovers_corners() {
+        let f = |l: f64, s: f64| bilinear(0.0, 1.0, 0.0, 1.0, 1.0, 2.0, 3.0, 4.0, l, s);
+        assert_eq!(f(0.0, 0.0), 1.0); // q11
+        assert_eq!(f(0.0, 1.0), 2.0); // q12
+        assert_eq!(f(1.0, 0.0), 3.0); // q21
+        assert_eq!(f(1.0, 1.0), 4.0); // q22
+    }
+
+    #[test]
+    fn bilinear_is_exact_for_bilinear_functions() {
+        // f(l, s) = 2 + 3l + 5s + 7ls is reproduced exactly.
+        let f = |l: f64, s: f64| 2.0 + 3.0 * l + 5.0 * s + 7.0 * l * s;
+        let got = bilinear(
+            1.0,
+            3.0,
+            2.0,
+            5.0,
+            f(1.0, 2.0),
+            f(1.0, 5.0),
+            f(3.0, 2.0),
+            f(3.0, 5.0),
+            2.2,
+            3.3,
+        );
+        assert!((got - f(2.2, 3.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_matches_production_inside_grid() {
+        let lut = Lut::new(
+            vec![0.0, 1.0, 2.0],
+            vec![0.0, 10.0, 20.0],
+            vec![
+                vec![1.0, 2.0, 3.0],
+                vec![4.0, 5.0, 6.0],
+                vec![7.0, 8.0, 9.0],
+            ],
+        );
+        for &(s, l) in &[(0.5, 5.0), (1.5, 15.0), (0.1, 19.0), (1.9, 0.5)] {
+            let a = lut.interpolate(s, l).unwrap();
+            let b = interpolate_reference(&lut, s, l).unwrap();
+            assert!((a - b).abs() < 1e-12, "at ({s},{l}): {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn reference_rejects_out_of_grid() {
+        let lut = Lut::new(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![vec![0.0, 1.0], vec![2.0, 3.0]],
+        );
+        assert!(interpolate_reference(&lut, 5.0, 0.5).is_err());
+        assert!(interpolate_reference(&lut, -0.5, 0.5).is_err());
+    }
+}

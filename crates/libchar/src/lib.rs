@@ -1,0 +1,45 @@
+//! Synthetic standard-cell library generation, Monte-Carlo characterization
+//! and the statistical (mean/sigma) library of §IV of the paper.
+//!
+//! The original work characterized a proprietary 40 nm library of 304 cells
+//! with SPICE Monte Carlo. We do not have that library, so this crate builds
+//! a synthetic stand-in with the same *statistical shape*:
+//!
+//! * [`arch`] — the cell inventory (304 cells across the Appendix A
+//!   families: 19 inverters, 36 AND/OR, 46 NAND, 43 NOR, 29 XNOR/XOR,
+//!   34 adders, 27 muxes, 51 flip-flops, 12 latches, 7 others) with
+//!   logical-effort parameters per family,
+//! * [`electrical`] — an analytic RC / logical-effort delay and transition
+//!   model used to fill the 7×7 LUTs,
+//! * [`generate`] — the nominal library builder and the Monte-Carlo
+//!   engine producing N perturbed libraries (Pelgrom local mismatch),
+//! * [`statlib`] — the §IV statistical library: entry-wise mean and sigma
+//!   across the N libraries, stored as two structurally identical Liberty
+//!   libraries,
+//! * [`interp`] — the bilinear interpolation of §V.A (eqs. 2–4) in the
+//!   paper's notation.
+//!
+//! # Example
+//!
+//! ```
+//! use varitune_libchar::generate::{generate_mc_libraries, generate_nominal, GenerateConfig};
+//! use varitune_libchar::statlib::StatLibrary;
+//!
+//! let cfg = GenerateConfig::small_for_tests();
+//! let nominal = generate_nominal(&cfg);
+//! let mc = generate_mc_libraries(&nominal, &cfg, 8, 42);
+//! let stat = StatLibrary::from_libraries(&mc).unwrap();
+//! // Larger drive strengths have lower sigma (Pelgrom).
+//! let s1 = stat.worst_delay_sigma("INV_1").unwrap();
+//! let s8 = stat.worst_delay_sigma("INV_8").unwrap();
+//! assert!(s8 < s1);
+//! ```
+
+pub mod arch;
+pub mod electrical;
+pub mod generate;
+pub mod interp;
+pub mod statlib;
+
+pub use generate::{generate_mc_libraries, generate_nominal, GenerateConfig};
+pub use statlib::{StatLibrary, StatTable, TableKind};

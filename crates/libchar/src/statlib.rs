@@ -1,0 +1,563 @@
+//! The statistical library of §IV.
+//!
+//! Given N Monte-Carlo characterized libraries, every LUT entry is collected
+//! across the N copies and reduced to its mean and standard deviation. The
+//! result is stored as **two structurally identical Liberty libraries**: one
+//! whose tables hold means, one whose tables hold sigmas — exactly the
+//! "library file with identical tables ... which contains local variation
+//! statistics instead" described in the paper.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use varitune_liberty::{InterpolateError, Library, Lut, TimingArc};
+use varitune_variation::stats::Accumulator;
+
+/// Which of an arc's four tables a query refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TableKind {
+    /// Rise propagation delay.
+    CellRise,
+    /// Fall propagation delay.
+    CellFall,
+    /// Output rise transition.
+    RiseTransition,
+    /// Output fall transition.
+    FallTransition,
+}
+
+impl TableKind {
+    /// The two delay kinds.
+    pub const DELAYS: [TableKind; 2] = [TableKind::CellRise, TableKind::CellFall];
+
+    /// Selects this kind's table on `arc`.
+    pub fn of(self, arc: &TimingArc) -> Option<&Lut> {
+        match self {
+            TableKind::CellRise => arc.cell_rise.as_ref(),
+            TableKind::CellFall => arc.cell_fall.as_ref(),
+            TableKind::RiseTransition => arc.rise_transition.as_ref(),
+            TableKind::FallTransition => arc.fall_transition.as_ref(),
+        }
+    }
+}
+
+/// A mean/sigma pair of same-shaped tables for one arc table kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatTable {
+    /// Entry-wise means.
+    pub mean: Lut,
+    /// Entry-wise standard deviations.
+    pub sigma: Lut,
+}
+
+impl StatTable {
+    /// Interpolates `(mean, sigma)` at an operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InterpolateError`] from either table.
+    pub fn interpolate(&self, slew: f64, load: f64) -> Result<(f64, f64), InterpolateError> {
+        Ok((
+            self.mean.interpolate(slew, load)?,
+            self.sigma.interpolate(slew, load)?,
+        ))
+    }
+}
+
+/// Error building a [`StatLibrary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildStatError {
+    /// No input libraries were provided.
+    Empty,
+    /// The input libraries do not share an identical cell/arc/table
+    /// structure.
+    StructureMismatch {
+        /// Index of the offending library in the input slice.
+        library: usize,
+        /// Description of the first difference found.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BuildStatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildStatError::Empty => write!(f, "no input libraries"),
+            BuildStatError::StructureMismatch { library, detail } => {
+                write!(f, "library #{library} differs structurally: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for BuildStatError {}
+
+/// The statistical library: per-entry mean and sigma across N characterized
+/// libraries, stored as two structurally identical Liberty libraries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatLibrary {
+    /// Library whose LUT values are entry-wise means.
+    pub mean: Library,
+    /// Library whose LUT values are entry-wise standard deviations.
+    pub sigma: Library,
+    /// Number of Monte-Carlo libraries the statistics were computed from.
+    pub sample_count: usize,
+}
+
+impl StatLibrary {
+    /// Builds the statistical library from `libs` (the §IV procedure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildStatError::Empty`] for an empty slice and
+    /// [`BuildStatError::StructureMismatch`] if any library's cells, arcs or
+    /// table shapes differ from the first library's.
+    pub fn from_libraries(libs: &[Library]) -> Result<Self, BuildStatError> {
+        let first = libs.first().ok_or(BuildStatError::Empty)?;
+        for (k, lib) in libs.iter().enumerate().skip(1) {
+            check_same_structure(first, lib)
+                .map_err(|detail| BuildStatError::StructureMismatch { library: k, detail })?;
+        }
+
+        let mut mean = first.clone();
+        mean.name = "STAT_MEAN".to_string();
+        let mut sigma = first.clone();
+        sigma.name = "STAT_SIGMA".to_string();
+
+        for ci in 0..first.cells.len() {
+            for pi in 0..first.cells[ci].pins.len() {
+                for ai in 0..first.cells[ci].pins[pi].timing.len() {
+                    for kind in [
+                        TableKind::CellRise,
+                        TableKind::CellFall,
+                        TableKind::RiseTransition,
+                        TableKind::FallTransition,
+                    ] {
+                        if kind.of(&first.cells[ci].pins[pi].timing[ai]).is_none() {
+                            continue;
+                        }
+                        let (rows, cols) = {
+                            let t = kind
+                                .of(&first.cells[ci].pins[pi].timing[ai])
+                                .expect("checked above");
+                            (t.rows(), t.cols())
+                        };
+                        for i in 0..rows {
+                            for j in 0..cols {
+                                // §IV: pull the same entry out of every
+                                // library into a temporary table, then store
+                                // its mean and sigma at the same coordinates.
+                                let mut acc = Accumulator::new();
+                                for lib in libs {
+                                    let t = kind
+                                        .of(&lib.cells[ci].pins[pi].timing[ai])
+                                        .expect("structure checked");
+                                    acc.push(t.at(i, j));
+                                }
+                                set_entry(&mut mean, ci, pi, ai, kind, i, j, acc.mean());
+                                set_entry(&mut sigma, ci, pi, ai, kind, i, j, acc.std_dev());
+                            }
+                        }
+                    }
+                }
+                // Internal-power tables get the same per-entry treatment
+                // (the §III extension to transition power).
+                for gi in 0..first.cells[ci].pins[pi].internal_power.len() {
+                    for rise in [true, false] {
+                        let Some(t0) = pick_power(first, ci, pi, gi, rise) else {
+                            continue;
+                        };
+                        let (rows, cols) = (t0.rows(), t0.cols());
+                        for i in 0..rows {
+                            for j in 0..cols {
+                                let mut acc = Accumulator::new();
+                                for lib in libs {
+                                    acc.push(
+                                        pick_power(lib, ci, pi, gi, rise)
+                                            .expect("structure checked")
+                                            .at(i, j),
+                                    );
+                                }
+                                set_power_entry(&mut mean, ci, pi, gi, rise, i, j, acc.mean());
+                                set_power_entry(
+                                    &mut sigma,
+                                    ci,
+                                    pi,
+                                    gi,
+                                    rise,
+                                    i,
+                                    j,
+                                    acc.std_dev(),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Self {
+            mean,
+            sigma,
+            sample_count: libs.len(),
+        })
+    }
+
+    /// The mean/sigma pair for one arc table, cloned into a [`StatTable`].
+    pub fn stat_table(
+        &self,
+        cell: &str,
+        pin: &str,
+        arc_idx: usize,
+        kind: TableKind,
+    ) -> Option<StatTable> {
+        let m = kind.of(self.mean.cell(cell)?.pin(pin)?.timing.get(arc_idx)?)?;
+        let s = kind.of(self.sigma.cell(cell)?.pin(pin)?.timing.get(arc_idx)?)?;
+        Some(StatTable {
+            mean: m.clone(),
+            sigma: s.clone(),
+        })
+    }
+
+    /// Worst-case (max over arcs and rise/fall) delay `(mean, sigma)` of
+    /// `cell`'s output pin `pin` at an operating point — the quantity the
+    /// statistical STA attaches to a mapped instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InterpolateError`]; returns `EmptyTable` if the pin has
+    /// no delay tables.
+    pub fn delay_stat(
+        &self,
+        cell: &str,
+        pin: &str,
+        slew: f64,
+        load: f64,
+    ) -> Result<(f64, f64), InterpolateError> {
+        let mc = self
+            .mean
+            .cell(cell)
+            .and_then(|c| c.pin(pin))
+            .ok_or(InterpolateError::EmptyTable)?;
+        let sc = self
+            .sigma
+            .cell(cell)
+            .and_then(|c| c.pin(pin))
+            .ok_or(InterpolateError::EmptyTable)?;
+        let mut best: Option<(f64, f64)> = None;
+        for (ma, sa) in mc.timing.iter().zip(&sc.timing) {
+            for kind in TableKind::DELAYS {
+                let (Some(mt), Some(st)) = (kind.of(ma), kind.of(sa)) else {
+                    continue;
+                };
+                let m = mt.interpolate(slew, load)?;
+                let s = st.interpolate(slew, load)?;
+                best = Some(match best {
+                    Some((bm, bs)) if bm >= m => (bm, bs),
+                    _ => (m, s),
+                });
+            }
+        }
+        best.ok_or(InterpolateError::EmptyTable)
+    }
+
+    /// Like [`StatLibrary::delay_stat`], but restricted to the arc from one
+    /// `related_pin` — the precise query used when the critical input of a
+    /// path cell is known (worst over rise/fall only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InterpolateError`]; returns `EmptyTable` when the cell,
+    /// pin or arc cannot be found.
+    pub fn delay_stat_arc(
+        &self,
+        cell: &str,
+        pin: &str,
+        related_pin: &str,
+        slew: f64,
+        load: f64,
+    ) -> Result<(f64, f64), InterpolateError> {
+        let find = |lib: &Library| -> Option<usize> {
+            lib.cell(cell)?
+                .pin(pin)?
+                .timing
+                .iter()
+                .position(|a| a.related_pin == related_pin)
+        };
+        let (Some(ai_m), Some(ai_s)) = (find(&self.mean), find(&self.sigma)) else {
+            return Err(InterpolateError::EmptyTable);
+        };
+        let ma = &self.mean.cell(cell).expect("found above").pin(pin).expect("found above").timing[ai_m];
+        let sa = &self.sigma.cell(cell).expect("found above").pin(pin).expect("found above").timing[ai_s];
+        let mut best: Option<(f64, f64)> = None;
+        for kind in TableKind::DELAYS {
+            let (Some(mt), Some(st)) = (kind.of(ma), kind.of(sa)) else {
+                continue;
+            };
+            let m = mt.interpolate(slew, load)?;
+            let s = st.interpolate(slew, load)?;
+            best = Some(match best {
+                Some((bm, bs)) if bm >= m => (bm, bs),
+                _ => (m, s),
+            });
+        }
+        best.ok_or(InterpolateError::EmptyTable)
+    }
+
+    /// The largest delay-sigma entry anywhere in `cell`'s tables — a quick
+    /// scalar summary used in reports and doc examples.
+    pub fn worst_delay_sigma(&self, cell: &str) -> Option<f64> {
+        let c = self.sigma.cell(cell)?;
+        let mut worst: Option<f64> = None;
+        for pin in c.output_pins() {
+            for arc in &pin.timing {
+                for kind in TableKind::DELAYS {
+                    if let Some(v) = kind.of(arc).and_then(Lut::max_value) {
+                        worst = Some(worst.map_or(v, |w| w.max(v)));
+                    }
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn set_entry(
+    lib: &mut Library,
+    ci: usize,
+    pi: usize,
+    ai: usize,
+    kind: TableKind,
+    i: usize,
+    j: usize,
+    v: f64,
+) {
+    let arc = &mut lib.cells[ci].pins[pi].timing[ai];
+    let t = match kind {
+        TableKind::CellRise => arc.cell_rise.as_mut(),
+        TableKind::CellFall => arc.cell_fall.as_mut(),
+        TableKind::RiseTransition => arc.rise_transition.as_mut(),
+        TableKind::FallTransition => arc.fall_transition.as_mut(),
+    };
+    t.expect("structure checked").values[i][j] = v;
+}
+
+fn pick_power(lib: &Library, ci: usize, pi: usize, gi: usize, rise: bool) -> Option<&Lut> {
+    let g = &lib.cells[ci].pins[pi].internal_power[gi];
+    if rise {
+        g.rise_power.as_ref()
+    } else {
+        g.fall_power.as_ref()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn set_power_entry(
+    lib: &mut Library,
+    ci: usize,
+    pi: usize,
+    gi: usize,
+    rise: bool,
+    i: usize,
+    j: usize,
+    v: f64,
+) {
+    let g = &mut lib.cells[ci].pins[pi].internal_power[gi];
+    let t = if rise {
+        g.rise_power.as_mut()
+    } else {
+        g.fall_power.as_mut()
+    };
+    t.expect("structure checked").values[i][j] = v;
+}
+
+fn check_same_structure(a: &Library, b: &Library) -> Result<(), String> {
+    if a.cells.len() != b.cells.len() {
+        return Err(format!(
+            "cell count {} vs {}",
+            a.cells.len(),
+            b.cells.len()
+        ));
+    }
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        if ca.name != cb.name {
+            return Err(format!("cell name {} vs {}", ca.name, cb.name));
+        }
+        if ca.pins.len() != cb.pins.len() {
+            return Err(format!("{}: pin count differs", ca.name));
+        }
+        for (pa, pb) in ca.pins.iter().zip(&cb.pins) {
+            if pa.name != pb.name
+                || pa.timing.len() != pb.timing.len()
+                || pa.internal_power.len() != pb.internal_power.len()
+            {
+                return Err(format!("{}/{}: arc structure differs", ca.name, pa.name));
+            }
+            for (ta, tb) in pa.timing.iter().zip(&pb.timing) {
+                for kind in [
+                    TableKind::CellRise,
+                    TableKind::CellFall,
+                    TableKind::RiseTransition,
+                    TableKind::FallTransition,
+                ] {
+                    match (kind.of(ta), kind.of(tb)) {
+                        (None, None) => {}
+                        (Some(x), Some(y))
+                            if x.rows() == y.rows()
+                                && x.cols() == y.cols()
+                                && x.index_slew == y.index_slew
+                                && x.index_load == y.index_load => {}
+                        _ => {
+                            return Err(format!(
+                                "{}/{}: table {:?} shape differs",
+                                ca.name, pa.name, kind
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_mc_libraries, generate_nominal, GenerateConfig};
+
+    fn stat_fixture(n: usize) -> StatLibrary {
+        let cfg = GenerateConfig::small_for_tests();
+        let nominal = generate_nominal(&cfg);
+        let libs = generate_mc_libraries(&nominal, &cfg, n, 1234);
+        StatLibrary::from_libraries(&libs).unwrap()
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(
+            StatLibrary::from_libraries(&[]).unwrap_err(),
+            BuildStatError::Empty
+        );
+    }
+
+    #[test]
+    fn structure_mismatch_is_detected() {
+        let cfg = GenerateConfig::small_for_tests();
+        let a = generate_nominal(&cfg);
+        let mut b = a.clone();
+        b.cells.pop();
+        let err = StatLibrary::from_libraries(&[a, b]).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildStatError::StructureMismatch { library: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn mean_tracks_nominal() {
+        let cfg = GenerateConfig::small_for_tests();
+        let nominal = generate_nominal(&cfg);
+        let stat = stat_fixture(50);
+        let nom = nominal.cell("INV_2").unwrap().pin("Z").unwrap().timing[0]
+            .cell_rise
+            .as_ref()
+            .unwrap()
+            .at(3, 3);
+        let mean = stat.mean.cell("INV_2").unwrap().pin("Z").unwrap().timing[0]
+            .cell_rise
+            .as_ref()
+            .unwrap()
+            .at(3, 3);
+        assert!((mean - nom).abs() / nom < 0.05, "{mean} vs {nom}");
+    }
+
+    #[test]
+    fn sigma_is_positive_everywhere() {
+        let stat = stat_fixture(20);
+        for cell in &stat.sigma.cells {
+            for pin in cell.output_pins() {
+                for arc in &pin.timing {
+                    for t in arc.all_tables() {
+                        assert!(t.min_value().unwrap() > 0.0, "{}", cell.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_shrinks_with_drive_strength() {
+        let stat = stat_fixture(40);
+        let s1 = stat.worst_delay_sigma("INV_1").unwrap();
+        let s8 = stat.worst_delay_sigma("INV_8").unwrap();
+        assert!(s8 < s1, "INV_8 {s8} should be below INV_1 {s1}");
+    }
+
+    #[test]
+    fn sigma_surface_climbs_toward_heavy_corner() {
+        // The Fig. 4 shape: the far (slow slew, heavy load) corner of the
+        // sigma LUT dominates the origin.
+        let stat = stat_fixture(40);
+        let lut = stat.sigma.cell("INV_1").unwrap().pin("Z").unwrap().timing[0]
+            .cell_rise
+            .as_ref()
+            .unwrap();
+        assert!(lut.at(6, 6) > lut.at(0, 0) * 2.0);
+    }
+
+    #[test]
+    fn delay_stat_interpolates_and_takes_worst_arc() {
+        let stat = stat_fixture(20);
+        let (m, s) = stat.delay_stat("ND2_2", "Z", 0.05, 0.01).unwrap();
+        assert!(m > 0.0 && s > 0.0);
+        // Querying a missing pin is an error, not a panic.
+        assert!(stat.delay_stat("ND2_2", "NOPE", 0.05, 0.01).is_err());
+    }
+
+    #[test]
+    fn stat_table_returns_matched_shapes() {
+        let stat = stat_fixture(10);
+        let t = stat
+            .stat_table("INV_1", "Z", 0, TableKind::CellRise)
+            .unwrap();
+        assert_eq!(t.mean.rows(), t.sigma.rows());
+        let (m, s) = t.interpolate(0.05, 0.005).unwrap();
+        assert!(m > 0.0 && s >= 0.0);
+    }
+
+    #[test]
+    fn sample_count_is_recorded() {
+        assert_eq!(stat_fixture(12).sample_count, 12);
+    }
+
+    #[test]
+    fn power_tables_get_mean_and_sigma_too() {
+        let stat = stat_fixture(30);
+        let mean_p = stat.mean.cell("INV_1").unwrap().pin("Z").unwrap().internal_power[0]
+            .rise_power
+            .as_ref()
+            .unwrap()
+            .at(3, 3);
+        let sigma_p = stat.sigma.cell("INV_1").unwrap().pin("Z").unwrap().internal_power[0]
+            .rise_power
+            .as_ref()
+            .unwrap()
+            .at(3, 3);
+        assert!(mean_p > 0.0);
+        assert!(sigma_p > 0.0, "power sigma must be aggregated, not copied");
+        assert!(sigma_p < mean_p, "power sigma is a spread, not a copy");
+    }
+
+    #[test]
+    fn single_library_gives_zero_sigma() {
+        let cfg = GenerateConfig::small_for_tests();
+        let nominal = generate_nominal(&cfg);
+        let stat = StatLibrary::from_libraries(std::slice::from_ref(&nominal)).unwrap();
+        assert_eq!(stat.worst_delay_sigma("INV_1"), Some(0.0));
+        assert_eq!(stat.mean.cells, nominal.cells);
+    }
+}

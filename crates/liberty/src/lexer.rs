@@ -1,0 +1,389 @@
+//! Tokenizer for Liberty text.
+//!
+//! Liberty is a simple curly-brace format of *groups*
+//! (`name (args) { ... }`) and *attributes* (`name : value ;`). The lexer
+//! handles C-style block comments, `//` line comments, quoted strings and
+//! backslash line continuations.
+
+use crate::error::ParseLibertyError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub column: usize,
+}
+
+/// Kinds of Liberty tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or bareword value (`library`, `negative_unate`, `1ns`).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Double-quoted string with the quotes stripped.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+}
+
+impl TokenKind {
+    /// Short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::LBrace => "`{`".to_string(),
+            TokenKind::RBrace => "`}`".to_string(),
+            TokenKind::Colon => "`:`".to_string(),
+            TokenKind::Semicolon => "`;`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+        }
+    }
+}
+
+/// Tokenizes Liberty text.
+///
+/// # Errors
+///
+/// Returns [`ParseLibertyError`] on unterminated comments/strings or
+/// characters that are not part of the Liberty grammar.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseLibertyError> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            chars: input.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseLibertyError {
+        ParseLibertyError::new(self.line, self.column, msg)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseLibertyError> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            let (line, column) = (self.line, self.column);
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '\\' => {
+                    // Line continuation: consume the backslash and the
+                    // following newline (if any).
+                    self.bump();
+                    if matches!(self.peek(), Some('\n') | Some('\r')) {
+                        self.bump();
+                        if self.peek() == Some('\n') {
+                            self.bump();
+                        }
+                    }
+                }
+                '/' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('*') => {
+                            self.bump();
+                            self.skip_block_comment()?;
+                        }
+                        Some('/') => {
+                            while let Some(c) = self.peek() {
+                                if c == '\n' {
+                                    break;
+                                }
+                                self.bump();
+                            }
+                        }
+                        _ => return Err(self.error("unexpected `/`")),
+                    }
+                }
+                '(' => self.push_simple(&mut out, TokenKind::LParen),
+                ')' => self.push_simple(&mut out, TokenKind::RParen),
+                '{' => self.push_simple(&mut out, TokenKind::LBrace),
+                '}' => self.push_simple(&mut out, TokenKind::RBrace),
+                ':' => self.push_simple(&mut out, TokenKind::Colon),
+                ';' => self.push_simple(&mut out, TokenKind::Semicolon),
+                ',' => self.push_simple(&mut out, TokenKind::Comma),
+                '"' => {
+                    self.bump();
+                    let s = self.lex_string()?;
+                    out.push(Token {
+                        kind: TokenKind::Str(s),
+                        line,
+                        column,
+                    });
+                }
+                c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                    let kind = self.lex_number_or_word()?;
+                    out.push(Token { kind, line, column });
+                }
+                c if is_word_start(c) => {
+                    let w = self.lex_word();
+                    out.push(Token {
+                        kind: TokenKind::Ident(w),
+                        line,
+                        column,
+                    });
+                }
+                other => return Err(self.error(format!("unexpected character `{other}`"))),
+            }
+        }
+        Ok(out)
+    }
+
+    fn push_simple(&mut self, out: &mut Vec<Token>, kind: TokenKind) {
+        let (line, column) = (self.line, self.column);
+        self.bump();
+        out.push(Token { kind, line, column });
+    }
+
+    fn skip_block_comment(&mut self) -> Result<(), ParseLibertyError> {
+        loop {
+            match self.bump() {
+                Some('*') if self.peek() == Some('/') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => {}
+                None => return Err(self.error("unterminated block comment")),
+            }
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<String, ParseLibertyError> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(s),
+                Some('\\') => {
+                    // Inside strings a backslash-newline is a continuation;
+                    // any other escaped character is taken literally.
+                    match self.bump() {
+                        Some('\n') => {}
+                        Some('\r') => {
+                            if self.peek() == Some('\n') {
+                                self.bump();
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => return Err(self.error("unterminated string")),
+                    }
+                }
+                Some(c) => s.push(c),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    /// Lexes something that starts like a number. Liberty barewords may also
+    /// start with a digit (`1ns`, `0.1pf`), so if the char run contains
+    /// non-numeric characters we fall back to an identifier token.
+    fn lex_number_or_word(&mut self) -> Result<TokenKind, ParseLibertyError> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '+' | '_') {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if let Ok(n) = s.parse::<f64>() {
+            Ok(TokenKind::Number(n))
+        } else {
+            Ok(TokenKind::Ident(s))
+        }
+    }
+
+    fn lex_word(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if is_word_continue(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+fn is_word_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '!' || c == '*'
+}
+
+fn is_word_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '!' | '*' | '\'' | '[' | ']')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_basic_group() {
+        let k = kinds("library (demo) { }");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("library".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("demo".into()),
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_attribute_with_number() {
+        let k = kinds("area : 1.25;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("area".into()),
+                TokenKind::Colon,
+                TokenKind::Number(1.25),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        assert_eq!(kinds("-0.5"), vec![TokenKind::Number(-0.5)]);
+        assert_eq!(kinds("1e-3"), vec![TokenKind::Number(1e-3)]);
+        assert_eq!(kinds("2.5E2"), vec![TokenKind::Number(250.0)]);
+    }
+
+    #[test]
+    fn unit_words_are_idents_not_numbers() {
+        assert_eq!(kinds("1ns"), vec![TokenKind::Ident("1ns".into())]);
+        assert_eq!(kinds("0.1pf"), vec![TokenKind::Ident("0.1pf".into())]);
+    }
+
+    #[test]
+    fn strings_are_stripped_of_quotes() {
+        assert_eq!(
+            kinds(r#""0.1, 0.2, 0.3""#),
+            vec![TokenKind::Str("0.1, 0.2, 0.3".into())]
+        );
+    }
+
+    #[test]
+    fn string_with_line_continuation() {
+        let input = "\"0.1, \\\n 0.2\"";
+        assert_eq!(kinds(input), vec![TokenKind::Str("0.1,  0.2".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("/* hello */ area // trailing\n : 2;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("area".into()),
+                TokenKind::Colon,
+                TokenKind::Number(2.0),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(tokenize("/* nope").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("\"nope").is_err());
+    }
+
+    #[test]
+    fn function_expression_word() {
+        let k = kinds("function : \"!A\";");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("function".into()),
+                TokenKind::Colon,
+                TokenKind::Str("!A".into()),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn line_continuation_outside_string() {
+        let k = kinds("values ( \\\n \"1, 2\" );");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("values".into()),
+                TokenKind::LParen,
+                TokenKind::Str("1, 2".into()),
+                TokenKind::RParen,
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+}

@@ -1,0 +1,785 @@
+//! Recursive-descent parser for Liberty text.
+//!
+//! Parsing happens in two stages: tokens are first shaped into a generic
+//! group/attribute AST ([`Group`]), which is then lowered into the typed
+//! [`Library`] model. Unknown groups and attributes are carried through the
+//! AST stage and silently ignored by the lowering stage, which makes the
+//! parser robust against the many vendor-specific extensions found in real
+//! `.lib` files.
+
+use crate::error::ParseLibertyError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::model::{
+    Cell, InternalPower, Library, Lut, LutTemplate, Pin, PinDirection, TimingArc, TimingSense,
+    TimingType,
+};
+
+/// A scalar value appearing in an attribute or group argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Bareword.
+    Ident(String),
+    /// Number.
+    Number(f64),
+    /// Quoted string.
+    Str(String),
+}
+
+impl Value {
+    /// The value as a string, regardless of original token kind.
+    pub fn as_text(&self) -> String {
+        match self {
+            Value::Ident(s) | Value::Str(s) => s.clone(),
+            Value::Number(n) => n.to_string(),
+        }
+    }
+
+    /// The value as a number, if it is one (or parses as one).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            Value::Ident(s) | Value::Str(s) => s.trim().parse().ok(),
+        }
+    }
+}
+
+/// An attribute: `name : value ;` or complex `name (v1, v2, ...) ;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// One value for simple attributes, several for complex ones.
+    pub values: Vec<Value>,
+}
+
+/// A Liberty group: `name (args) { attributes and sub-groups }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Group keyword (`library`, `cell`, `pin`, `timing`, ...).
+    pub name: String,
+    /// Parenthesized arguments (often a single name).
+    pub args: Vec<Value>,
+    /// Attributes in declaration order.
+    pub attributes: Vec<Attribute>,
+    /// Nested groups in declaration order.
+    pub groups: Vec<Group>,
+}
+
+impl Group {
+    /// First argument as text, if any (the conventional group "name").
+    pub fn arg_name(&self) -> Option<String> {
+        self.args.first().map(Value::as_text)
+    }
+
+    /// Finds the first attribute with the given name.
+    pub fn attr(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Simple attribute value as text.
+    pub fn attr_text(&self, name: &str) -> Option<String> {
+        self.attr(name).and_then(|a| a.values.first()).map(Value::as_text)
+    }
+
+    /// Simple attribute value as a number.
+    pub fn attr_number(&self, name: &str) -> Option<f64> {
+        self.attr(name).and_then(|a| a.values.first()).and_then(Value::as_number)
+    }
+
+    /// Iterates over sub-groups with the given keyword.
+    pub fn groups_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Group> + 'a {
+        self.groups.iter().filter(move |g| g.name == name)
+    }
+}
+
+/// Parses Liberty text into the typed [`Library`] model.
+///
+/// # Errors
+///
+/// Returns [`ParseLibertyError`] on malformed syntax or on structural
+/// problems (e.g. a table referencing an undeclared template, or a `values`
+/// body whose shape does not match its axes).
+pub fn parse_library(input: &str) -> Result<Library, ParseLibertyError> {
+    let root = parse_root(input)?;
+    lower_library(&root)
+}
+
+/// Parses Liberty text into the generic AST without lowering.
+///
+/// # Errors
+///
+/// Returns [`ParseLibertyError`] on malformed syntax.
+pub fn parse_root(input: &str) -> Result<Group, ParseLibertyError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let g = p.parse_group()?;
+    p.expect_eof()?;
+    Ok(g)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> ParseLibertyError {
+        match self.peek().or_else(|| self.tokens.last()) {
+            Some(t) => ParseLibertyError::new(t.line, t.column, msg),
+            None => ParseLibertyError::new(1, 1, msg),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseLibertyError> {
+        match self.bump() {
+            Some(t) if &t.kind == kind => Ok(()),
+            Some(t) => Err(ParseLibertyError::new(
+                t.line,
+                t.column,
+                format!("expected {}, found {}", kind.describe(), t.kind.describe()),
+            )),
+            None => Err(self.error_here(format!("expected {}, found end of input", kind.describe()))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseLibertyError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(ParseLibertyError::new(
+                t.line,
+                t.column,
+                format!("trailing {} after library body", t.kind.describe()),
+            )),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseLibertyError> {
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => Ok(Value::Ident(s)),
+            Some(Token {
+                kind: TokenKind::Number(n),
+                ..
+            }) => Ok(Value::Number(n)),
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => Ok(Value::Str(s)),
+            Some(t) => Err(ParseLibertyError::new(
+                t.line,
+                t.column,
+                format!("expected a value, found {}", t.kind.describe()),
+            )),
+            None => Err(self.error_here("expected a value, found end of input")),
+        }
+    }
+
+    /// Parses `( v1, v2, ... )` (possibly empty).
+    fn parse_arg_list(&mut self) -> Result<Vec<Value>, ParseLibertyError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::RParen)) {
+            self.bump();
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_value()?);
+            match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Comma) => {
+                    self.bump();
+                }
+                Some(TokenKind::RParen) => {
+                    self.bump();
+                    return Ok(args);
+                }
+                _ => return Err(self.error_here("expected `,` or `)` in argument list")),
+            }
+        }
+    }
+
+    /// Parses a group whose keyword token has not been consumed yet.
+    fn parse_group(&mut self) -> Result<Group, ParseLibertyError> {
+        let name = match self.bump() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => s,
+            Some(t) => {
+                return Err(ParseLibertyError::new(
+                    t.line,
+                    t.column,
+                    format!("expected group keyword, found {}", t.kind.describe()),
+                ))
+            }
+            None => return Err(self.error_here("expected group keyword, found end of input")),
+        };
+        let args = self.parse_arg_list()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut group = Group {
+            name,
+            args,
+            attributes: Vec::new(),
+            groups: Vec::new(),
+        };
+        loop {
+            match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::RBrace) => {
+                    self.bump();
+                    return Ok(group);
+                }
+                Some(TokenKind::Ident(_)) => {
+                    self.parse_member(&mut group)?;
+                }
+                Some(_) => return Err(self.error_here("expected attribute, group or `}`")),
+                None => return Err(self.error_here("unterminated group body")),
+            }
+        }
+    }
+
+    /// Parses one member of a group body: either `name : value ;`,
+    /// `name (args) ;` (complex attribute) or `name (args) { ... }`
+    /// (sub-group).
+    fn parse_member(&mut self, parent: &mut Group) -> Result<(), ParseLibertyError> {
+        let name = match self.bump() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => s,
+            _ => unreachable!("caller checked for an identifier"),
+        };
+        match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::Colon) => {
+                self.bump();
+                let v = self.parse_value()?;
+                // A trailing semicolon is conventional but some writers omit
+                // it before `}`; accept both.
+                if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Semicolon)) {
+                    self.bump();
+                }
+                parent.attributes.push(Attribute {
+                    name,
+                    values: vec![v],
+                });
+                Ok(())
+            }
+            Some(TokenKind::LParen) => {
+                let args = self.parse_arg_list()?;
+                match self.peek().map(|t| &t.kind) {
+                    Some(TokenKind::LBrace) => {
+                        self.bump();
+                        let mut group = Group {
+                            name,
+                            args,
+                            attributes: Vec::new(),
+                            groups: Vec::new(),
+                        };
+                        loop {
+                            match self.peek().map(|t| &t.kind) {
+                                Some(TokenKind::RBrace) => {
+                                    self.bump();
+                                    break;
+                                }
+                                Some(TokenKind::Ident(_)) => self.parse_member(&mut group)?,
+                                Some(_) => {
+                                    return Err(
+                                        self.error_here("expected attribute, group or `}`")
+                                    )
+                                }
+                                None => return Err(self.error_here("unterminated group body")),
+                            }
+                        }
+                        parent.groups.push(group);
+                        Ok(())
+                    }
+                    Some(TokenKind::Semicolon) => {
+                        self.bump();
+                        parent.attributes.push(Attribute { name, values: args });
+                        Ok(())
+                    }
+                    _ => {
+                        // Complex attribute without trailing semicolon.
+                        parent.attributes.push(Attribute { name, values: args });
+                        Ok(())
+                    }
+                }
+            }
+            _ => Err(self.error_here(format!(
+                "expected `:` or `(` after `{name}`"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: generic AST -> typed model
+// ---------------------------------------------------------------------------
+
+fn lower_err(msg: impl Into<String>) -> ParseLibertyError {
+    ParseLibertyError::new(0, 0, msg)
+}
+
+fn lower_library(root: &Group) -> Result<Library, ParseLibertyError> {
+    if root.name != "library" {
+        return Err(lower_err(format!(
+            "expected top-level `library` group, found `{}`",
+            root.name
+        )));
+    }
+    let mut lib = Library::new(root.arg_name().unwrap_or_default());
+    if let Some(t) = root.attr_text("time_unit") {
+        lib.time_unit = t;
+    }
+    if let Some(a) = root.attr("capacitive_load_unit") {
+        // capacitive_load_unit (1, pf);
+        let parts: Vec<String> = a.values.iter().map(Value::as_text).collect();
+        lib.cap_unit = parts.join("");
+    }
+    if let Some(v) = root.attr_number("nom_voltage") {
+        lib.voltage = v;
+    }
+    if let Some(t) = root.attr_number("nom_temperature") {
+        lib.temperature = t;
+    }
+    for g in root.groups_named("lu_table_template") {
+        let t = lower_template(g)?;
+        lib.templates.insert(t.name.clone(), t);
+    }
+    for g in root.groups_named("cell") {
+        lib.cells.push(lower_cell(g, &lib)?);
+    }
+    Ok(lib)
+}
+
+fn parse_float_list(values: &[Value]) -> Result<Vec<f64>, ParseLibertyError> {
+    // index_1 ("0.1, 0.2, 0.3")  or  index_1 (0.1, 0.2, 0.3)
+    let mut out = Vec::new();
+    for v in values {
+        match v {
+            Value::Number(n) => out.push(*n),
+            Value::Ident(s) | Value::Str(s) => {
+                for part in s.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    out.push(part.parse::<f64>().map_err(|_| {
+                        lower_err(format!("cannot parse `{part}` as a number"))
+                    })?);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lower_template(g: &Group) -> Result<LutTemplate, ParseLibertyError> {
+    let name = g
+        .arg_name()
+        .ok_or_else(|| lower_err("lu_table_template without a name"))?;
+    let index_1 = g
+        .attr("index_1")
+        .map(|a| parse_float_list(&a.values))
+        .transpose()?
+        .unwrap_or_default();
+    let index_2 = g
+        .attr("index_2")
+        .map(|a| parse_float_list(&a.values))
+        .transpose()?
+        .unwrap_or_default();
+    Ok(LutTemplate::new(name, index_1, index_2))
+}
+
+fn lower_cell(g: &Group, lib: &Library) -> Result<Cell, ParseLibertyError> {
+    let name = g.arg_name().ok_or_else(|| lower_err("cell without a name"))?;
+    let mut cell = Cell::new(name, g.attr_number("area").unwrap_or(0.0));
+    cell.leakage_power = g.attr_number("cell_leakage_power").unwrap_or(0.0);
+    for pg in g.groups_named("pin") {
+        cell.pins.push(lower_pin(pg, lib)?);
+    }
+    Ok(cell)
+}
+
+fn lower_pin(g: &Group, lib: &Library) -> Result<Pin, ParseLibertyError> {
+    let name = g.arg_name().ok_or_else(|| lower_err("pin without a name"))?;
+    let direction = match g.attr_text("direction").as_deref() {
+        Some("input") => PinDirection::Input,
+        Some("output") => PinDirection::Output,
+        Some("inout") => PinDirection::Inout,
+        Some("internal") => PinDirection::Internal,
+        Some(other) => {
+            return Err(lower_err(format!(
+                "pin `{name}` has unknown direction `{other}`"
+            )))
+        }
+        None => PinDirection::Input,
+    };
+    let mut pin = Pin {
+        name,
+        direction,
+        capacitance: g.attr_number("capacitance").unwrap_or(0.0),
+        max_capacitance: g.attr_number("max_capacitance"),
+        max_transition: g.attr_number("max_transition"),
+        function: g.attr_text("function"),
+        is_clock: matches!(g.attr_text("clock").as_deref(), Some("true")),
+        timing: Vec::new(),
+        internal_power: Vec::new(),
+    };
+    for tg in g.groups_named("timing") {
+        pin.timing.push(lower_timing(tg, lib, &pin.name)?);
+    }
+    for pg in g.groups_named("internal_power") {
+        pin.internal_power.push(lower_internal_power(pg, lib, &pin.name)?);
+    }
+    Ok(pin)
+}
+
+fn lower_internal_power(
+    g: &Group,
+    lib: &Library,
+    pin: &str,
+) -> Result<InternalPower, ParseLibertyError> {
+    let related = g.attr_text("related_pin").ok_or_else(|| {
+        lower_err(format!("internal_power on pin `{pin}` missing related_pin"))
+    })?;
+    let mut power = InternalPower::new(related);
+    for (field, slot) in [
+        ("rise_power", &mut power.rise_power),
+        ("fall_power", &mut power.fall_power),
+    ] {
+        if let Some(tg) = g.groups_named(field).next() {
+            *slot = Some(lower_lut(tg, lib)?);
+        }
+    }
+    Ok(power)
+}
+
+fn lower_timing(g: &Group, lib: &Library, pin: &str) -> Result<TimingArc, ParseLibertyError> {
+    let related = g
+        .attr_text("related_pin")
+        .ok_or_else(|| lower_err(format!("timing arc on pin `{pin}` missing related_pin")))?;
+    let mut arc = TimingArc::new(related);
+    arc.timing_sense = match g.attr_text("timing_sense").as_deref() {
+        Some("positive_unate") | None => TimingSense::PositiveUnate,
+        Some("negative_unate") => TimingSense::NegativeUnate,
+        Some("non_unate") => TimingSense::NonUnate,
+        Some(other) => {
+            return Err(lower_err(format!("unknown timing_sense `{other}`")));
+        }
+    };
+    arc.timing_type = match g.attr_text("timing_type").as_deref() {
+        Some("combinational") | None => TimingType::Combinational,
+        Some("rising_edge") => TimingType::RisingEdge,
+        Some("falling_edge") => TimingType::FallingEdge,
+        Some("setup_rising") => TimingType::SetupRising,
+        Some("hold_rising") => TimingType::HoldRising,
+        Some(other) => {
+            return Err(lower_err(format!("unknown timing_type `{other}`")));
+        }
+    };
+    for (field, slot) in [
+        ("cell_rise", &mut arc.cell_rise),
+        ("cell_fall", &mut arc.cell_fall),
+        ("rise_transition", &mut arc.rise_transition),
+        ("fall_transition", &mut arc.fall_transition),
+    ] {
+        if let Some(tg) = g.groups_named(field).next() {
+            *slot = Some(lower_lut(tg, lib)?);
+        }
+    }
+    Ok(arc)
+}
+
+fn lower_lut(g: &Group, lib: &Library) -> Result<Lut, ParseLibertyError> {
+    // Axis resolution: inline index_1/index_2 override the referenced
+    // template, which is the Liberty rule.
+    let template = g
+        .arg_name()
+        .and_then(|name| lib.templates.get(&name).cloned());
+    let index_slew = match g.attr("index_1") {
+        Some(a) => parse_float_list(&a.values)?,
+        None => template
+            .as_ref()
+            .map(|t| t.index_1.clone())
+            .ok_or_else(|| lower_err("table has neither index_1 nor a known template"))?,
+    };
+    let index_load = match g.attr("index_2") {
+        Some(a) => parse_float_list(&a.values)?,
+        None => template
+            .as_ref()
+            .map(|t| t.index_2.clone())
+            .ok_or_else(|| lower_err("table has neither index_2 nor a known template"))?,
+    };
+    let values_attr = g
+        .attr("values")
+        .ok_or_else(|| lower_err("table without a values attribute"))?;
+    let mut rows = Vec::new();
+    for v in &values_attr.values {
+        rows.push(parse_float_list(std::slice::from_ref(v))?);
+    }
+    // A 1-D values list for a 2-D template: reshape row-major.
+    if rows.len() == 1 && index_slew.len() > 1 && rows[0].len() == index_slew.len() * index_load.len() {
+        let flat = rows.pop().expect("one row present");
+        rows = flat.chunks(index_load.len()).map(|c| c.to_vec()).collect();
+    }
+    if rows.len() != index_slew.len() || rows.iter().any(|r| r.len() != index_load.len()) {
+        return Err(lower_err(format!(
+            "values shape {}x{} does not match axes {}x{}",
+            rows.len(),
+            rows.first().map_or(0, Vec::len),
+            index_slew.len(),
+            index_load.len()
+        )));
+    }
+    Ok(Lut::new(index_slew, index_load, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL_LIB: &str = r#"
+    library (TT1P1V25C) {
+      time_unit : "1ns";
+      capacitive_load_unit (1, pf);
+      nom_voltage : 1.1;
+      nom_temperature : 25;
+      lu_table_template (del_2x3) {
+        variable_1 : input_net_transition;
+        variable_2 : total_output_net_capacitance;
+        index_1 ("0.01, 0.1");
+        index_2 ("0.001, 0.01, 0.1");
+      }
+      cell (INV_2) {
+        area : 1.5;
+        pin (A) { direction : input; capacitance : 0.003; }
+        pin (Z) {
+          direction : output;
+          max_capacitance : 0.2;
+          function : "!A";
+          timing () {
+            related_pin : "A";
+            timing_sense : negative_unate;
+            cell_rise (del_2x3) {
+              values ("0.10, 0.20, 0.90", "0.15, 0.25, 0.95");
+            }
+            cell_fall (del_2x3) {
+              values ("0.11, 0.21, 0.91", "0.16, 0.26, 0.96");
+            }
+            rise_transition (del_2x3) {
+              values ("0.05, 0.10, 0.40", "0.08, 0.13, 0.43");
+            }
+            fall_transition (del_2x3) {
+              values ("0.06, 0.11, 0.41", "0.09, 0.14, 0.44");
+            }
+          }
+        }
+      }
+      cell (DF_1) {
+        area : 4.0;
+        pin (CK) { direction : input; capacitance : 0.002; clock : true; }
+        pin (D)  { direction : input; capacitance : 0.002; }
+        pin (Q) {
+          direction : output;
+          function : "D";
+          timing () {
+            related_pin : "CK";
+            timing_type : rising_edge;
+            cell_rise (del_2x3) {
+              values ("0.2, 0.3, 1.0", "0.25, 0.35, 1.05");
+            }
+            rise_transition (del_2x3) {
+              values ("0.05, 0.1, 0.4", "0.08, 0.13, 0.43");
+            }
+          }
+        }
+      }
+    }
+    "#;
+
+    #[test]
+    fn parses_full_small_library() {
+        let lib = parse_library(SMALL_LIB).unwrap();
+        assert_eq!(lib.name, "TT1P1V25C");
+        assert_eq!(lib.time_unit, "1ns");
+        assert_eq!(lib.cap_unit, "1pf");
+        assert_eq!(lib.voltage, 1.1);
+        assert_eq!(lib.temperature, 25.0);
+        assert_eq!(lib.cells.len(), 2);
+        assert_eq!(lib.templates.len(), 1);
+    }
+
+    #[test]
+    fn lut_axes_come_from_template() {
+        let lib = parse_library(SMALL_LIB).unwrap();
+        let inv = lib.cell("INV_2").unwrap();
+        let arc = &inv.pin("Z").unwrap().timing[0];
+        let cr = arc.cell_rise.as_ref().unwrap();
+        assert_eq!(cr.index_slew, vec![0.01, 0.1]);
+        assert_eq!(cr.index_load, vec![0.001, 0.01, 0.1]);
+        assert_eq!(cr.at(1, 2), 0.95);
+    }
+
+    #[test]
+    fn timing_metadata_is_lowered() {
+        let lib = parse_library(SMALL_LIB).unwrap();
+        let inv_arc = &lib.cell("INV_2").unwrap().pin("Z").unwrap().timing[0];
+        assert_eq!(inv_arc.timing_sense, TimingSense::NegativeUnate);
+        assert_eq!(inv_arc.timing_type, TimingType::Combinational);
+        let ff_arc = &lib.cell("DF_1").unwrap().pin("Q").unwrap().timing[0];
+        assert_eq!(ff_arc.timing_type, TimingType::RisingEdge);
+        assert_eq!(ff_arc.related_pin, "CK");
+    }
+
+    #[test]
+    fn clock_pin_and_sequential_detection() {
+        let lib = parse_library(SMALL_LIB).unwrap();
+        let ff = lib.cell("DF_1").unwrap();
+        assert!(ff.pin("CK").unwrap().is_clock);
+        assert!(ff.is_sequential());
+        assert!(!lib.cell("INV_2").unwrap().is_sequential());
+    }
+
+    #[test]
+    fn pin_attributes_are_lowered() {
+        let lib = parse_library(SMALL_LIB).unwrap();
+        let z = lib.cell("INV_2").unwrap().pin("Z").unwrap();
+        assert_eq!(z.max_capacitance, Some(0.2));
+        assert_eq!(z.function.as_deref(), Some("!A"));
+        let a = lib.cell("INV_2").unwrap().pin("A").unwrap();
+        assert_eq!(a.capacitance, 0.003);
+    }
+
+    #[test]
+    fn inline_index_overrides_template() {
+        let text = r#"
+        library (L) {
+          lu_table_template (t) { index_1 ("1, 2"); index_2 ("1, 2"); }
+          cell (C_1) {
+            pin (Z) {
+              direction : output;
+              timing () {
+                related_pin : "A";
+                cell_rise (t) {
+                  index_1 ("5, 6, 7");
+                  index_2 ("8, 9");
+                  values ("1, 2", "3, 4", "5, 6");
+                }
+              }
+            }
+          }
+        }
+        "#;
+        let lib = parse_library(text).unwrap();
+        let lut = lib.cells[0].pins[0].timing[0].cell_rise.as_ref().unwrap();
+        assert_eq!(lut.index_slew, vec![5.0, 6.0, 7.0]);
+        assert_eq!(lut.index_load, vec![8.0, 9.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let text = r#"
+        library (L) {
+          cell (C_1) {
+            pin (Z) {
+              direction : output;
+              timing () {
+                related_pin : "A";
+                cell_rise () {
+                  index_1 ("1, 2");
+                  index_2 ("1, 2");
+                  values ("1, 2, 3", "4, 5, 6");
+                }
+              }
+            }
+          }
+        }
+        "#;
+        let err = parse_library(text).unwrap_err();
+        assert!(err.message.contains("shape"), "{err}");
+    }
+
+    #[test]
+    fn missing_related_pin_is_an_error() {
+        let text = r#"
+        library (L) {
+          cell (C_1) {
+            pin (Z) { direction : output; timing () { } }
+          }
+        }
+        "#;
+        assert!(parse_library(text).is_err());
+    }
+
+    #[test]
+    fn unknown_groups_and_attrs_are_ignored() {
+        let text = r#"
+        library (L) {
+          operating_conditions (typ) { process : 1; }
+          default_max_transition : 0.6;
+          cell (C_1) {
+            cell_leakage_power : 0.5;
+            pg_pin (VDD) { pg_type : primary_power; }
+            pin (A) { direction : input; capacitance : 0.001; }
+          }
+        }
+        "#;
+        let lib = parse_library(text).unwrap();
+        assert_eq!(lib.cells.len(), 1);
+        assert_eq!(lib.cells[0].pins.len(), 1);
+    }
+
+    #[test]
+    fn top_level_must_be_library() {
+        assert!(parse_library("cell (X) { }").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(parse_library("library (L) { } extra").is_err());
+    }
+
+    #[test]
+    fn flat_values_list_is_reshaped() {
+        let text = r#"
+        library (L) {
+          cell (C_1) {
+            pin (Z) {
+              direction : output;
+              timing () {
+                related_pin : "A";
+                cell_rise () {
+                  index_1 ("1, 2");
+                  index_2 ("1, 2, 3");
+                  values ("1, 2, 3, 4, 5, 6");
+                }
+              }
+            }
+          }
+        }
+        "#;
+        let lib = parse_library(text).unwrap();
+        let lut = lib.cells[0].pins[0].timing[0].cell_rise.as_ref().unwrap();
+        assert_eq!(lut.values, vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+    }
+
+    #[test]
+    fn error_positions_point_at_offender() {
+        let err = parse_library("library (L) { area 5; }").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.column > 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Serializes a [`Library`] back to Liberty text.
+//!
+//! Output round-trips through [`crate::parse_library`]: parsing the emitted
+//! text yields a library equal to the input (floating-point values are
+//! written with enough precision to survive the round trip).
+
+use std::fmt::Write as _;
+
+use crate::model::{InternalPower, Library, Lut, Pin, PinDirection, TimingArc, TimingSense, TimingType};
+
+/// Renders `lib` as Liberty text.
+pub fn write_library(lib: &Library) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "library ({}) {{", lib.name);
+    let _ = writeln!(w, "  time_unit : \"{}\";", lib.time_unit);
+    let _ = writeln!(w, "  capacitive_load_unit (1, pf);");
+    let _ = writeln!(w, "  nom_voltage : {};", fmt_f64(lib.voltage));
+    let _ = writeln!(w, "  nom_temperature : {};", fmt_f64(lib.temperature));
+    for t in lib.templates.values() {
+        let _ = writeln!(w, "  lu_table_template ({}) {{", t.name);
+        let _ = writeln!(w, "    variable_1 : input_net_transition;");
+        let _ = writeln!(w, "    variable_2 : total_output_net_capacitance;");
+        let _ = writeln!(w, "    index_1 (\"{}\");", join_f64(&t.index_1));
+        let _ = writeln!(w, "    index_2 (\"{}\");", join_f64(&t.index_2));
+        let _ = writeln!(w, "  }}");
+    }
+    for c in &lib.cells {
+        let _ = writeln!(w, "  cell ({}) {{", c.name);
+        let _ = writeln!(w, "    area : {};", fmt_f64(c.area));
+        if c.leakage_power != 0.0 {
+            let _ = writeln!(w, "    cell_leakage_power : {};", fmt_f64(c.leakage_power));
+        }
+        for p in &c.pins {
+            write_pin(w, p);
+        }
+        let _ = writeln!(w, "  }}");
+    }
+    let _ = writeln!(w, "}}");
+    out
+}
+
+fn write_pin(w: &mut String, p: &Pin) {
+    let _ = writeln!(w, "    pin ({}) {{", p.name);
+    let dir = match p.direction {
+        PinDirection::Input => "input",
+        PinDirection::Output => "output",
+        PinDirection::Inout => "inout",
+        PinDirection::Internal => "internal",
+    };
+    let _ = writeln!(w, "      direction : {dir};");
+    if p.direction == PinDirection::Input || p.capacitance != 0.0 {
+        let _ = writeln!(w, "      capacitance : {};", fmt_f64(p.capacitance));
+    }
+    if let Some(mc) = p.max_capacitance {
+        let _ = writeln!(w, "      max_capacitance : {};", fmt_f64(mc));
+    }
+    if let Some(mt) = p.max_transition {
+        let _ = writeln!(w, "      max_transition : {};", fmt_f64(mt));
+    }
+    if let Some(f) = &p.function {
+        let _ = writeln!(w, "      function : \"{f}\";");
+    }
+    if p.is_clock {
+        let _ = writeln!(w, "      clock : true;");
+    }
+    for arc in &p.timing {
+        write_timing(w, arc);
+    }
+    for ip in &p.internal_power {
+        write_internal_power(w, ip);
+    }
+    let _ = writeln!(w, "    }}");
+}
+
+fn write_internal_power(w: &mut String, ip: &InternalPower) {
+    let _ = writeln!(w, "      internal_power () {{");
+    let _ = writeln!(w, "        related_pin : \"{}\";", ip.related_pin);
+    for (name, table) in [("rise_power", &ip.rise_power), ("fall_power", &ip.fall_power)] {
+        if let Some(t) = table {
+            write_lut(w, name, t);
+        }
+    }
+    let _ = writeln!(w, "      }}");
+}
+
+fn write_timing(w: &mut String, arc: &TimingArc) {
+    let _ = writeln!(w, "      timing () {{");
+    let _ = writeln!(w, "        related_pin : \"{}\";", arc.related_pin);
+    let sense = match arc.timing_sense {
+        TimingSense::PositiveUnate => "positive_unate",
+        TimingSense::NegativeUnate => "negative_unate",
+        TimingSense::NonUnate => "non_unate",
+    };
+    let _ = writeln!(w, "        timing_sense : {sense};");
+    let tt = match arc.timing_type {
+        TimingType::Combinational => "combinational",
+        TimingType::RisingEdge => "rising_edge",
+        TimingType::FallingEdge => "falling_edge",
+        TimingType::SetupRising => "setup_rising",
+        TimingType::HoldRising => "hold_rising",
+    };
+    let _ = writeln!(w, "        timing_type : {tt};");
+    for (name, table) in [
+        ("cell_rise", &arc.cell_rise),
+        ("cell_fall", &arc.cell_fall),
+        ("rise_transition", &arc.rise_transition),
+        ("fall_transition", &arc.fall_transition),
+    ] {
+        if let Some(t) = table {
+            write_lut(w, name, t);
+        }
+    }
+    let _ = writeln!(w, "      }}");
+}
+
+fn write_lut(w: &mut String, name: &str, lut: &Lut) {
+    let _ = writeln!(w, "        {name} () {{");
+    let _ = writeln!(w, "          index_1 (\"{}\");", join_f64(&lut.index_slew));
+    let _ = writeln!(w, "          index_2 (\"{}\");", join_f64(&lut.index_load));
+    let rows: Vec<String> = lut
+        .values
+        .iter()
+        .map(|r| format!("\"{}\"", join_f64(r)))
+        .collect();
+    let _ = writeln!(w, "          values ({});", rows.join(", "));
+    let _ = writeln!(w, "        }}");
+}
+
+fn fmt_f64(v: f64) -> String {
+    // Shortest representation that round-trips.
+    let mut s = format!("{v}");
+    if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+        s.push_str(".0");
+    }
+    s
+}
+
+fn join_f64(vs: &[f64]) -> String {
+    vs.iter().map(|v| fmt_f64(*v)).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cell, Library, LutTemplate};
+    use crate::parse_library;
+
+    fn sample_library() -> Library {
+        let mut lib = Library::new("TT1P1V25C");
+        lib.templates.insert(
+            "d".into(),
+            LutTemplate::new("d", vec![0.01, 0.1], vec![0.001, 0.01]),
+        );
+        let mut c = Cell::new("INV_1", 1.25);
+        c.pins.push(Pin::input("A", 0.002));
+        let mut z = Pin::output("Z", "!A");
+        z.max_capacitance = Some(0.08);
+        let mut arc = TimingArc::new("A");
+        arc.timing_sense = TimingSense::NegativeUnate;
+        arc.cell_rise = Some(Lut::new(
+            vec![0.01, 0.1],
+            vec![0.001, 0.01],
+            vec![vec![0.1, 0.2], vec![0.15, 0.25]],
+        ));
+        arc.rise_transition = Some(Lut::new(
+            vec![0.01, 0.1],
+            vec![0.001, 0.01],
+            vec![vec![0.02, 0.05], vec![0.03, 0.06]],
+        ));
+        z.timing.push(arc);
+        c.pins.push(z);
+        lib.cells.push(c);
+        lib
+    }
+
+    #[test]
+    fn writer_output_parses_back_equal() {
+        let lib = sample_library();
+        let text = write_library(&lib);
+        let parsed = parse_library(&text).unwrap();
+        assert_eq!(parsed, lib);
+    }
+
+    #[test]
+    fn writer_emits_all_sections() {
+        let text = write_library(&sample_library());
+        for needle in [
+            "library (TT1P1V25C)",
+            "lu_table_template (d)",
+            "cell (INV_1)",
+            "pin (A)",
+            "pin (Z)",
+            "related_pin : \"A\"",
+            "negative_unate",
+            "cell_rise",
+            "rise_transition",
+            "max_capacitance : 0.08",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_awkward_floats() {
+        let mut lib = sample_library();
+        lib.cells[0].area = 0.1 + 0.2; // 0.30000000000000004
+        let parsed = parse_library(&write_library(&lib)).unwrap();
+        assert_eq!(parsed.cells[0].area, lib.cells[0].area);
+    }
+
+    #[test]
+    fn internal_power_and_leakage_round_trip() {
+        let mut lib = sample_library();
+        lib.cells[0].leakage_power = 1.75;
+        let mut ip = InternalPower::new("A");
+        ip.rise_power = Some(Lut::new(
+            vec![0.01, 0.1],
+            vec![0.001, 0.01],
+            vec![vec![0.5, 0.9], vec![0.6, 1.0]],
+        ));
+        ip.fall_power = Some(Lut::new(
+            vec![0.01, 0.1],
+            vec![0.001, 0.01],
+            vec![vec![0.4, 0.8], vec![0.5, 0.9]],
+        ));
+        lib.cells[0]
+            .pins
+            .iter_mut()
+            .find(|p| p.name == "Z")
+            .expect("Z pin")
+            .internal_power
+            .push(ip);
+        let text = write_library(&lib);
+        assert!(text.contains("internal_power"));
+        assert!(text.contains("cell_leakage_power : 1.75"));
+        assert!(text.contains("rise_power"));
+        let parsed = parse_library(&text).unwrap();
+        assert_eq!(parsed, lib);
+    }
+
+    #[test]
+    fn sequential_cell_round_trips() {
+        let mut lib = Library::new("L");
+        let mut ff = Cell::new("DF_1", 4.0);
+        let mut ck = Pin::input("CK", 0.001);
+        ck.is_clock = true;
+        ff.pins.push(ck);
+        let mut q = Pin::output("Q", "D");
+        let mut arc = TimingArc::new("CK");
+        arc.timing_type = TimingType::RisingEdge;
+        arc.cell_rise = Some(Lut::new(vec![0.1], vec![0.01], vec![vec![0.3]]));
+        q.timing.push(arc);
+        ff.pins.push(q);
+        lib.cells.push(ff);
+        let parsed = parse_library(&write_library(&lib)).unwrap();
+        assert_eq!(parsed, lib);
+        assert!(parsed.cells[0].is_sequential());
+    }
+}

@@ -1,0 +1,568 @@
+//! Technology-independent gate-level IR.
+//!
+//! A [`Netlist`] is a bag of single-driver [`Net`]s connected by [`Gate`]s.
+//! Gates are *generic* logic functions ([`GateKind`]); the synthesis crate
+//! maps them onto concrete library cells and picks drive strengths. Flip-
+//! flops are gates like any other; the clock network is implicit (clock-tree
+//! synthesis is out of scope, as it is in the paper).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a net within its netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A named net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// Human-readable name (unique within the netlist by construction).
+    pub name: String,
+}
+
+/// Generic logic functions the design generator emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Inverter: 1 input.
+    Inv,
+    /// Buffer: 1 input (inserted by synthesis, never by the generator).
+    Buf,
+    /// N-input AND (2–4 inputs).
+    And,
+    /// N-input OR (2–4 inputs).
+    Or,
+    /// N-input NAND (2–4 inputs).
+    Nand,
+    /// N-input NOR (2–4 inputs).
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// 2:1 mux: inputs `[a, b, sel]`.
+    Mux2,
+    /// 4:1 mux: inputs `[a, b, c, d, s0, s1]`.
+    Mux4,
+    /// Half adder: inputs `[a, b]`, outputs `[sum, carry]`.
+    HalfAdder,
+    /// Full adder: inputs `[a, b, cin]`, outputs `[sum, carry]`.
+    FullAdder,
+    /// Rising-edge D flip-flop: inputs `[d]`, outputs `[q]`.
+    Dff,
+}
+
+impl GateKind {
+    /// Whether the gate is sequential.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff)
+    }
+
+    /// Allowed input-count range.
+    pub fn input_arity(self) -> std::ops::RangeInclusive<usize> {
+        match self {
+            GateKind::Inv | GateKind::Buf => 1..=1,
+            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => 2..=4,
+            GateKind::Xor | GateKind::Xnor | GateKind::HalfAdder => 2..=2,
+            GateKind::Mux2 | GateKind::FullAdder => 3..=3,
+            GateKind::Mux4 => 6..=6,
+            GateKind::Dff => 1..=1,
+        }
+    }
+
+    /// Number of outputs.
+    pub fn output_count(self) -> usize {
+        match self {
+            GateKind::HalfAdder | GateKind::FullAdder => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Inv => "inv",
+            GateKind::Buf => "buf",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Mux2 => "mux2",
+            GateKind::Mux4 => "mux4",
+            GateKind::HalfAdder => "half-adder",
+            GateKind::FullAdder => "full-adder",
+            GateKind::Dff => "dff",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A gate instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Instance name (unique within the netlist by construction).
+    pub name: String,
+    /// Logic function.
+    pub kind: GateKind,
+    /// Input nets in positional order (see [`GateKind`] docs).
+    pub inputs: Vec<NetId>,
+    /// Output nets in positional order.
+    pub outputs: Vec<NetId>,
+}
+
+/// Error returned by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateNetlistError {
+    /// A net is driven by more than one gate/primary input.
+    MultipleDrivers {
+        /// The offending net.
+        net: NetId,
+        /// Name of the net.
+        name: String,
+    },
+    /// A net is read but never driven.
+    Undriven {
+        /// The offending net.
+        net: NetId,
+        /// Name of the net.
+        name: String,
+    },
+    /// A gate's input or output count is outside its kind's arity.
+    BadArity {
+        /// The offending gate's name.
+        gate: String,
+    },
+    /// A gate references a net id outside the netlist.
+    DanglingNet {
+        /// The offending gate's name.
+        gate: String,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalCycle {
+        /// Name of a net on the cycle.
+        net: String,
+    },
+}
+
+impl fmt::Display for ValidateNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateNetlistError::MultipleDrivers { name, .. } => {
+                write!(f, "net `{name}` has multiple drivers")
+            }
+            ValidateNetlistError::Undriven { name, .. } => {
+                write!(f, "net `{name}` is read but never driven")
+            }
+            ValidateNetlistError::BadArity { gate } => {
+                write!(f, "gate `{gate}` has the wrong number of connections")
+            }
+            ValidateNetlistError::DanglingNet { gate } => {
+                write!(f, "gate `{gate}` references a non-existent net")
+            }
+            ValidateNetlistError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net `{net}`")
+            }
+        }
+    }
+}
+
+impl Error for ValidateNetlistError {}
+
+/// A gate-level design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    /// Nets, indexed by [`NetId`].
+    pub nets: Vec<Net>,
+    /// Gate instances.
+    pub gates: Vec<Gate>,
+    /// Primary input nets (driven from outside).
+    pub primary_inputs: Vec<NetId>,
+    /// Primary output nets (observed outside).
+    pub primary_outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a net and returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name: name.into() });
+        id
+    }
+
+    /// Adds a primary input net.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.add_net(name);
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Marks an existing net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        self.primary_outputs.push(net);
+    }
+
+    /// Adds a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection counts violate the kind's arity — the
+    /// builders are trusted code, so this is a bug, not an input error.
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+    ) -> &Gate {
+        assert!(
+            kind.input_arity().contains(&inputs.len()),
+            "{kind}: bad input count {}",
+            inputs.len()
+        );
+        assert_eq!(outputs.len(), kind.output_count(), "{kind}: bad output count");
+        let name = format!("g{}_{kind}", self.gates.len());
+        self.gates.push(Gate {
+            name,
+            kind,
+            inputs,
+            outputs,
+        });
+        self.gates.last().expect("just pushed")
+    }
+
+    /// Name of a net.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.nets[id.0 as usize].name
+    }
+
+    /// Maps each net to the gate index driving it (primary inputs map to
+    /// `None` and do not appear).
+    pub fn driver_map(&self) -> BTreeMap<NetId, usize> {
+        let mut m = BTreeMap::new();
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &o in &g.outputs {
+                m.insert(o, gi);
+            }
+        }
+        m
+    }
+
+    /// Maps each net to the gate indices reading it.
+    pub fn fanout_map(&self) -> BTreeMap<NetId, Vec<usize>> {
+        let mut m: BTreeMap<NetId, Vec<usize>> = BTreeMap::new();
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &i in &g.inputs {
+                m.entry(i).or_default().push(gi);
+            }
+        }
+        m
+    }
+
+    /// Number of fanout sinks of a net (gate inputs plus primary-output
+    /// taps).
+    pub fn fanout_count(&self, net: NetId) -> usize {
+        let gates = self
+            .gates
+            .iter()
+            .flat_map(|g| &g.inputs)
+            .filter(|&&i| i == net)
+            .count();
+        let pos = self.primary_outputs.iter().filter(|&&o| o == net).count();
+        gates + pos
+    }
+
+    /// Structural and acyclicity validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateNetlistError`] found: arity and dangling
+    /// checks per gate, single-driver and no-undriven checks per net, and a
+    /// topological-sort check that the combinational subgraph is acyclic
+    /// (paths may only close through flip-flops).
+    pub fn validate(&self) -> Result<(), ValidateNetlistError> {
+        let n = self.nets.len() as u32;
+        let mut drivers: Vec<u8> = vec![0; self.nets.len()];
+        for &pi in &self.primary_inputs {
+            drivers[pi.0 as usize] += 1;
+        }
+        for g in &self.gates {
+            if !g.kind.input_arity().contains(&g.inputs.len())
+                || g.outputs.len() != g.kind.output_count()
+            {
+                return Err(ValidateNetlistError::BadArity {
+                    gate: g.name.clone(),
+                });
+            }
+            if g.inputs.iter().chain(&g.outputs).any(|id| id.0 >= n) {
+                return Err(ValidateNetlistError::DanglingNet {
+                    gate: g.name.clone(),
+                });
+            }
+            for &o in &g.outputs {
+                drivers[o.0 as usize] += 1;
+                if drivers[o.0 as usize] > 1 {
+                    return Err(ValidateNetlistError::MultipleDrivers {
+                        net: o,
+                        name: self.net_name(o).to_string(),
+                    });
+                }
+            }
+        }
+        for g in &self.gates {
+            for &i in &g.inputs {
+                if drivers[i.0 as usize] == 0 {
+                    return Err(ValidateNetlistError::Undriven {
+                        net: i,
+                        name: self.net_name(i).to_string(),
+                    });
+                }
+            }
+        }
+        self.check_acyclic()
+    }
+
+    /// Kahn topological sort over the combinational subgraph; flip-flop
+    /// outputs act as sources and flip-flop inputs as sinks.
+    fn check_acyclic(&self) -> Result<(), ValidateNetlistError> {
+        // in-degree per *combinational* gate = number of its inputs driven
+        // by other combinational gates.
+        let driver = self.driver_map();
+        let comb: Vec<usize> = (0..self.gates.len())
+            .filter(|&gi| !self.gates[gi].kind.is_sequential())
+            .collect();
+        let mut indeg: BTreeMap<usize, usize> = comb.iter().map(|&gi| (gi, 0)).collect();
+        let mut succs: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &gi in &comb {
+            for &inp in &self.gates[gi].inputs {
+                if let Some(&src) = driver.get(&inp) {
+                    if !self.gates[src].kind.is_sequential() {
+                        *indeg.get_mut(&gi).expect("comb gate") += 1;
+                        succs.entry(src).or_default().push(gi);
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<usize> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&gi, _)| gi)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(gi) = queue.pop() {
+            seen += 1;
+            if let Some(next) = succs.get(&gi) {
+                for &s in next {
+                    let d = indeg.get_mut(&s).expect("comb gate");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(s);
+                    }
+                }
+            }
+        }
+        if seen != comb.len() {
+            let stuck = indeg
+                .iter()
+                .find(|(_, &d)| d > 0)
+                .map(|(&gi, _)| gi)
+                .expect("cycle exists");
+            return Err(ValidateNetlistError::CombinationalCycle {
+                net: self.net_name(self.gates[stuck].outputs[0]).to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Renders the netlist as Graphviz DOT (for small debugging dumps).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph netlist {\n  rankdir=LR;\n");
+        for g in &self.gates {
+            let _ = writeln!(s, "  \"{}\" [label=\"{}\\n{}\"];", g.name, g.name, g.kind);
+        }
+        let driver = self.driver_map();
+        for g in &self.gates {
+            for &i in &g.inputs {
+                match driver.get(&i) {
+                    Some(&src) => {
+                        let _ = writeln!(
+                            s,
+                            "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                            self.gates[src].name,
+                            g.name,
+                            self.net_name(i)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            s,
+                            "  \"{}\" -> \"{}\";",
+                            self.net_name(i),
+                            g.name
+                        );
+                    }
+                }
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        let mut n = Netlist::new("tiny");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_net("x");
+        let y = n.add_net("y");
+        n.add_gate(GateKind::Nand, vec![a, b], vec![x]);
+        n.add_gate(GateKind::Inv, vec![x], vec![y]);
+        n.mark_output(y);
+        n
+    }
+
+    #[test]
+    fn tiny_netlist_validates() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let mut n = tiny();
+        let x = NetId(2);
+        let a = NetId(0);
+        n.add_gate(GateKind::Inv, vec![a], vec![x]);
+        assert!(matches!(
+            n.validate(),
+            Err(ValidateNetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut n = Netlist::new("u");
+        let ghost = n.add_net("ghost");
+        let out = n.add_net("out");
+        n.add_gate(GateKind::Inv, vec![ghost], vec![out]);
+        assert!(matches!(
+            n.validate(),
+            Err(ValidateNetlistError::Undriven { .. })
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut n = Netlist::new("cyc");
+        let a = n.add_input("a");
+        let x = n.add_net("x");
+        let y = n.add_net("y");
+        n.add_gate(GateKind::Nand, vec![a, y], vec![x]);
+        n.add_gate(GateKind::Inv, vec![x], vec![y]);
+        assert!(matches!(
+            n.validate(),
+            Err(ValidateNetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_through_dff_is_fine() {
+        let mut n = Netlist::new("counter-bit");
+        let q = n.add_net("q");
+        let d = n.add_net("d");
+        n.add_gate(GateKind::Inv, vec![q], vec![d]);
+        n.add_gate(GateKind::Dff, vec![d], vec![q]);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad input count")]
+    fn arity_panics_in_builder() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_input("a");
+        let z = n.add_net("z");
+        n.add_gate(GateKind::Mux2, vec![a], vec![z]);
+    }
+
+    #[test]
+    fn dangling_net_detected() {
+        let mut n = Netlist::new("dangle");
+        let a = n.add_input("a");
+        let z = n.add_net("z");
+        n.add_gate(GateKind::Inv, vec![a], vec![z]);
+        n.gates[0].inputs[0] = NetId(99);
+        assert!(matches!(
+            n.validate(),
+            Err(ValidateNetlistError::DanglingNet { .. })
+        ));
+    }
+
+    #[test]
+    fn fanout_counts_gates_and_outputs() {
+        let mut n = Netlist::new("f");
+        let a = n.add_input("a");
+        let x = n.add_net("x");
+        let y = n.add_net("y");
+        n.add_gate(GateKind::Inv, vec![a], vec![x]);
+        n.add_gate(GateKind::Inv, vec![a], vec![y]);
+        n.mark_output(a);
+        assert_eq!(n.fanout_count(a), 3);
+        assert_eq!(n.fanout_count(x), 0);
+    }
+
+    #[test]
+    fn driver_and_fanout_maps_agree() {
+        let n = tiny();
+        let d = n.driver_map();
+        let f = n.fanout_map();
+        assert_eq!(d[&NetId(2)], 0);
+        assert_eq!(f[&NetId(2)], vec![1]);
+        assert!(!d.contains_key(&NetId(0)));
+    }
+
+    #[test]
+    fn dot_export_mentions_every_gate() {
+        let n = tiny();
+        let dot = n.to_dot();
+        for g in &n.gates {
+            assert!(dot.contains(&g.name));
+        }
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn full_adder_has_two_outputs() {
+        let mut n = Netlist::new("fa");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let s = n.add_net("s");
+        let co = n.add_net("co");
+        n.add_gate(GateKind::FullAdder, vec![a, b, c], vec![s, co]);
+        n.validate().unwrap();
+        assert_eq!(GateKind::FullAdder.output_count(), 2);
+    }
+}

@@ -1,0 +1,710 @@
+//! Arrival/slew propagation over the mapped design.
+//!
+//! The timing graph is the netlist itself: primary inputs and flip-flop
+//! outputs launch, combinational gates propagate in topological order, and
+//! flip-flop data inputs / primary outputs capture. Cell delays and output
+//! transitions come from the library LUTs via bilinear interpolation at the
+//! (input slew, output load) operating point, exactly as §V describes.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use varitune_liberty::{InterpolateError, Library, TimingType};
+use varitune_netlist::{NetId, ValidateNetlistError};
+
+use crate::mapped::MappedDesign;
+
+/// Analysis configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaConfig {
+    /// Target clock period (ns).
+    pub clock_period: f64,
+    /// Clock uncertainty / guard band subtracted from the period (ns); the
+    /// paper uses 300 ps on the 2.41 ns design.
+    pub clock_uncertainty: f64,
+    /// Transition assumed on primary inputs (ns).
+    pub input_slew: f64,
+    /// Transition of the (ideal) clock at flip-flop clock pins (ns).
+    pub clock_slew: f64,
+    /// Setup requirement of capturing flip-flops (ns).
+    pub setup_time: f64,
+}
+
+impl StaConfig {
+    /// Configuration with the given clock period and conventional defaults
+    /// for everything else.
+    pub fn with_clock_period(clock_period: f64) -> Self {
+        Self {
+            clock_period,
+            clock_uncertainty: 0.0,
+            input_slew: 0.05,
+            clock_slew: 0.03,
+            setup_time: 0.045,
+        }
+    }
+
+    /// The effective period seen by endpoints:
+    /// `clock_period - clock_uncertainty`.
+    pub fn effective_period(&self) -> f64 {
+        self.clock_period - self.clock_uncertainty
+    }
+}
+
+impl Default for StaConfig {
+    fn default() -> Self {
+        Self::with_clock_period(2.41)
+    }
+}
+
+/// Error from timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StaError {
+    /// The netlist failed structural validation.
+    Netlist(ValidateNetlistError),
+    /// A gate is mapped to a cell name absent from the library.
+    UnknownCell {
+        /// Gate index.
+        gate: usize,
+        /// The unresolved cell name.
+        name: String,
+    },
+    /// The mapped cell has no timing arc for a needed (input, output) pair.
+    MissingArc {
+        /// Gate index.
+        gate: usize,
+        /// Cell name.
+        cell: String,
+    },
+    /// LUT evaluation failed.
+    Interpolate(InterpolateError),
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::Netlist(e) => write!(f, "invalid netlist: {e}"),
+            StaError::UnknownCell { gate, name } => {
+                write!(f, "gate #{gate} mapped to unknown cell `{name}`")
+            }
+            StaError::MissingArc { gate, cell } => {
+                write!(f, "gate #{gate} ({cell}) lacks a required timing arc")
+            }
+            StaError::Interpolate(e) => write!(f, "table evaluation failed: {e}"),
+        }
+    }
+}
+
+impl Error for StaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StaError::Netlist(e) => Some(e),
+            StaError::Interpolate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateNetlistError> for StaError {
+    fn from(e: ValidateNetlistError) -> Self {
+        StaError::Netlist(e)
+    }
+}
+
+impl From<InterpolateError> for StaError {
+    fn from(e: InterpolateError) -> Self {
+        StaError::Interpolate(e)
+    }
+}
+
+/// Timing state of one net after propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetTiming {
+    /// Worst arrival time at the net (ns); 0 for primary inputs.
+    pub arrival: f64,
+    /// Transition at the net (ns).
+    pub slew: f64,
+    /// Capacitive load on the net (pF).
+    pub load: f64,
+    /// Driving gate index (`None` for primary inputs).
+    pub driver: Option<usize>,
+    /// Output-pin position on the driver.
+    pub out_pin: usize,
+    /// Critical input position on the driver (`None` for launch points).
+    pub crit_input: Option<usize>,
+    /// Cell delay of the driver's critical arc at the operating point (ns).
+    pub cell_delay: f64,
+    /// Input slew that produced the critical arc delay (ns).
+    pub crit_input_slew: f64,
+}
+
+impl NetTiming {
+    fn unpropagated() -> Self {
+        Self {
+            arrival: f64::NEG_INFINITY,
+            slew: 0.0,
+            load: 0.0,
+            driver: None,
+            out_pin: 0,
+            crit_input: None,
+            cell_delay: 0.0,
+            crit_input_slew: 0.0,
+        }
+    }
+}
+
+/// Kind of timing endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EndpointKind {
+    /// Data input of a flip-flop (setup check).
+    FlipFlopData {
+        /// Index of the capturing flip-flop gate.
+        gate: usize,
+    },
+    /// Primary output.
+    PrimaryOutput,
+}
+
+/// One timing endpoint with its slack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Captured net.
+    pub net: NetId,
+    /// Endpoint kind.
+    pub kind: EndpointKind,
+    /// Data arrival (ns).
+    pub arrival: f64,
+    /// Required time (ns).
+    pub required: f64,
+}
+
+impl Endpoint {
+    /// Slack = required − arrival.
+    pub fn slack(&self) -> f64 {
+        self.required - self.arrival
+    }
+}
+
+/// Result of [`analyze`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Configuration the analysis ran with.
+    pub config: StaConfig,
+    /// Per-net timing state.
+    pub nets: Vec<NetTiming>,
+    /// All endpoints (one per flip-flop D input and per primary output).
+    pub endpoints: Vec<Endpoint>,
+}
+
+impl TimingReport {
+    /// Worst (smallest) slack across all endpoints; `+inf` if there are no
+    /// endpoints.
+    pub fn worst_slack(&self) -> f64 {
+        self.endpoints
+            .iter()
+            .map(Endpoint::slack)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether every endpoint meets timing.
+    pub fn meets_timing(&self) -> bool {
+        self.worst_slack() >= 0.0
+    }
+
+    /// Endpoints sorted most-critical first.
+    pub fn critical_endpoints(&self) -> Vec<&Endpoint> {
+        let mut v: Vec<&Endpoint> = self.endpoints.iter().collect();
+        v.sort_by(|a, b| a.slack().partial_cmp(&b.slack()).expect("finite slacks"));
+        v
+    }
+}
+
+/// Runs static timing analysis of `design` against `lib`.
+///
+/// # Errors
+///
+/// Returns [`StaError`] if the netlist is structurally invalid, a gate maps
+/// to an unknown cell, a required timing arc is missing, or LUT evaluation
+/// fails.
+pub fn analyze(
+    design: &MappedDesign,
+    lib: &Library,
+    config: &StaConfig,
+) -> Result<TimingReport, StaError> {
+    let nl = &design.netlist;
+    nl.validate()?;
+
+    let loads = design.net_loads(lib);
+    let mut nets = vec![NetTiming::unpropagated(); nl.nets.len()];
+    for (i, t) in nets.iter_mut().enumerate() {
+        t.load = loads[i];
+    }
+
+    // Launch points: primary inputs...
+    for &pi in &nl.primary_inputs {
+        let t = &mut nets[pi.0 as usize];
+        t.arrival = 0.0;
+        t.slew = config.input_slew;
+    }
+    // ...and flip-flop outputs (clock-to-Q at the ideal clock edge).
+    for (gi, g) in nl.gates.iter().enumerate() {
+        if !g.kind.is_sequential() {
+            continue;
+        }
+        let cell = design
+            .cell_of(gi, lib)
+            .ok_or_else(|| StaError::UnknownCell {
+                gate: gi,
+                name: design.cell_names[gi].clone(),
+            })?;
+        for (j, &out) in g.outputs.iter().enumerate() {
+            let pin = cell.output_pins().nth(j).ok_or(StaError::MissingArc {
+                gate: gi,
+                cell: cell.name.clone(),
+            })?;
+            let arc = pin.timing.first().ok_or(StaError::MissingArc {
+                gate: gi,
+                cell: cell.name.clone(),
+            })?;
+            let load = loads[out.0 as usize];
+            let delay = arc.worst_delay(config.clock_slew, load)?;
+            let slew = arc.worst_transition(config.clock_slew, load)?;
+            let t = &mut nets[out.0 as usize];
+            t.arrival = delay;
+            t.slew = slew;
+            t.driver = Some(gi);
+            t.out_pin = j;
+            t.crit_input = None;
+            t.cell_delay = delay;
+            t.crit_input_slew = config.clock_slew;
+        }
+    }
+
+    // Topological order over combinational gates.
+    let order = topo_order(nl)?;
+
+    for gi in order {
+        let g = &nl.gates[gi];
+        let cell = design
+            .cell_of(gi, lib)
+            .ok_or_else(|| StaError::UnknownCell {
+                gate: gi,
+                name: design.cell_names[gi].clone(),
+            })?;
+        let input_pin_names: Vec<&str> =
+            cell.input_pins().map(|p| p.name.as_str()).collect();
+        if input_pin_names.len() < g.inputs.len() {
+            return Err(StaError::MissingArc {
+                gate: gi,
+                cell: cell.name.clone(),
+            });
+        }
+        for (j, &out) in g.outputs.iter().enumerate() {
+            let pin = cell.output_pins().nth(j).ok_or(StaError::MissingArc {
+                gate: gi,
+                cell: cell.name.clone(),
+            })?;
+            let load = loads[out.0 as usize];
+            let mut best: Option<NetTiming> = None;
+            for (k, &inp) in g.inputs.iter().enumerate() {
+                let in_t = nets[inp.0 as usize];
+                debug_assert!(in_t.arrival.is_finite(), "topological order broken");
+                let arc = pin
+                    .timing
+                    .iter()
+                    .find(|a| a.related_pin == input_pin_names[k])
+                    .ok_or(StaError::MissingArc {
+                        gate: gi,
+                        cell: cell.name.clone(),
+                    })?;
+                let delay = arc.worst_delay(in_t.slew, load)?;
+                let arrival = in_t.arrival + delay;
+                if best.is_none_or(|b| arrival > b.arrival) {
+                    let slew = arc.worst_transition(in_t.slew, load)?;
+                    best = Some(NetTiming {
+                        arrival,
+                        slew,
+                        load,
+                        driver: Some(gi),
+                        out_pin: j,
+                        crit_input: Some(k),
+                        cell_delay: delay,
+                        crit_input_slew: in_t.slew,
+                    });
+                }
+            }
+            nets[out.0 as usize] = best.ok_or(StaError::MissingArc {
+                gate: gi,
+                cell: cell.name.clone(),
+            })?;
+        }
+    }
+
+    // Endpoints. Setup comes from the capturing flip-flop's characterized
+    // SetupRising arc at (data slew, clock slew) when the library provides
+    // one, falling back to the configured constant.
+    let mut endpoints = Vec::new();
+    for (gi, g) in nl.gates.iter().enumerate() {
+        if g.kind.is_sequential() {
+            let d = g.inputs[0];
+            let data_slew = nets[d.0 as usize].slew;
+            let setup = design
+                .cell_of(gi, lib)
+                .and_then(|cell| {
+                    constraint_of(cell, TimingType::SetupRising, data_slew, config.clock_slew)
+                })
+                .unwrap_or(config.setup_time);
+            endpoints.push(Endpoint {
+                net: d,
+                kind: EndpointKind::FlipFlopData { gate: gi },
+                arrival: nets[d.0 as usize].arrival,
+                required: config.effective_period() - setup,
+            });
+        }
+    }
+    for &po in &nl.primary_outputs {
+        endpoints.push(Endpoint {
+            net: po,
+            kind: EndpointKind::PrimaryOutput,
+            arrival: nets[po.0 as usize].arrival,
+            required: config.effective_period(),
+        });
+    }
+
+    Ok(TimingReport {
+        config: *config,
+        nets,
+        endpoints,
+    })
+}
+
+/// Evaluates a flip-flop data pin's constraint arc (setup or hold) at
+/// `(data_slew, clock_slew)`. Constraint tables index the clock slew on
+/// the LUT's load axis. Returns `None` when the cell has no such arc.
+pub(crate) fn constraint_of(
+    cell: &varitune_liberty::Cell,
+    kind: TimingType,
+    data_slew: f64,
+    clock_slew: f64,
+) -> Option<f64> {
+    let d_pin = cell
+        .input_pins()
+        .find(|p| p.timing.iter().any(|a| a.timing_type == kind))?;
+    let arc = d_pin.timing.iter().find(|a| a.timing_type == kind)?;
+    arc.worst_delay(data_slew, clock_slew).ok()
+}
+
+/// Backward required-time propagation: the latest time each net may switch
+/// and still meet every downstream endpoint. Per-gate slack is then
+/// `required[out] - arrival[out]`, which the synthesis optimizer uses for
+/// area recovery.
+///
+/// Nets with no path to any endpoint get `+inf` (unconstrained).
+///
+/// # Errors
+///
+/// Returns [`StaError`] under the same conditions as [`analyze`].
+pub fn required_times(
+    design: &MappedDesign,
+    lib: &Library,
+    report: &TimingReport,
+) -> Result<Vec<f64>, StaError> {
+    let nl = &design.netlist;
+    let mut req = vec![f64::INFINITY; nl.nets.len()];
+    for ep in &report.endpoints {
+        let r = &mut req[ep.net.0 as usize];
+        *r = r.min(ep.required);
+    }
+    // Reverse topological order over combinational gates.
+    let mut order = topo_order(nl)?;
+    order.reverse();
+    for gi in order {
+        let g = &nl.gates[gi];
+        let cell = design
+            .cell_of(gi, lib)
+            .ok_or_else(|| StaError::UnknownCell {
+                gate: gi,
+                name: design.cell_names[gi].clone(),
+            })?;
+        let input_pin_names: Vec<&str> =
+            cell.input_pins().map(|p| p.name.as_str()).collect();
+        for (j, &out) in g.outputs.iter().enumerate() {
+            let out_req = req[out.0 as usize];
+            if !out_req.is_finite() {
+                continue;
+            }
+            let pin = cell.output_pins().nth(j).ok_or(StaError::MissingArc {
+                gate: gi,
+                cell: cell.name.clone(),
+            })?;
+            let load = report.nets[out.0 as usize].load;
+            for (k, &inp) in g.inputs.iter().enumerate() {
+                let arc = pin
+                    .timing
+                    .iter()
+                    .find(|a| a.related_pin == input_pin_names[k])
+                    .ok_or(StaError::MissingArc {
+                        gate: gi,
+                        cell: cell.name.clone(),
+                    })?;
+                let delay = arc.worst_delay(report.nets[inp.0 as usize].slew, load)?;
+                let r = &mut req[inp.0 as usize];
+                *r = r.min(out_req - delay);
+            }
+        }
+    }
+    Ok(req)
+}
+
+/// Kahn topological sort of the combinational gates. The netlist was already
+/// validated acyclic, so this cannot fail in practice; an inconsistency is
+/// reported as a netlist error.
+pub(crate) fn topo_order(nl: &varitune_netlist::Netlist) -> Result<Vec<usize>, StaError> {
+    let driver = nl.driver_map();
+    let is_comb = |gi: usize| !nl.gates[gi].kind.is_sequential();
+    let mut indeg = vec![0usize; nl.gates.len()];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nl.gates.len()];
+    for (gi, g) in nl.gates.iter().enumerate() {
+        if !is_comb(gi) {
+            continue;
+        }
+        for &inp in &g.inputs {
+            if let Some(&src) = driver.get(&inp) {
+                if is_comb(src) {
+                    indeg[gi] += 1;
+                    succs[src].push(gi);
+                }
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..nl.gates.len())
+        .filter(|&gi| is_comb(gi) && indeg[gi] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(queue.len());
+    while let Some(gi) = queue.pop() {
+        order.push(gi);
+        for &s in &succs[gi] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    let comb_count = (0..nl.gates.len()).filter(|&gi| is_comb(gi)).count();
+    if order.len() != comb_count {
+        return Err(StaError::Netlist(ValidateNetlistError::CombinationalCycle {
+            net: "unknown".to_string(),
+        }));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapped::WireModel;
+    use varitune_libchar::{generate_nominal, GenerateConfig};
+    use varitune_netlist::{GateKind, Netlist};
+
+    fn lib() -> Library {
+        generate_nominal(&GenerateConfig::small_for_tests())
+    }
+
+    /// inv chain: a -> inv -> inv -> ... -> out, all INV_2.
+    fn chain(n: usize) -> MappedDesign {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_input("a");
+        for i in 0..n {
+            let z = nl.add_net(format!("n{i}"));
+            nl.add_gate(GateKind::Inv, vec![prev], vec![z]);
+            prev = z;
+        }
+        nl.mark_output(prev);
+        MappedDesign::new(nl, vec!["INV_2".into(); n], WireModel::default())
+    }
+
+    #[test]
+    fn longer_chain_has_larger_arrival() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(10.0);
+        let a3 = analyze(&chain(3), &lib, &cfg).unwrap();
+        let a9 = analyze(&chain(9), &lib, &cfg).unwrap();
+        let po3 = a3.endpoints.last().unwrap().arrival;
+        let po9 = a9.endpoints.last().unwrap().arrival;
+        assert!(po9 > po3 * 2.0, "{po9} vs {po3}");
+    }
+
+    #[test]
+    fn slack_responds_to_clock_period() {
+        let lib = lib();
+        let d = chain(5);
+        let fast = analyze(&d, &lib, &StaConfig::with_clock_period(0.01)).unwrap();
+        let slow = analyze(&d, &lib, &StaConfig::with_clock_period(10.0)).unwrap();
+        assert!(fast.worst_slack() < 0.0);
+        assert!(slow.worst_slack() > 0.0);
+        assert!(!fast.meets_timing());
+        assert!(slow.meets_timing());
+    }
+
+    #[test]
+    fn uncertainty_reduces_slack() {
+        let lib = lib();
+        let d = chain(5);
+        let base = analyze(&d, &lib, &StaConfig::with_clock_period(2.0)).unwrap();
+        let mut cfg = StaConfig::with_clock_period(2.0);
+        cfg.clock_uncertainty = 0.3;
+        let guarded = analyze(&d, &lib, &cfg).unwrap();
+        assert!((base.worst_slack() - guarded.worst_slack() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ff_to_ff_path_has_endpoints() {
+        let lib = lib();
+        let mut nl = Netlist::new("ff2ff");
+        let d0 = nl.add_input("d0");
+        let q0 = nl.add_net("q0");
+        nl.add_gate(GateKind::Dff, vec![d0], vec![q0]);
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Inv, vec![q0], vec![x]);
+        let q1 = nl.add_net("q1");
+        nl.add_gate(GateKind::Dff, vec![x], vec![q1]);
+        nl.mark_output(q1);
+        let d = MappedDesign::new(
+            nl,
+            vec!["DF_1".into(), "INV_2".into(), "DF_1".into()],
+            WireModel::default(),
+        );
+        let r = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
+        // Endpoints: two FF D-inputs + one PO.
+        assert_eq!(r.endpoints.len(), 3);
+        // The FF->inv->FF endpoint arrival includes clk-to-q plus inverter.
+        let ep = r
+            .endpoints
+            .iter()
+            .find(|e| matches!(e.kind, EndpointKind::FlipFlopData { gate: 2 }))
+            .unwrap();
+        assert!(ep.arrival > 0.0);
+        let q0t = r.nets[1]; // q0 launched by FF
+        assert!(q0t.arrival > 0.0);
+        assert_eq!(q0t.driver, Some(0));
+    }
+
+    #[test]
+    fn unknown_cell_is_reported() {
+        let lib = lib();
+        let mut d = chain(2);
+        d.cell_names[1] = "NOPE_1".into();
+        let err = analyze(&d, &lib, &StaConfig::default()).unwrap_err();
+        assert!(matches!(err, StaError::UnknownCell { gate: 1, .. }));
+    }
+
+    #[test]
+    fn invalid_netlist_is_reported() {
+        let lib = lib();
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate(GateKind::Nand, vec![a, y], vec![x]);
+        nl.add_gate(GateKind::Inv, vec![x], vec![y]);
+        let d = MappedDesign::new(
+            nl,
+            vec!["ND2_1".into(), "INV_1".into()],
+            WireModel::default(),
+        );
+        assert!(matches!(
+            analyze(&d, &lib, &StaConfig::default()),
+            Err(StaError::Netlist(_))
+        ));
+    }
+
+    #[test]
+    fn bigger_drive_on_heavy_load_is_faster() {
+        let lib = lib();
+        // a -> INV(X) -> 8 sink inverters; compare X=1 vs X=8.
+        let build = |drive: &str| {
+            let mut nl = Netlist::new("fan");
+            let a = nl.add_input("a");
+            let x = nl.add_net("x");
+            nl.add_gate(GateKind::Inv, vec![a], vec![x]);
+            let mut names = vec![drive.to_string()];
+            for i in 0..8 {
+                let z = nl.add_net(format!("z{i}"));
+                nl.add_gate(GateKind::Inv, vec![x], vec![z]);
+                nl.mark_output(z);
+                names.push("INV_2".into());
+            }
+            MappedDesign::new(nl, names, WireModel::default())
+        };
+        let cfg = StaConfig::with_clock_period(10.0);
+        let r1 = analyze(&build("INV_1"), &lib, &cfg).unwrap();
+        let r8 = analyze(&build("INV_8"), &lib, &cfg).unwrap();
+        assert!(r8.worst_slack() > r1.worst_slack());
+    }
+
+    #[test]
+    fn critical_endpoints_sorted() {
+        let lib = lib();
+        let r = analyze(&chain(4), &lib, &StaConfig::with_clock_period(1.0)).unwrap();
+        let eps = r.critical_endpoints();
+        for w in eps.windows(2) {
+            assert!(w[0].slack() <= w[1].slack());
+        }
+    }
+
+    #[test]
+    fn required_times_bound_arrivals_on_critical_path() {
+        let lib = lib();
+        let d = chain(5);
+        let cfg = StaConfig::with_clock_period(2.0);
+        let r = analyze(&d, &lib, &cfg).unwrap();
+        let req = required_times(&d, &lib, &r).unwrap();
+        // On a single chain every net is on the only path, so
+        // slack(net) = req - arr is constant and equals the endpoint slack.
+        let ep = r.endpoints[0];
+        let end_slack = ep.slack();
+        for (i, (rq, nt)) in req.iter().zip(&r.nets).enumerate() {
+            let s = rq - nt.arrival;
+            assert!(
+                (s - end_slack).abs() < 1e-9,
+                "net {i}: slack {s} vs endpoint {end_slack}"
+            );
+        }
+    }
+
+    #[test]
+    fn unconstrained_net_has_infinite_required() {
+        let lib = lib();
+        // A dangling gate output feeds nothing and is not a PO.
+        let mut nl = Netlist::new("dangle");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Inv, vec![a], vec![x]);
+        let d = MappedDesign::new(nl, vec!["INV_1".into()], WireModel::default());
+        let r = analyze(&d, &lib, &StaConfig::with_clock_period(1.0)).unwrap();
+        let req = required_times(&d, &lib, &r).unwrap();
+        assert_eq!(req[1], f64::INFINITY);
+    }
+
+    #[test]
+    fn full_adder_outputs_time_separately() {
+        let lib = generate_nominal(&GenerateConfig::full());
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let s = nl.add_net("s");
+        let co = nl.add_net("co");
+        nl.add_gate(GateKind::FullAdder, vec![a, b, c], vec![s, co]);
+        nl.mark_output(s);
+        nl.mark_output(co);
+        let d = MappedDesign::new(nl, vec!["AD2_2".into()], WireModel::default());
+        let r = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
+        let s_t = r.nets[3];
+        let co_t = r.nets[4];
+        assert!(s_t.arrival > co_t.arrival, "sum slower than carry");
+        assert_eq!(s_t.out_pin, 0);
+        assert_eq!(co_t.out_pin, 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! A mapped design: a generic netlist bound to concrete library cells.
+
+use serde::{Deserialize, Serialize};
+
+use varitune_liberty::{Cell, Library};
+use varitune_netlist::{NetId, Netlist};
+
+/// Lumped wire-load model: every net contributes a base capacitance plus a
+/// per-fanout increment (pF). This stands in for the pre-layout wire-load
+/// tables a synthesis tool would use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireModel {
+    /// Capacitance of any driven net (pF).
+    pub base: f64,
+    /// Additional capacitance per fanout sink (pF).
+    pub per_fanout: f64,
+}
+
+impl Default for WireModel {
+    fn default() -> Self {
+        Self {
+            base: 0.0006,
+            per_fanout: 0.0005,
+        }
+    }
+}
+
+impl WireModel {
+    /// Wire capacitance of a net with `fanout` sinks.
+    pub fn wire_cap(&self, fanout: usize) -> f64 {
+        if fanout == 0 {
+            0.0
+        } else {
+            self.base + self.per_fanout * fanout as f64
+        }
+    }
+}
+
+/// A netlist with one library cell name assigned to every gate.
+///
+/// The binding is positional: gate input `k` connects to the cell's `k`-th
+/// input pin (in library declaration order, data pins before the clock pin),
+/// and gate output `j` to the cell's `j`-th output pin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappedDesign {
+    /// The underlying generic netlist (buffering during optimization adds
+    /// gates here and to `cell_names` in lockstep).
+    pub netlist: Netlist,
+    /// Library cell name per gate index.
+    pub cell_names: Vec<String>,
+    /// Wire-load model used for net capacitances.
+    pub wire_model: WireModel,
+}
+
+impl MappedDesign {
+    /// Creates a mapped design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_names` does not have one entry per gate.
+    pub fn new(netlist: Netlist, cell_names: Vec<String>, wire_model: WireModel) -> Self {
+        assert_eq!(
+            netlist.gates.len(),
+            cell_names.len(),
+            "one cell name per gate required"
+        );
+        Self {
+            netlist,
+            cell_names,
+            wire_model,
+        }
+    }
+
+    /// Resolves the library cell of gate `gi`.
+    pub fn cell_of<'l>(&self, gi: usize, lib: &'l Library) -> Option<&'l Cell> {
+        lib.cell(&self.cell_names[gi])
+    }
+
+    /// Total cell area of the design under `lib`.
+    pub fn total_area(&self, lib: &Library) -> f64 {
+        self.cell_names
+            .iter()
+            .map(|n| lib.cell(n).map_or(0.0, |c| c.area))
+            .sum()
+    }
+
+    /// Capacitive load on every net: sink input-pin capacitances plus the
+    /// wire model. Nets with no sinks have zero load.
+    ///
+    /// Unknown cell names contribute no pin capacitance (the analysis layer
+    /// reports them as errors before loads matter).
+    pub fn net_loads(&self, lib: &Library) -> Vec<f64> {
+        let mut loads = vec![0.0f64; self.netlist.nets.len()];
+        let mut fanouts = vec![0usize; self.netlist.nets.len()];
+        for (gi, g) in self.netlist.gates.iter().enumerate() {
+            let cell = self.cell_of(gi, lib);
+            for (k, &inp) in g.inputs.iter().enumerate() {
+                fanouts[inp.0 as usize] += 1;
+                if let Some(c) = cell {
+                    if let Some(pin) = c.input_pins().nth(k) {
+                        loads[inp.0 as usize] += pin.capacitance;
+                    }
+                }
+            }
+        }
+        for &po in &self.netlist.primary_outputs {
+            fanouts[po.0 as usize] += 1;
+        }
+        for (i, l) in loads.iter_mut().enumerate() {
+            *l += self.wire_model.wire_cap(fanouts[i]);
+        }
+        loads
+    }
+
+    /// Load on one net (recomputes all loads; use [`MappedDesign::net_loads`]
+    /// in loops).
+    pub fn net_load(&self, net: NetId, lib: &Library) -> f64 {
+        self.net_loads(lib)[net.0 as usize]
+    }
+
+    /// Histogram of cell usage: `(cell name, instance count)` sorted by
+    /// descending count — the paper's Fig. 9 data.
+    pub fn cell_usage(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for n in &self.cell_names {
+            *counts.entry(n.as_str()).or_default() += 1;
+        }
+        let mut v: Vec<(String, usize)> =
+            counts.into_iter().map(|(k, c)| (k.to_string(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varitune_libchar::{generate_nominal, GenerateConfig};
+    use varitune_netlist::GateKind;
+
+    fn demo() -> (MappedDesign, Library) {
+        let lib = generate_nominal(&GenerateConfig::small_for_tests());
+        let mut nl = Netlist::new("demo");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate(GateKind::Inv, vec![a], vec![x]);
+        nl.add_gate(GateKind::Inv, vec![x], vec![y]);
+        nl.mark_output(y);
+        let d = MappedDesign::new(
+            nl,
+            vec!["INV_1".into(), "INV_4".into()],
+            WireModel::default(),
+        );
+        (d, lib)
+    }
+
+    #[test]
+    fn area_sums_cell_areas() {
+        let (d, lib) = demo();
+        let expect = lib.cell("INV_1").unwrap().area + lib.cell("INV_4").unwrap().area;
+        assert!((d.total_area(&lib) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loads_include_pin_and_wire() {
+        let (d, lib) = demo();
+        let loads = d.net_loads(&lib);
+        // Net x drives INV_4's input: its pin cap plus wire cap for 1 sink.
+        let pin = lib.cell("INV_4").unwrap().input_pins().next().unwrap().capacitance;
+        let expect = pin + d.wire_model.wire_cap(1);
+        assert!((loads[1] - expect).abs() < 1e-12, "{}", loads[1]);
+        // Net y drives only the primary output: wire cap only.
+        assert!((loads[2] - d.wire_model.wire_cap(1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fanout_net_has_zero_load() {
+        let lib = generate_nominal(&GenerateConfig::small_for_tests());
+        let mut nl = Netlist::new("z");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Inv, vec![a], vec![x]);
+        let d = MappedDesign::new(nl, vec!["INV_1".into()], WireModel::default());
+        assert_eq!(d.net_loads(&lib)[1], 0.0);
+    }
+
+    #[test]
+    fn cell_usage_sorted_by_count() {
+        let lib = generate_nominal(&GenerateConfig::small_for_tests());
+        let mut nl = Netlist::new("u");
+        let a = nl.add_input("a");
+        let mut prev = a;
+        for i in 0..5 {
+            let n = nl.add_net(format!("n{i}"));
+            nl.add_gate(GateKind::Inv, vec![prev], vec![n]);
+            prev = n;
+        }
+        let names = vec![
+            "INV_1".into(),
+            "INV_1".into(),
+            "INV_1".into(),
+            "INV_2".into(),
+            "INV_2".into(),
+        ];
+        let d = MappedDesign::new(nl, names, WireModel::default());
+        let usage = d.cell_usage();
+        assert_eq!(usage[0], ("INV_1".to_string(), 3));
+        assert_eq!(usage[1], ("INV_2".to_string(), 2));
+        let _ = lib; // silence unused in this test
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell name per gate")]
+    fn mismatched_names_panic() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Inv, vec![a], vec![x]);
+        let _ = MappedDesign::new(nl, vec![], WireModel::default());
+    }
+
+    #[test]
+    fn wire_model_shape() {
+        let w = WireModel::default();
+        assert_eq!(w.wire_cap(0), 0.0);
+        assert!(w.wire_cap(4) > w.wire_cap(1));
+    }
+}

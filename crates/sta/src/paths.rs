@@ -1,0 +1,495 @@
+//! Worst-path extraction and statistical path/design timing (§V.B).
+//!
+//! The paper measures a design's local variation by extracting, for every
+//! unique endpoint, the worst (latest-arriving) path, attaching a
+//! `(mean, sigma)` delay to every cell on it from the statistical library,
+//! and convolving those into path and design distributions (eqs. 5–11).
+
+use serde::{Deserialize, Serialize};
+
+use varitune_libchar::StatLibrary;
+use varitune_liberty::Library;
+use varitune_netlist::NetId;
+use varitune_variation::convolve;
+
+use crate::graph::{StaError, TimingReport};
+use crate::mapped::MappedDesign;
+
+/// One cell on an extracted path, with the operating point it was timed at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathCellSample {
+    /// Gate index in the netlist.
+    pub gate: usize,
+    /// Library cell name.
+    pub cell: String,
+    /// Output pin name the path leaves through.
+    pub out_pin: String,
+    /// Input pin the critical arc comes from (`None` for a launching
+    /// flip-flop, which times from its clock).
+    pub related_pin: Option<String>,
+    /// Input slew at the critical arc (ns).
+    pub slew: f64,
+    /// Output load (pF).
+    pub load: f64,
+    /// Propagated (deterministic) cell delay (ns).
+    pub delay: f64,
+}
+
+/// A worst path to one endpoint with its statistical parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathTiming {
+    /// Endpoint net the path captures at.
+    pub endpoint: NetId,
+    /// Cells launch-to-capture (launching flip-flop included when the path
+    /// starts at a register).
+    pub cells: Vec<PathCellSample>,
+    /// Deterministic arrival at the endpoint (ns).
+    pub arrival: f64,
+    /// Path delay mean from the statistical library — eq. (5).
+    pub mean: f64,
+    /// Path delay sigma — eq. (9)/(10).
+    pub sigma: f64,
+}
+
+impl PathTiming {
+    /// Path depth = number of cells.
+    pub fn depth(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Mean plus `k` sigma — the paper plots mean + 3σ (Fig. 14).
+    pub fn mean_plus_k_sigma(&self, k: f64) -> f64 {
+        self.mean + k * self.sigma
+    }
+}
+
+/// Design-level distribution — eq. (11) over per-endpoint worst paths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignTiming {
+    /// Sum of worst-path means (ns).
+    pub mean: f64,
+    /// RSS of worst-path sigmas (ns).
+    pub sigma: f64,
+    /// Number of paths aggregated.
+    pub path_count: usize,
+}
+
+impl DesignTiming {
+    /// Aggregates path distributions per eq. (11).
+    pub fn from_paths(paths: &[PathTiming]) -> Self {
+        Self {
+            mean: convolve::design_mean(paths.iter().map(|p| p.mean)),
+            sigma: convolve::design_sigma(paths.iter().map(|p| p.sigma)),
+            path_count: paths.len(),
+        }
+    }
+}
+
+/// Extracts the worst path to `endpoint` by walking critical-input pointers
+/// back to a launch point, then attaches statistical parameters from `stat`
+/// with inter-cell correlation `rho` (the paper argues ρ = 0).
+///
+/// # Errors
+///
+/// Returns [`StaError`] if a cell or pin cannot be resolved or a table
+/// cannot be evaluated.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `[-1, 1]`.
+pub fn extract_path(
+    design: &MappedDesign,
+    lib: &Library,
+    stat: &StatLibrary,
+    report: &TimingReport,
+    endpoint: NetId,
+    rho: f64,
+) -> Result<PathTiming, StaError> {
+    let mut cells_rev: Vec<PathCellSample> = Vec::new();
+    let mut net = endpoint;
+    loop {
+        let t = report.nets[net.0 as usize];
+        let Some(gi) = t.driver else {
+            break; // reached a primary input
+        };
+        let cell = design
+            .cell_of(gi, lib)
+            .ok_or_else(|| StaError::UnknownCell {
+                gate: gi,
+                name: design.cell_names[gi].clone(),
+            })?;
+        let out_pin = cell
+            .output_pins()
+            .nth(t.out_pin)
+            .ok_or(StaError::MissingArc {
+                gate: gi,
+                cell: cell.name.clone(),
+            })?;
+        let related_pin = t
+            .crit_input
+            .and_then(|k| cell.input_pins().nth(k))
+            .map(|p| p.name.clone());
+        cells_rev.push(PathCellSample {
+            gate: gi,
+            cell: cell.name.clone(),
+            out_pin: out_pin.name.clone(),
+            related_pin,
+            slew: t.crit_input_slew,
+            load: t.load,
+            delay: t.cell_delay,
+        });
+        match t.crit_input {
+            Some(k) => net = design.netlist.gates[gi].inputs[k],
+            None => break, // launching flip-flop
+        }
+    }
+    cells_rev.reverse();
+
+    let mut means = Vec::with_capacity(cells_rev.len());
+    let mut sigmas = Vec::with_capacity(cells_rev.len());
+    for c in &cells_rev {
+        // Query the precise critical arc when known; launching flip-flops
+        // fall back to the pin-level worst (their only arc is clk->q).
+        let (m, s) = match &c.related_pin {
+            Some(rel) => stat.delay_stat_arc(&c.cell, &c.out_pin, rel, c.slew, c.load)?,
+            None => stat.delay_stat(&c.cell, &c.out_pin, c.slew, c.load)?,
+        };
+        means.push(m);
+        sigmas.push(s);
+    }
+    let mean = convolve::path_mean(means.into_iter());
+    let sigma = convolve::path_sigma(&sigmas, rho);
+
+    Ok(PathTiming {
+        endpoint,
+        cells: cells_rev,
+        arrival: report.nets[endpoint.0 as usize].arrival,
+        mean,
+        sigma,
+    })
+}
+
+/// Extracts the worst path to **every unique endpoint** of `report` and
+/// returns them together with the design-level aggregate.
+///
+/// # Errors
+///
+/// Propagates the first [`StaError`] from [`extract_path`].
+pub fn worst_paths(
+    design: &MappedDesign,
+    lib: &Library,
+    stat: &StatLibrary,
+    report: &TimingReport,
+    rho: f64,
+) -> Result<(Vec<PathTiming>, DesignTiming), StaError> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut paths = Vec::new();
+    for ep in &report.endpoints {
+        if !seen.insert(ep.net) {
+            continue; // one worst path per unique endpoint
+        }
+        paths.push(extract_path(design, lib, stat, report, ep.net, rho)?);
+    }
+    let design_timing = DesignTiming::from_paths(&paths);
+    Ok((paths, design_timing))
+}
+
+/// Parametric timing yield: the probability that *every* worst path meets
+/// `deadline`, treating path delays as independent normals
+/// `N(mean, sigma)` — the statistical view behind the paper's motivation
+/// that a lower design sigma permits a smaller clock uncertainty.
+pub fn timing_yield(paths: &[PathTiming], deadline: f64) -> f64 {
+    paths
+        .iter()
+        .map(|p| varitune_variation::stats::meet_probability(p.mean, p.sigma, deadline))
+        .product()
+}
+
+/// The smallest deadline at which [`timing_yield`] reaches `target`
+/// (bisection to `tol`). This converts a sigma reduction into the paper's
+/// ultimate currency: a faster usable clock at equal yield.
+///
+/// # Panics
+///
+/// Panics if `target` is not in `(0, 1)` or `paths` is empty.
+pub fn deadline_at_yield(paths: &[PathTiming], target: f64, tol: f64) -> f64 {
+    assert!(target > 0.0 && target < 1.0, "yield target must be in (0, 1)");
+    assert!(!paths.is_empty(), "need at least one path");
+    let mut lo = 0.0f64;
+    let mut hi = paths
+        .iter()
+        .map(|p| p.mean + 10.0 * p.sigma)
+        .fold(0.0, f64::max)
+        .max(tol);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if timing_yield(paths, mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Path-depth histogram: `depths[d]` = number of worst paths with depth `d`
+/// (the Fig. 12 data).
+pub fn depth_histogram(paths: &[PathTiming]) -> Vec<usize> {
+    let max = paths.iter().map(PathTiming::depth).max().unwrap_or(0);
+    let mut h = vec![0usize; max + 1];
+    for p in paths {
+        h[p.depth()] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{analyze, StaConfig};
+    use crate::mapped::WireModel;
+    use varitune_libchar::{generate_mc_libraries, generate_nominal, GenerateConfig};
+    use varitune_netlist::{GateKind, Netlist};
+
+    fn fixtures() -> (Library, StatLibrary) {
+        let cfg = GenerateConfig::small_for_tests();
+        let nominal = generate_nominal(&cfg);
+        let mc = generate_mc_libraries(&nominal, &cfg, 25, 7);
+        let stat = StatLibrary::from_libraries(&mc).unwrap();
+        (nominal, stat)
+    }
+
+    fn chain_design(n: usize, cell: &str) -> MappedDesign {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_input("a");
+        for i in 0..n {
+            let z = nl.add_net(format!("n{i}"));
+            nl.add_gate(GateKind::Inv, vec![prev], vec![z]);
+            prev = z;
+        }
+        nl.mark_output(prev);
+        MappedDesign::new(nl, vec![cell.to_string(); n], WireModel::default())
+    }
+
+    #[test]
+    fn path_depth_matches_chain_length() {
+        let (lib, stat) = fixtures();
+        let d = chain_design(6, "INV_2");
+        let r = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
+        let ep = r.endpoints[0].net;
+        let p = extract_path(&d, &lib, &stat, &r, ep, 0.0).unwrap();
+        assert_eq!(p.depth(), 6);
+        assert_eq!(p.cells[0].cell, "INV_2");
+    }
+
+    #[test]
+    fn path_mean_close_to_deterministic_arrival() {
+        let (lib, stat) = fixtures();
+        let d = chain_design(6, "INV_2");
+        let r = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
+        let p = extract_path(&d, &lib, &stat, &r, r.endpoints[0].net, 0.0).unwrap();
+        // The stat mean uses worst-over-arcs tables, so it sits at or just
+        // above the deterministic arrival.
+        assert!(p.mean >= p.arrival * 0.9 && p.mean <= p.arrival * 1.3,
+            "mean {} vs arrival {}", p.mean, p.arrival);
+    }
+
+    #[test]
+    fn sigma_grows_sublinearly_with_depth() {
+        let (lib, stat) = fixtures();
+        let cfg = StaConfig::with_clock_period(20.0);
+        let short = {
+            let d = chain_design(4, "INV_2");
+            let r = analyze(&d, &lib, &cfg).unwrap();
+            extract_path(&d, &lib, &stat, &r, r.endpoints[0].net, 0.0).unwrap()
+        };
+        let long = {
+            let d = chain_design(16, "INV_2");
+            let r = analyze(&d, &lib, &cfg).unwrap();
+            extract_path(&d, &lib, &stat, &r, r.endpoints[0].net, 0.0).unwrap()
+        };
+        assert!(long.sigma > short.sigma);
+        // eq. (10): sigma scales like sqrt(depth) for identical cells.
+        let ratio = long.sigma / short.sigma;
+        assert!((ratio - 2.0).abs() < 0.35, "ratio {ratio}");
+        // Mean scales linearly, so sigma grows sublinearly vs mean.
+        assert!(long.mean / short.mean > ratio);
+    }
+
+    #[test]
+    fn rho_increases_path_sigma() {
+        let (lib, stat) = fixtures();
+        let d = chain_design(8, "INV_2");
+        let r = analyze(&d, &lib, &StaConfig::with_clock_period(10.0)).unwrap();
+        let p0 = extract_path(&d, &lib, &stat, &r, r.endpoints[0].net, 0.0).unwrap();
+        let p5 = extract_path(&d, &lib, &stat, &r, r.endpoints[0].net, 0.5).unwrap();
+        assert!(p5.sigma > p0.sigma);
+        assert_eq!(p5.mean, p0.mean);
+    }
+
+    #[test]
+    fn high_drive_chain_has_lower_sigma() {
+        // The core Pelgrom effect the tuning method exploits.
+        let (lib, stat) = fixtures();
+        let cfg = StaConfig::with_clock_period(20.0);
+        let weak = {
+            let d = chain_design(8, "INV_1");
+            let r = analyze(&d, &lib, &cfg).unwrap();
+            extract_path(&d, &lib, &stat, &r, r.endpoints[0].net, 0.0).unwrap()
+        };
+        let strong = {
+            let d = chain_design(8, "INV_8");
+            let r = analyze(&d, &lib, &cfg).unwrap();
+            extract_path(&d, &lib, &stat, &r, r.endpoints[0].net, 0.0).unwrap()
+        };
+        assert!(strong.sigma < weak.sigma, "{} vs {}", strong.sigma, weak.sigma);
+    }
+
+    #[test]
+    fn worst_paths_dedup_unique_endpoints() {
+        let (lib, stat) = fixtures();
+        let mut nl = Netlist::new("two-ep");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Inv, vec![a], vec![x]);
+        // The same net is marked PO twice — still one unique endpoint.
+        nl.mark_output(x);
+        nl.mark_output(x);
+        let d = MappedDesign::new(nl, vec!["INV_1".into()], WireModel::default());
+        let r = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
+        let (paths, design_t) = worst_paths(&d, &lib, &stat, &r, 0.0).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(design_t.path_count, 1);
+    }
+
+    #[test]
+    fn design_timing_aggregates_eq11() {
+        let paths = vec![
+            PathTiming {
+                endpoint: NetId(0),
+                cells: vec![],
+                arrival: 1.0,
+                mean: 1.0,
+                sigma: 0.3,
+            },
+            PathTiming {
+                endpoint: NetId(1),
+                cells: vec![],
+                arrival: 2.0,
+                mean: 2.0,
+                sigma: 0.4,
+            },
+        ];
+        let d = DesignTiming::from_paths(&paths);
+        assert!((d.mean - 3.0).abs() < 1e-12);
+        assert!((d.sigma - 0.5).abs() < 1e-12);
+        assert_eq!(d.path_count, 2);
+    }
+
+    #[test]
+    fn depth_histogram_counts() {
+        let mk = |n: usize| PathTiming {
+            endpoint: NetId(n as u32),
+            cells: (0..n)
+                .map(|g| PathCellSample {
+                    gate: g,
+                    cell: "INV_1".into(),
+                    out_pin: "Z".into(),
+                    related_pin: Some("A".into()),
+                    slew: 0.0,
+                    load: 0.0,
+                    delay: 0.0,
+                })
+                .collect(),
+            arrival: 0.0,
+            mean: 0.0,
+            sigma: 0.0,
+        };
+        let h = depth_histogram(&[mk(1), mk(3), mk(3), mk(5)]);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[3], 2);
+        assert_eq!(h[5], 1);
+        assert_eq!(h.len(), 6);
+    }
+
+    fn synthetic_path(mean: f64, sigma: f64) -> PathTiming {
+        PathTiming {
+            endpoint: NetId(0),
+            cells: vec![],
+            arrival: mean,
+            mean,
+            sigma,
+        }
+    }
+
+    #[test]
+    fn yield_limits_and_monotonicity() {
+        let paths = vec![synthetic_path(1.0, 0.1), synthetic_path(1.5, 0.05)];
+        assert!(timing_yield(&paths, 0.1) < 1e-6);
+        assert!(timing_yield(&paths, 10.0) > 0.999_999);
+        let y1 = timing_yield(&paths, 1.6);
+        let y2 = timing_yield(&paths, 1.8);
+        assert!(y2 > y1);
+    }
+
+    #[test]
+    fn yield_of_single_path_matches_normal_cdf() {
+        let p = vec![synthetic_path(2.0, 0.2)];
+        // Deadline at mean + 3 sigma: ~99.87 %.
+        let y = timing_yield(&p, 2.6);
+        assert!((y - 0.99865).abs() < 1e-3, "{y}");
+    }
+
+    #[test]
+    fn deadline_at_yield_inverts_timing_yield() {
+        let paths = vec![
+            synthetic_path(1.0, 0.08),
+            synthetic_path(1.4, 0.05),
+            synthetic_path(0.9, 0.12),
+        ];
+        let d = deadline_at_yield(&paths, 0.99, 1e-5);
+        let y = timing_yield(&paths, d);
+        assert!((y - 0.99).abs() < 1e-3, "yield at recovered deadline: {y}");
+        // Lower sigma paths reach the same yield earlier.
+        let calm: Vec<PathTiming> = paths
+            .iter()
+            .map(|p| synthetic_path(p.mean, p.sigma * 0.5))
+            .collect();
+        assert!(deadline_at_yield(&calm, 0.99, 1e-5) < d);
+    }
+
+    #[test]
+    #[should_panic(expected = "yield target")]
+    fn deadline_at_yield_rejects_bad_target() {
+        let _ = deadline_at_yield(&[synthetic_path(1.0, 0.1)], 1.5, 1e-3);
+    }
+
+    #[test]
+    fn path_from_ff_includes_launching_ff() {
+        let (lib, stat) = fixtures();
+        let mut nl = Netlist::new("ffpath");
+        let d0 = nl.add_input("d0");
+        let q0 = nl.add_net("q0");
+        nl.add_gate(GateKind::Dff, vec![d0], vec![q0]);
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Inv, vec![q0], vec![x]);
+        let q1 = nl.add_net("q1");
+        nl.add_gate(GateKind::Dff, vec![x], vec![q1]);
+        let d = MappedDesign::new(
+            nl,
+            vec!["DF_1".into(), "INV_2".into(), "DF_1".into()],
+            WireModel::default(),
+        );
+        let r = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
+        let ep = r
+            .endpoints
+            .iter()
+            .find(|e| e.net == NetId(2))
+            .unwrap();
+        let p = extract_path(&d, &lib, &stat, &r, ep.net, 0.0).unwrap();
+        // Launching DF_1 + INV_2 = depth 2.
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.cells[0].cell, "DF_1");
+        assert_eq!(p.cells[1].cell, "INV_2");
+    }
+}

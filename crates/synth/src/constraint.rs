@@ -1,0 +1,336 @@
+//! Per-pin operating windows — the mechanism library tuning uses to steer
+//! synthesis.
+//!
+//! §VI of the paper: instead of deleting cells, tuning confines each output
+//! pin's LUT to a rectangle of low-sigma (slew, load) conditions. The
+//! synthesis tool is then only allowed to operate the cell inside that
+//! rectangle. [`LibraryConstraints`] carries those rectangles; the optimizer
+//! legalizes the design against them (up-sizing, buffering, restructuring).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Allowed (slew, load) operating rectangle of one output pin.
+///
+/// # Example
+///
+/// ```
+/// use varitune_synth::OperatingWindow;
+///
+/// let w = OperatingWindow { min_slew: 0.0, max_slew: 0.2, min_load: 0.0, max_load: 0.01 };
+/// assert!(w.contains(0.1, 0.005));
+/// assert!(!w.contains(0.1, 0.02)); // load outside the quiet region
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingWindow {
+    /// Minimum input slew (ns).
+    pub min_slew: f64,
+    /// Maximum input slew (ns).
+    pub max_slew: f64,
+    /// Minimum output load (pF).
+    pub min_load: f64,
+    /// Maximum output load (pF).
+    pub max_load: f64,
+}
+
+impl OperatingWindow {
+    /// A window covering everything (no restriction).
+    pub fn unbounded() -> Self {
+        Self {
+            min_slew: 0.0,
+            max_slew: f64::INFINITY,
+            min_load: 0.0,
+            max_load: f64::INFINITY,
+        }
+    }
+
+    /// Whether an operating point satisfies the window.
+    pub fn contains(&self, slew: f64, load: f64) -> bool {
+        slew >= self.min_slew
+            && slew <= self.max_slew
+            && load >= self.min_load
+            && load <= self.max_load
+    }
+
+    /// Whether the window excludes the entire LUT (the tuning method never
+    /// produces this; it is rejected at construction elsewhere).
+    pub fn is_empty(&self) -> bool {
+        self.min_slew > self.max_slew || self.min_load > self.max_load
+    }
+}
+
+impl Default for OperatingWindow {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// Per-(cell, output pin) operating windows for a whole library.
+///
+/// Pins without an entry are unrestricted.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LibraryConstraints {
+    windows: BTreeMap<(String, String), OperatingWindow>,
+}
+
+impl LibraryConstraints {
+    /// No restrictions at all (the baseline synthesis).
+    pub fn unconstrained() -> Self {
+        Self::default()
+    }
+
+    /// Sets the window of `cell`/`pin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty — tuning must never emit a cell with no
+    /// usable operating region (it should drop the restriction instead).
+    pub fn set(
+        &mut self,
+        cell: impl Into<String>,
+        pin: impl Into<String>,
+        window: OperatingWindow,
+    ) {
+        assert!(!window.is_empty(), "operating window must be non-empty");
+        self.windows.insert((cell.into(), pin.into()), window);
+    }
+
+    /// The window of `cell`/`pin`, unbounded when unrestricted.
+    pub fn window(&self, cell: &str, pin: &str) -> OperatingWindow {
+        self.windows
+            .get(&(cell.to_string(), pin.to_string()))
+            .copied()
+            .unwrap_or_else(OperatingWindow::unbounded)
+    }
+
+    /// Number of restricted pins.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether any restriction is present.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Iterates over `((cell, pin), window)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, String), &OperatingWindow)> {
+        self.windows.iter()
+    }
+
+    /// Serializes the constraints as a line-oriented text sidecar:
+    /// `cell pin min_slew max_slew min_load max_load`, one pin per line,
+    /// with `inf` for unbounded maxima. Round-trips through
+    /// [`LibraryConstraints::from_text`].
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from(
+            "# varitune operating windows: cell pin min_slew max_slew min_load max_load (ns/pF)\n",
+        );
+        for ((cell, pin), w) in &self.windows {
+            let _ = writeln!(
+                s,
+                "{cell} {pin} {} {} {} {}",
+                fmt_bound(w.min_slew),
+                fmt_bound(w.max_slew),
+                fmt_bound(w.min_load),
+                fmt_bound(w.max_load)
+            );
+        }
+        s
+    }
+
+    /// Parses the text format produced by [`LibraryConstraints::to_text`].
+    /// Blank lines and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseConstraintsError`] naming the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, ParseConstraintsError> {
+        let mut out = Self::unconstrained();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 6 {
+                return Err(ParseConstraintsError {
+                    line: lineno + 1,
+                    message: format!("expected 6 fields, found {}", fields.len()),
+                });
+            }
+            let parse = |s: &str| -> Result<f64, ParseConstraintsError> {
+                if s == "inf" {
+                    Ok(f64::INFINITY)
+                } else {
+                    s.parse().map_err(|_| ParseConstraintsError {
+                        line: lineno + 1,
+                        message: format!("cannot parse `{s}` as a number"),
+                    })
+                }
+            };
+            let window = OperatingWindow {
+                min_slew: parse(fields[2])?,
+                max_slew: parse(fields[3])?,
+                min_load: parse(fields[4])?,
+                max_load: parse(fields[5])?,
+            };
+            if window.is_empty() {
+                return Err(ParseConstraintsError {
+                    line: lineno + 1,
+                    message: "window is empty (min exceeds max)".to_string(),
+                });
+            }
+            out.set(fields[0], fields[1], window);
+        }
+        Ok(out)
+    }
+}
+
+fn fmt_bound(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Error parsing the text constraints format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConstraintsError {
+    /// 1-based line of the malformed entry.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseConstraintsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "constraints line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseConstraintsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_contains_everything() {
+        let w = OperatingWindow::unbounded();
+        assert!(w.contains(0.0, 0.0));
+        assert!(w.contains(1e9, 1e9));
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn window_bounds_are_inclusive() {
+        let w = OperatingWindow {
+            min_slew: 0.01,
+            max_slew: 0.2,
+            min_load: 0.001,
+            max_load: 0.01,
+        };
+        assert!(w.contains(0.01, 0.001));
+        assert!(w.contains(0.2, 0.01));
+        assert!(!w.contains(0.21, 0.005));
+        assert!(!w.contains(0.1, 0.02));
+        assert!(!w.contains(0.005, 0.005));
+    }
+
+    #[test]
+    fn missing_pin_is_unrestricted() {
+        let c = LibraryConstraints::unconstrained();
+        assert!(c.is_empty());
+        assert!(c.window("INV_1", "Z").contains(123.0, 456.0));
+    }
+
+    #[test]
+    fn set_and_query() {
+        let mut c = LibraryConstraints::unconstrained();
+        let w = OperatingWindow {
+            min_slew: 0.0,
+            max_slew: 0.1,
+            min_load: 0.0,
+            max_load: 0.005,
+        };
+        c.set("INV_1", "Z", w);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.window("INV_1", "Z"), w);
+        assert!(c.window("INV_2", "Z").contains(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let mut c = LibraryConstraints::unconstrained();
+        c.set(
+            "INV_1",
+            "Z",
+            OperatingWindow {
+                min_slew: 0.5,
+                max_slew: 0.1,
+                min_load: 0.0,
+                max_load: 1.0,
+            },
+        );
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut c = LibraryConstraints::unconstrained();
+        c.set(
+            "INV_1",
+            "Z",
+            OperatingWindow {
+                min_slew: 0.0,
+                max_slew: 0.2,
+                min_load: 0.0,
+                max_load: 0.01,
+            },
+        );
+        c.set(
+            "AD2_4",
+            "CO",
+            OperatingWindow {
+                min_slew: 0.008,
+                max_slew: f64::INFINITY,
+                min_load: 0.0,
+                max_load: f64::INFINITY,
+            },
+        );
+        let text = c.to_text();
+        let parsed = LibraryConstraints::from_text(&text).unwrap();
+        assert_eq!(parsed, c);
+        assert!(text.contains("inf"));
+    }
+
+    #[test]
+    fn from_text_skips_comments_and_blanks() {
+        let text = "# header\n\nINV_1 Z 0 0.1 0 0.01\n";
+        let c = LibraryConstraints::from_text(text).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn from_text_reports_bad_lines() {
+        let err = LibraryConstraints::from_text("INV_1 Z 0 0.1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("6 fields"));
+        let err = LibraryConstraints::from_text("INV_1 Z 0 x 0 1\n").unwrap_err();
+        assert!(err.message.contains("cannot parse"));
+        let err = LibraryConstraints::from_text("INV_1 Z 5 0.1 0 1\n").unwrap_err();
+        assert!(err.message.contains("empty"));
+    }
+
+    #[test]
+    fn iter_yields_entries() {
+        let mut c = LibraryConstraints::unconstrained();
+        c.set("A_1", "Z", OperatingWindow::unbounded());
+        c.set("B_1", "Q", OperatingWindow::unbounded());
+        assert_eq!(c.iter().count(), 2);
+    }
+}

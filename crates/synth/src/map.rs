@@ -1,0 +1,338 @@
+//! Technology mapping: generic gates → library cell families and variants.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use varitune_liberty::Library;
+use varitune_netlist::{GateKind, Netlist};
+use varitune_sta::{MappedDesign, WireModel};
+
+use crate::constraint::LibraryConstraints;
+
+/// One drive-strength variant of a cell family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    /// Cell name.
+    pub name: String,
+    /// Drive strength.
+    pub drive: f64,
+    /// Area (µm²).
+    pub area: f64,
+    /// Library `max_capacitance` (min over output pins), before window
+    /// restriction.
+    pub lib_max_load: f64,
+}
+
+/// Error from mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The library offers no cell family implementing a needed function.
+    MissingFamily {
+        /// The family prefix that was looked up.
+        family: String,
+        /// The gate kind that needed it.
+        kind: String,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::MissingFamily { family, kind } => {
+                write!(f, "library has no `{family}` family for {kind} gates")
+            }
+        }
+    }
+}
+
+impl Error for MapError {}
+
+/// The mapper's view of a library: variants grouped per family, combined
+/// with the tuning constraints.
+#[derive(Debug, Clone)]
+pub struct TargetLibrary<'a> {
+    /// The underlying Liberty library.
+    pub lib: &'a Library,
+    /// Operating-window constraints from tuning (empty for baseline runs).
+    pub constraints: &'a LibraryConstraints,
+    families: BTreeMap<String, Vec<Variant>>,
+}
+
+impl<'a> TargetLibrary<'a> {
+    /// Indexes `lib` by cell-family prefix.
+    pub fn new(lib: &'a Library, constraints: &'a LibraryConstraints) -> Self {
+        let mut families: BTreeMap<String, Vec<Variant>> = BTreeMap::new();
+        for cell in &lib.cells {
+            let Some(drive) = cell.drive_strength() else {
+                continue;
+            };
+            let Some((prefix, _)) = cell.name.rsplit_once('_') else {
+                continue;
+            };
+            let lib_max_load = cell
+                .output_pins()
+                .filter_map(|p| p.max_capacitance)
+                .fold(f64::INFINITY, f64::min);
+            families.entry(prefix.to_string()).or_default().push(Variant {
+                name: cell.name.clone(),
+                drive,
+                area: cell.area,
+                lib_max_load,
+            });
+        }
+        for v in families.values_mut() {
+            v.sort_by(|a, b| a.drive.partial_cmp(&b.drive).expect("finite drives"));
+        }
+        Self {
+            lib,
+            constraints,
+            families,
+        }
+    }
+
+    /// Family prefix implementing a gate kind at the given input count.
+    pub fn family_for(kind: GateKind, inputs: usize) -> String {
+        match kind {
+            GateKind::Inv => "INV".to_string(),
+            GateKind::Buf => "GCKB".to_string(),
+            GateKind::And => format!("AN{inputs}"),
+            GateKind::Or => format!("OR{inputs}"),
+            GateKind::Nand => format!("ND{inputs}"),
+            GateKind::Nor => format!("NR{inputs}"),
+            GateKind::Xor => "EO2".to_string(),
+            GateKind::Xnor => "XN2".to_string(),
+            GateKind::Mux2 => "MU2".to_string(),
+            GateKind::Mux4 => "MU4".to_string(),
+            GateKind::HalfAdder => "AD1".to_string(),
+            GateKind::FullAdder => "AD2".to_string(),
+            GateKind::Dff => "DF".to_string(),
+        }
+    }
+
+    /// All variants of a family, smallest drive first.
+    pub fn variants(&self, family: &str) -> Option<&[Variant]> {
+        self.families.get(family).map(Vec::as_slice)
+    }
+
+    /// The maximum load a cell may drive once tuning windows are applied:
+    /// `min(library max_capacitance, window max_load)` over output pins.
+    pub fn effective_max_load(&self, cell_name: &str) -> f64 {
+        let Some(cell) = self.lib.cell(cell_name) else {
+            return 0.0;
+        };
+        cell.output_pins()
+            .map(|p| {
+                let lib_cap = p.max_capacitance.unwrap_or(f64::INFINITY);
+                let win = self.constraints.window(cell_name, &p.name).max_load;
+                lib_cap.min(win)
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The maximum *input* slew a cell may see once tuning windows are
+    /// applied (min over output pins' window `max_slew`).
+    pub fn effective_max_slew(&self, cell_name: &str) -> f64 {
+        let Some(cell) = self.lib.cell(cell_name) else {
+            return 0.0;
+        };
+        cell.output_pins()
+            .map(|p| self.constraints.window(cell_name, &p.name).max_slew)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Smallest variant of `family` whose effective max load covers `load`;
+    /// falls back to the largest variant when none qualifies.
+    pub fn pick_for_load(&self, family: &str, load: f64) -> Option<&Variant> {
+        let vs = self.variants(family)?;
+        vs.iter()
+            .find(|v| self.effective_max_load(&v.name) >= load)
+            .or_else(|| vs.last())
+    }
+
+    /// The next-larger variant in the same family, if any.
+    pub fn upsize(&self, cell_name: &str) -> Option<&Variant> {
+        let (family, _) = cell_name.rsplit_once('_')?;
+        let vs = self.variants(family)?;
+        let idx = vs.iter().position(|v| v.name == cell_name)?;
+        vs.get(idx + 1)
+    }
+
+    /// The next-smaller variant in the same family, if any.
+    pub fn downsize(&self, cell_name: &str) -> Option<&Variant> {
+        let (family, _) = cell_name.rsplit_once('_')?;
+        let vs = self.variants(family)?;
+        let idx = vs.iter().position(|v| v.name == cell_name)?;
+        idx.checked_sub(1).map(|i| &vs[i])
+    }
+}
+
+/// Initial technology mapping: every gate gets the smallest variant of its
+/// family with drive ≥ 1 (size legalization and timing optimization adjust
+/// from there).
+///
+/// `GateKind::Buf` falls back to the `INV`-pair-free `GCKB` family when
+/// present, otherwise to `INV` (a polarity-safe simplification used only by
+/// reduced test libraries; real runs use the full 304-cell library, which
+/// has `GCKB`).
+///
+/// # Errors
+///
+/// Returns [`MapError::MissingFamily`] when the library lacks a family for
+/// a gate function present in the netlist.
+pub fn map_netlist(
+    netlist: &Netlist,
+    target: &TargetLibrary<'_>,
+    wire_model: WireModel,
+) -> Result<MappedDesign, MapError> {
+    let mut names = Vec::with_capacity(netlist.gates.len());
+    for g in &netlist.gates {
+        let mut family = TargetLibrary::family_for(g.kind, g.inputs.len());
+        if g.kind == GateKind::Buf && target.variants(&family).is_none() {
+            family = "INV".to_string();
+        }
+        let vs = target
+            .variants(&family)
+            .ok_or_else(|| MapError::MissingFamily {
+                family: family.clone(),
+                kind: g.kind.to_string(),
+            })?;
+        let v = vs
+            .iter()
+            .find(|v| v.drive >= 1.0)
+            .unwrap_or(vs.last().expect("families are non-empty"));
+        names.push(v.name.clone());
+    }
+    Ok(MappedDesign::new(netlist.clone(), names, wire_model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varitune_libchar::{generate_nominal, GenerateConfig};
+    use varitune_netlist::{GateKind, Netlist};
+
+    fn full_lib() -> Library {
+        generate_nominal(&GenerateConfig::full())
+    }
+
+    #[test]
+    fn families_are_indexed_and_sorted() {
+        let lib = full_lib();
+        let c = LibraryConstraints::unconstrained();
+        let t = TargetLibrary::new(&lib, &c);
+        let invs = t.variants("INV").unwrap();
+        assert_eq!(invs.len(), 19);
+        assert!(invs.windows(2).all(|w| w[0].drive < w[1].drive));
+        assert!(t.variants("ND3").is_some());
+        assert!(t.variants("NOPE").is_none());
+    }
+
+    #[test]
+    fn family_for_covers_all_kinds() {
+        assert_eq!(TargetLibrary::family_for(GateKind::Nand, 3), "ND3");
+        assert_eq!(TargetLibrary::family_for(GateKind::Nor, 2), "NR2");
+        assert_eq!(TargetLibrary::family_for(GateKind::FullAdder, 3), "AD2");
+        assert_eq!(TargetLibrary::family_for(GateKind::Dff, 1), "DF");
+        assert_eq!(TargetLibrary::family_for(GateKind::Mux4, 6), "MU4");
+    }
+
+    #[test]
+    fn pick_for_load_prefers_smallest_adequate() {
+        let lib = full_lib();
+        let c = LibraryConstraints::unconstrained();
+        let t = TargetLibrary::new(&lib, &c);
+        let small = t.pick_for_load("INV", 0.001).unwrap();
+        let big = t.pick_for_load("INV", 0.2).unwrap();
+        assert!(small.drive < big.drive);
+        // An absurd load falls back to the largest inverter.
+        let largest = t.pick_for_load("INV", 1e9).unwrap();
+        assert_eq!(largest.drive, 32.0);
+    }
+
+    #[test]
+    fn windows_shrink_effective_max_load() {
+        let lib = full_lib();
+        let mut c = LibraryConstraints::unconstrained();
+        let base = {
+            let t = TargetLibrary::new(&lib, &c);
+            t.effective_max_load("INV_4")
+        };
+        c.set(
+            "INV_4",
+            "Z",
+            crate::constraint::OperatingWindow {
+                min_slew: 0.0,
+                max_slew: 0.1,
+                min_load: 0.0,
+                max_load: base / 2.0,
+            },
+        );
+        let t = TargetLibrary::new(&lib, &c);
+        assert!((t.effective_max_load("INV_4") - base / 2.0).abs() < 1e-12);
+        assert!((t.effective_max_slew("INV_4") - 0.1).abs() < 1e-12);
+        // Other cells remain unrestricted.
+        assert!(t.effective_max_slew("INV_8").is_infinite());
+    }
+
+    #[test]
+    fn upsize_downsize_walk_the_ladder() {
+        let lib = full_lib();
+        let c = LibraryConstraints::unconstrained();
+        let t = TargetLibrary::new(&lib, &c);
+        let up = t.upsize("INV_1").unwrap();
+        assert_eq!(up.name, "INV_1P5");
+        let down = t.downsize("INV_1P5").unwrap();
+        assert_eq!(down.name, "INV_1");
+        assert!(t.downsize("INV_0P5").is_none());
+        assert!(t.upsize("INV_32").is_none());
+    }
+
+    #[test]
+    fn map_netlist_assigns_unit_drives() {
+        let lib = full_lib();
+        let c = LibraryConstraints::unconstrained();
+        let t = TargetLibrary::new(&lib, &c);
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate(GateKind::Nand, vec![a, b], vec![x]);
+        nl.add_gate(GateKind::Dff, vec![x], vec![y]);
+        let d = map_netlist(&nl, &t, WireModel::default()).unwrap();
+        assert_eq!(d.cell_names, vec!["ND2_1".to_string(), "DF_1".to_string()]);
+    }
+
+    #[test]
+    fn missing_family_is_an_error() {
+        // A library with only inverters cannot map a NAND.
+        let mut lib = full_lib();
+        lib.cells.retain(|c| c.name.starts_with("INV"));
+        let c = LibraryConstraints::unconstrained();
+        let t = TargetLibrary::new(&lib, &c);
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Nand, vec![a, b], vec![x]);
+        assert!(matches!(
+            map_netlist(&nl, &t, WireModel::default()),
+            Err(MapError::MissingFamily { .. })
+        ));
+    }
+
+    #[test]
+    fn buf_falls_back_to_inv_without_gckb() {
+        let mut lib = full_lib();
+        lib.cells.retain(|c| !c.name.starts_with("GCKB"));
+        let c = LibraryConstraints::unconstrained();
+        let t = TargetLibrary::new(&lib, &c);
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Buf, vec![a], vec![x]);
+        let d = map_netlist(&nl, &t, WireModel::default()).unwrap();
+        assert!(d.cell_names[0].starts_with("INV"));
+    }
+}

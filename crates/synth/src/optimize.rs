@@ -1,0 +1,651 @@
+//! Timing-driven optimization under operating-window constraints.
+//!
+//! The optimizer iterates four moves until the design converges:
+//!
+//! 1. **Load legalization** — a cell whose output load exceeds its
+//!    *effective* limit (library `max_capacitance` shrunk by the tuning
+//!    window) is up-sized; if no variant can carry the load, the fanout is
+//!    split with an inverter pair (the paper observes exactly this inverter
+//!    growth under tuned libraries),
+//! 2. **Slew legalization** — a cell seeing an input slew above its window's
+//!    `max_slew` gets its *driver* up-sized until the edge is steep enough,
+//! 3. **Critical-path sizing** — while timing fails, cells on the worst
+//!    paths are up-sized one step,
+//! 4. **Area recovery** — once timing is met, cells with generous slack are
+//!    down-sized (never below the floor set by moves 1–3).
+//!
+//! The emergent behaviour matches §VII: restricting LUTs to the low-sigma
+//! region forces larger drives and extra buffering — more area, less sigma.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use varitune_liberty::Library;
+use varitune_netlist::{GateKind, NetId, Netlist};
+use varitune_sta::{analyze, required_times, MappedDesign, StaConfig, StaError, TimingReport, WireModel};
+
+use crate::constraint::LibraryConstraints;
+use crate::map::{map_netlist, MapError, TargetLibrary};
+
+/// Synthesis configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Timing configuration (clock period, uncertainty, boundary slews).
+    pub sta: StaConfig,
+    /// Maximum optimization iterations.
+    pub max_iterations: usize,
+    /// Whether to run area recovery when timing is met.
+    pub area_recovery: bool,
+    /// Fanout above which a net is buffered regardless of load.
+    pub max_fanout: usize,
+    /// How many critical endpoints to size per iteration.
+    pub paths_per_iteration: usize,
+}
+
+impl SynthConfig {
+    /// Conventional defaults for a clock period.
+    pub fn with_clock_period(period: f64) -> Self {
+        Self {
+            sta: StaConfig::with_clock_period(period),
+            max_iterations: 24,
+            area_recovery: true,
+            max_fanout: 24,
+            paths_per_iteration: 64,
+        }
+    }
+}
+
+/// Error from synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// Technology mapping failed.
+    Map(MapError),
+    /// Timing analysis failed.
+    Sta(StaError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Map(e) => write!(f, "mapping failed: {e}"),
+            SynthError::Sta(e) => write!(f, "timing analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Map(e) => Some(e),
+            SynthError::Sta(e) => Some(e),
+        }
+    }
+}
+
+impl From<MapError> for SynthError {
+    fn from(e: MapError) -> Self {
+        SynthError::Map(e)
+    }
+}
+
+impl From<StaError> for SynthError {
+    fn from(e: StaError) -> Self {
+        SynthError::Sta(e)
+    }
+}
+
+/// Result of [`synthesize`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisResult {
+    /// The optimized mapped design (including any inserted buffers).
+    pub design: MappedDesign,
+    /// Final timing report.
+    pub report: TimingReport,
+    /// Total cell area (µm²).
+    pub area: f64,
+    /// Whether every endpoint meets timing.
+    pub met_timing: bool,
+    /// Optimization iterations executed.
+    pub iterations: usize,
+    /// Buffer (inverter-pair) gates inserted during legalization.
+    pub buffers_inserted: usize,
+}
+
+/// Maps and optimizes `netlist` against `lib` under `constraints`.
+///
+/// # Errors
+///
+/// Returns [`SynthError`] if mapping or timing analysis fails.
+pub fn synthesize(
+    netlist: &Netlist,
+    lib: &Library,
+    constraints: &LibraryConstraints,
+    cfg: &SynthConfig,
+) -> Result<SynthesisResult, SynthError> {
+    let target = TargetLibrary::new(lib, constraints);
+    let mut design = map_netlist(netlist, &target, WireModel::default())?;
+    let mut floors: Vec<f64> = vec![0.0; design.netlist.gates.len()];
+    let mut buffers_inserted = 0usize;
+
+    let mut report = analyze(&design, lib, &cfg.sta)?;
+    let mut iterations = 0;
+    for _ in 0..cfg.max_iterations {
+        iterations += 1;
+        let mut changed = false;
+
+        changed |= legalize_loads(&mut design, &target, &mut floors, cfg, &mut buffers_inserted);
+        report = analyze(&design, lib, &cfg.sta)?;
+
+        changed |= legalize_slews(&mut design, &target, &report, &mut floors);
+        if changed {
+            report = analyze(&design, lib, &cfg.sta)?;
+        }
+
+        if !report.meets_timing() {
+            let sized = size_critical_paths(&mut design, &target, &report, &mut floors, cfg);
+            changed |= sized;
+            if sized {
+                report = analyze(&design, lib, &cfg.sta)?;
+            }
+        } else if cfg.area_recovery {
+            let recovered = recover_area(&mut design, &target, lib, &report, &floors, cfg)?;
+            changed |= recovered;
+            if recovered {
+                report = analyze(&design, lib, &cfg.sta)?;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let area = design.total_area(lib);
+    let met_timing = report.meets_timing();
+    Ok(SynthesisResult {
+        design,
+        report,
+        area,
+        met_timing,
+        iterations,
+        buffers_inserted,
+    })
+}
+
+/// Upsize or buffer until every output load fits its effective limit.
+fn legalize_loads(
+    design: &mut MappedDesign,
+    target: &TargetLibrary<'_>,
+    floors: &mut Vec<f64>,
+    cfg: &SynthConfig,
+    buffers_inserted: &mut usize,
+) -> bool {
+    let mut changed = false;
+    // Iterate to a fixpoint: buffering changes loads upstream.
+    for _ in 0..4 {
+        let loads = design.net_loads(target.lib);
+        let mut fanouts = vec![0usize; design.netlist.nets.len()];
+        for g in &design.netlist.gates {
+            for &i in &g.inputs {
+                fanouts[i.0 as usize] += 1;
+            }
+        }
+        for &po in &design.netlist.primary_outputs {
+            fanouts[po.0 as usize] += 1;
+        }
+        let mut round_changed = false;
+        let gate_count = design.netlist.gates.len();
+        for gi in 0..gate_count {
+            let outs: Vec<NetId> = design.netlist.gates[gi].outputs.clone();
+            for &out in &outs {
+                let load = loads[out.0 as usize];
+                let fanout = fanouts[out.0 as usize];
+                let name = design.cell_names[gi].clone();
+                let eff = target.effective_max_load(&name);
+                if load <= eff && fanout <= cfg.max_fanout {
+                    continue;
+                }
+                // Try up-sizing within the family first.
+                let family = name.rsplit_once('_').map(|(f, _)| f.to_string());
+                let better = family.as_deref().and_then(|f| {
+                    target
+                        .variants(f)?
+                        .iter()
+                        .find(|v| v.drive > drive_of(&name) && target.effective_max_load(&v.name) >= load)
+                        .cloned()
+                });
+                if fanout <= cfg.max_fanout {
+                    if let Some(v) = better {
+                        floors[gi] = floors[gi].max(v.drive);
+                        design.cell_names[gi] = v.name;
+                        round_changed = true;
+                        continue;
+                    }
+                }
+                // No variant can carry the load (or fanout is excessive):
+                // split the fanout with an inverter pair.
+                if fanout >= 2 {
+                    insert_inverter_pair(design, target, floors, out, gi);
+                    *buffers_inserted += 2;
+                    round_changed = true;
+                }
+            }
+        }
+        changed |= round_changed;
+        if !round_changed {
+            break;
+        }
+    }
+    changed
+}
+
+fn drive_of(cell_name: &str) -> f64 {
+    varitune_liberty::Cell::new(cell_name, 0.0)
+        .drive_strength()
+        .unwrap_or(1.0)
+}
+
+/// Splits roughly half the sinks of `net` behind an INV→INV pair.
+fn insert_inverter_pair(
+    design: &mut MappedDesign,
+    target: &TargetLibrary<'_>,
+    floors: &mut Vec<f64>,
+    net: NetId,
+    _driver: usize,
+) {
+    let nl = &mut design.netlist;
+    let mid = nl.add_net(format!("{}_bufm", nl.net_name(net)));
+    let out = nl.add_net(format!("{}_bufo", nl.net_name(net)));
+
+    // Collect sink positions (gate, input index) of `net`.
+    let sinks: Vec<(usize, usize)> = nl
+        .gates
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| {
+            g.inputs
+                .iter()
+                .enumerate()
+                .filter(|(_, &i)| i == net)
+                .map(move |(k, _)| (gi, k))
+        })
+        .collect();
+    // Move the second half of the sinks to the buffered copy.
+    for &(gi, k) in &sinks[sinks.len() / 2..] {
+        nl.gates[gi].inputs[k] = out;
+    }
+    nl.add_gate(GateKind::Inv, vec![net], vec![mid]);
+    nl.add_gate(GateKind::Inv, vec![mid], vec![out]);
+
+    // Map the new inverters to a mid-size drive; legalization will resize.
+    let inv = target
+        .variants("INV")
+        .and_then(|vs| vs.iter().find(|v| v.drive >= 2.0).or_else(|| vs.last()))
+        .map(|v| v.name.clone())
+        .unwrap_or_else(|| "INV_2".to_string());
+    design.cell_names.push(inv.clone());
+    design.cell_names.push(inv);
+    floors.push(0.0);
+    floors.push(0.0);
+}
+
+/// Upsize drivers whose output edge is too shallow for a sink's window.
+fn legalize_slews(
+    design: &mut MappedDesign,
+    target: &TargetLibrary<'_>,
+    report: &TimingReport,
+    floors: &mut [f64],
+) -> bool {
+    let mut changed = false;
+    let driver_of = design.netlist.driver_map();
+    let gate_count = design.netlist.gates.len();
+    for gi in 0..gate_count {
+        let max_slew = target.effective_max_slew(&design.cell_names[gi]);
+        if !max_slew.is_finite() {
+            continue;
+        }
+        let inputs: Vec<NetId> = design.netlist.gates[gi].inputs.clone();
+        for inp in inputs {
+            if report.nets[inp.0 as usize].slew <= max_slew {
+                continue;
+            }
+            let Some(&src) = driver_of.get(&inp) else {
+                continue; // primary input; boundary slew is fixed
+            };
+            if let Some(v) = target.upsize(&design.cell_names[src]) {
+                floors[src] = floors[src].max(v.drive);
+                design.cell_names[src] = v.name.clone();
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Upsize every cell on the worst violating paths one step.
+fn size_critical_paths(
+    design: &mut MappedDesign,
+    target: &TargetLibrary<'_>,
+    report: &TimingReport,
+    floors: &mut [f64],
+    cfg: &SynthConfig,
+) -> bool {
+    let mut changed = false;
+    let mut seen_gates = std::collections::BTreeSet::new();
+    let endpoints = report.critical_endpoints();
+    for ep in endpoints
+        .iter()
+        .take(cfg.paths_per_iteration)
+        .filter(|e| e.slack() < 0.0)
+    {
+        // Walk the critical path via the recorded critical-input pointers.
+        let mut net = ep.net;
+        loop {
+            let t = report.nets[net.0 as usize];
+            let Some(gi) = t.driver else { break };
+            if seen_gates.insert(gi) {
+                let name = design.cell_names[gi].clone();
+                let load = t.load;
+                if let Some(v) = target.upsize(&name) {
+                    // Only upsize if the bigger cell may legally carry the
+                    // current load (windows shrink with tuning).
+                    if target.effective_max_load(&v.name) >= load {
+                        floors[gi] = floors[gi].max(v.drive);
+                        design.cell_names[gi] = v.name.clone();
+                        changed = true;
+                    }
+                }
+            }
+            match t.crit_input {
+                Some(k) => net = design.netlist.gates[gi].inputs[k],
+                None => break,
+            }
+        }
+    }
+    changed
+}
+
+/// Downsize cells with generous slack, never below their floor.
+fn recover_area(
+    design: &mut MappedDesign,
+    target: &TargetLibrary<'_>,
+    lib: &Library,
+    report: &TimingReport,
+    floors: &[f64],
+    cfg: &SynthConfig,
+) -> Result<bool, SynthError> {
+    let req = required_times(design, lib, report)?;
+    let margin = 0.18 * cfg.sta.effective_period();
+    let mut changed = false;
+    let gate_count = design.netlist.gates.len();
+    #[allow(clippy::needless_range_loop)] // `design` is mutated inside the loop
+    for gi in 0..gate_count {
+        let g = &design.netlist.gates[gi];
+        if g.kind.is_sequential() {
+            continue; // keep registers stable
+        }
+        let out = g.outputs[0];
+        let t = report.nets[out.0 as usize];
+        let slack = req[out.0 as usize] - t.arrival;
+        if !slack.is_finite() || slack < margin {
+            continue;
+        }
+        let name = design.cell_names[gi].clone();
+        let Some(v) = target.downsize(&name) else {
+            continue;
+        };
+        if v.drive < floors[gi] {
+            continue;
+        }
+        if target.effective_max_load(&v.name) < t.load {
+            continue;
+        }
+        // Estimate the delay penalty of the smaller cell at the recorded
+        // operating point; only accept clearly safe moves.
+        let penalty = delay_at(target.lib, &v.name, t.crit_input_slew, t.load)
+            .zip(delay_at(target.lib, &name, t.crit_input_slew, t.load))
+            .map(|(new, old)| new - old);
+        if let Some(p) = penalty {
+            if p < slack * 0.25 {
+                design.cell_names[gi] = v.name.clone();
+                changed = true;
+            }
+        }
+    }
+    Ok(changed)
+}
+
+fn delay_at(lib: &Library, cell: &str, slew: f64, load: f64) -> Option<f64> {
+    let c = lib.cell(cell)?;
+    let pin = c.output_pins().next()?;
+    let arc = pin.timing.first()?;
+    arc.worst_delay(slew, load).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::OperatingWindow;
+    use varitune_libchar::{generate_nominal, GenerateConfig};
+    use varitune_netlist::{generate_mcu, McuConfig};
+
+    fn full_lib() -> Library {
+        generate_nominal(&GenerateConfig::full())
+    }
+
+    fn small_mcu() -> Netlist {
+        generate_mcu(&McuConfig::small_for_tests())
+    }
+
+    #[test]
+    fn baseline_synthesis_meets_relaxed_timing() {
+        let lib = full_lib();
+        let r = synthesize(
+            &small_mcu(),
+            &lib,
+            &LibraryConstraints::unconstrained(),
+            &SynthConfig::with_clock_period(20.0),
+        )
+        .unwrap();
+        assert!(r.met_timing, "worst slack {}", r.report.worst_slack());
+        assert!(r.area > 0.0);
+        r.design.netlist.validate().unwrap();
+    }
+
+    #[test]
+    fn impossible_timing_reports_failure() {
+        let lib = full_lib();
+        let r = synthesize(
+            &small_mcu(),
+            &lib,
+            &LibraryConstraints::unconstrained(),
+            &SynthConfig::with_clock_period(0.01),
+        )
+        .unwrap();
+        assert!(!r.met_timing);
+    }
+
+    #[test]
+    fn tighter_clock_uses_more_area() {
+        let lib = full_lib();
+        let nl = small_mcu();
+        let relaxed = synthesize(
+            &nl,
+            &lib,
+            &LibraryConstraints::unconstrained(),
+            &SynthConfig::with_clock_period(20.0),
+        )
+        .unwrap();
+        let tight = synthesize(
+            &nl,
+            &lib,
+            &LibraryConstraints::unconstrained(),
+            &SynthConfig::with_clock_period(2.0),
+        )
+        .unwrap();
+        assert!(
+            tight.area > relaxed.area,
+            "tight {} vs relaxed {}",
+            tight.area,
+            relaxed.area
+        );
+    }
+
+    #[test]
+    fn load_legalization_respects_max_capacitance() {
+        let lib = full_lib();
+        let r = synthesize(
+            &small_mcu(),
+            &lib,
+            &LibraryConstraints::unconstrained(),
+            &SynthConfig::with_clock_period(10.0),
+        )
+        .unwrap();
+        let loads = r.design.net_loads(&lib);
+        let c = LibraryConstraints::unconstrained();
+        let target = TargetLibrary::new(&lib, &c);
+        for (gi, g) in r.design.netlist.gates.iter().enumerate() {
+            for &out in &g.outputs {
+                let eff = target.effective_max_load(&r.design.cell_names[gi]);
+                assert!(
+                    loads[out.0 as usize] <= eff * 1.0001,
+                    "gate {gi} ({}) overloaded: {} > {}",
+                    r.design.cell_names[gi],
+                    loads[out.0 as usize],
+                    eff
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_constraints_grow_area_and_insert_buffers() {
+        // Restrict every cell's LUT to its low-load half: synthesis must
+        // compensate with bigger cells and buffers (the paper's area cost).
+        let lib = full_lib();
+        let nl = small_mcu();
+        let baseline = synthesize(
+            &nl,
+            &lib,
+            &LibraryConstraints::unconstrained(),
+            &SynthConfig::with_clock_period(10.0),
+        )
+        .unwrap();
+
+        let mut constraints = LibraryConstraints::unconstrained();
+        for cell in &lib.cells {
+            for pin in cell.output_pins() {
+                if let Some(mc) = pin.max_capacitance {
+                    constraints.set(
+                        cell.name.clone(),
+                        pin.name.clone(),
+                        OperatingWindow {
+                            min_slew: 0.0,
+                            max_slew: 0.25,
+                            min_load: 0.0,
+                            max_load: (mc * 0.45).min(0.012),
+                        },
+                    );
+                }
+            }
+        }
+        let tuned = synthesize(&nl, &lib, &constraints, &SynthConfig::with_clock_period(10.0))
+            .unwrap();
+        tuned.design.netlist.validate().unwrap();
+        assert!(
+            tuned.area > baseline.area,
+            "tuned {} vs baseline {}",
+            tuned.area,
+            baseline.area
+        );
+        // Restricted loads force fanout splitting somewhere in a 1k-gate
+        // design.
+        assert!(tuned.buffers_inserted > 0);
+    }
+
+    #[test]
+    fn slew_windows_upsize_the_offending_driver() {
+        // A weak driver into a heavy fanout produces a shallow edge; a
+        // tuned max_slew on the *sinks* must force the driver to grow.
+        let lib = full_lib();
+        let mut nl = Netlist::new("slewcase");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        nl.add_gate(varitune_netlist::GateKind::Inv, vec![a], vec![x]);
+        for i in 0..10 {
+            let z = nl.add_net(format!("z{i}"));
+            nl.add_gate(varitune_netlist::GateKind::Inv, vec![x], vec![z]);
+            nl.mark_output(z);
+        }
+        let baseline = synthesize(
+            &nl,
+            &lib,
+            &LibraryConstraints::unconstrained(),
+            &SynthConfig::with_clock_period(10.0),
+        )
+        .unwrap();
+        let driver_drive_base = drive_of(&baseline.design.cell_names[0]);
+
+        // Constrain every inverter's input slew tightly.
+        let mut constraints = LibraryConstraints::unconstrained();
+        for cell in lib.cells.iter().filter(|c| c.name.starts_with("INV")) {
+            constraints.set(
+                cell.name.clone(),
+                "Z",
+                OperatingWindow {
+                    min_slew: 0.0,
+                    max_slew: 0.03,
+                    min_load: 0.0,
+                    max_load: f64::INFINITY,
+                },
+            );
+        }
+        let tuned = synthesize(&nl, &lib, &constraints, &SynthConfig::with_clock_period(10.0))
+            .unwrap();
+        let driver_drive_tuned = drive_of(&tuned.design.cell_names[0]);
+        assert!(
+            driver_drive_tuned > driver_drive_base,
+            "driver should upsize: {driver_drive_base} -> {driver_drive_tuned}"
+        );
+        // And the achieved transition on the constrained net must satisfy
+        // the window.
+        let x_slew = tuned.report.nets[1].slew;
+        assert!(x_slew <= 0.03 + 1e-9, "slew {x_slew} exceeds the window");
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let lib = full_lib();
+        let nl = small_mcu();
+        let cfg = SynthConfig::with_clock_period(5.0);
+        let a = synthesize(&nl, &lib, &LibraryConstraints::unconstrained(), &cfg).unwrap();
+        let b = synthesize(&nl, &lib, &LibraryConstraints::unconstrained(), &cfg).unwrap();
+        assert_eq!(a.design, b.design);
+    }
+
+    #[test]
+    fn critical_path_sizing_improves_slack() {
+        let lib = full_lib();
+        let nl = small_mcu();
+        // One-iteration run vs full run at a demanding clock.
+        let mut one = SynthConfig::with_clock_period(1.2);
+        one.max_iterations = 1;
+        one.area_recovery = false;
+        let first = synthesize(&nl, &lib, &LibraryConstraints::unconstrained(), &one).unwrap();
+        let full = synthesize(
+            &nl,
+            &lib,
+            &LibraryConstraints::unconstrained(),
+            &SynthConfig::with_clock_period(1.2),
+        )
+        .unwrap();
+        assert!(
+            full.report.worst_slack() >= first.report.worst_slack(),
+            "full {} vs first {}",
+            full.report.worst_slack(),
+            first.report.worst_slack()
+        );
+    }
+}

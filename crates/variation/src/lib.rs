@@ -1,0 +1,45 @@
+//! Process-variation modelling for the variability-tuning flow.
+//!
+//! This crate provides the statistical substrate of the reproduction:
+//!
+//! * [`stats`] — summary statistics (mean, standard deviation, the
+//!   *variability* / coefficient-of-variation metric discussed in §III of the
+//!   paper) and streaming accumulators,
+//! * [`rng`] — deterministic seed derivation so every experiment is
+//!   reproducible bit-for-bit,
+//! * [`mismatch`] — the Pelgrom local-mismatch model: matching improves with
+//!   device area, so delay sigma shrinks with the square root of drive
+//!   strength,
+//! * [`corner`] — global (inter-die) corner model: fast/typical/slow scale
+//!   factors applied identically to every cell of a die,
+//! * [`convolve`] — the path/design distribution convolution of §V.B
+//!   (eqs. 5–11), with configurable inter-cell correlation ρ,
+//! * [`mc`] — Monte-Carlo simulation of extracted paths under local and/or
+//!   global variation (Figs. 15–16 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use varitune_variation::convolve::{design_sigma, path_mean, path_sigma_rho0};
+//!
+//! // A three-cell path: mean adds, sigma adds in quadrature (eq. 10).
+//! let means = [0.10, 0.20, 0.30];
+//! let sigmas = [0.01, 0.02, 0.02];
+//! assert!((path_mean(means.iter().copied()) - 0.6).abs() < 1e-12);
+//! let s = path_sigma_rho0(sigmas.iter().copied());
+//! assert!((s - 0.03).abs() < 1e-12);
+//! // Design-level aggregation over per-endpoint worst paths (eq. 11).
+//! let d = design_sigma([s, s].iter().copied());
+//! assert!((d - s * 2f64.sqrt()).abs() < 1e-12);
+//! ```
+
+pub mod convolve;
+pub mod corner;
+pub mod mc;
+pub mod mismatch;
+pub mod rng;
+pub mod stats;
+
+pub use corner::ProcessCorner;
+pub use mismatch::PelgromModel;
+pub use stats::Summary;

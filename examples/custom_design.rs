@@ -1,0 +1,70 @@
+//! Synthesizing your own design: build a 16-bit accumulator datapath with
+//! the netlist builders, map it onto the synthetic library, and compare a
+//! relaxed against an aggressive clock target.
+//!
+//! ```text
+//! cargo run --release --example custom_design
+//! ```
+
+use varitune::libchar::{generate_nominal, GenerateConfig};
+use varitune::netlist::build::{input_word, mux2_word, register_word, ripple_adder};
+use varitune::netlist::Netlist;
+use varitune::synth::{synthesize, LibraryConstraints, SynthConfig};
+
+/// A 16-bit accumulator: `acc <= enable ? acc + in : acc`.
+fn accumulator(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("acc{width}"));
+    let data = input_word(&mut nl, "in", width);
+    let enable = nl.add_input("enable");
+    let zero = nl.add_input("tie_zero");
+
+    // Feedback word: declare the register outputs up front.
+    let acc_d = varitune::netlist::build::word(&mut nl, "acc_d", width);
+    let acc_q = register_word(&mut nl, "acc", &acc_d);
+
+    let (sum, carry) = ripple_adder(&mut nl, "add", &acc_q, &data, zero);
+    let next = mux2_word(&mut nl, "hold", &acc_q, &sum, enable);
+    for (&d, &n) in acc_d.iter().zip(&next) {
+        nl.add_gate(varitune::netlist::GateKind::Buf, vec![n], vec![d]);
+    }
+    nl.mark_output(carry);
+    for &q in &acc_q {
+        nl.mark_output(q);
+    }
+    nl
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = generate_nominal(&GenerateConfig::full());
+    let design = accumulator(16);
+    design.validate()?;
+    println!("design `{}`:\n{}", design.name, design.stats());
+
+    for period in [8.0, 0.9] {
+        let result = synthesize(
+            &design,
+            &lib,
+            &LibraryConstraints::unconstrained(),
+            &SynthConfig::with_clock_period(period),
+        )?;
+        println!(
+            "@ {period:>4} ns: area {:>7.1} um^2, worst slack {:>7.3} ns, timing {}",
+            result.area,
+            result.report.worst_slack(),
+            if result.met_timing { "met" } else { "VIOLATED" },
+        );
+        let usage = result.design.cell_usage();
+        let top: Vec<String> = usage
+            .iter()
+            .take(5)
+            .map(|(c, n)| format!("{c} x{n}"))
+            .collect();
+        println!("         top cells: {}", top.join(", "));
+    }
+    println!(
+        "\nThe aggressive clock pulls in larger drive strengths along the\n\
+         carry chain — the same mechanism the tuning method later exploits\n\
+         for sigma instead of delay."
+    );
+    Ok(())
+}

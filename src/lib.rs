@@ -1,0 +1,60 @@
+//! # varitune
+//!
+//! Facade crate for the *varitune* workspace — a from-scratch Rust
+//! reproduction of **"Standard cell library tuning for variability tolerant
+//! designs"** (Fabrie, DATE 2014): reduce a digital design's sensitivity to
+//! local (intra-die) process variation by restricting each library cell's
+//! look-up table to its low-sigma slew/load region and letting synthesis
+//! work inside those windows.
+//!
+//! This crate re-exports the public API of every subsystem crate:
+//!
+//! * [`liberty`] — Liberty `.lib` data model, parser and writer,
+//! * [`variation`] — process-variation models, statistics, Monte Carlo,
+//! * [`libchar`] — synthetic library generation, characterization and the
+//!   statistical (mean/sigma) library of §IV,
+//! * [`netlist`] — gate-level IR and the 20 k-gate microcontroller
+//!   generator,
+//! * [`sta`] — static timing analysis and statistical path/design timing,
+//! * [`synth`] — technology mapping and timing-driven optimization under
+//!   per-pin operating windows,
+//! * [`core`] — the paper's contribution: the five tuning methods,
+//!   threshold extraction, largest-rectangle LUT restriction, and the
+//!   end-to-end [`core::flow`] API.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use varitune::core::flow::{Comparison, Flow, FlowConfig};
+//! use varitune::core::{TuningMethod, TuningParams};
+//! use varitune::synth::SynthConfig;
+//!
+//! let flow = Flow::prepare(FlowConfig::paper_scale())?;
+//! let cfg = SynthConfig::with_clock_period(2.41);
+//! let baseline = flow.run_baseline(&cfg)?;
+//! let (_lib, tuned) = flow.run_tuned(
+//!     TuningMethod::SigmaCeiling,
+//!     TuningParams::with_sigma_ceiling(0.02),
+//!     &cfg,
+//! )?;
+//! let cmp = Comparison::between(&baseline, &tuned);
+//! println!(
+//!     "sigma -{:.0}% at +{:.0}% area",
+//!     cmp.sigma_reduction_pct(),
+//!     cmp.area_increase_pct()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+pub use varitune_core as core;
+pub use varitune_libchar as libchar;
+pub use varitune_liberty as liberty;
+pub use varitune_netlist as netlist;
+pub use varitune_sta as sta;
+pub use varitune_synth as synth;
+pub use varitune_variation as variation;

@@ -1,0 +1,180 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use varitune::core::{largest_rectangle, largest_rectangle_bruteforce};
+use varitune::libchar::interp;
+use varitune::liberty::Lut;
+use varitune::variation::convolve::{path_sigma, path_sigma_full, path_sigma_rho0};
+use varitune::variation::stats::{Accumulator, Summary};
+
+// ---------------------------------------------------------------------
+// Largest rectangle: the optimized implementation is exactly Algorithm 1.
+// ---------------------------------------------------------------------
+
+fn binary_grid() -> impl Strategy<Value = Vec<Vec<bool>>> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), c), r)
+    })
+}
+
+proptest! {
+    #[test]
+    fn rectangle_impls_agree(grid in binary_grid()) {
+        prop_assert_eq!(largest_rectangle(&grid), largest_rectangle_bruteforce(&grid));
+    }
+
+    #[test]
+    fn rectangle_is_all_true_and_maximal_area(grid in binary_grid()) {
+        if let Some(r) = largest_rectangle(&grid) {
+            // Every covered entry is true.
+            for row in &grid[r.row_lo..=r.row_hi] {
+                for &cell in &row[r.col_lo..=r.col_hi] {
+                    prop_assert!(cell);
+                }
+            }
+            // No all-true rectangle has strictly larger area (checked
+            // against the brute force, which scans all of them).
+            let brute = largest_rectangle_bruteforce(&grid).expect("same result");
+            prop_assert_eq!(brute.area(), r.area());
+        } else {
+            // None means no true entry anywhere.
+            prop_assert!(grid.iter().flatten().all(|&b| !b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bilinear interpolation.
+// ---------------------------------------------------------------------
+
+fn lut_strategy() -> impl Strategy<Value = Lut> {
+    (2usize..=6, 2usize..=6)
+        .prop_flat_map(|(r, c)| {
+            let values =
+                proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, c), r);
+            (Just(r), Just(c), values)
+        })
+        .prop_map(|(r, c, values)| {
+            // Strictly increasing axes with irregular spacing.
+            let slew: Vec<f64> = (0..r).map(|i| 0.01 * (i * i + i + 1) as f64).collect();
+            let load: Vec<f64> = (0..c).map(|j| 0.002 * (j * j + 2 * j + 1) as f64).collect();
+            Lut::new(slew, load, values)
+        })
+}
+
+proptest! {
+    #[test]
+    fn interpolation_matches_eq234_reference(lut in lut_strategy(), ts in 0.0f64..1.0, tl in 0.0f64..1.0) {
+        let s0 = lut.index_slew[0];
+        let s1 = *lut.index_slew.last().expect("non-empty");
+        let l0 = lut.index_load[0];
+        let l1 = *lut.index_load.last().expect("non-empty");
+        let s = s0 + ts * (s1 - s0);
+        let l = l0 + tl * (l1 - l0);
+        let a = lut.interpolate(s, l).expect("valid lut");
+        let b = interp::interpolate_reference(&lut, s, l).expect("in grid");
+        prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+    }
+
+    #[test]
+    fn interpolation_is_bounded_by_table_extremes(lut in lut_strategy(), s in -1.0f64..2.0, l in -1.0f64..2.0) {
+        let v = lut.interpolate(s.abs(), l.abs()).expect("valid lut");
+        let lo = lut.min_value().expect("non-empty");
+        let hi = lut.max_value().expect("non-empty");
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{} not in [{}, {}]", v, lo, hi);
+    }
+
+    #[test]
+    fn interpolation_recovers_grid_points(lut in lut_strategy()) {
+        for (i, j, expect) in lut.entries() {
+            let v = lut.interpolate(lut.index_slew[i], lut.index_load[j]).expect("valid");
+            prop_assert!((v - expect).abs() < 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Convolution (eqs. 8–10).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn equal_rho_matches_full_covariance(
+        sigmas in proptest::collection::vec(0.0f64..1.0, 1..6),
+        rho in -0.2f64..1.0,
+    ) {
+        let n = sigmas.len();
+        let corr: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 1.0 } else { rho }).collect())
+            .collect();
+        let a = path_sigma(&sigmas, rho);
+        let b = path_sigma_full(&sigmas, &corr);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_sigma_monotone_in_rho(sigmas in proptest::collection::vec(0.01f64..1.0, 2..6)) {
+        let lo = path_sigma(&sigmas, 0.0);
+        let mid = path_sigma(&sigmas, 0.5);
+        let hi = path_sigma(&sigmas, 1.0);
+        prop_assert!(lo <= mid + 1e-12 && mid <= hi + 1e-12);
+        prop_assert!((lo - path_sigma_rho0(sigmas.iter().copied())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rss_never_exceeds_linear_sum(sigmas in proptest::collection::vec(0.0f64..1.0, 1..8)) {
+        let rss = path_sigma_rho0(sigmas.iter().copied());
+        let linear: f64 = sigmas.iter().sum();
+        prop_assert!(rss <= linear + 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming statistics.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn accumulator_matches_two_pass_summary(data in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+        let batch = Summary::from_samples(&data).expect("non-empty");
+        let acc: Accumulator = data.iter().copied().collect();
+        let s = acc.summary().expect("non-empty");
+        prop_assert!((s.mean - batch.mean).abs() < 1e-6);
+        prop_assert!((s.std_dev - batch.std_dev).abs() < 1e-6);
+        prop_assert_eq!(s.n, data.len());
+    }
+
+    #[test]
+    fn accumulator_order_independent(mut data in proptest::collection::vec(-100f64..100.0, 2..100)) {
+        let fwd: Accumulator = data.iter().copied().collect();
+        data.reverse();
+        let rev: Accumulator = data.iter().copied().collect();
+        prop_assert!((fwd.mean() - rev.mean()).abs() < 1e-9);
+        prop_assert!((fwd.std_dev() - rev.std_dev()).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Liberty round trip on generated LUT data.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn liberty_round_trips_random_tables(lut in lut_strategy()) {
+        use varitune::liberty::{Cell, Library, Pin, TimingArc};
+        let mut lib = Library::new("P");
+        let mut cell = Cell::new("INV_1", 1.0);
+        cell.pins.push(Pin::input("A", 0.001));
+        let mut z = Pin::output("Z", "!A");
+        let mut arc = TimingArc::new("A");
+        arc.cell_rise = Some(lut);
+        z.timing.push(arc);
+        cell.pins.push(z);
+        lib.cells.push(cell);
+        let text = varitune::liberty::write_library(&lib);
+        let parsed = varitune::liberty::parse_library(&text).expect("round trip parses");
+        prop_assert_eq!(parsed, lib);
+    }
+}
