@@ -1,13 +1,14 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--scale small|paper] [all | <id> ...]
+//! experiments [--scale small|paper] [--threads N] [all | <id> ...]
 //! ```
 //!
 //! Ids: fig1..fig16, tab1..tab3. `all` (the default) runs everything in
 //! reporting order. `--scale paper` uses the 304-cell library, 50 MC
 //! libraries and the ~20 k-gate design; `--scale small` is a fast sanity
-//! run.
+//! run. `--threads N` sets the Monte-Carlo characterization worker count
+//! (`0` = all cores, the default); results are bit-identical for any N.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -18,6 +19,7 @@ use varitune_bench::{Ctx, Scale};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::paper();
+    let mut threads: usize = 0;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -30,8 +32,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => threads = n,
+                None => {
+                    eprintln!("--threads expects a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--scale small|paper] [all | <id> ...]");
+                eprintln!("usage: experiments [--scale small|paper] [--threads N] [all | <id> ...]");
                 eprintln!("ids: {}", ALL_IDS.join(" "));
                 return ExitCode::SUCCESS;
             }
@@ -48,6 +57,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    scale.flow.threads = threads;
 
     eprintln!("[experiments] preparing context at scale `{}`...", scale.label);
     let t0 = Instant::now();

@@ -1,0 +1,144 @@
+//! Offline Monte-Carlo micro-harness: wall-clock timing with
+//! `std::time::Instant`, no Criterion, no registry dependencies.
+//!
+//! ```text
+//! mc_harness [--libraries N] [--samples N] [--threads N,N,...] [--repeat N]
+//! ```
+//!
+//! Times the two parallel Monte-Carlo kernels — §IV library
+//! characterization ([`generate_mc_libraries_threaded`]) and Fig. 15/16
+//! path simulation ([`simulate_path_threaded`]) — at each requested thread
+//! count, verifies the results are **bit-identical** across all of them,
+//! and reports the speedup relative to the first listed count. Each row is
+//! the best of `--repeat` runs (default 3), which filters scheduler noise;
+//! speedup is only meaningful on a host with at least as many cores as the
+//! largest thread count.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use varitune_libchar::{generate_mc_libraries_threaded, generate_nominal, GenerateConfig};
+use varitune_variation::mc::{simulate_path_threaded, PathCell, VariationMode};
+use varitune_variation::ProcessCorner;
+
+const DEFAULT_THREADS: [usize; 3] = [1, 2, 4];
+
+fn main() -> ExitCode {
+    let mut libraries = 24usize;
+    let mut samples = 200_000usize;
+    let mut repeat = 3usize;
+    let mut threads: Vec<usize> = DEFAULT_THREADS.to_vec();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--libraries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => libraries = n,
+                _ => return usage("--libraries expects a positive integer"),
+            },
+            "--samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => samples = n,
+                _ => return usage("--samples expects a positive integer"),
+            },
+            "--threads" => match it.next().map(parse_thread_list) {
+                Some(Some(list)) => threads = list,
+                _ => return usage("--threads expects a comma-separated list like 1,2,4"),
+            },
+            "--repeat" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => repeat = n,
+                _ => return usage("--repeat expects a positive integer"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: mc_harness [--libraries N] [--samples N] [--threads N,N,...] [--repeat N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if threads.is_empty() || threads.contains(&0) {
+        return usage("--threads entries must be explicit positive counts");
+    }
+
+    println!("Monte-Carlo micro-harness (std::time::Instant, offline)");
+    println!(
+        "characterization: {libraries} MC libraries; path MC: {samples} samples; \
+         threads: {threads:?}; best of {repeat}"
+    );
+
+    let cfg = GenerateConfig::full();
+    let nominal = generate_nominal(&cfg);
+    // Warm-up: touch the whole characterization path once so first-run
+    // effects (page faults, lazy init) do not bias the 1-thread baseline.
+    let _ = generate_mc_libraries_threaded(&nominal, &cfg, 2, 1, 1);
+
+    println!("\n[characterization MC] {libraries} perturbed libraries");
+    let mut char_base = None;
+    let mut reference = None;
+    for &t in &threads {
+        let mut dt = f64::INFINITY;
+        for _ in 0..repeat {
+            let t0 = Instant::now();
+            let libs = generate_mc_libraries_threaded(&nominal, &cfg, libraries, 7, t);
+            dt = dt.min(t0.elapsed().as_secs_f64());
+            match &reference {
+                None => reference = Some(libs),
+                Some(r) => assert_eq!(r, &libs, "characterization MC must be bit-identical"),
+            }
+        }
+        report_row(t, dt, &mut char_base);
+    }
+
+    // A representative 12-cell path with mid-size relative sigmas.
+    let cells: Vec<PathCell> = (0..12)
+        .map(|i| PathCell::new(0.08 + 0.01 * f64::from(i % 5), 0.04 + 0.005 * f64::from(i % 3)))
+        .collect();
+    println!("\n[path MC] {} cells, global+local, slow corner", cells.len());
+    let mut path_base = None;
+    let mut path_ref = None;
+    for &t in &threads {
+        let mut dt = f64::INFINITY;
+        for _ in 0..repeat {
+            let t0 = Instant::now();
+            let r = simulate_path_threaded(
+                &cells,
+                ProcessCorner::Slow,
+                VariationMode::GlobalAndLocal,
+                samples,
+                11,
+                t,
+            );
+            dt = dt.min(t0.elapsed().as_secs_f64());
+            match &path_ref {
+                None => path_ref = Some(r),
+                Some(reference) => assert_eq!(reference, &r, "path MC must be bit-identical"),
+            }
+        }
+        report_row(t, dt, &mut path_base);
+    }
+
+    println!("\nall thread counts produced bit-identical results");
+    ExitCode::SUCCESS
+}
+
+fn parse_thread_list(s: String) -> Option<Vec<usize>> {
+    s.split(',').map(|p| p.trim().parse::<usize>().ok()).collect()
+}
+
+fn report_row(threads: usize, dt: f64, base: &mut Option<f64>) {
+    let speedup = match base {
+        None => {
+            *base = Some(dt);
+            1.0
+        }
+        Some(b) => *b / dt,
+    };
+    println!("  {threads:>2} thread(s): {:>8.3} s  speedup {speedup:>5.2}x", dt);
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    eprintln!("usage: mc_harness [--libraries N] [--samples N] [--threads N,N,...] [--repeat N]");
+    ExitCode::FAILURE
+}

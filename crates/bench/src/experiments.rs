@@ -807,6 +807,7 @@ pub fn abl_corners(ctx: &Ctx) -> String {
             mc_libraries: (ctx.flow.config.mc_libraries / 2).max(10),
             seed: ctx.flow.config.seed,
             rho: ctx.flow.config.rho,
+            threads: ctx.flow.config.threads,
         };
         let flow = Flow::prepare(cfg).expect("corner flow");
         // Synthesize at a relaxed corner-scaled period so all corners close.

@@ -8,14 +8,14 @@
 //! dropped when its worst-case sigma exceeds the budget, with a guard that keeps at least one variant per family so
 //! synthesis stays feasible.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use varitune_libchar::{StatLibrary, TableKind};
 use varitune_liberty::{Library, Lut};
 
 /// Result of exclusion-based tuning.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExclusionTuning {
     /// Sigma budget used (ns).
     pub ceiling: f64,

@@ -11,9 +11,7 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
-use varitune_libchar::{generate_mc_libraries, generate_nominal, GenerateConfig, StatLibrary};
+use varitune_libchar::{generate_mc_libraries_threaded, generate_nominal, GenerateConfig, StatLibrary};
 use varitune_liberty::Library;
 use varitune_netlist::{generate_mcu, McuConfig, Netlist};
 use varitune_sta::paths::worst_paths;
@@ -37,6 +35,9 @@ pub struct FlowConfig {
     pub seed: u64,
     /// Inter-cell correlation for path sigma (the paper argues ρ = 0).
     pub rho: f64,
+    /// Worker threads for Monte-Carlo characterization (`0` = all available
+    /// cores). Results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl FlowConfig {
@@ -49,6 +50,7 @@ impl FlowConfig {
             mc_libraries: 50,
             seed: 20_140_324, // DATE 2014 week
             rho: 0.0,
+            threads: 0,
         }
     }
 
@@ -61,6 +63,7 @@ impl FlowConfig {
             mc_libraries: 20,
             seed: 7,
             rho: 0.0,
+            threads: 0,
         }
     }
 }
@@ -124,7 +127,13 @@ impl Flow {
     /// propagated rather than unwrapped).
     pub fn prepare(config: FlowConfig) -> Result<Self, FlowError> {
         let nominal = generate_nominal(&config.generate);
-        let mc = generate_mc_libraries(&nominal, &config.generate, config.mc_libraries, config.seed);
+        let mc = generate_mc_libraries_threaded(
+            &nominal,
+            &config.generate,
+            config.mc_libraries,
+            config.seed,
+            config.threads,
+        );
         let stat = StatLibrary::from_libraries(&mc).map_err(|e| FlowError::Stat(e.to_string()))?;
         let netlist = generate_mcu(&config.mcu);
         Ok(Self {
@@ -190,7 +199,8 @@ impl Flow {
 }
 
 /// One synthesized-and-measured design.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FlowRun {
     /// Synthesis outcome (mapped design, timing report, area).
     pub synthesis: SynthesisResult,
@@ -214,7 +224,8 @@ impl FlowRun {
 
 /// Sigma/area comparison of a tuned run against the baseline (the axes of
 /// Figs. 10–11).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Comparison {
     /// Baseline design sigma (ns).
     pub baseline_sigma: f64,
@@ -339,6 +350,23 @@ mod tests {
             "area should not shrink materially: {}",
             cmp.area_increase_pct()
         );
+    }
+
+    #[test]
+    fn design_sigma_identical_across_thread_counts() {
+        // The deterministic parallel engine must make the whole §IV flow
+        // schedule-independent: identical design sigma at 1, 2 and 8
+        // threads.
+        let sigma_at = |threads: usize| {
+            let mut cfg = FlowConfig::small_for_tests();
+            cfg.threads = threads;
+            let flow = Flow::prepare(cfg).unwrap();
+            let run = flow.run_baseline(&SynthConfig::with_clock_period(8.0)).unwrap();
+            run.sigma()
+        };
+        let one = sigma_at(1);
+        assert_eq!(one.to_bits(), sigma_at(2).to_bits());
+        assert_eq!(one.to_bits(), sigma_at(8).to_bits());
     }
 
     #[test]

@@ -15,8 +15,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use varitune_libchar::{StatLibrary, TableKind};
 use varitune_liberty::{Cell, Lut};
 use varitune_synth::{LibraryConstraints, OperatingWindow};
@@ -26,7 +24,8 @@ use crate::rectangle::{largest_rectangle, Rect};
 use crate::slope::{and_tables, binarize, load_slope_table, max_equivalent, slew_slope_table};
 
 /// Threshold extracted for one cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClusterThreshold {
     /// Cluster label (`"drive 4"` or the cell name).
     pub label: String,
@@ -38,7 +37,8 @@ pub struct ClusterThreshold {
 }
 
 /// Result of tuning a statistical library.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TunedLibrary {
     /// Method that produced this tuning.
     pub method: TuningMethod,

@@ -7,10 +7,9 @@
 //! 29 XNOR/XOR, 34 adders, 27 multiplexers, 51 flip-flops, 12 latches and
 //! 7 other cells — 304 in total.
 
-use serde::{Deserialize, Serialize};
-
 /// One output of an archetype: the pin name and its logic function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArchOutput {
     /// Output pin name (`Z`, `S`, `CO`, `Q`).
     pub pin: String,
@@ -22,7 +21,8 @@ pub struct ArchOutput {
 }
 
 /// Sequential behaviour of an archetype.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SequentialKind {
     /// Purely combinational.
     None,
@@ -33,7 +33,8 @@ pub enum SequentialKind {
 }
 
 /// A cell archetype (logic family at all drive strengths).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Archetype {
     /// Name prefix, e.g. `ND2`; full cell names are `ND2_<drive>`.
     pub prefix: String,

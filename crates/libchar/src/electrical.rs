@@ -13,12 +13,11 @@
 //! ranges below match the characterization grid described in §II (steep to
 //! shallow slews; load ranges that grow with drive strength).
 
-use serde::{Deserialize, Serialize};
-
 use crate::arch::{ArchOutput, Archetype};
 
 /// Technology constants of the synthetic process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Technology {
     /// Effort time constant: ns of delay per unit of electrical fan-out for
     /// a unit-effort gate.

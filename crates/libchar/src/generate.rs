@@ -9,11 +9,10 @@
 //! SPICE characterization with perturbed transistor models, which is how
 //! the paper builds its 50 statistical input libraries.
 
-use rand::Rng;
-use rand_distr::{Distribution, StandardNormal};
-
 use varitune_liberty::{Cell, InternalPower, Library, Lut, Pin, TimingArc, TimingSense, TimingType};
+use varitune_variation::parallel::run_trials;
 use varitune_variation::rng::rng_from;
+use varitune_variation::sampler::Xoshiro256PlusPlus;
 use varitune_variation::PelgromModel;
 
 use crate::arch::{Archetype, SequentialKind};
@@ -218,7 +217,11 @@ fn fill_lut(slew_axis: &[f64], load_axis: &[f64], f: &dyn Fn(f64, f64) -> f64) -
 /// Each library perturbs every cell with one shared mismatch deviate (the
 /// cell's transistors are perturbed together) plus a small independent
 /// per-entry term, with total relative sigma given by the Pelgrom model at
-/// each LUT entry's electrical stress. Deterministic in `seed`.
+/// each LUT entry's electrical stress. Deterministic in `seed`, and —
+/// because library `k` draws only from its own derived stream
+/// (`derive_seed(seed, "mc-lib", k)`) — **bit-identical for any thread
+/// count**. This entry point uses every available core; see
+/// [`generate_mc_libraries_threaded`] for an explicit knob.
 ///
 /// # Panics
 ///
@@ -229,10 +232,28 @@ pub fn generate_mc_libraries(
     n: usize,
     seed: u64,
 ) -> Vec<Library> {
+    generate_mc_libraries_threaded(nominal, cfg, n, seed, 0)
+}
+
+/// [`generate_mc_libraries`] with an explicit worker-thread count
+/// (`0` = all available cores, `1` = fully sequential). Characterization MC
+/// is the slowest stage of the flow; it parallelizes embarrassingly because
+/// each perturbed library is one independent trial.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn generate_mc_libraries_threaded(
+    nominal: &Library,
+    cfg: &GenerateConfig,
+    n: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<Library> {
     assert!(n > 0, "need at least one MC library");
-    (0..n)
-        .map(|k| perturb_library(nominal, cfg, rng_from(seed, "mc-lib", k as u64)))
-        .collect()
+    run_trials(n, threads, |k| {
+        perturb_library(nominal, cfg, rng_from(seed, "mc-lib", k as u64))
+    })
 }
 
 /// Correlated share of the per-entry perturbation: most of the mismatch is
@@ -240,13 +261,13 @@ pub fn generate_mc_libraries(
 /// noise. The two shares are chosen so total variance stays `rel_sigma²`.
 const CELL_SHARE: f64 = 0.95;
 
-fn perturb_library(nominal: &Library, cfg: &GenerateConfig, mut rng: impl Rng) -> Library {
+fn perturb_library(nominal: &Library, cfg: &GenerateConfig, mut rng: Xoshiro256PlusPlus) -> Library {
     let entry_share = (1.0 - CELL_SHARE * CELL_SHARE).sqrt();
     let mut lib = nominal.clone();
     lib.name = format!("{}_mc", nominal.name);
     for cell in &mut lib.cells {
         let drive = cell.drive_strength().unwrap_or(1.0);
-        let z_cell: f64 = StandardNormal.sample(&mut rng);
+        let z_cell: f64 = rng.standard_normal();
         for pin in cell.output_pins_mut() {
             // Timing and power tables perturb alike (the §III remark that
             // the method extends to transition power relies on power
@@ -263,7 +284,7 @@ fn perturb_library(nominal: &Library, cfg: &GenerateConfig, mut rng: impl Rng) -
                     for (j, v) in row.iter_mut().enumerate() {
                         let stress = cfg.technology.stress(drive, slews[i], loads[j]);
                         let rel = cfg.pelgrom.relative_sigma(drive, stress);
-                        let z_entry: f64 = StandardNormal.sample(&mut rng);
+                        let z_entry: f64 = rng.standard_normal();
                         let factor = 1.0 + rel * (CELL_SHARE * z_cell + entry_share * z_entry);
                         *v *= factor.max(0.05);
                     }
@@ -436,6 +457,20 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a[0], a[1]);
         assert_ne!(a[0], nominal.clone());
+    }
+
+    #[test]
+    fn mc_libraries_bit_identical_across_thread_counts() {
+        // The tentpole guarantee applied to characterization MC: each
+        // library draws only from its own derived stream, so chunking
+        // across threads cannot change a single bit.
+        let cfg = GenerateConfig::small_for_tests();
+        let nominal = generate_nominal(&cfg);
+        let one = generate_mc_libraries_threaded(&nominal, &cfg, 6, 13, 1);
+        let two = generate_mc_libraries_threaded(&nominal, &cfg, 6, 13, 2);
+        let eight = generate_mc_libraries_threaded(&nominal, &cfg, 6, 13, 8);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
     }
 
     #[test]

@@ -41,5 +41,7 @@ pub mod generate;
 pub mod interp;
 pub mod statlib;
 
-pub use generate::{generate_mc_libraries, generate_nominal, GenerateConfig};
+pub use generate::{
+    generate_mc_libraries, generate_mc_libraries_threaded, generate_nominal, GenerateConfig,
+};
 pub use statlib::{StatLibrary, StatTable, TableKind};

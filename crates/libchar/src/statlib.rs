@@ -10,13 +10,12 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use varitune_liberty::{InterpolateError, Library, Lut, TimingArc};
 use varitune_variation::stats::Accumulator;
 
 /// Which of an arc's four tables a query refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TableKind {
     /// Rise propagation delay.
     CellRise,
@@ -44,7 +43,8 @@ impl TableKind {
 }
 
 /// A mean/sigma pair of same-shaped tables for one arc table kind.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StatTable {
     /// Entry-wise means.
     pub mean: Lut,
@@ -96,7 +96,8 @@ impl Error for BuildStatError {}
 
 /// The statistical library: per-entry mean and sigma across N characterized
 /// libraries, stored as two structurally identical Liberty libraries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StatLibrary {
     /// Library whose LUT values are entry-wise means.
     pub mean: Library,

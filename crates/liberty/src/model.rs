@@ -3,12 +3,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::InterpolateError;
 
 /// Direction of a [`Pin`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PinDirection {
     /// Signal enters the cell through this pin.
     Input,
@@ -34,7 +33,8 @@ impl fmt::Display for PinDirection {
 
 /// Unateness of a timing arc: how an input transition direction relates to
 /// the output transition direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TimingSense {
     /// Rising input causes rising output (e.g. buffer, AND).
     PositiveUnate,
@@ -56,7 +56,8 @@ impl fmt::Display for TimingSense {
 }
 
 /// Kind of a timing arc.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TimingType {
     /// Ordinary combinational propagation arc.
     Combinational,
@@ -96,7 +97,8 @@ impl fmt::Display for TimingType {
 
 /// A LUT axis template declared once at library scope and referenced by name
 /// from every table that uses it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LutTemplate {
     /// Template name, e.g. `delay_7x7`.
     pub name: String,
@@ -124,7 +126,8 @@ impl LutTemplate {
 /// `index_load[j]`, matching the Liberty convention where `variable_1` is
 /// `input_net_transition` and `variable_2` is
 /// `total_output_net_capacitance`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Lut {
     /// Slew (input transition) axis; strictly increasing.
     pub index_slew: Vec<f64>,
@@ -324,7 +327,8 @@ fn lerp(a: f64, b: f64, t: f64) -> f64 {
 }
 
 /// A timing arc from an input pin to the output pin that owns it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimingArc {
     /// The input pin this arc is measured from.
     pub related_pin: String,
@@ -451,7 +455,8 @@ impl TimingArc {
 /// An internal-power group on an output pin: switching energy per event,
 /// tabulated over the same (input slew, output load) grid as the timing
 /// arcs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InternalPower {
     /// The input pin whose transition this energy is attributed to.
     pub related_pin: String,
@@ -503,7 +508,8 @@ impl InternalPower {
 }
 
 /// A cell pin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pin {
     /// Pin name, e.g. `A`, `Z`, `CK`, `D`, `Q`.
     pub name: String,
@@ -560,7 +566,8 @@ impl Pin {
 
 /// Broad functional class of a cell, derived from its name by the synthetic
 /// library generator and by [`Cell::kind`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CellKind {
     /// Inverter.
     Inverter,
@@ -606,7 +613,8 @@ impl fmt::Display for CellKind {
 }
 
 /// A standard cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cell {
     /// Cell name following the paper's convention
     /// `Function[Inputs]_[Special_]Drive`, with `P` as decimal separator in
@@ -736,7 +744,8 @@ fn parse_drive_field(field: &str) -> Option<f64> {
 }
 
 /// A complete timing library.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Library {
     /// Library name, e.g. `TT1P1V25C`.
     pub name: String,

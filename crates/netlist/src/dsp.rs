@@ -12,13 +12,12 @@
 //! set bits `b` of the coefficient, so the gate mix is full adders,
 //! half adders and registers.
 
-use serde::{Deserialize, Serialize};
-
 use crate::build::{input_word, register_word, ripple_adder, word};
 use crate::ir::{GateKind, NetId, Netlist};
 
 /// FIR generator parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FirConfig {
     /// Number of filter taps (pipeline stages).
     pub taps: usize,

@@ -10,10 +10,9 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a net within its netlist.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetId(pub u32);
 
 impl fmt::Display for NetId {
@@ -23,14 +22,16 @@ impl fmt::Display for NetId {
 }
 
 /// A named net.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Net {
     /// Human-readable name (unique within the netlist by construction).
     pub name: String,
 }
 
 /// Generic logic functions the design generator emits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GateKind {
     /// Inverter: 1 input.
     Inv,
@@ -109,7 +110,8 @@ impl fmt::Display for GateKind {
 }
 
 /// A gate instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Gate {
     /// Instance name (unique within the netlist by construction).
     pub name: String,
@@ -180,7 +182,8 @@ impl fmt::Display for ValidateNetlistError {
 impl Error for ValidateNetlistError {}
 
 /// A gate-level design.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Netlist {
     /// Design name.
     pub name: String,

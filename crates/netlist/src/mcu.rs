@@ -9,8 +9,6 @@
 //! need — deep carry chains through the adders and multiplier, medium decode
 //! paths, and many short register-to-register hops.
 
-use serde::{Deserialize, Serialize};
-
 use crate::build::{
     barrel_shifter, incrementer, input_word, logic_cloud, mux2_word, mux_tree, register_file,
     register_word, ripple_adder, word, xor_reduce, zip_word,
@@ -18,7 +16,8 @@ use crate::build::{
 use crate::ir::{GateKind, NetId, Netlist};
 
 /// Parameters of the generated microcontroller.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct McuConfig {
     /// Datapath width in bits.
     pub width: usize,

@@ -9,8 +9,6 @@
 //! * **switching-activity extraction**: per-net toggle rates feed the power
 //!   analysis instead of a blanket activity constant.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ir::{GateKind, NetId, Netlist, ValidateNetlistError};
 
 /// A cycle-based two-valued simulator.
@@ -204,7 +202,8 @@ impl<'a> Simulator<'a> {
 }
 
 /// Measured switching activity of a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ActivityReport {
     /// Toggles per cycle for each net (indexed by [`NetId`]).
     pub per_net: Vec<f64>,

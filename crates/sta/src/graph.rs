@@ -9,15 +9,14 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use varitune_liberty::{InterpolateError, Library, TimingType};
 use varitune_netlist::{NetId, ValidateNetlistError};
 
 use crate::mapped::MappedDesign;
 
 /// Analysis configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StaConfig {
     /// Target clock period (ns).
     pub clock_period: f64,
@@ -119,7 +118,8 @@ impl From<InterpolateError> for StaError {
 }
 
 /// Timing state of one net after propagation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetTiming {
     /// Worst arrival time at the net (ns); 0 for primary inputs.
     pub arrival: f64,
@@ -155,7 +155,8 @@ impl NetTiming {
 }
 
 /// Kind of timing endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EndpointKind {
     /// Data input of a flip-flop (setup check).
     FlipFlopData {
@@ -167,7 +168,8 @@ pub enum EndpointKind {
 }
 
 /// One timing endpoint with its slack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Endpoint {
     /// Captured net.
     pub net: NetId,
@@ -187,7 +189,8 @@ impl Endpoint {
 }
 
 /// Result of [`analyze`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimingReport {
     /// Configuration the analysis ran with.
     pub config: StaConfig,

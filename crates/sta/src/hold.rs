@@ -13,8 +13,6 @@
 //! fastest (minimum) arc delays, and the *steepest* slew (which produces
 //! the smallest delays, making the check conservative).
 
-use serde::{Deserialize, Serialize};
-
 use varitune_liberty::Library;
 use varitune_netlist::NetId;
 
@@ -22,7 +20,8 @@ use crate::graph::{topo_order, StaConfig, StaError};
 use crate::mapped::MappedDesign;
 
 /// Hold-check configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HoldConfig {
     /// Hold requirement of capturing flip-flops (ns).
     pub hold_time: f64,
@@ -53,7 +52,8 @@ impl From<&StaConfig> for HoldConfig {
 }
 
 /// One hold endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HoldEndpoint {
     /// The flip-flop data net checked.
     pub net: NetId,
@@ -73,7 +73,8 @@ impl HoldEndpoint {
 }
 
 /// Result of [`analyze_hold`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HoldReport {
     /// Earliest arrival per net (ns); `+inf` for unreached nets.
     pub min_arrivals: Vec<f64>,

@@ -9,7 +9,10 @@
 //!   chosen for every gate, and the wire-load model,
 //! * [`graph`] — levelization and arrival/slew propagation,
 //! * [`paths`] — per-endpoint worst-path extraction, path depth, and the
-//!   statistical path/design metrics.
+//!   statistical path/design metrics,
+//! * [`mc`] — deterministic (bit-identical for any thread count) parallel
+//!   Monte-Carlo validation of the extracted paths against the analytic
+//!   convolution.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@
 pub mod graph;
 pub mod hold;
 pub mod mapped;
+pub mod mc;
 pub mod paths;
 pub mod power;
 pub mod report;
@@ -47,6 +51,7 @@ pub mod sdf;
 pub use graph::{analyze, required_times, StaConfig, StaError, TimingReport};
 pub use hold::{analyze_hold, HoldConfig, HoldReport};
 pub use mapped::{MappedDesign, WireModel};
+pub use mc::{mc_cells, simulate_worst_paths, PathMcResult};
 pub use paths::{deadline_at_yield, timing_yield, DesignTiming, PathTiming};
 pub use power::{estimate_power, estimate_power_with_activity, PowerConfig, PowerReport};
 pub use report::report_timing;

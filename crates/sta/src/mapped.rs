@@ -1,14 +1,13 @@
 //! A mapped design: a generic netlist bound to concrete library cells.
 
-use serde::{Deserialize, Serialize};
-
 use varitune_liberty::{Cell, Library};
 use varitune_netlist::{NetId, Netlist};
 
 /// Lumped wire-load model: every net contributes a base capacitance plus a
 /// per-fanout increment (pF). This stands in for the pre-layout wire-load
 /// tables a synthesis tool would use.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WireModel {
     /// Capacitance of any driven net (pF).
     pub base: f64,
@@ -41,7 +40,8 @@ impl WireModel {
 /// The binding is positional: gate input `k` connects to the cell's `k`-th
 /// input pin (in library declaration order, data pins before the clock pin),
 /// and gate output `j` to the cell's `j`-th output pin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MappedDesign {
     /// The underlying generic netlist (buffering during optimization adds
     /// gates here and to `cell_names` in lockstep).

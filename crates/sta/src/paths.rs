@@ -5,8 +5,6 @@
 //! `(mean, sigma)` delay to every cell on it from the statistical library,
 //! and convolving those into path and design distributions (eqs. 5–11).
 
-use serde::{Deserialize, Serialize};
-
 use varitune_libchar::StatLibrary;
 use varitune_liberty::Library;
 use varitune_netlist::NetId;
@@ -16,7 +14,8 @@ use crate::graph::{StaError, TimingReport};
 use crate::mapped::MappedDesign;
 
 /// One cell on an extracted path, with the operating point it was timed at.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PathCellSample {
     /// Gate index in the netlist.
     pub gate: usize,
@@ -36,7 +35,8 @@ pub struct PathCellSample {
 }
 
 /// A worst path to one endpoint with its statistical parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PathTiming {
     /// Endpoint net the path captures at.
     pub endpoint: NetId,
@@ -64,7 +64,8 @@ impl PathTiming {
 }
 
 /// Design-level distribution — eq. (11) over per-endpoint worst paths.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DesignTiming {
     /// Sum of worst-path means (ns).
     pub mean: f64,

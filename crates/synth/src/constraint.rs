@@ -9,8 +9,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Allowed (slew, load) operating rectangle of one output pin.
 ///
 /// # Example
@@ -22,7 +20,8 @@ use serde::{Deserialize, Serialize};
 /// assert!(w.contains(0.1, 0.005));
 /// assert!(!w.contains(0.1, 0.02)); // load outside the quiet region
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OperatingWindow {
     /// Minimum input slew (ns).
     pub min_slew: f64,
@@ -69,7 +68,8 @@ impl Default for OperatingWindow {
 /// Per-(cell, output pin) operating windows for a whole library.
 ///
 /// Pins without an entry are unrestricted.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LibraryConstraints {
     windows: BTreeMap<(String, String), OperatingWindow>,
 }

@@ -20,8 +20,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use varitune_liberty::Library;
 use varitune_netlist::{GateKind, NetId, Netlist};
 use varitune_sta::{analyze, required_times, MappedDesign, StaConfig, StaError, TimingReport, WireModel};
@@ -30,7 +28,8 @@ use crate::constraint::LibraryConstraints;
 use crate::map::{map_netlist, MapError, TargetLibrary};
 
 /// Synthesis configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SynthConfig {
     /// Timing configuration (clock period, uncertainty, boundary slews).
     pub sta: StaConfig,
@@ -97,7 +96,8 @@ impl From<StaError> for SynthError {
 }
 
 /// Result of [`synthesize`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SynthesisResult {
     /// The optimized mapped design (including any inserted buffers).
     pub design: MappedDesign,

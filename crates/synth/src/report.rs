@@ -1,8 +1,6 @@
 //! Synthesis reporting helpers: cell-usage histograms (Fig. 9), the clock
 //! period / area sweep (Fig. 8) and minimum-period search (Table 1).
 
-use serde::{Deserialize, Serialize};
-
 use varitune_liberty::Library;
 use varitune_netlist::Netlist;
 
@@ -10,7 +8,8 @@ use crate::constraint::LibraryConstraints;
 use crate::optimize::{synthesize, SynthConfig, SynthError, SynthesisResult};
 
 /// One point of the clock-period / area curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SweepPoint {
     /// Clock period (ns).
     pub period: f64,
@@ -79,7 +78,8 @@ pub fn find_min_period(
 }
 
 /// Cell-usage row for the Fig. 9 histograms.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UsageRow {
     /// Cell name.
     pub cell: String,

@@ -7,12 +7,11 @@
 //! We model a corner as a multiplicative delay factor plus a die-to-die
 //! spread around it.
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
-use serde::{Deserialize, Serialize};
+use crate::sampler::{Normal, Xoshiro256PlusPlus};
 
 /// A named process corner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ProcessCorner {
     /// Fast silicon: lower delays.
     Fast,
@@ -56,7 +55,7 @@ impl ProcessCorner {
     }
 
     /// Samples one die's global delay factor at this corner.
-    pub fn sample_die_factor<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+    pub fn sample_die_factor(self, rng: &mut Xoshiro256PlusPlus) -> f64 {
         let n = Normal::new(self.delay_factor(), self.delay_factor() * self.global_rel_sigma())
             .expect("finite parameters");
         n.sample(rng).max(0.05)

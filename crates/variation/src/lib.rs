@@ -7,6 +7,12 @@
 //!   paper) and streaming accumulators,
 //! * [`rng`] — deterministic seed derivation so every experiment is
 //!   reproducible bit-for-bit,
+//! * [`sampler`] — the in-tree xoshiro256++ generator and Box–Muller normal
+//!   sampling (no registry dependencies; streams are specified here and can
+//!   never drift under a dependency upgrade),
+//! * [`parallel`] — the deterministic parallel trial driver: Monte-Carlo
+//!   work chunks across scoped threads with bit-identical results for any
+//!   thread count,
 //! * [`mismatch`] — the Pelgrom local-mismatch model: matching improves with
 //!   device area, so delay sigma shrinks with the square root of drive
 //!   strength,
@@ -37,9 +43,13 @@ pub mod convolve;
 pub mod corner;
 pub mod mc;
 pub mod mismatch;
+pub mod parallel;
 pub mod rng;
+pub mod sampler;
 pub mod stats;
 
 pub use corner::ProcessCorner;
 pub use mismatch::PelgromModel;
+pub use parallel::run_trials;
+pub use sampler::Xoshiro256PlusPlus;
 pub use stats::Summary;

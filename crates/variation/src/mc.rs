@@ -13,17 +13,25 @@
 //! Here a path is a chain of [`PathCell`]s (delay mean + relative local
 //! sigma). A sample multiplies each cell's mean by an independent local
 //! factor and, optionally, by one shared die factor.
-
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
-use serde::{Deserialize, Serialize};
+//!
+//! # Parallelism and determinism
+//!
+//! Every trial draws from its own seed stream, derived from the run seed
+//! and the trial index ([`crate::rng::derive_seed`]), so trials are
+//! independent by construction and [`simulate_path_threaded`] can chunk
+//! them across threads through [`crate::parallel::run_trials`] with
+//! **bit-identical results for any thread count** — `threads = 1` and
+//! `threads = 64` produce the same samples in the same order.
 
 use crate::corner::ProcessCorner;
-use crate::rng::rng_from;
+use crate::parallel::run_trials;
+use crate::rng::{derive_seed, rng_from};
+use crate::sampler::Normal;
 use crate::stats::Summary;
 
 /// One cell of an extracted path, as seen by the MC engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PathCell {
     /// Typical-corner delay mean of the cell at its operating point (ns).
     pub mean_delay: f64,
@@ -48,7 +56,8 @@ impl PathCell {
 }
 
 /// Which variation sources a simulation includes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum VariationMode {
     /// Local mismatch only: each cell gets an independent perturbation, the
     /// die factor is pinned to the corner nominal.
@@ -59,7 +68,8 @@ pub enum VariationMode {
 }
 
 /// Result of a path MC run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct McResult {
     /// Corner the run was performed at.
     pub corner: ProcessCorner,
@@ -72,7 +82,9 @@ pub struct McResult {
 }
 
 /// Runs an `n`-sample Monte Carlo of `path` at `corner` with the given
-/// variation `mode`. Deterministic in `seed`.
+/// variation `mode`. Deterministic in `seed`; single-threaded (see
+/// [`simulate_path_threaded`] for the parallel form that produces the same
+/// bits).
 ///
 /// # Example
 ///
@@ -95,26 +107,47 @@ pub fn simulate_path(
     n: usize,
     seed: u64,
 ) -> McResult {
+    simulate_path_threaded(path, corner, mode, n, seed, 1)
+}
+
+/// [`simulate_path`] with the trial loop chunked over `threads` worker
+/// threads (`0` = all available cores).
+///
+/// Each trial's stream is derived from `(seed, corner, mode, trial index)`,
+/// so the samples — and therefore the summary — are **bit-identical for
+/// every thread count**.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `path` is empty.
+pub fn simulate_path_threaded(
+    path: &[PathCell],
+    corner: ProcessCorner,
+    mode: VariationMode,
+    n: usize,
+    seed: u64,
+    threads: usize,
+) -> McResult {
     assert!(n > 0, "need at least one MC sample");
     assert!(!path.is_empty(), "path must contain at least one cell");
-    let mut rng = rng_from(seed, "path-mc", corner as u64 ^ ((mode as u64) << 8));
-    let locals: Vec<Normal<f64>> = path
+    let stream = derive_seed(seed, "path-mc", corner as u64 ^ ((mode as u64) << 8));
+    let locals: Vec<Normal> = path
         .iter()
         .map(|c| Normal::new(1.0, c.local_rel_sigma).expect("finite sigma"))
         .collect();
-    let mut samples = Vec::with_capacity(n);
-    for _ in 0..n {
+    let samples = run_trials(n, threads, |k| {
+        let mut rng = rng_from(stream, "trial", k as u64);
         let die = match mode {
             VariationMode::LocalOnly => corner.delay_factor(),
             VariationMode::GlobalAndLocal => corner.sample_die_factor(&mut rng),
         };
         let mut delay = 0.0;
         for (cell, dist) in path.iter().zip(&locals) {
-            let local = sample_truncated(dist, &mut rng);
+            let local = dist.sample(&mut rng).max(0.05);
             delay += cell.mean_delay * die * local;
         }
-        samples.push(delay);
-    }
+        delay
+    });
     let summary = Summary::from_samples(&samples).expect("n > 0");
     McResult {
         corner,
@@ -122,10 +155,6 @@ pub fn simulate_path(
         samples,
         summary,
     }
-}
-
-fn sample_truncated<R: Rng + ?Sized>(dist: &Normal<f64>, rng: &mut R) -> f64 {
-    dist.sample(rng).max(0.05)
 }
 
 /// The share of total variance attributable to local variation, measured by
@@ -140,8 +169,21 @@ pub fn local_variation_share(
     n: usize,
     seed: u64,
 ) -> f64 {
-    let local = simulate_path(path, corner, VariationMode::LocalOnly, n, seed);
-    let total = simulate_path(path, corner, VariationMode::GlobalAndLocal, n, seed);
+    local_variation_share_threaded(path, corner, n, seed, 1)
+}
+
+/// [`local_variation_share`] over the parallel engine; bit-identical for
+/// any `threads` (`0` = all available cores).
+pub fn local_variation_share_threaded(
+    path: &[PathCell],
+    corner: ProcessCorner,
+    n: usize,
+    seed: u64,
+    threads: usize,
+) -> f64 {
+    let local = simulate_path_threaded(path, corner, VariationMode::LocalOnly, n, seed, threads);
+    let total =
+        simulate_path_threaded(path, corner, VariationMode::GlobalAndLocal, n, seed, threads);
     let lv = local.summary.std_dev.powi(2);
     let tv = total.summary.std_dev.powi(2);
     if tv <= 0.0 {
@@ -233,6 +275,29 @@ mod tests {
         assert_eq!(a.samples, b.samples);
         let c = simulate_path(&path, ProcessCorner::Fast, VariationMode::GlobalAndLocal, 50, 10);
         assert_ne!(a.samples, c.samples);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // The tentpole guarantee: 1, 2 and 8 threads agree to the bit, for
+        // both variation modes.
+        let path = uniform_path(12, 0.11, 0.07);
+        for mode in [VariationMode::LocalOnly, VariationMode::GlobalAndLocal] {
+            let one = simulate_path_threaded(&path, ProcessCorner::Slow, mode, 777, 42, 1);
+            let two = simulate_path_threaded(&path, ProcessCorner::Slow, mode, 777, 42, 2);
+            let eight = simulate_path_threaded(&path, ProcessCorner::Slow, mode, 777, 42, 8);
+            assert_eq!(one.samples, two.samples);
+            assert_eq!(one.samples, eight.samples);
+            assert_eq!(one.summary, eight.summary);
+        }
+    }
+
+    #[test]
+    fn threaded_share_matches_sequential() {
+        let path = uniform_path(9, 0.1, 0.06);
+        let seq = local_variation_share(&path, ProcessCorner::Typical, 800, 3);
+        let par = local_variation_share_threaded(&path, ProcessCorner::Typical, 800, 3, 4);
+        assert_eq!(seq, par);
     }
 
     #[test]

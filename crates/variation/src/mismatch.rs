@@ -12,9 +12,7 @@
 //! characterization engine samples that perturbation once per cell instance
 //! per Monte-Carlo library.
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
-use serde::{Deserialize, Serialize};
+use crate::sampler::{Normal, Xoshiro256PlusPlus};
 
 /// Pelgrom-style local mismatch model.
 ///
@@ -29,7 +27,8 @@ use serde::{Deserialize, Serialize};
 /// let s4 = m.relative_sigma(4.0, 0.0);
 /// assert!((s1 / s4 - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PelgromModel {
     /// Relative delay sigma of a unit-drive cell at the nominal operating
     /// point (e.g. 0.06 = 6 % of the nominal delay).
@@ -79,7 +78,7 @@ impl PelgromModel {
     /// Samples one multiplicative delay perturbation `≥ 0.05` for a cell
     /// instance (truncation guards against non-physical negative delays in
     /// deep MC tails).
-    pub fn sample_factor<R: Rng + ?Sized>(&self, drive: f64, stress: f64, rng: &mut R) -> f64 {
+    pub fn sample_factor(&self, drive: f64, stress: f64, rng: &mut Xoshiro256PlusPlus) -> f64 {
         let sigma = self.relative_sigma(drive, stress);
         let normal = Normal::new(1.0, sigma).expect("sigma is finite and non-negative");
         normal.sample(rng).max(0.05)

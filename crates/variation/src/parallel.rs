@@ -1,0 +1,185 @@
+//! Deterministic parallel Monte-Carlo trial driver.
+//!
+//! Monte Carlo is the hot loop of the whole flow: characterization runs
+//! hundreds of perturbed library builds, path analysis draws hundreds of
+//! samples per extracted path. Both decompose into independent *trials*
+//! indexed `0..n`, and every stochastic trial in this workspace already
+//! draws from its **own derived seed stream**
+//! ([`crate::rng::derive_seed`] keyed by the trial index), never from a
+//! shared sequential RNG. That discipline makes parallelism free of
+//! determinism hazards: a trial's result depends only on its index, so the
+//! schedule cannot leak into the output and results are **bit-identical for
+//! every thread count**, including 1.
+//!
+//! [`run_trials`] is the one primitive: it splits `0..n` into contiguous
+//! chunks over a scoped `std::thread` pool and reassembles results in index
+//! order. No work stealing, no channels, no atomics — static chunking is
+//! optimal here because trials within one caller have near-uniform cost.
+//!
+//! # Example
+//!
+//! ```
+//! use varitune_variation::parallel::run_trials;
+//!
+//! let serial = run_trials(100, 1, |k| k * k);
+//! let parallel = run_trials(100, 4, |k| k * k);
+//! assert_eq!(serial, parallel); // bit-identical, any thread count
+//! ```
+
+/// Resolves a thread-count knob: `0` means "use the machine", anything else
+/// is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `trial(k)` for every `k` in `0..n` across `threads` worker threads
+/// (`0` = all available cores) and returns the results in index order.
+///
+/// `trial` must derive any randomness it needs from `k` alone (seed
+/// derivation, not a shared stream); under that contract the output is
+/// bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from any trial.
+pub fn run_trials<T, F>(n: usize, threads: usize, trial: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(trial).collect();
+    }
+    // Contiguous chunks; the remainder goes to the first `rem` workers so
+    // chunk sizes differ by at most one.
+    let base = n / threads;
+    let rem = n % threads;
+    let trial = &trial;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0;
+        for w in 0..threads {
+            let len = base + usize::from(w < rem);
+            let range = start..start + len;
+            start += len;
+            handles.push(scope.spawn(move || range.map(trial).collect::<Vec<T>>()));
+        }
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("Monte-Carlo worker panicked"));
+        }
+        out
+    })
+}
+
+/// Runs trials like [`run_trials`] and folds each worker's chunk before the
+/// main thread combines them in chunk order — for trials whose per-result
+/// materialization would dominate (e.g. accumulating summary statistics
+/// over millions of samples without a `Vec<f64>`).
+///
+/// `fold` combines a chunk accumulator with one trial result;
+/// `accumulators` start from `init()` per worker and are merged left to
+/// right with `merge`, in index order, so the reduction is deterministic
+/// whenever `merge`/`fold` are (floating-point evaluation order is fixed by
+/// the chunking, which depends only on `n` and `threads`).
+pub fn fold_trials<T, A, F, I, M>(n: usize, threads: usize, trial: F, init: I, fold: M) -> Vec<A>
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize) -> T + Sync,
+    I: Fn() -> A + Sync,
+    M: Fn(A, T) -> A + Sync,
+{
+    let threads = resolve_threads(threads).min(n.max(1));
+    let trial = &trial;
+    let init = &init;
+    let fold = &fold;
+    if threads <= 1 {
+        return vec![(0..n).map(trial).fold(init(), fold)];
+    }
+    let base = n / threads;
+    let rem = n % threads;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0;
+        for w in 0..threads {
+            let len = base + usize::from(w < rem);
+            let range = start..start + len;
+            start += len;
+            handles.push(scope.spawn(move || range.map(trial).fold(init(), fold)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("Monte-Carlo worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let r = run_trials(10, 3, |k| k);
+        assert_eq!(r, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // Each trial draws from its own derived stream, the run_trials
+        // contract. 1, 2 and 8 threads must agree to the bit.
+        let draw = |k: usize| rng_from(99, "par-test", k as u64).standard_normal();
+        let one = run_trials(1000, 1, draw);
+        let two = run_trials(1000, 2, draw);
+        let eight = run_trials(1000, 8, draw);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        assert_eq!(run_trials(3, 64, |k| k * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn zero_trials_yield_empty() {
+        let r: Vec<usize> = run_trials(0, 4, |k| k);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(5), 5);
+        let r = run_trials(100, 0, |k| k + 1);
+        assert_eq!(r.len(), 100);
+        assert_eq!(r[99], 100);
+    }
+
+    #[test]
+    fn fold_trials_partials_recombine_deterministically() {
+        let sum = |chunks: Vec<u64>| chunks.into_iter().sum::<u64>();
+        let a = sum(fold_trials(500, 1, |k| k as u64, || 0u64, |a, t| a + t));
+        let b = sum(fold_trials(500, 4, |k| k as u64, || 0u64, |a, t| a + t));
+        assert_eq!(a, 499 * 500 / 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn trial_panic_propagates() {
+        let _ = run_trials(8, 2, |k| {
+            assert!(k != 5, "boom");
+            k
+        });
+    }
+}

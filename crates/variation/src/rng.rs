@@ -6,9 +6,14 @@
 //! seeds are *derived*: a stage combines its parent seed with a label
 //! (`derive_seed(seed, "mc-lib", k)`), producing a new seed that is stable
 //! across runs and platforms.
+//!
+//! Derivation composes: a per-stage seed can itself be the parent of
+//! per-trial seeds (`derive_seed(stage, "trial", k)`). The parallel
+//! Monte-Carlo engine in [`crate::parallel`] leans on exactly this — each
+//! trial owns a derived stream, so work can be chunked across threads with
+//! bit-identical results for any thread count.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::sampler::Xoshiro256PlusPlus;
 
 /// Derives a child seed from `parent`, a textual `label` and an `index`.
 ///
@@ -24,9 +29,9 @@ pub fn derive_seed(parent: u64, label: &str, index: u64) -> u64 {
     splitmix64(parent ^ h.rotate_left(17) ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
-/// Creates a [`StdRng`] from a derived seed.
-pub fn rng_from(parent: u64, label: &str, index: u64) -> StdRng {
-    StdRng::seed_from_u64(derive_seed(parent, label, index))
+/// Creates an in-tree [`Xoshiro256PlusPlus`] generator from a derived seed.
+pub fn rng_from(parent: u64, label: &str, index: u64) -> Xoshiro256PlusPlus {
+    Xoshiro256PlusPlus::seed_from_u64(derive_seed(parent, label, index))
 }
 
 fn splitmix64(mut z: u64) -> u64 {
@@ -39,7 +44,6 @@ fn splitmix64(mut z: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_inputs_same_seed() {
@@ -63,8 +67,8 @@ mod tests {
 
     #[test]
     fn rng_streams_are_reproducible() {
-        let a: f64 = rng_from(7, "x", 3).gen();
-        let b: f64 = rng_from(7, "x", 3).gen();
+        let a: f64 = rng_from(7, "x", 3).next_f64();
+        let b: f64 = rng_from(7, "x", 3).next_f64();
         assert_eq!(a, b);
     }
 
@@ -75,5 +79,14 @@ mod tests {
         let s0 = derive_seed(42, "lib", 0);
         let s1 = derive_seed(42, "lib", 1);
         assert!(s0.abs_diff(s1) > 1 << 20);
+    }
+
+    #[test]
+    fn derivation_composes_into_distinct_trial_streams() {
+        let stage = derive_seed(7, "path-mc", 0);
+        let t0 = derive_seed(stage, "trial", 0);
+        let t1 = derive_seed(stage, "trial", 1);
+        assert_ne!(t0, t1);
+        assert_ne!(t0, stage);
     }
 }

@@ -1,0 +1,299 @@
+//! In-tree pseudo-random number generation and distribution sampling.
+//!
+//! The stochastic kernel of the whole flow — characterization Monte Carlo,
+//! path Monte Carlo, die-factor draws — runs on this module instead of the
+//! external `rand`/`rand_distr` crates, for two reasons:
+//!
+//! * **hermetic builds**: the workspace compiles and tests with zero
+//!   registry access, and
+//! * **bit-stable streams**: the generator and the normal transform are
+//!   specified here, so sampled values can never change under a dependency
+//!   upgrade. Every experiment in the paper reproduction is reproducible
+//!   bit-for-bit, forever.
+//!
+//! The generator is **xoshiro256++** (Blackman & Vigna), seeded through the
+//! same SplitMix64 discipline that [`crate::rng::derive_seed`] uses for
+//! stream derivation. Normal deviates come from the Box–Muller transform in
+//! its trigonometric form — branch-free (no rejection loop), so every
+//! deviate consumes exactly two generator outputs. That fixed consumption
+//! rate is what lets the parallel Monte-Carlo driver in [`crate::parallel`]
+//! give each trial its own derived stream and still produce results that
+//! are bit-identical for any thread count.
+
+use std::f64::consts::TAU;
+use std::fmt;
+
+/// The xoshiro256++ generator: 256 bits of state, period `2^256 − 1`,
+/// excellent equidistribution, ~1 ns per draw.
+///
+/// # Example
+///
+/// ```
+/// use varitune_variation::sampler::Xoshiro256PlusPlus;
+///
+/// let mut a = Xoshiro256PlusPlus::seed_from_u64(42);
+/// let mut b = Xoshiro256PlusPlus::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Expands a 64-bit seed into the 256-bit state with SplitMix64, the
+    /// initialization the xoshiro authors recommend (consecutive seeds give
+    /// well-separated states; the all-zero state cannot occur).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with the full 53 bits of mantissa
+    /// resolution.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// One standard-normal deviate `N(0, 1)` via the trigonometric
+    /// Box–Muller transform. Consumes exactly two generator outputs.
+    #[inline]
+    pub fn standard_normal(&mut self) -> f64 {
+        // 1 − U maps [0, 1) onto (0, 1], keeping ln() finite.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+    }
+
+    /// One deviate of `N(mean, std_dev)`.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+}
+
+/// Error constructing a [`Normal`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The mean was NaN or infinite.
+    BadMean,
+    /// The standard deviation was negative, NaN or infinite.
+    BadStdDev,
+}
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalError::BadMean => f.write_str("normal mean must be finite"),
+            NormalError::BadStdDev => {
+                f.write_str("normal standard deviation must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// A normal distribution `N(mean, std_dev)`, API-compatible in spirit with
+/// `rand_distr::Normal` so the modelling code reads the same as before the
+/// dependency removal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] if `mean` is not finite or `std_dev` is
+    /// negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::BadMean);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadStdDev);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// Draws one deviate.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        rng.normal(self.mean, self.std_dev)
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+/// The standard normal `N(0, 1)` as a unit type, mirroring
+/// `rand_distr::StandardNormal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StandardNormal;
+
+impl StandardNormal {
+    /// Draws one deviate.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        rng.standard_normal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from;
+    use crate::stats::Summary;
+
+    /// Pinned stream: SplitMix64(1)-expanded state pushed through the
+    /// published xoshiro256++ update, cross-checked against an independent
+    /// (non-Rust) implementation of both algorithms. If this test ever
+    /// fails, sampled experiment values have silently changed.
+    #[test]
+    fn matches_reference_stream() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let got: Vec<u64> = (0..6).map(|_| rng.next_u64()).collect();
+        let expect = [
+            0xcfc5d07f6f03c29bu64,
+            0xbf424132963fe08d,
+            0x19a37d5757aaf520,
+            0xbf08119f05cd56d6,
+            0x2f47184b86186fa4,
+            0x97299fcae7202345,
+        ];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_fills_it() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.001, "min {lo}");
+        assert!(hi > 0.999, "max {hi}");
+    }
+
+    #[test]
+    fn normal_sampler_matches_moments_and_tails() {
+        // Satellite acceptance: mean / sigma / tail fraction over >= 100k
+        // draws.
+        const N: usize = 200_000;
+        let mut rng = rng_from(1234, "sampler-test", 0);
+        let mut samples = Vec::with_capacity(N);
+        for _ in 0..N {
+            samples.push(rng.standard_normal());
+        }
+        let s = Summary::from_samples(&samples).unwrap();
+        assert!(s.mean.abs() < 0.01, "mean {}", s.mean);
+        assert!((s.std_dev - 1.0).abs() < 0.01, "sigma {}", s.std_dev);
+        // P(|Z| > 1) = 31.73 %, P(|Z| > 2) = 4.55 %, P(|Z| > 3) = 0.27 %.
+        let tail = |k: f64| samples.iter().filter(|&&z| z.abs() > k).count() as f64 / N as f64;
+        assert!((tail(1.0) - 0.3173).abs() < 0.01, "1-sigma {}", tail(1.0));
+        assert!((tail(2.0) - 0.0455).abs() < 0.005, "2-sigma {}", tail(2.0));
+        assert!((tail(3.0) - 0.0027).abs() < 0.002, "3-sigma {}", tail(3.0));
+    }
+
+    #[test]
+    fn scaled_normal_matches_parameters() {
+        let d = Normal::new(5.0, 0.25).unwrap();
+        let mut rng = rng_from(9, "scaled", 0);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let s = Summary::from_samples(&samples).unwrap();
+        assert!((s.mean - 5.0).abs() < 0.01, "{}", s.mean);
+        assert!((s.std_dev - 0.25).abs() < 0.005, "{}", s.std_dev);
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert_eq!(Normal::new(f64::NAN, 1.0), Err(NormalError::BadMean));
+        assert_eq!(Normal::new(0.0, -1.0), Err(NormalError::BadStdDev));
+        assert_eq!(Normal::new(0.0, f64::INFINITY), Err(NormalError::BadStdDev));
+        assert!(Normal::new(0.0, 0.0).is_ok(), "zero sigma is a point mass");
+    }
+
+    #[test]
+    fn zero_sigma_is_a_point_mass() {
+        let d = Normal::new(3.0, 0.0).unwrap();
+        let mut rng = rng_from(1, "point", 0);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 3.0);
+        }
+    }
+
+    #[test]
+    fn streams_from_different_labels_are_independent() {
+        // Satellite acceptance: derive_seed labels give uncorrelated
+        // streams. Correlation of 20k paired standard-normal draws from two
+        // label-derived streams should be statistically zero.
+        const N: usize = 20_000;
+        let mut a = rng_from(77, "stream-a", 0);
+        let mut b = rng_from(77, "stream-b", 0);
+        let mut sum_ab = 0.0;
+        let (mut xs, mut ys) = (Vec::with_capacity(N), Vec::with_capacity(N));
+        for _ in 0..N {
+            let x = a.standard_normal();
+            let y = b.standard_normal();
+            sum_ab += x * y;
+            xs.push(x);
+            ys.push(y);
+        }
+        let sx = Summary::from_samples(&xs).unwrap();
+        let sy = Summary::from_samples(&ys).unwrap();
+        let corr = (sum_ab / N as f64 - sx.mean * sy.mean) / (sx.std_dev * sy.std_dev);
+        // Standard error of r under independence is ~1/sqrt(N) = 0.007.
+        assert!(corr.abs() < 0.03, "correlation {corr}");
+        // And the streams are genuinely different.
+        assert_ne!(xs[..10], ys[..10]);
+    }
+
+    #[test]
+    fn standard_normal_unit_type_matches_method() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(5);
+        assert_eq!(StandardNormal.sample(&mut a), b.standard_normal());
+    }
+}

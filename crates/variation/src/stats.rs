@@ -6,10 +6,9 @@
 //! metric because two distributions with identical variability can have very
 //! different absolute spreads (Fig. 1). Both metrics are provided here.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of a sample set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,

@@ -1,0 +1,233 @@
+//! Offline port of the `tests/property_based.rs` invariants.
+//!
+//! The property-based suite needs the registry `proptest` crate and is
+//! gated behind the non-default `proptest` feature; this file exercises
+//! the same four invariant groups — rectangle extraction, bilinear
+//! interpolation, path-sigma convolution, streaming statistics — plus the
+//! Liberty round trip, against fixed inputs chosen to hit the interesting
+//! cases (empty/full grids, irregular axes, degenerate sigmas), so they
+//! always run in the default hermetic build.
+
+use varitune::core::{largest_rectangle, largest_rectangle_bruteforce};
+use varitune::libchar::interp;
+use varitune::liberty::Lut;
+use varitune::variation::convolve::{path_sigma, path_sigma_full, path_sigma_rho0};
+use varitune::variation::stats::{Accumulator, Summary};
+
+// ---------------------------------------------------------------------
+// Largest rectangle: the optimized implementation is exactly Algorithm 1.
+// ---------------------------------------------------------------------
+
+/// A spread of fixed grids: empty, full, single-true, ragged shapes, the
+/// staircase that defeats naive row-scans, and a checkerboard.
+fn rectangle_grids() -> Vec<Vec<Vec<bool>>> {
+    let b = |s: &str| -> Vec<bool> { s.chars().map(|c| c == '1').collect() };
+    vec![
+        vec![b("0")],
+        vec![b("1")],
+        vec![b("0000"), b("0000")],
+        vec![b("1111"), b("1111"), b("1111")],
+        vec![b("0100"), b("0110"), b("0111"), b("0010")],
+        vec![b("10101"), b("01010"), b("10101")],
+        vec![b("111000"), b("111100"), b("111110"), b("000111")],
+        vec![b("1"), b("1"), b("1"), b("0"), b("1")],
+        vec![b("0110"), b("1111"), b("1111"), b("0110")],
+    ]
+}
+
+#[test]
+fn rectangle_impls_agree_on_fixed_grids() {
+    for grid in rectangle_grids() {
+        assert_eq!(
+            largest_rectangle(&grid),
+            largest_rectangle_bruteforce(&grid),
+            "grid {grid:?}"
+        );
+    }
+}
+
+#[test]
+fn rectangle_is_all_true_and_maximal_area() {
+    for grid in rectangle_grids() {
+        match largest_rectangle(&grid) {
+            Some(r) => {
+                for row in &grid[r.row_lo..=r.row_hi] {
+                    for &cell in &row[r.col_lo..=r.col_hi] {
+                        assert!(cell, "covered false entry in {grid:?}");
+                    }
+                }
+                let brute = largest_rectangle_bruteforce(&grid).expect("same result");
+                assert_eq!(brute.area(), r.area(), "grid {grid:?}");
+            }
+            None => assert!(grid.iter().flatten().all(|&c| !c), "grid {grid:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bilinear interpolation.
+// ---------------------------------------------------------------------
+
+/// A 4×5 LUT with irregular (quadratically spaced) axes and non-monotone
+/// values — the same shape `lut_strategy()` generates.
+fn fixed_lut() -> Lut {
+    let slew: Vec<f64> = (0..4).map(|i| 0.01 * ((i * i + i + 1) as f64)).collect();
+    let load: Vec<f64> = (0..5).map(|j| 0.002 * ((j * j + 2 * j + 1) as f64)).collect();
+    let values = vec![
+        vec![0.11, 0.34, 0.58, 0.92, 1.40],
+        vec![0.19, 0.41, 0.33, 1.05, 1.62],
+        vec![0.27, 0.52, 0.81, 1.21, 1.90],
+        vec![0.45, 0.70, 1.02, 1.48, 2.31],
+    ];
+    Lut::new(slew, load, values)
+}
+
+#[test]
+fn interpolation_matches_eq234_reference() {
+    let lut = fixed_lut();
+    let s0 = lut.index_slew[0];
+    let s1 = *lut.index_slew.last().expect("non-empty");
+    let l0 = lut.index_load[0];
+    let l1 = *lut.index_load.last().expect("non-empty");
+    // A grid of interior and boundary query points.
+    for ts in [0.0, 0.13, 0.37, 0.5, 0.71, 0.99, 1.0] {
+        for tl in [0.0, 0.22, 0.48, 0.66, 0.94, 1.0] {
+            let s = s0 + ts * (s1 - s0);
+            let l = l0 + tl * (l1 - l0);
+            let a = lut.interpolate(s, l).expect("valid lut");
+            let b = interp::interpolate_reference(&lut, s, l).expect("in grid");
+            assert!((a - b).abs() < 1e-9, "({ts}, {tl}): {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn interpolation_is_bounded_by_table_extremes() {
+    let lut = fixed_lut();
+    let lo = lut.min_value().expect("non-empty");
+    let hi = lut.max_value().expect("non-empty");
+    // Includes points far outside the characterized grid (clamping).
+    for s in [0.0, 0.005, 0.02, 0.09, 0.5, 2.0] {
+        for l in [0.0, 0.001, 0.01, 0.05, 0.4, 2.0] {
+            let v = lut.interpolate(s, l).expect("valid lut");
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} not in [{lo}, {hi}]");
+        }
+    }
+}
+
+#[test]
+fn interpolation_recovers_grid_points() {
+    let lut = fixed_lut();
+    for (i, j, expect) in lut.entries() {
+        let v = lut.interpolate(lut.index_slew[i], lut.index_load[j]).expect("valid");
+        assert!((v - expect).abs() < 1e-9, "({i}, {j}): {v} vs {expect}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Convolution (eqs. 8–10).
+// ---------------------------------------------------------------------
+
+fn sigma_sets() -> Vec<Vec<f64>> {
+    vec![
+        vec![0.3],
+        vec![0.01, 0.01],
+        vec![0.0, 0.5, 0.0],
+        vec![0.12, 0.07, 0.33, 0.02],
+        vec![0.9, 0.8, 0.7, 0.6, 0.5, 0.4],
+    ]
+}
+
+#[test]
+fn equal_rho_matches_full_covariance() {
+    for sigmas in sigma_sets() {
+        for rho in [-0.1, 0.0, 0.3, 0.7, 1.0] {
+            let n = sigmas.len();
+            let corr: Vec<Vec<f64>> = (0..n)
+                .map(|i| (0..n).map(|j| if i == j { 1.0 } else { rho }).collect())
+                .collect();
+            let a = path_sigma(&sigmas, rho);
+            let b = path_sigma_full(&sigmas, &corr);
+            assert!((a - b).abs() < 1e-9, "rho {rho}, sigmas {sigmas:?}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn path_sigma_monotone_in_rho() {
+    for sigmas in sigma_sets() {
+        let lo = path_sigma(&sigmas, 0.0);
+        let mid = path_sigma(&sigmas, 0.5);
+        let hi = path_sigma(&sigmas, 1.0);
+        assert!(lo <= mid + 1e-12 && mid <= hi + 1e-12, "sigmas {sigmas:?}");
+        assert!((lo - path_sigma_rho0(sigmas.iter().copied())).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn rss_never_exceeds_linear_sum() {
+    for sigmas in sigma_sets() {
+        let rss = path_sigma_rho0(sigmas.iter().copied());
+        let linear: f64 = sigmas.iter().sum();
+        assert!(rss <= linear + 1e-12, "sigmas {sigmas:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming statistics.
+// ---------------------------------------------------------------------
+
+/// Deterministic but irregular data: a decaying oscillation with a large
+/// offset, which stresses the streaming variance update.
+fn stat_data(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            917.0 - 1.9 * x + 53.0 * (0.7 * x).sin() * (-x / 40.0).exp()
+        })
+        .collect()
+}
+
+#[test]
+fn accumulator_matches_two_pass_summary() {
+    for n in [1, 2, 17, 199] {
+        let data = stat_data(n);
+        let batch = Summary::from_samples(&data).expect("non-empty");
+        let acc: Accumulator = data.iter().copied().collect();
+        let s = acc.summary().expect("non-empty");
+        assert!((s.mean - batch.mean).abs() < 1e-6, "n {n}");
+        assert!((s.std_dev - batch.std_dev).abs() < 1e-6, "n {n}");
+        assert_eq!(s.n, data.len());
+    }
+}
+
+#[test]
+fn accumulator_order_independent() {
+    let mut data = stat_data(100);
+    let fwd: Accumulator = data.iter().copied().collect();
+    data.reverse();
+    let rev: Accumulator = data.iter().copied().collect();
+    assert!((fwd.mean() - rev.mean()).abs() < 1e-9);
+    assert!((fwd.std_dev() - rev.std_dev()).abs() < 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Liberty round trip on generated LUT data.
+// ---------------------------------------------------------------------
+
+#[test]
+fn liberty_round_trips_fixed_table() {
+    use varitune::liberty::{Cell, Library, Pin, TimingArc};
+    let mut lib = Library::new("P");
+    let mut cell = Cell::new("INV_1", 1.0);
+    cell.pins.push(Pin::input("A", 0.001));
+    let mut z = Pin::output("Z", "!A");
+    let mut arc = TimingArc::new("A");
+    arc.cell_rise = Some(fixed_lut());
+    z.timing.push(arc);
+    cell.pins.push(z);
+    lib.cells.push(cell);
+    let text = varitune::liberty::write_library(&lib);
+    let parsed = varitune::liberty::parse_library(&text).expect("round trip parses");
+    assert_eq!(parsed, lib);
+}

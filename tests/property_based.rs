@@ -1,4 +1,12 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Gated behind the non-default `proptest` feature so the default build
+//! stays hermetic (no registry dependencies). Running this suite requires
+//! network access: add `proptest = "1"` under `[dev-dependencies]` in the
+//! root `Cargo.toml`, then `cargo test --features proptest`. The same
+//! invariants are exercised offline with fixed inputs in
+//! `tests/invariants.rs`.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 

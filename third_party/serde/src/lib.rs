@@ -1,0 +1,32 @@
+//! In-tree stand-in for the `serde` facade crate.
+//!
+//! The workspace must build and test with **zero registry access** (see
+//! `DESIGN.md`, "Hermetic build"). The real `serde` is therefore not a
+//! default dependency anywhere; crates gate their derives behind a
+//! non-default `serde` feature which resolves to this stub via a path
+//! dependency. The stub provides:
+//!
+//! * [`Serialize`] / [`Deserialize`] marker traits (no required methods), and
+//! * `#[derive(Serialize, Deserialize)]` proc-macros emitting empty impls.
+//!
+//! Nothing in the workspace serializes through serde today — the derives
+//! exist so downstream consumers can see which types are intended to be
+//! serializable, and so the feature surface matches the real crate. To use
+//! real serde, point the `serde` entry in the workspace `Cargo.toml` back at
+//! the registry (network required); every `#[cfg_attr(feature = "serde",
+//! derive(..))]` site is source-compatible with it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The stub carries no serializer machinery; the trait exists so that
+/// `#[derive(Serialize)]` compiles and so generic bounds written against it
+/// remain valid when the real crate is swapped in.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+///
+/// Lifetimeless in the stub: none of the workspace code names the `'de`
+/// parameter, so the simpler form keeps derive output trivial.
+pub trait Deserialize {}

@@ -1,0 +1,50 @@
+//! No-op `Serialize` / `Deserialize` derives for the in-tree serde stub.
+//!
+//! Implemented against `proc_macro` alone (no `syn`/`quote` — those live on
+//! the registry and the whole point of the stub is registry independence).
+//! The macros scan the item's top-level tokens for the `struct`/`enum`
+//! keyword, take the following identifier as the type name and emit an
+//! empty marker-trait impl. This intentionally supports only what the
+//! workspace derives on: non-generic named types. A generic type produces a
+//! compile error pointing here rather than silently wrong output.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "Deserialize")
+}
+
+fn empty_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input)
+        .unwrap_or_else(|| panic!("serde stub derive: could not find a struct/enum name"));
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// The identifier following the first top-level `struct` or `enum` keyword.
+fn type_name(input: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let keyword_at = tokens.iter().position(|tt| {
+        matches!(tt, TokenTree::Ident(id) if {
+            let s = id.to_string();
+            s == "struct" || s == "enum"
+        })
+    })?;
+    let name = match tokens.get(keyword_at + 1)? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.get(keyword_at + 2) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive supports only non-generic types");
+        }
+    }
+    Some(name)
+}
