@@ -1,0 +1,281 @@
+//! Offline STA micro-harness: full analysis versus incremental dirty-cone
+//! re-timing, plus thread scaling of the parallel levelized propagation.
+//!
+//! ```text
+//! sta_harness [--smoke] [--edits N] [--threads N,N,...] [--repeat N] [--out PATH]
+//! ```
+//!
+//! Builds the paper-scale MCU (`--smoke` uses the small test scale), times
+//! a full `analyze`, the one-time `TimingGraph` build, and a long sequence
+//! of single-gate resize re-times through the incremental engine, then a
+//! full re-propagation at each requested thread count. Every incremental
+//! result is verified **bit-identical** against a fresh full analysis, and
+//! all thread counts must agree bit-for-bit. Results land in a JSON file
+//! (default `BENCH_sta.json`) so the perf trajectory is tracked across
+//! changes. Timings are the best of `--repeat` runs.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use varitune_libchar::{generate_nominal, GenerateConfig};
+use varitune_netlist::{generate_mcu, McuConfig};
+use varitune_sta::{analyze, StaConfig, TimingGraph, TimingReport, WireModel};
+use varitune_synth::{map_netlist, LibraryConstraints, TargetLibrary};
+
+const DEFAULT_THREADS: [usize; 3] = [1, 2, 8];
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut edits = 200usize;
+    let mut repeat = 3usize;
+    let mut threads: Vec<usize> = DEFAULT_THREADS.to_vec();
+    let mut out = "BENCH_sta.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--edits" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => edits = n,
+                _ => return usage("--edits expects a positive integer"),
+            },
+            "--repeat" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => repeat = n,
+                _ => return usage("--repeat expects a positive integer"),
+            },
+            "--threads" => match it.next().map(parse_thread_list) {
+                Some(Some(list)) if !list.is_empty() && !list.contains(&0) => threads = list,
+                _ => return usage("--threads expects a comma-separated list like 1,2,8"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = p,
+                None => return usage("--out expects a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: sta_harness [--smoke] [--edits N] [--threads N,N,...] \
+                     [--repeat N] [--out PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let scale = if smoke { "smoke" } else { "paper" };
+    println!("STA micro-harness (std::time::Instant, offline) — {scale} scale");
+
+    let lib = generate_nominal(&GenerateConfig::full());
+    let mcu = if smoke {
+        McuConfig::small_for_tests()
+    } else {
+        McuConfig::paper_scale()
+    };
+    let constraints = LibraryConstraints::unconstrained();
+    let target = TargetLibrary::new(&lib, &constraints);
+    let design = match map_netlist(&generate_mcu(&mcu), &target, WireModel::default()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("mapping failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gates = design.netlist.gates.len();
+    let cfg = StaConfig::with_clock_period(2.41);
+    println!("design: {gates} gates, {} nets; best of {repeat}", design.netlist.nets.len());
+
+    // Warm-up.
+    let _ = analyze(&design, &lib, &cfg);
+
+    // Full analysis: validate + build + propagate, as every optimizer
+    // iteration paid before the incremental engine existed.
+    let mut full_ms = f64::INFINITY;
+    for _ in 0..repeat {
+        let t0 = Instant::now();
+        let r = analyze(&design, &lib, &cfg).expect("full analyze");
+        full_ms = full_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(r);
+    }
+    println!("full analyze:          {full_ms:>9.3} ms");
+
+    // One-time engine build (includes the initial full propagation).
+    let mut build_ms = f64::INFINITY;
+    let mut engine = None;
+    for _ in 0..repeat {
+        let t0 = Instant::now();
+        let e = TimingGraph::new(design.clone(), &lib, &cfg).expect("engine builds");
+        build_ms = build_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        engine = Some(e);
+    }
+    let mut engine = engine.expect("repeat >= 1");
+    println!("engine build:          {build_ms:>9.3} ms (once per design)");
+
+    // Single-gate resize re-times: the optimizer's inner-loop move. Each
+    // cycle resizes one gate to a different same-family drive and
+    // re-propagates only the dirty cone.
+    let plan = resize_plan(&lib, &engine, edits);
+    if plan.is_empty() {
+        eprintln!("no resizable gates found");
+        return ExitCode::FAILURE;
+    }
+    let t0 = Instant::now();
+    let mut recomputed = 0usize;
+    for (gi, cell) in &plan {
+        engine.resize_gate(*gi, cell).expect("same-family resize");
+        engine.update().expect("incremental update");
+        recomputed += engine.gates_recomputed_in_last_update();
+    }
+    let incr_ms = t0.elapsed().as_secs_f64() * 1e3 / plan.len() as f64;
+    let avg_cone = recomputed as f64 / plan.len() as f64;
+    let speedup = full_ms / incr_ms;
+    println!(
+        "incremental re-time:   {incr_ms:>9.3} ms/edit over {} edits \
+         (avg cone {avg_cone:.1} of {gates} gates) — {speedup:.1}x vs full",
+        plan.len()
+    );
+
+    // Equivalence proof: the edited engine must match a fresh full
+    // analysis of the edited design to the last bit.
+    let full_report = analyze(engine.design(), &lib, &cfg).expect("full analyze of edited");
+    if let Err(msg) = reports_bit_identical(&engine.report(), &full_report) {
+        eprintln!("incremental result diverged from full analysis: {msg}");
+        return ExitCode::FAILURE;
+    }
+    println!("equivalence:           incremental == full analysis (bit-identical)");
+
+    // Thread scaling of a full levelized re-propagation.
+    let mut scaling: Vec<(usize, f64)> = Vec::new();
+    let mut reference: Option<TimingReport> = None;
+    for &t in &threads {
+        engine.set_threads(t);
+        let mut dt = f64::INFINITY;
+        for _ in 0..repeat {
+            engine.invalidate_all();
+            let t0 = Instant::now();
+            engine.update().expect("full re-propagation");
+            dt = dt.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        match &reference {
+            None => reference = Some(engine.report()),
+            Some(r) => {
+                if let Err(msg) = reports_bit_identical(&engine.report(), r) {
+                    eprintln!("thread count {t} diverged: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!("full re-prop @ {t:>2} thr: {dt:>9.3} ms");
+        scaling.push((t, dt));
+    }
+    println!("all thread counts produced bit-identical results");
+
+    let json = render_json(
+        scale, gates, full_ms, build_ms, &plan, incr_ms, avg_cone, speedup, &scaling,
+    );
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if speedup < 5.0 {
+        eprintln!("FAIL: incremental speedup {speedup:.1}x is below the 5x floor");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Deterministic resize schedule: gates spread across the design, each
+/// toggled to another drive of its own family.
+fn resize_plan(
+    lib: &varitune_liberty::Library,
+    engine: &TimingGraph<'_>,
+    edits: usize,
+) -> Vec<(usize, String)> {
+    let gates = engine.gate_count();
+    let mut plan = Vec::with_capacity(edits);
+    let mut probe = 0usize;
+    while plan.len() < edits && probe < edits * 8 {
+        let gi = (probe * 9973) % gates;
+        probe += 1;
+        let name = engine.cell_name(gi);
+        let Some((family, _)) = name.rsplit_once('_') else {
+            continue;
+        };
+        let prefix = format!("{family}_");
+        // Alternate between the two outermost drives of the family so
+        // successive visits to the same gate still change the cell.
+        let mut variants = lib
+            .cells
+            .iter()
+            .filter(|c| c.name.starts_with(&prefix))
+            .map(|c| c.name.as_str());
+        let (first, last) = (variants.next(), variants.next_back());
+        let target = match (first, last) {
+            (Some(f), Some(_)) if f != name => f,
+            (_, Some(l)) if l != name => l,
+            _ => continue,
+        };
+        plan.push((gi, target.to_string()));
+    }
+    plan
+}
+
+fn reports_bit_identical(a: &TimingReport, b: &TimingReport) -> Result<(), String> {
+    if a.nets.len() != b.nets.len() || a.endpoints.len() != b.endpoints.len() {
+        return Err("shape mismatch".into());
+    }
+    for (i, (x, y)) in a.nets.iter().zip(&b.nets).enumerate() {
+        if x.arrival.to_bits() != y.arrival.to_bits()
+            || x.slew.to_bits() != y.slew.to_bits()
+            || x.load.to_bits() != y.load.to_bits()
+        {
+            return Err(format!("net {i}: ({}, {}) vs ({}, {})", x.arrival, x.slew, y.arrival, y.slew));
+        }
+    }
+    for (i, (x, y)) in a.endpoints.iter().zip(&b.endpoints).enumerate() {
+        if x.slack().to_bits() != y.slack().to_bits() {
+            return Err(format!("endpoint {i}: slack {} vs {}", x.slack(), y.slack()));
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: &str,
+    gates: usize,
+    full_ms: f64,
+    build_ms: f64,
+    plan: &[(usize, String)],
+    incr_ms: f64,
+    avg_cone: f64,
+    speedup: f64,
+    scaling: &[(usize, f64)],
+) -> String {
+    let rows: Vec<String> = scaling
+        .iter()
+        .map(|(t, ms)| format!("    {{\"threads\": {t}, \"full_repropagation_ms\": {ms:.3}}}"))
+        .collect();
+    format!(
+        "{{\n  \"scale\": \"{scale}\",\n  \"design_gates\": {gates},\n  \
+         \"full_analyze_ms\": {full_ms:.3},\n  \"engine_build_ms\": {build_ms:.3},\n  \
+         \"incremental\": {{\n    \"edits\": {},\n    \"avg_retime_ms\": {incr_ms:.4},\n    \
+         \"avg_gates_recomputed\": {avg_cone:.1},\n    \"speedup_vs_full_analyze\": {speedup:.1}\n  }},\n  \
+         \"thread_scaling\": [\n{}\n  ],\n  \"bit_identical\": true\n}}\n",
+        plan.len(),
+        rows.join(",\n")
+    )
+}
+
+fn parse_thread_list(s: String) -> Option<Vec<usize>> {
+    s.split(',').map(|p| p.trim().parse::<usize>().ok()).collect()
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: sta_harness [--smoke] [--edits N] [--threads N,N,...] [--repeat N] [--out PATH]"
+    );
+    ExitCode::FAILURE
+}

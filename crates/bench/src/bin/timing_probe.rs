@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.synthesis.area,
     );
     let mut paths: Vec<&PathTiming> = run.paths.iter().collect();
-    paths.sort_by(|a, b| b.arrival.partial_cmp(&a.arrival).expect("finite"));
+    paths.sort_by(|a, b| b.arrival.total_cmp(&a.arrival));
     println!("endpoints: {}", run.paths.len());
     let maxd = paths.iter().map(|p| p.depth()).max().unwrap_or(0);
     println!("max path depth: {maxd}");
@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("    cells: {}", summary.join(", "));
         // Slowest three cells on the path.
         let mut cells: Vec<_> = p.cells.iter().collect();
-        cells.sort_by(|a, b| b.delay.partial_cmp(&a.delay).expect("finite"));
+        cells.sort_by(|a, b| b.delay.total_cmp(&a.delay));
         for c in cells.iter().take(3) {
             println!(
                 "    slow: {} delay {:.3} slew {:.3} load {:.4}",

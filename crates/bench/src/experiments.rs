@@ -129,7 +129,7 @@ pub fn fig4(ctx: &Ctx) -> String {
         .filter(|c| c.kind() == CellKind::Inverter)
         .filter_map(|c| c.drive_strength())
         .collect();
-    drives.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    drives.sort_by(f64::total_cmp);
     for d in drives {
         let name = if d.fract() == 0.0 {
             format!("INV_{}", d as i64)
@@ -226,7 +226,7 @@ pub fn fig7(ctx: &Ctx) -> String {
             maxima.push(v);
         }
     }
-    maxima.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    maxima.sort_by(f64::total_cmp);
     let n = maxima.len();
     let mut s = format!(
         "Fig. 7 — delay-sigma landscape of the {} statistical library ({} cells)\n",

@@ -69,7 +69,7 @@ pub fn tune_by_exclusion(stat: &StatLibrary, ceiling: f64) -> ExclusionTuning {
         let all_violate = members.iter().all(|(_, s)| *s > ceiling);
         let champion = members
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite sigmas"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(n, _)| *n);
         for (name, s) in &members {
             if *s > ceiling {

@@ -35,8 +35,9 @@ pub struct FlowConfig {
     pub seed: u64,
     /// Inter-cell correlation for path sigma (the paper argues ρ = 0).
     pub rho: f64,
-    /// Worker threads for Monte-Carlo characterization (`0` = all available
-    /// cores). Results are bit-identical for any value.
+    /// Worker threads for Monte-Carlo characterization and incremental
+    /// timing re-propagation during synthesis (`0` = all available cores).
+    /// Results are bit-identical for any value.
     pub threads: usize,
 }
 
@@ -156,7 +157,9 @@ impl Flow {
         constraints: &LibraryConstraints,
         synth_cfg: &SynthConfig,
     ) -> Result<FlowRun, FlowError> {
-        let synthesis = synthesize(&self.netlist, &self.stat.mean, constraints, synth_cfg)?;
+        let mut synth_cfg = *synth_cfg;
+        synth_cfg.threads = self.config.threads;
+        let synthesis = synthesize(&self.netlist, &self.stat.mean, constraints, &synth_cfg)?;
         let (paths, design) = worst_paths(
             &synthesis.design,
             &self.stat.mean,

@@ -1,7 +1,8 @@
 //! The Liberty data model: libraries, cells, pins, timing arcs and LUTs.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::error::InterpolateError;
 
@@ -138,13 +139,19 @@ pub struct Lut {
 }
 
 impl Lut {
-    /// Creates a LUT, checking the shape of `values` against the axes.
+    /// Creates a LUT, checking the shape of `values` against the axes and
+    /// that both axes are strictly increasing.
+    ///
+    /// Validating the axes here (and at Liberty parse time) is what lets
+    /// [`Lut::interpolate`] skip the monotonicity check on every query —
+    /// the hot path of timing analysis.
     ///
     /// # Panics
     ///
     /// Panics if `values` is not `index_slew.len()` rows of
-    /// `index_load.len()` columns. Use this constructor for
-    /// programmatically-built tables where a shape mismatch is a bug.
+    /// `index_load.len()` columns, or if an axis is not strictly
+    /// increasing. Use this constructor for programmatically-built tables
+    /// where a malformed table is a bug.
     pub fn new(index_slew: Vec<f64>, index_load: Vec<f64>, values: Vec<Vec<f64>>) -> Self {
         assert_eq!(
             values.len(),
@@ -158,6 +165,14 @@ impl Lut {
                 "LUT column count must match load axis length"
             );
         }
+        assert!(
+            axis_is_strictly_increasing(&index_slew),
+            "LUT slew axis must be strictly increasing"
+        );
+        assert!(
+            axis_is_strictly_increasing(&index_load),
+            "LUT load axis must be strictly increasing"
+        );
         Self {
             index_slew,
             index_load,
@@ -166,13 +181,13 @@ impl Lut {
     }
 
     /// Creates a LUT filled with a constant value over the given axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis is not strictly increasing (see [`Lut::new`]).
     pub fn filled(index_slew: Vec<f64>, index_load: Vec<f64>, value: f64) -> Self {
         let values = vec![vec![value; index_load.len()]; index_slew.len()];
-        Self {
-            index_slew,
-            index_load,
-            values,
-        }
+        Self::new(index_slew, index_load, values)
     }
 
     /// Number of slew rows.
@@ -266,10 +281,15 @@ impl Lut {
     /// paper, clamping queries outside the table to the edge of the table
     /// (the standard STA convention for mild extrapolation).
     ///
+    /// Axis monotonicity is a construction invariant ([`Lut::new`] and the
+    /// Liberty parser both enforce it), so the hot path does not re-check
+    /// it here. Mutating an axis through the public fields into a
+    /// non-increasing state yields clamped nonsense, not an error.
+    ///
     /// # Errors
     ///
-    /// Returns an error if the table is empty, an axis is not strictly
-    /// increasing, or a query coordinate is not finite.
+    /// Returns an error if the table is empty or a query coordinate is not
+    /// finite.
     pub fn interpolate(&self, slew: f64, load: f64) -> Result<f64, InterpolateError> {
         if self.rows() == 0 || self.cols() == 0 {
             return Err(InterpolateError::EmptyTable);
@@ -280,8 +300,6 @@ impl Lut {
         if !load.is_finite() {
             return Err(InterpolateError::NonFiniteQuery { value: load });
         }
-        check_monotonic(&self.index_slew, "slew")?;
-        check_monotonic(&self.index_load, "load")?;
 
         let (i0, i1, ts) = bracket(&self.index_slew, slew);
         let (j0, j1, tl) = bracket(&self.index_load, load);
@@ -294,11 +312,8 @@ impl Lut {
     }
 }
 
-fn check_monotonic(axis: &[f64], name: &'static str) -> Result<(), InterpolateError> {
-    if axis.windows(2).any(|w| w[1] <= w[0]) {
-        return Err(InterpolateError::NonMonotonicAxis { axis: name });
-    }
-    Ok(())
+fn axis_is_strictly_increasing(axis: &[f64]) -> bool {
+    axis.windows(2).all(|w| w[1] > w[0])
 }
 
 /// Finds bracketing indices `(lo, hi)` and the interpolation fraction for
@@ -761,6 +776,33 @@ pub struct Library {
     pub templates: BTreeMap<String, LutTemplate>,
     /// Cells in declaration order.
     pub cells: Vec<Cell>,
+    /// Lazily built name→index map behind [`Library::cell_index`]. Not
+    /// part of the library's value: ignored by equality, reset on clone.
+    lookup: CellLookup,
+}
+
+/// Lazily built cell-name index. A cache, not data: clones start empty and
+/// any two caches compare equal, so `Library`'s derived `Clone`/`PartialEq`
+/// keep their value semantics.
+#[derive(Default)]
+struct CellLookup(OnceLock<HashMap<String, usize>>);
+
+impl Clone for CellLookup {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for CellLookup {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl fmt::Debug for CellLookup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CellLookup")
+    }
 }
 
 impl Library {
@@ -774,17 +816,46 @@ impl Library {
             temperature: 25.0,
             templates: BTreeMap::new(),
             cells: Vec::new(),
+            lookup: CellLookup::default(),
         }
     }
 
-    /// Looks up a cell by name.
+    /// Index of the cell named `name` in [`Library::cells`].
+    ///
+    /// The first lookup builds a name→index `HashMap`; later lookups are
+    /// O(1). Because `cells` is a public field the map can go stale: every
+    /// hit is verified against the actual cell name, and a miss (or a
+    /// stale hit) falls back to the original linear scan, so mutation
+    /// after the first lookup costs performance but never correctness.
+    pub fn cell_index(&self, name: &str) -> Option<usize> {
+        let map = self.lookup.0.get_or_init(|| {
+            self.cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.name.clone(), i))
+                .collect()
+        });
+        match map.get(name) {
+            Some(&i) if self.cells.get(i).is_some_and(|c| c.name == name) => Some(i),
+            _ => self.cells.iter().position(|c| c.name == name),
+        }
+    }
+
+    /// Looks up a cell by name (O(1) after the first call, see
+    /// [`Library::cell_index`]).
     pub fn cell(&self, name: &str) -> Option<&Cell> {
-        self.cells.iter().find(|c| c.name == name)
+        self.cell_index(name).map(|i| &self.cells[i])
+    }
+
+    /// Alias of [`Library::cell`], paired with [`Library::cell_index`].
+    pub fn cell_by_name(&self, name: &str) -> Option<&Cell> {
+        self.cell(name)
     }
 
     /// Mutable cell lookup by name.
     pub fn cell_mut(&mut self, name: &str) -> Option<&mut Cell> {
-        self.cells.iter_mut().find(|c| c.name == name)
+        let i = self.cell_index(name)?;
+        self.cells.get_mut(i)
     }
 
     /// Total number of timing tables across all cells (a size metric used in
@@ -844,16 +915,19 @@ mod tests {
     }
 
     #[test]
-    fn interpolate_rejects_non_monotonic_axis() {
-        let l = Lut::new(
+    #[should_panic(expected = "slew axis must be strictly increasing")]
+    fn construction_rejects_non_monotonic_axis() {
+        let _ = Lut::new(
             vec![1.0, 0.5],
             vec![0.0, 1.0],
             vec![vec![0.0, 1.0], vec![2.0, 3.0]],
         );
-        assert!(matches!(
-            l.interpolate(0.7, 0.5),
-            Err(InterpolateError::NonMonotonicAxis { axis: "slew" })
-        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "load axis must be strictly increasing")]
+    fn construction_rejects_duplicate_axis_points() {
+        let _ = Lut::filled(vec![0.0, 1.0], vec![0.2, 0.2], 1.0);
     }
 
     #[test]
@@ -954,6 +1028,27 @@ mod tests {
         assert!(lib.cell("INV_1").is_some());
         assert!(lib.cell("NOPE").is_none());
         assert_eq!(lib.table_count(), 2);
+    }
+
+    #[test]
+    fn cell_index_survives_post_lookup_mutation() {
+        let mut lib = Library::new("TT");
+        for n in ["INV_1", "INV_2", "ND2_1"] {
+            lib.cells.push(Cell::new(n, 1.0));
+        }
+        // First lookup builds the cache.
+        assert_eq!(lib.cell_index("ND2_1"), Some(2));
+        assert_eq!(lib.cell_by_name("INV_2").unwrap().name, "INV_2");
+        // Mutation through the public field shifts indices; the stale
+        // cache must fall back to a verified scan, not return INV_2.
+        lib.cells.retain(|c| c.name != "INV_2");
+        assert_eq!(lib.cell_index("ND2_1"), Some(1));
+        assert_eq!(lib.cell_index("INV_2"), None);
+        assert_eq!(lib.cell("ND2_1").unwrap().name, "ND2_1");
+        // A clone starts with a fresh cache.
+        let cloned = lib.clone();
+        assert_eq!(cloned.cell_index("INV_1"), Some(0));
+        assert_eq!(cloned, lib);
     }
 
     #[test]

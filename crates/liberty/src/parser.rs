@@ -544,6 +544,15 @@ fn lower_lut(g: &Group, lib: &Library) -> Result<Lut, ParseLibertyError> {
             index_load.len()
         )));
     }
+    // Axis monotonicity is checked once here so `Lut::interpolate` can skip
+    // it on every timing query; `Lut::new` would panic on the same input.
+    for (axis, name) in [(&index_slew, "index_1"), (&index_load, "index_2")] {
+        if axis.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(lower_err(format!(
+                "{name} axis must be strictly increasing"
+            )));
+        }
+    }
     Ok(Lut::new(index_slew, index_load, rows))
 }
 
@@ -781,5 +790,33 @@ mod tests {
         let err = parse_library("library (L) { area 5; }").unwrap_err();
         assert_eq!(err.line, 1);
         assert!(err.column > 1);
+    }
+
+    #[test]
+    fn non_monotonic_axis_is_a_parse_error() {
+        let text = r#"
+        library (L) {
+          cell (INV_1) {
+            area : 1.0;
+            pin (Z) {
+              direction : output;
+              timing () {
+                related_pin : "A";
+                cell_rise () {
+                  index_1 ("2, 1");
+                  index_2 ("1, 2");
+                  values ("1, 2", "3, 4");
+                }
+              }
+            }
+          }
+        }
+        "#;
+        let err = parse_library(text).unwrap_err();
+        assert!(
+            err.message.contains("strictly increasing"),
+            "unexpected message: {}",
+            err.message
+        );
     }
 }

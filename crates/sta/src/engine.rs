@@ -1,0 +1,1207 @@
+//! Incremental interned timing engine.
+//!
+//! [`TimingGraph`] is built once per (design, library) pair and then kept
+//! consistent across local edits instead of re-analyzing the whole netlist:
+//!
+//! * **Interning** — every cell, pin-capacitance and timing-arc reference
+//!   is resolved to a dense index or `&TimingArc` at build time, so the
+//!   propagation hot loop never compares strings or scans `Vec`s. LUT axes
+//!   are validated once at library construction (see
+//!   [`varitune_liberty::Lut::new`]), so interpolation is pure arithmetic.
+//! * **Levelization** — combinational gates are assigned longest-path
+//!   levels (`level = 1 + max(level of combinational drivers)`). Gates
+//!   within one level are independent, which gives both a cached
+//!   evaluation order and a safe unit of parallelism.
+//! * **Dirty-cone re-propagation** — [`TimingGraph::resize_gate`],
+//!   [`TimingGraph::split_fanout`] and [`TimingGraph::set_load`] mark only
+//!   the directly affected nets and gates; [`TimingGraph::update`] then
+//!   recomputes dirty net loads, re-evaluates dirty gates level by level,
+//!   and follows a value change into a gate's fanout **only when the
+//!   driving net's arrival or slew actually changed bits**. The cost of an
+//!   edit is O(size of the changed cone), not O(netlist).
+//! * **Deterministic parallelism** — within one level, dirty gates are
+//!   evaluated with [`varitune_variation::parallel::run_trials`]. A gate's
+//!   result depends only on frozen lower-level state, so the outcome is
+//!   bit-identical for every thread count (including errors: results are
+//!   applied in sorted gate order, so the first error is the same
+//!   regardless of schedule).
+//!
+//! Equivalence contract: after any edit sequence followed by
+//! [`TimingGraph::update`], [`TimingGraph::report`] is **bit-identical**
+//! to a fresh [`crate::graph::analyze`] of the edited design (loads are
+//! recomputed in exactly the summation order of
+//! [`MappedDesign::net_loads`], and gate evaluation replays the same
+//! floating-point operations in the same order). The `tests/` tree and
+//! the `sta_harness` bench binary both assert this.
+
+use varitune_liberty::{Library, TimingArc, TimingType};
+use varitune_netlist::{GateKind, NetId, Netlist, ValidateNetlistError};
+use varitune_variation::parallel::{resolve_threads, run_trials};
+
+use crate::graph::{Endpoint, EndpointKind, NetTiming, StaConfig, StaError, TimingReport};
+use crate::mapped::{MappedDesign, WireModel};
+
+/// Minimum dirty gates *per worker* in a level before the engine fans
+/// out: `run_trials` spawns scoped threads per call, and a level whose
+/// evaluation is cheaper than the spawn must stay serial. Per-gate
+/// evaluation is a few hundred nanoseconds, so the bar sits where the
+/// saved work clearly beats a worst-case (~ms) thread-spawn cost.
+const PARALLEL_GRAIN: usize = 1024;
+
+/// Interned timing arcs of one gate.
+enum GateArcs<'l> {
+    /// Combinational: `per_output[j][k]` is the arc from input `k` to
+    /// output `j`.
+    Comb { per_output: Vec<Vec<&'l TimingArc>> },
+    /// Sequential: one launch (clock-to-Q) arc per output, plus the setup
+    /// constraint arc on the data pin when the library characterizes one.
+    Seq {
+        launch: Vec<&'l TimingArc>,
+        setup: Option<&'l TimingArc>,
+    },
+}
+
+/// Everything the propagation needs, with the netlist structure copied
+/// into dense integer form. Split from [`TimingGraph`] so `analyze` can
+/// run a full propagation against a borrowed design without cloning it.
+struct Core<'l> {
+    lib: &'l Library,
+    config: StaConfig,
+    threads: usize,
+    wire_model: WireModel,
+
+    // ---- interned structure ----
+    cell_idx: Vec<usize>,
+    is_seq: Vec<bool>,
+    arcs: Vec<GateArcs<'l>>,
+    /// `input_caps[g][k]`: capacitance of the cell pin behind gate input
+    /// `k` (0 when the cell declares fewer pins, matching
+    /// [`MappedDesign::net_loads`]).
+    input_caps: Vec<Vec<f64>>,
+    gate_inputs: Vec<Vec<u32>>,
+    gate_outputs: Vec<Vec<u32>>,
+    /// Longest-path level per gate; 0 for sequential gates.
+    level: Vec<u32>,
+    /// Gate sinks per net as `(gate, input position)`, sorted ascending —
+    /// the exact accumulation order of [`MappedDesign::net_loads`].
+    sinks: Vec<Vec<(u32, u32)>>,
+    /// Primary-output taps per net (fanout contribution without pin cap).
+    po_taps: Vec<u32>,
+    /// Driving `(gate, output position)` per net.
+    driver: Vec<Option<(u32, u32)>>,
+    /// Endpoint indices attached to each net.
+    ep_of_net: Vec<Vec<u32>>,
+    /// Capturing flip-flop gate per endpoint (`None` for primary outputs).
+    ep_gate: Vec<Option<usize>>,
+    /// Endpoint index of a sequential gate's data input, per gate.
+    seq_ep: Vec<Option<u32>>,
+
+    // ---- timing state (valid as of the last `update`) ----
+    loads: Vec<f64>,
+    load_override: Vec<Option<f64>>,
+    nets: Vec<NetTiming>,
+    endpoints: Vec<Endpoint>,
+
+    // ---- dirty tracking ----
+    dirty_gates: Vec<u32>,
+    dirty_gate: Vec<bool>,
+    dirty_loads: Vec<u32>,
+    dirty_load: Vec<bool>,
+    dirty_eps: Vec<u32>,
+    dirty_ep: Vec<bool>,
+    last_recomputed: usize,
+}
+
+impl<'l> Core<'l> {
+    fn build(
+        nl: &Netlist,
+        cell_names: &[String],
+        wire_model: WireModel,
+        lib: &'l Library,
+        config: &StaConfig,
+    ) -> Result<Self, StaError> {
+        let n_gates = nl.gates.len();
+        let n_nets = nl.nets.len();
+
+        let mut cell_idx = Vec::with_capacity(n_gates);
+        let mut is_seq = Vec::with_capacity(n_gates);
+        let mut arcs = Vec::with_capacity(n_gates);
+        let mut input_caps = Vec::with_capacity(n_gates);
+        let mut gate_inputs = Vec::with_capacity(n_gates);
+        let mut gate_outputs = Vec::with_capacity(n_gates);
+        for (gi, g) in nl.gates.iter().enumerate() {
+            let (ci, ga, caps) = intern_gate(lib, nl, gi, &cell_names[gi])?;
+            cell_idx.push(ci);
+            is_seq.push(g.kind.is_sequential());
+            arcs.push(ga);
+            input_caps.push(caps);
+            gate_inputs.push(g.inputs.iter().map(|n| n.0).collect());
+            gate_outputs.push(g.outputs.iter().map(|n| n.0).collect());
+        }
+
+        let mut sinks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_nets];
+        let mut po_taps = vec![0u32; n_nets];
+        let mut driver: Vec<Option<(u32, u32)>> = vec![None; n_nets];
+        for (gi, g) in nl.gates.iter().enumerate() {
+            for (k, &inp) in g.inputs.iter().enumerate() {
+                sinks[inp.0 as usize].push((gi as u32, k as u32));
+            }
+            for (j, &out) in g.outputs.iter().enumerate() {
+                driver[out.0 as usize] = Some((gi as u32, j as u32));
+            }
+        }
+        for &po in &nl.primary_outputs {
+            po_taps[po.0 as usize] += 1;
+        }
+
+        // Endpoints in `analyze` order: flip-flop data inputs by gate
+        // index, then primary outputs.
+        let mut endpoints = Vec::new();
+        let mut ep_of_net: Vec<Vec<u32>> = vec![Vec::new(); n_nets];
+        let mut ep_gate = Vec::new();
+        let mut seq_ep: Vec<Option<u32>> = vec![None; n_gates];
+        for (gi, g) in nl.gates.iter().enumerate() {
+            if g.kind.is_sequential() {
+                let d = g.inputs[0];
+                let e = endpoints.len() as u32;
+                ep_of_net[d.0 as usize].push(e);
+                ep_gate.push(Some(gi));
+                seq_ep[gi] = Some(e);
+                endpoints.push(Endpoint {
+                    net: d,
+                    kind: EndpointKind::FlipFlopData { gate: gi },
+                    arrival: f64::NEG_INFINITY,
+                    required: 0.0,
+                });
+            }
+        }
+        for &po in &nl.primary_outputs {
+            let e = endpoints.len() as u32;
+            ep_of_net[po.0 as usize].push(e);
+            ep_gate.push(None);
+            endpoints.push(Endpoint {
+                net: po,
+                kind: EndpointKind::PrimaryOutput,
+                arrival: f64::NEG_INFINITY,
+                required: 0.0,
+            });
+        }
+
+        let mut nets = vec![NetTiming::unpropagated(); n_nets];
+        // Launch points: primary inputs have fixed boundary timing.
+        for &pi in &nl.primary_inputs {
+            let t = &mut nets[pi.0 as usize];
+            t.arrival = 0.0;
+            t.slew = config.input_slew;
+        }
+
+        let n_eps = endpoints.len();
+        let mut core = Self {
+            lib,
+            config: *config,
+            threads: 1,
+            wire_model,
+            cell_idx,
+            is_seq,
+            arcs,
+            input_caps,
+            gate_inputs,
+            gate_outputs,
+            level: Vec::new(),
+            sinks,
+            po_taps,
+            driver,
+            ep_of_net,
+            ep_gate,
+            seq_ep,
+            loads: vec![0.0; n_nets],
+            load_override: vec![None; n_nets],
+            nets,
+            endpoints,
+            dirty_gates: Vec::new(),
+            dirty_gate: vec![false; n_gates],
+            dirty_loads: Vec::new(),
+            dirty_load: vec![false; n_nets],
+            dirty_eps: Vec::new(),
+            dirty_ep: vec![false; n_eps],
+            last_recomputed: 0,
+        };
+        core.compute_levels()?;
+        core.invalidate_all();
+        Ok(core)
+    }
+
+    /// Longest-path levelization over the combinational subgraph. The
+    /// netlist was validated acyclic; an inconsistency is reported as a
+    /// netlist error like [`crate::graph::topo_order`] does.
+    fn compute_levels(&mut self) -> Result<(), StaError> {
+        let n = self.cell_idx.len();
+        let mut level = vec![0u32; n];
+        let mut indeg = vec![0usize; n];
+        for (gi, deg) in indeg.iter_mut().enumerate() {
+            if self.is_seq[gi] {
+                continue;
+            }
+            for &inp in &self.gate_inputs[gi] {
+                if let Some((src, _)) = self.driver[inp as usize] {
+                    if !self.is_seq[src as usize] {
+                        *deg += 1;
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n)
+            .filter(|&gi| !self.is_seq[gi] && indeg[gi] == 0)
+            .collect();
+        let mut processed = 0usize;
+        while let Some(gi) = queue.pop() {
+            processed += 1;
+            for &out in &self.gate_outputs[gi] {
+                for &(sg, _) in &self.sinks[out as usize] {
+                    let sg = sg as usize;
+                    if self.is_seq[sg] {
+                        continue;
+                    }
+                    level[sg] = level[sg].max(level[gi] + 1);
+                    indeg[sg] -= 1;
+                    if indeg[sg] == 0 {
+                        queue.push(sg);
+                    }
+                }
+            }
+        }
+        let comb_count = (0..n).filter(|&gi| !self.is_seq[gi]).count();
+        if processed != comb_count {
+            return Err(StaError::Netlist(ValidateNetlistError::CombinationalCycle {
+                net: "unknown".to_string(),
+            }));
+        }
+        self.level = level;
+        Ok(())
+    }
+
+    fn mark_gate_dirty(&mut self, gi: usize) {
+        if !self.dirty_gate[gi] {
+            self.dirty_gate[gi] = true;
+            self.dirty_gates.push(gi as u32);
+        }
+    }
+
+    fn mark_load_dirty(&mut self, ni: usize) {
+        if !self.dirty_load[ni] {
+            self.dirty_load[ni] = true;
+            self.dirty_loads.push(ni as u32);
+        }
+    }
+
+    fn mark_ep_dirty(&mut self, e: usize) {
+        if !self.dirty_ep[e] {
+            self.dirty_ep[e] = true;
+            self.dirty_eps.push(e as u32);
+        }
+    }
+
+    fn invalidate_all(&mut self) {
+        for ni in 0..self.loads.len() {
+            self.mark_load_dirty(ni);
+        }
+        for gi in 0..self.cell_idx.len() {
+            self.mark_gate_dirty(gi);
+        }
+        for e in 0..self.endpoints.len() {
+            self.mark_ep_dirty(e);
+        }
+    }
+
+    /// Load of one net in the exact summation order of
+    /// [`MappedDesign::net_loads`]: sink pin caps by ascending (gate,
+    /// position), then the wire cap — so incremental loads are
+    /// bit-identical to a fresh full computation.
+    fn compute_load(&self, ni: usize) -> f64 {
+        if let Some(ov) = self.load_override[ni] {
+            return ov;
+        }
+        let mut load = 0.0f64;
+        for &(g, k) in &self.sinks[ni] {
+            load += self.input_caps[g as usize][k as usize];
+        }
+        let fanout = self.sinks[ni].len() + self.po_taps[ni] as usize;
+        load + self.wire_model.wire_cap(fanout)
+    }
+
+    /// Clock-to-Q launch of a sequential gate (one [`NetTiming`] per
+    /// output), identical arithmetic to the launch block of the full
+    /// analysis.
+    fn eval_seq(&self, gi: usize) -> Result<Vec<NetTiming>, StaError> {
+        let GateArcs::Seq { launch, .. } = &self.arcs[gi] else {
+            unreachable!("eval_seq on a combinational gate");
+        };
+        let mut outs = Vec::with_capacity(launch.len());
+        for (j, arc) in launch.iter().enumerate() {
+            let out = self.gate_outputs[gi][j] as usize;
+            let load = self.loads[out];
+            let delay = arc.worst_delay(self.config.clock_slew, load)?;
+            let slew = arc.worst_transition(self.config.clock_slew, load)?;
+            outs.push(NetTiming {
+                arrival: delay,
+                slew,
+                load,
+                driver: Some(gi),
+                out_pin: j,
+                crit_input: None,
+                cell_delay: delay,
+                crit_input_slew: self.config.clock_slew,
+            });
+        }
+        Ok(outs)
+    }
+
+    /// Worst-arrival evaluation of a combinational gate (one
+    /// [`NetTiming`] per output), identical arithmetic to the topological
+    /// loop of the full analysis.
+    fn eval_comb(&self, gi: usize) -> Result<Vec<NetTiming>, StaError> {
+        let GateArcs::Comb { per_output } = &self.arcs[gi] else {
+            unreachable!("eval_comb on a sequential gate");
+        };
+        let inputs = &self.gate_inputs[gi];
+        let mut outs = Vec::with_capacity(per_output.len());
+        for (j, input_arcs) in per_output.iter().enumerate() {
+            let out = self.gate_outputs[gi][j] as usize;
+            let load = self.loads[out];
+            let mut best: Option<NetTiming> = None;
+            for (k, &inp) in inputs.iter().enumerate() {
+                let in_t = self.nets[inp as usize];
+                debug_assert!(in_t.arrival.is_finite(), "level order broken");
+                let arc = input_arcs[k];
+                let delay = arc.worst_delay(in_t.slew, load)?;
+                let arrival = in_t.arrival + delay;
+                if best.is_none_or(|b| arrival > b.arrival) {
+                    let slew = arc.worst_transition(in_t.slew, load)?;
+                    best = Some(NetTiming {
+                        arrival,
+                        slew,
+                        load,
+                        driver: Some(gi),
+                        out_pin: j,
+                        crit_input: Some(k),
+                        cell_delay: delay,
+                        crit_input_slew: in_t.slew,
+                    });
+                }
+            }
+            outs.push(best.ok_or_else(|| StaError::MissingArc {
+                gate: gi,
+                cell: self.lib.cells[self.cell_idx[gi]].name.clone(),
+            })?);
+        }
+        Ok(outs)
+    }
+
+    /// Evaluates one level's dirty gates, across threads when the batch is
+    /// large enough to amortize worker spawn. Results are in `list` order
+    /// either way, so the outcome (including the first error) is
+    /// schedule-independent.
+    fn eval_comb_batch(&self, list: &[u32]) -> Vec<Result<Vec<NetTiming>, StaError>> {
+        let threads = if self.threads == 1 {
+            1
+        } else {
+            resolve_threads(self.threads)
+        };
+        if threads > 1 && list.len() >= PARALLEL_GRAIN * threads {
+            run_trials(list.len(), threads, |i| self.eval_comb(list[i] as usize))
+        } else {
+            list.iter().map(|&g| self.eval_comb(g as usize)).collect()
+        }
+    }
+
+    /// Writes a gate's freshly evaluated outputs and propagates dirtiness
+    /// into the fanout of any output whose arrival or slew changed bits.
+    fn apply_outputs(&mut self, gi: usize, outs: Vec<NetTiming>, buckets: &mut [Vec<u32>]) {
+        for (j, nt) in outs.into_iter().enumerate() {
+            let ni = self.gate_outputs[gi][j] as usize;
+            let old = self.nets[ni];
+            self.nets[ni] = nt;
+            if old.arrival.to_bits() == nt.arrival.to_bits()
+                && old.slew.to_bits() == nt.slew.to_bits()
+            {
+                continue; // converged: the cone below is clean
+            }
+            for s in 0..self.sinks[ni].len() {
+                let (sg, _) = self.sinks[ni][s];
+                let sg = sg as usize;
+                // Sequential sinks capture (endpoint below); their launch
+                // does not depend on the data input.
+                if !self.is_seq[sg] && !self.dirty_gate[sg] {
+                    self.dirty_gate[sg] = true;
+                    buckets[self.level[sg] as usize].push(sg as u32);
+                }
+            }
+            for e in 0..self.ep_of_net[ni].len() {
+                let e = self.ep_of_net[ni][e] as usize;
+                self.mark_ep_dirty(e);
+            }
+        }
+    }
+
+    fn recompute_endpoint(&mut self, e: usize) {
+        let net = self.endpoints[e].net.0 as usize;
+        let arrival = self.nets[net].arrival;
+        let required = match self.ep_gate[e] {
+            Some(gi) => {
+                let data_slew = self.nets[net].slew;
+                let setup = match &self.arcs[gi] {
+                    GateArcs::Seq { setup, .. } => setup
+                        .and_then(|a| a.worst_delay(data_slew, self.config.clock_slew).ok()),
+                    GateArcs::Comb { .. } => None,
+                }
+                .unwrap_or(self.config.setup_time);
+                self.config.effective_period() - setup
+            }
+            None => self.config.effective_period(),
+        };
+        self.endpoints[e].arrival = arrival;
+        self.endpoints[e].required = required;
+    }
+
+    /// Re-propagates everything marked dirty; no-op when clean.
+    fn update(&mut self) -> Result<(), StaError> {
+        self.last_recomputed = 0;
+
+        // 1. Net loads, in ascending net order (summation order is fixed
+        //    per net by `compute_load`; processing order only decides
+        //    which drivers get marked first).
+        if !self.dirty_loads.is_empty() {
+            let mut list = std::mem::take(&mut self.dirty_loads);
+            list.sort_unstable();
+            for &ni in &list {
+                let ni = ni as usize;
+                self.dirty_load[ni] = false;
+                let new = self.compute_load(ni);
+                if new.to_bits() != self.loads[ni].to_bits() {
+                    self.loads[ni] = new;
+                    self.nets[ni].load = new;
+                    if let Some((g, _)) = self.driver[ni] {
+                        self.mark_gate_dirty(g as usize);
+                    }
+                }
+            }
+        }
+
+        // 2. Bucket dirty gates by level (levels are frozen during an
+        //    update: structural edits re-level before marking).
+        let gate_list = std::mem::take(&mut self.dirty_gates);
+        if !gate_list.is_empty() {
+            let max_level = self.level.iter().copied().max().unwrap_or(0) as usize;
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_level + 1];
+            let mut seq_list: Vec<u32> = Vec::new();
+            for &g in &gate_list {
+                if self.is_seq[g as usize] {
+                    seq_list.push(g);
+                } else {
+                    buckets[self.level[g as usize] as usize].push(g);
+                }
+            }
+
+            // 3. Launch points.
+            seq_list.sort_unstable();
+            for &g in &seq_list {
+                let gi = g as usize;
+                let outs = self.eval_seq(gi)?;
+                self.apply_outputs(gi, outs, &mut buckets);
+                self.dirty_gate[gi] = false;
+                self.last_recomputed += 1;
+            }
+
+            // 4. Combinational cone, level by level. Dirtiness can only
+            //    propagate to strictly higher levels, so a single
+            //    ascending sweep converges.
+            for lvl in 0..buckets.len() {
+                let mut list = std::mem::take(&mut buckets[lvl]);
+                if list.is_empty() {
+                    continue;
+                }
+                list.sort_unstable();
+                let results = self.eval_comb_batch(&list);
+                for (i, r) in results.into_iter().enumerate() {
+                    let gi = list[i] as usize;
+                    let outs = r?;
+                    self.apply_outputs(gi, outs, &mut buckets);
+                    self.dirty_gate[gi] = false;
+                    self.last_recomputed += 1;
+                }
+            }
+        }
+
+        // 5. Endpoints.
+        if !self.dirty_eps.is_empty() {
+            let mut eps = std::mem::take(&mut self.dirty_eps);
+            eps.sort_unstable();
+            for &e in &eps {
+                self.dirty_ep[e as usize] = false;
+                self.recompute_endpoint(e as usize);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Resolves gate `gi`'s cell, timing arcs and input-pin capacitances under
+/// `cell_name`, surfacing the same errors (with the same gate index) the
+/// full analysis would.
+fn intern_gate<'l>(
+    lib: &'l Library,
+    nl: &Netlist,
+    gi: usize,
+    cell_name: &str,
+) -> Result<(usize, GateArcs<'l>, Vec<f64>), StaError> {
+    let g = &nl.gates[gi];
+    let ci = lib.cell_index(cell_name).ok_or_else(|| StaError::UnknownCell {
+        gate: gi,
+        name: cell_name.to_string(),
+    })?;
+    let cell = &lib.cells[ci];
+    let missing = || StaError::MissingArc {
+        gate: gi,
+        cell: cell.name.clone(),
+    };
+
+    // Input-pin capacitances, positionally; a missing pin contributes 0,
+    // exactly like `MappedDesign::net_loads`.
+    let pins: Vec<_> = cell.input_pins().collect();
+    let caps: Vec<f64> = (0..g.inputs.len())
+        .map(|k| pins.get(k).map_or(0.0, |p| p.capacitance))
+        .collect();
+
+    let ga = if g.kind.is_sequential() {
+        let mut launch = Vec::with_capacity(g.outputs.len());
+        for j in 0..g.outputs.len() {
+            let pin = cell.output_pins().nth(j).ok_or_else(missing)?;
+            launch.push(pin.timing.first().ok_or_else(missing)?);
+        }
+        let setup = cell
+            .input_pins()
+            .find(|p| {
+                p.timing
+                    .iter()
+                    .any(|a| a.timing_type == TimingType::SetupRising)
+            })
+            .and_then(|p| {
+                p.timing
+                    .iter()
+                    .find(|a| a.timing_type == TimingType::SetupRising)
+            });
+        GateArcs::Seq { launch, setup }
+    } else {
+        if pins.len() < g.inputs.len() {
+            return Err(missing());
+        }
+        let mut per_output = Vec::with_capacity(g.outputs.len());
+        for j in 0..g.outputs.len() {
+            let pin = cell.output_pins().nth(j).ok_or_else(missing)?;
+            let mut row = Vec::with_capacity(g.inputs.len());
+            for input_pin in pins.iter().take(g.inputs.len()) {
+                let arc = pin
+                    .timing
+                    .iter()
+                    .find(|a| a.related_pin == input_pin.name)
+                    .ok_or_else(missing)?;
+                row.push(arc);
+            }
+            per_output.push(row);
+        }
+        GateArcs::Comb { per_output }
+    };
+    Ok((ci, ga, caps))
+}
+
+/// Build-once incremental timing engine over an owned [`MappedDesign`].
+///
+/// Construct with [`TimingGraph::new`] (which runs a full propagation),
+/// then apply local edits and call [`TimingGraph::update`]; queries like
+/// [`TimingGraph::report`], [`TimingGraph::load`] and
+/// [`TimingGraph::net_timing`] return the state **as of the last
+/// `update`** — edits are not visible in timing values until then.
+pub struct TimingGraph<'l> {
+    design: MappedDesign,
+    core: Core<'l>,
+}
+
+impl<'l> TimingGraph<'l> {
+    /// Builds the engine and runs the initial full propagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError`] under the same conditions as
+    /// [`crate::graph::analyze`].
+    pub fn new(
+        design: MappedDesign,
+        lib: &'l Library,
+        config: &StaConfig,
+    ) -> Result<Self, StaError> {
+        design.netlist.validate()?;
+        let mut core = Core::build(
+            &design.netlist,
+            &design.cell_names,
+            design.wire_model,
+            lib,
+            config,
+        )?;
+        core.update()?;
+        Ok(Self { design, core })
+    }
+
+    /// Worker threads for within-level propagation (`0` = all available
+    /// cores, `1` = serial). Results are bit-identical for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.core.threads = threads;
+    }
+
+    /// The design in its current (edited) state.
+    pub fn design(&self) -> &MappedDesign {
+        &self.design
+    }
+
+    /// Consumes the engine, returning the edited design.
+    pub fn into_design(self) -> MappedDesign {
+        self.design
+    }
+
+    /// The library the engine was built against.
+    pub fn lib(&self) -> &'l Library {
+        self.core.lib
+    }
+
+    /// The analysis configuration.
+    pub fn config(&self) -> &StaConfig {
+        &self.core.config
+    }
+
+    /// Number of gates (grows as buffers are inserted).
+    pub fn gate_count(&self) -> usize {
+        self.design.netlist.gates.len()
+    }
+
+    /// Cell name of gate `gi`.
+    pub fn cell_name(&self, gi: usize) -> &str {
+        &self.design.cell_names[gi]
+    }
+
+    /// Load on `net` as of the last [`TimingGraph::update`].
+    pub fn load(&self, net: NetId) -> f64 {
+        self.core.loads[net.0 as usize]
+    }
+
+    /// All net loads as of the last [`TimingGraph::update`].
+    pub fn loads(&self) -> &[f64] {
+        &self.core.loads
+    }
+
+    /// Timing of `net` as of the last [`TimingGraph::update`].
+    pub fn net_timing(&self, net: NetId) -> &NetTiming {
+        &self.core.nets[net.0 as usize]
+    }
+
+    /// Endpoints as of the last [`TimingGraph::update`].
+    pub fn endpoints(&self) -> &[Endpoint] {
+        &self.core.endpoints
+    }
+
+    /// Worst slack as of the last [`TimingGraph::update`].
+    pub fn worst_slack(&self) -> f64 {
+        self.core
+            .endpoints
+            .iter()
+            .map(Endpoint::slack)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Structural fanout of `net` (gate sinks + primary-output taps);
+    /// reflects edits immediately.
+    pub fn fanout(&self, net: NetId) -> usize {
+        let ni = net.0 as usize;
+        self.core.sinks[ni].len() + self.core.po_taps[ni] as usize
+    }
+
+    /// Driving gate of `net`; reflects edits immediately.
+    pub fn driver(&self, net: NetId) -> Option<usize> {
+        self.core.driver[net.0 as usize].map(|(g, _)| g as usize)
+    }
+
+    /// Gates re-evaluated by the last [`TimingGraph::update`] — the dirty
+    /// cone size, exposed for tests and the bench harness.
+    pub fn gates_recomputed_in_last_update(&self) -> usize {
+        self.core.last_recomputed
+    }
+
+    /// Snapshot of the current timing state as a [`TimingReport`],
+    /// bit-identical to a fresh [`crate::graph::analyze`] of
+    /// [`TimingGraph::design`] when the engine is clean (no edits since
+    /// the last [`TimingGraph::update`]).
+    pub fn report(&self) -> TimingReport {
+        TimingReport {
+            config: self.core.config,
+            nets: self.core.nets.clone(),
+            endpoints: self.core.endpoints.clone(),
+        }
+    }
+
+    /// Re-propagates the dirty cone; cheap no-op when nothing changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError`] if a LUT evaluation fails. The engine state is
+    /// unspecified (but memory-safe) after an error; discard it.
+    pub fn update(&mut self) -> Result<(), StaError> {
+        self.core.update()
+    }
+
+    /// Marks the whole graph dirty so the next [`TimingGraph::update`] is
+    /// a full propagation — used by benches to time full re-analysis.
+    pub fn invalidate_all(&mut self) {
+        self.core.invalidate_all();
+    }
+
+    /// Re-maps gate `gi` onto `cell_name`, dirtying its input-net loads
+    /// (pin capacitances changed) and the downstream cone.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::UnknownCell`]/[`StaError::MissingArc`] if the cell does
+    /// not fit; the engine is unchanged on error.
+    pub fn resize_gate(&mut self, gi: usize, cell_name: &str) -> Result<(), StaError> {
+        if self.design.cell_names[gi] == cell_name {
+            return Ok(());
+        }
+        let (ci, ga, caps) =
+            intern_gate(self.core.lib, &self.design.netlist, gi, cell_name)?;
+        self.design.cell_names[gi] = cell_name.to_string();
+        self.core.cell_idx[gi] = ci;
+        self.core.arcs[gi] = ga;
+        self.core.input_caps[gi] = caps;
+        for k in 0..self.core.gate_inputs[gi].len() {
+            let inp = self.core.gate_inputs[gi][k] as usize;
+            self.core.mark_load_dirty(inp);
+        }
+        self.core.mark_gate_dirty(gi);
+        if let Some(e) = self.core.seq_ep[gi] {
+            // The setup constraint arc changed with the cell.
+            self.core.mark_ep_dirty(e as usize);
+        }
+        Ok(())
+    }
+
+    /// Overrides (or clears) the load seen on `net`, e.g. for boundary
+    /// modeling in what-if analysis. Overridden nets ignore sink and wire
+    /// capacitance until the override is cleared.
+    pub fn set_load(&mut self, net: NetId, load: Option<f64>) {
+        self.core.load_override[net.0 as usize] = load;
+        self.core.mark_load_dirty(net.0 as usize);
+    }
+
+    /// Splits the fanout of `net` behind an INV→INV pair mapped to
+    /// `inv_cell`, moving the second half of the gate sinks (by ascending
+    /// gate index) onto the buffered copy — the synthesis buffering move.
+    /// Returns the two new gate indices.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::UnknownCell`]/[`StaError::MissingArc`] if `inv_cell`
+    /// cannot be interned; the engine is unchanged on error.
+    pub fn split_fanout(&mut self, net: NetId, inv_cell: &str) -> Result<(usize, usize), StaError> {
+        let ni = net.0 as usize;
+        let all = self.core.sinks[ni].clone();
+        let moved: Vec<(u32, u32)> = all[all.len() / 2..].to_vec();
+
+        let nl = &mut self.design.netlist;
+        let mid = nl.add_net(format!("{}_bufm", nl.net_name(net)));
+        let out = nl.add_net(format!("{}_bufo", nl.net_name(net)));
+        for &(g, k) in &moved {
+            nl.gates[g as usize].inputs[k as usize] = out;
+        }
+        let g1 = nl.gates.len();
+        nl.add_gate(GateKind::Inv, vec![net], vec![mid]);
+        let g2 = nl.gates.len();
+        nl.add_gate(GateKind::Inv, vec![mid], vec![out]);
+        self.design.cell_names.push(inv_cell.to_string());
+        self.design.cell_names.push(inv_cell.to_string());
+
+        // Intern the new inverters (validates `inv_cell`; on failure the
+        // netlist edit must be undone to keep the engine consistent).
+        let interned = intern_gate(self.core.lib, &self.design.netlist, g1, inv_cell)
+            .and_then(|a| {
+                intern_gate(self.core.lib, &self.design.netlist, g2, inv_cell).map(|b| (a, b))
+            });
+        let ((ci1, ga1, caps1), (ci2, ga2, caps2)) = match interned {
+            Ok(v) => v,
+            Err(e) => {
+                let nl = &mut self.design.netlist;
+                nl.gates.truncate(g1);
+                nl.nets.truncate(mid.0 as usize);
+                self.design.cell_names.truncate(g1);
+                for &(g, k) in &moved {
+                    self.design.netlist.gates[g as usize].inputs[k as usize] = net;
+                }
+                return Err(e);
+            }
+        };
+
+        let core = &mut self.core;
+        // Per-net arrays for `mid` and `out`.
+        for _ in 0..2 {
+            core.sinks.push(Vec::new());
+            core.po_taps.push(0);
+            core.driver.push(None);
+            core.ep_of_net.push(Vec::new());
+            core.loads.push(0.0);
+            core.load_override.push(None);
+            core.nets.push(NetTiming::unpropagated());
+            core.dirty_load.push(false);
+        }
+        let (mi, oi) = (mid.0 as usize, out.0 as usize);
+        core.driver[mi] = Some((g1 as u32, 0));
+        core.driver[oi] = Some((g2 as u32, 0));
+        core.sinks[mi] = vec![(g2 as u32, 0)];
+        core.sinks[oi] = moved.clone();
+        core.sinks[ni].truncate(all.len() / 2);
+        core.sinks[ni].push((g1 as u32, 0));
+        for &(g, k) in &moved {
+            core.gate_inputs[g as usize][k as usize] = out.0;
+        }
+
+        // Per-gate arrays for the two inverters.
+        core.cell_idx.push(ci1);
+        core.cell_idx.push(ci2);
+        core.is_seq.push(false);
+        core.is_seq.push(false);
+        core.arcs.push(ga1);
+        core.arcs.push(ga2);
+        core.input_caps.push(caps1);
+        core.input_caps.push(caps2);
+        core.gate_inputs.push(vec![net.0]);
+        core.gate_inputs.push(vec![mid.0]);
+        core.gate_outputs.push(vec![mid.0]);
+        core.gate_outputs.push(vec![out.0]);
+        core.seq_ep.push(None);
+        core.seq_ep.push(None);
+        core.dirty_gate.push(false);
+        core.dirty_gate.push(false);
+
+        // Endpoints attached to moved flip-flop data inputs follow their
+        // net.
+        for &(g, _) in &moved {
+            if let Some(e) = core.seq_ep[g as usize] {
+                let e = e as usize;
+                core.endpoints[e].net = out;
+                core.ep_of_net[ni].retain(|&x| x as usize != e);
+                core.ep_of_net[oi].push(e as u32);
+                core.mark_ep_dirty(e);
+            }
+        }
+
+        // Structure changed: re-level before marking dirt.
+        core.compute_levels()?;
+        core.mark_load_dirty(ni);
+        core.mark_load_dirty(mi);
+        core.mark_load_dirty(oi);
+        core.mark_gate_dirty(g1);
+        core.mark_gate_dirty(g2);
+        for &(g, _) in &moved {
+            if !core.is_seq[g as usize] {
+                core.mark_gate_dirty(g as usize);
+            }
+        }
+        Ok((g1, g2))
+    }
+
+    /// Backward required-time propagation over the interned graph,
+    /// bit-identical to [`crate::graph::required_times`] on the current
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError`] if a LUT evaluation fails.
+    pub fn required_times(&self) -> Result<Vec<f64>, StaError> {
+        let core = &self.core;
+        let mut req = vec![f64::INFINITY; core.nets.len()];
+        for ep in &core.endpoints {
+            let r = &mut req[ep.net.0 as usize];
+            *r = r.min(ep.required);
+        }
+        // Any reverse topological order gives bit-identical results (the
+        // per-net fold is a min); descending level is one.
+        let mut order: Vec<u32> = (0..core.cell_idx.len() as u32)
+            .filter(|&g| !core.is_seq[g as usize])
+            .collect();
+        order.sort_unstable_by_key(|&g| (core.level[g as usize], g));
+        for &g in order.iter().rev() {
+            let gi = g as usize;
+            let GateArcs::Comb { per_output } = &core.arcs[gi] else {
+                unreachable!("order holds combinational gates only");
+            };
+            for (j, input_arcs) in per_output.iter().enumerate() {
+                let out = core.gate_outputs[gi][j] as usize;
+                let out_req = req[out];
+                if !out_req.is_finite() {
+                    continue;
+                }
+                let load = core.nets[out].load;
+                for (k, arc) in input_arcs.iter().enumerate() {
+                    let inp = core.gate_inputs[gi][k] as usize;
+                    let delay = arc.worst_delay(core.nets[inp].slew, load)?;
+                    let r = &mut req[inp];
+                    *r = r.min(out_req - delay);
+                }
+            }
+        }
+        Ok(req)
+    }
+}
+
+/// Full analysis of a borrowed design through the same engine core —
+/// the implementation behind [`crate::graph::analyze`].
+pub(crate) fn analyze_via_engine(
+    design: &MappedDesign,
+    lib: &Library,
+    config: &StaConfig,
+) -> Result<TimingReport, StaError> {
+    design.netlist.validate()?;
+    let mut core = Core::build(
+        &design.netlist,
+        &design.cell_names,
+        design.wire_model,
+        lib,
+        config,
+    )?;
+    core.update()?;
+    Ok(TimingReport {
+        config: core.config,
+        nets: core.nets,
+        endpoints: core.endpoints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::analyze;
+    use crate::mapped::WireModel;
+    use varitune_libchar::{generate_nominal, GenerateConfig};
+    use varitune_netlist::{GateKind, Netlist};
+
+    fn lib() -> Library {
+        generate_nominal(&GenerateConfig::small_for_tests())
+    }
+
+    /// inv chain: a -> inv -> ... -> out, all `cell`.
+    fn chain(n: usize, cell: &str) -> MappedDesign {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_input("a");
+        for i in 0..n {
+            let z = nl.add_net(format!("n{i}"));
+            nl.add_gate(GateKind::Inv, vec![prev], vec![z]);
+            prev = z;
+        }
+        nl.mark_output(prev);
+        MappedDesign::new(nl, vec![cell.into(); n], WireModel::default())
+    }
+
+    fn assert_reports_bit_identical(a: &TimingReport, b: &TimingReport) {
+        assert_eq!(a.nets.len(), b.nets.len());
+        for (i, (x, y)) in a.nets.iter().zip(&b.nets).enumerate() {
+            assert_eq!(x.arrival.to_bits(), y.arrival.to_bits(), "net {i} arrival");
+            assert_eq!(x.slew.to_bits(), y.slew.to_bits(), "net {i} slew");
+            assert_eq!(x.load.to_bits(), y.load.to_bits(), "net {i} load");
+            assert_eq!(x.driver, y.driver, "net {i} driver");
+            assert_eq!(x.crit_input, y.crit_input, "net {i} crit_input");
+            assert_eq!(
+                x.cell_delay.to_bits(),
+                y.cell_delay.to_bits(),
+                "net {i} cell_delay"
+            );
+        }
+        assert_eq!(a.endpoints.len(), b.endpoints.len());
+        for (i, (x, y)) in a.endpoints.iter().zip(&b.endpoints).enumerate() {
+            assert_eq!(x.net, y.net, "endpoint {i} net");
+            assert_eq!(x.arrival.to_bits(), y.arrival.to_bits(), "endpoint {i} arrival");
+            assert_eq!(
+                x.required.to_bits(),
+                y.required.to_bits(),
+                "endpoint {i} required"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_engine_matches_analyze() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(2.0);
+        let d = chain(8, "INV_2");
+        let full = analyze(&d, &lib, &cfg).unwrap();
+        let engine = TimingGraph::new(d, &lib, &cfg).unwrap();
+        assert_reports_bit_identical(&engine.report(), &full);
+    }
+
+    #[test]
+    fn resize_retime_matches_fresh_analyze() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(2.0);
+        let mut engine = TimingGraph::new(chain(10, "INV_2"), &lib, &cfg).unwrap();
+        engine.resize_gate(4, "INV_8").unwrap();
+        engine.update().unwrap();
+        let full = analyze(engine.design(), &lib, &cfg).unwrap();
+        assert_reports_bit_identical(&engine.report(), &full);
+    }
+
+    #[test]
+    fn resize_recomputes_only_the_dirty_cone() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(5.0);
+        let mut engine = TimingGraph::new(chain(50, "INV_2"), &lib, &cfg).unwrap();
+        assert_eq!(engine.gates_recomputed_in_last_update(), 50);
+        // Resizing gate 40 dirties its driver (input load changed) and
+        // its downstream cone — a handful of gates, not the chain.
+        engine.resize_gate(40, "INV_4").unwrap();
+        engine.update().unwrap();
+        let cone = engine.gates_recomputed_in_last_update();
+        assert!(cone >= 2, "driver + resized gate at minimum: {cone}");
+        assert!(cone <= 15, "cone should stay local: {cone}");
+    }
+
+    #[test]
+    fn noop_update_recomputes_nothing() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(5.0);
+        let mut engine = TimingGraph::new(chain(10, "INV_2"), &lib, &cfg).unwrap();
+        engine.update().unwrap();
+        assert_eq!(engine.gates_recomputed_in_last_update(), 0);
+        // Resizing to the current cell is a no-op, too.
+        engine.resize_gate(3, "INV_2").unwrap();
+        engine.update().unwrap();
+        assert_eq!(engine.gates_recomputed_in_last_update(), 0);
+    }
+
+    #[test]
+    fn split_fanout_matches_fresh_analyze() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(5.0);
+        // One driver into 8 sinks, then split its net.
+        let mut nl = Netlist::new("fan");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Inv, vec![a], vec![x]);
+        let mut names = vec!["INV_1".to_string()];
+        for i in 0..8 {
+            let z = nl.add_net(format!("z{i}"));
+            nl.add_gate(GateKind::Inv, vec![x], vec![z]);
+            nl.mark_output(z);
+            names.push("INV_2".into());
+        }
+        let d = MappedDesign::new(nl, names, WireModel::default());
+        let mut engine = TimingGraph::new(d, &lib, &cfg).unwrap();
+        let (g1, g2) = engine.split_fanout(x, "INV_2").unwrap();
+        assert_eq!((g1, g2), (9, 10));
+        engine.update().unwrap();
+        engine.design().netlist.validate().unwrap();
+        let full = analyze(engine.design(), &lib, &cfg).unwrap();
+        assert_reports_bit_identical(&engine.report(), &full);
+    }
+
+    #[test]
+    fn split_fanout_moves_flip_flop_endpoints() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(5.0);
+        // inv -> {ff, ff, ff, ff}: splitting the inv's net moves two FF
+        // data inputs (and their endpoints) onto the buffered copy.
+        let mut nl = Netlist::new("fffan");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Inv, vec![a], vec![x]);
+        let mut names = vec!["INV_1".to_string()];
+        for i in 0..4 {
+            let q = nl.add_net(format!("q{i}"));
+            nl.add_gate(GateKind::Dff, vec![x], vec![q]);
+            nl.mark_output(q);
+            names.push("DF_1".into());
+        }
+        let d = MappedDesign::new(nl, names, WireModel::default());
+        let mut engine = TimingGraph::new(d, &lib, &cfg).unwrap();
+        engine.split_fanout(x, "INV_2").unwrap();
+        engine.update().unwrap();
+        engine.design().netlist.validate().unwrap();
+        let full = analyze(engine.design(), &lib, &cfg).unwrap();
+        assert_reports_bit_identical(&engine.report(), &full);
+    }
+
+    #[test]
+    fn set_load_override_propagates_and_clears() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(5.0);
+        let d = chain(5, "INV_2");
+        let x = d.netlist.gates[1].outputs[0];
+        let mut engine = TimingGraph::new(d, &lib, &cfg).unwrap();
+        let before = engine.report();
+        engine.set_load(x, Some(0.05));
+        engine.update().unwrap();
+        assert_eq!(engine.load(x).to_bits(), 0.05f64.to_bits());
+        assert!(engine.worst_slack() < before.worst_slack());
+        // Clearing the override restores the exact baseline state.
+        engine.set_load(x, None);
+        engine.update().unwrap();
+        assert_reports_bit_identical(&engine.report(), &before);
+    }
+
+    #[test]
+    fn required_times_match_free_function() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(2.0);
+        let d = chain(6, "INV_2");
+        let report = analyze(&d, &lib, &cfg).unwrap();
+        let free = crate::graph::required_times(&d, &lib, &report).unwrap();
+        let engine = TimingGraph::new(d, &lib, &cfg).unwrap();
+        let eng = engine.required_times().unwrap();
+        assert_eq!(free.len(), eng.len());
+        for (i, (a, b)) in free.iter().zip(&eng).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "net {i}");
+        }
+    }
+
+    #[test]
+    fn unknown_cell_resize_leaves_engine_intact() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(2.0);
+        let mut engine = TimingGraph::new(chain(4, "INV_2"), &lib, &cfg).unwrap();
+        let before = engine.report();
+        assert!(matches!(
+            engine.resize_gate(2, "NOPE_9"),
+            Err(StaError::UnknownCell { gate: 2, .. })
+        ));
+        engine.update().unwrap();
+        assert_reports_bit_identical(&engine.report(), &before);
+    }
+
+    #[test]
+    fn parallel_levels_are_bit_identical() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(5.0);
+        // Wide design: enough independent inverters in one level to cross
+        // the per-worker grain at 8 threads (1024 * 8 = 8192).
+        let mut nl = Netlist::new("wide");
+        let a = nl.add_input("a");
+        let mut names = Vec::new();
+        for i in 0..8448 {
+            let z = nl.add_net(format!("z{i}"));
+            nl.add_gate(GateKind::Inv, vec![a], vec![z]);
+            nl.mark_output(z);
+            names.push(if i % 3 == 0 { "INV_1".to_string() } else { "INV_2".into() });
+        }
+        let d = MappedDesign::new(nl, names, WireModel::default());
+        let reference = TimingGraph::new(d.clone(), &lib, &cfg).unwrap().report();
+        for threads in [2, 8] {
+            let mut engine = TimingGraph::new(d.clone(), &lib, &cfg).unwrap();
+            engine.set_threads(threads);
+            engine.invalidate_all();
+            engine.update().unwrap();
+            assert_reports_bit_identical(&engine.report(), &reference);
+        }
+    }
+}

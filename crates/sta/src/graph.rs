@@ -140,7 +140,7 @@ pub struct NetTiming {
 }
 
 impl NetTiming {
-    fn unpropagated() -> Self {
+    pub(crate) fn unpropagated() -> Self {
         Self {
             arrival: f64::NEG_INFINITY,
             slew: 0.0,
@@ -215,15 +215,22 @@ impl TimingReport {
         self.worst_slack() >= 0.0
     }
 
-    /// Endpoints sorted most-critical first.
+    /// Endpoints sorted most-critical first. Uses [`f64::total_cmp`], so
+    /// the order is deterministic even when slacks tie or are NaN.
     pub fn critical_endpoints(&self) -> Vec<&Endpoint> {
         let mut v: Vec<&Endpoint> = self.endpoints.iter().collect();
-        v.sort_by(|a, b| a.slack().partial_cmp(&b.slack()).expect("finite slacks"));
+        v.sort_by(|a, b| a.slack().total_cmp(&b.slack()));
         v
     }
 }
 
 /// Runs static timing analysis of `design` against `lib`.
+///
+/// This is a full propagation through the incremental engine
+/// ([`crate::engine::TimingGraph`]): the interned graph is built, every
+/// gate is marked dirty once, and the dirty-cone machinery degenerates to
+/// a complete levelized sweep. Results are bit-identical to what the
+/// engine reports after any equivalent sequence of incremental edits.
 ///
 /// # Errors
 ///
@@ -235,151 +242,7 @@ pub fn analyze(
     lib: &Library,
     config: &StaConfig,
 ) -> Result<TimingReport, StaError> {
-    let nl = &design.netlist;
-    nl.validate()?;
-
-    let loads = design.net_loads(lib);
-    let mut nets = vec![NetTiming::unpropagated(); nl.nets.len()];
-    for (i, t) in nets.iter_mut().enumerate() {
-        t.load = loads[i];
-    }
-
-    // Launch points: primary inputs...
-    for &pi in &nl.primary_inputs {
-        let t = &mut nets[pi.0 as usize];
-        t.arrival = 0.0;
-        t.slew = config.input_slew;
-    }
-    // ...and flip-flop outputs (clock-to-Q at the ideal clock edge).
-    for (gi, g) in nl.gates.iter().enumerate() {
-        if !g.kind.is_sequential() {
-            continue;
-        }
-        let cell = design
-            .cell_of(gi, lib)
-            .ok_or_else(|| StaError::UnknownCell {
-                gate: gi,
-                name: design.cell_names[gi].clone(),
-            })?;
-        for (j, &out) in g.outputs.iter().enumerate() {
-            let pin = cell.output_pins().nth(j).ok_or(StaError::MissingArc {
-                gate: gi,
-                cell: cell.name.clone(),
-            })?;
-            let arc = pin.timing.first().ok_or(StaError::MissingArc {
-                gate: gi,
-                cell: cell.name.clone(),
-            })?;
-            let load = loads[out.0 as usize];
-            let delay = arc.worst_delay(config.clock_slew, load)?;
-            let slew = arc.worst_transition(config.clock_slew, load)?;
-            let t = &mut nets[out.0 as usize];
-            t.arrival = delay;
-            t.slew = slew;
-            t.driver = Some(gi);
-            t.out_pin = j;
-            t.crit_input = None;
-            t.cell_delay = delay;
-            t.crit_input_slew = config.clock_slew;
-        }
-    }
-
-    // Topological order over combinational gates.
-    let order = topo_order(nl)?;
-
-    for gi in order {
-        let g = &nl.gates[gi];
-        let cell = design
-            .cell_of(gi, lib)
-            .ok_or_else(|| StaError::UnknownCell {
-                gate: gi,
-                name: design.cell_names[gi].clone(),
-            })?;
-        let input_pin_names: Vec<&str> =
-            cell.input_pins().map(|p| p.name.as_str()).collect();
-        if input_pin_names.len() < g.inputs.len() {
-            return Err(StaError::MissingArc {
-                gate: gi,
-                cell: cell.name.clone(),
-            });
-        }
-        for (j, &out) in g.outputs.iter().enumerate() {
-            let pin = cell.output_pins().nth(j).ok_or(StaError::MissingArc {
-                gate: gi,
-                cell: cell.name.clone(),
-            })?;
-            let load = loads[out.0 as usize];
-            let mut best: Option<NetTiming> = None;
-            for (k, &inp) in g.inputs.iter().enumerate() {
-                let in_t = nets[inp.0 as usize];
-                debug_assert!(in_t.arrival.is_finite(), "topological order broken");
-                let arc = pin
-                    .timing
-                    .iter()
-                    .find(|a| a.related_pin == input_pin_names[k])
-                    .ok_or(StaError::MissingArc {
-                        gate: gi,
-                        cell: cell.name.clone(),
-                    })?;
-                let delay = arc.worst_delay(in_t.slew, load)?;
-                let arrival = in_t.arrival + delay;
-                if best.is_none_or(|b| arrival > b.arrival) {
-                    let slew = arc.worst_transition(in_t.slew, load)?;
-                    best = Some(NetTiming {
-                        arrival,
-                        slew,
-                        load,
-                        driver: Some(gi),
-                        out_pin: j,
-                        crit_input: Some(k),
-                        cell_delay: delay,
-                        crit_input_slew: in_t.slew,
-                    });
-                }
-            }
-            nets[out.0 as usize] = best.ok_or(StaError::MissingArc {
-                gate: gi,
-                cell: cell.name.clone(),
-            })?;
-        }
-    }
-
-    // Endpoints. Setup comes from the capturing flip-flop's characterized
-    // SetupRising arc at (data slew, clock slew) when the library provides
-    // one, falling back to the configured constant.
-    let mut endpoints = Vec::new();
-    for (gi, g) in nl.gates.iter().enumerate() {
-        if g.kind.is_sequential() {
-            let d = g.inputs[0];
-            let data_slew = nets[d.0 as usize].slew;
-            let setup = design
-                .cell_of(gi, lib)
-                .and_then(|cell| {
-                    constraint_of(cell, TimingType::SetupRising, data_slew, config.clock_slew)
-                })
-                .unwrap_or(config.setup_time);
-            endpoints.push(Endpoint {
-                net: d,
-                kind: EndpointKind::FlipFlopData { gate: gi },
-                arrival: nets[d.0 as usize].arrival,
-                required: config.effective_period() - setup,
-            });
-        }
-    }
-    for &po in &nl.primary_outputs {
-        endpoints.push(Endpoint {
-            net: po,
-            kind: EndpointKind::PrimaryOutput,
-            arrival: nets[po.0 as usize].arrival,
-            required: config.effective_period(),
-        });
-    }
-
-    Ok(TimingReport {
-        config: *config,
-        nets,
-        endpoints,
-    })
+    crate::engine::analyze_via_engine(design, lib, config)
 }
 
 /// Evaluates a flip-flop data pin's constraint arc (setup or hold) at

@@ -7,7 +7,11 @@
 //!
 //! * [`mapped`] — [`MappedDesign`]: a generic netlist plus the library cell
 //!   chosen for every gate, and the wire-load model,
-//! * [`graph`] — levelization and arrival/slew propagation,
+//! * [`engine`] — [`TimingGraph`]: the build-once interned timing engine
+//!   (levelized, dirty-cone incremental re-timing after local edits,
+//!   parallel within levels, bit-identical to a full analysis),
+//! * [`graph`] — the [`analyze`] entry point (a thin wrapper over one
+//!   engine build-and-propagate) and the report types,
 //! * [`paths`] — per-endpoint worst-path extraction, path depth, and the
 //!   statistical path/design metrics,
 //! * [`mc`] — deterministic (bit-identical for any thread count) parallel
@@ -39,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod engine;
 pub mod graph;
 pub mod hold;
 pub mod mapped;
@@ -48,6 +53,7 @@ pub mod power;
 pub mod report;
 pub mod sdf;
 
+pub use engine::TimingGraph;
 pub use graph::{analyze, required_times, StaConfig, StaError, TimingReport};
 pub use hold::{analyze_hold, HoldConfig, HoldReport};
 pub use mapped::{MappedDesign, WireModel};

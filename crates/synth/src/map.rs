@@ -82,7 +82,7 @@ impl<'a> TargetLibrary<'a> {
             });
         }
         for v in families.values_mut() {
-            v.sort_by(|a, b| a.drive.partial_cmp(&b.drive).expect("finite drives"));
+            v.sort_by(|a, b| a.drive.total_cmp(&b.drive));
         }
         Self {
             lib,

@@ -21,8 +21,8 @@ use std::error::Error;
 use std::fmt;
 
 use varitune_liberty::Library;
-use varitune_netlist::{GateKind, NetId, Netlist};
-use varitune_sta::{analyze, required_times, MappedDesign, StaConfig, StaError, TimingReport, WireModel};
+use varitune_netlist::{NetId, Netlist};
+use varitune_sta::{MappedDesign, StaConfig, StaError, TimingGraph, TimingReport, WireModel};
 
 use crate::constraint::LibraryConstraints;
 use crate::map::{map_netlist, MapError, TargetLibrary};
@@ -41,6 +41,9 @@ pub struct SynthConfig {
     pub max_fanout: usize,
     /// How many critical endpoints to size per iteration.
     pub paths_per_iteration: usize,
+    /// Worker threads for timing re-propagation (`0` = all cores, `1` =
+    /// serial). Timing results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl SynthConfig {
@@ -52,6 +55,7 @@ impl SynthConfig {
             area_recovery: true,
             max_fanout: 24,
             paths_per_iteration: 64,
+            threads: 1,
         }
     }
 }
@@ -125,35 +129,38 @@ pub fn synthesize(
     cfg: &SynthConfig,
 ) -> Result<SynthesisResult, SynthError> {
     let target = TargetLibrary::new(lib, constraints);
-    let mut design = map_netlist(netlist, &target, WireModel::default())?;
+    let design = map_netlist(netlist, &target, WireModel::default())?;
     let mut floors: Vec<f64> = vec![0.0; design.netlist.gates.len()];
     let mut buffers_inserted = 0usize;
 
-    let mut report = analyze(&design, lib, &cfg.sta)?;
+    // One engine for the whole optimization: every sizing/buffering move
+    // below re-times only its dirty cone instead of the full netlist.
+    let mut engine = TimingGraph::new(design, lib, &cfg.sta)?;
+    engine.set_threads(cfg.threads);
     let mut iterations = 0;
     for _ in 0..cfg.max_iterations {
         iterations += 1;
         let mut changed = false;
 
-        changed |= legalize_loads(&mut design, &target, &mut floors, cfg, &mut buffers_inserted);
-        report = analyze(&design, lib, &cfg.sta)?;
+        changed |= legalize_loads(&mut engine, &target, &mut floors, cfg, &mut buffers_inserted)?;
+        engine.update()?;
 
-        changed |= legalize_slews(&mut design, &target, &report, &mut floors);
+        changed |= legalize_slews(&mut engine, &target, &mut floors)?;
         if changed {
-            report = analyze(&design, lib, &cfg.sta)?;
+            engine.update()?;
         }
 
-        if !report.meets_timing() {
-            let sized = size_critical_paths(&mut design, &target, &report, &mut floors, cfg);
+        if engine.worst_slack() < 0.0 {
+            let sized = size_critical_paths(&mut engine, &target, &mut floors, cfg)?;
             changed |= sized;
             if sized {
-                report = analyze(&design, lib, &cfg.sta)?;
+                engine.update()?;
             }
         } else if cfg.area_recovery {
-            let recovered = recover_area(&mut design, &target, lib, &report, &floors, cfg)?;
+            let recovered = recover_area(&mut engine, &target, &floors, cfg)?;
             changed |= recovered;
             if recovered {
-                report = analyze(&design, lib, &cfg.sta)?;
+                engine.update()?;
             }
         }
 
@@ -162,6 +169,8 @@ pub fn synthesize(
         }
     }
 
+    let report = engine.report();
+    let design = engine.into_design();
     let area = design.total_area(lib);
     let met_timing = report.meets_timing();
     Ok(SynthesisResult {
@@ -176,33 +185,41 @@ pub fn synthesize(
 
 /// Upsize or buffer until every output load fits its effective limit.
 fn legalize_loads(
-    design: &mut MappedDesign,
+    engine: &mut TimingGraph<'_>,
     target: &TargetLibrary<'_>,
     floors: &mut Vec<f64>,
     cfg: &SynthConfig,
     buffers_inserted: &mut usize,
-) -> bool {
+) -> Result<bool, SynthError> {
     let mut changed = false;
-    // Iterate to a fixpoint: buffering changes loads upstream.
+    // Iterate to a fixpoint: buffering changes loads upstream. Loads and
+    // fanouts are snapshot at the start of each round — edits within a
+    // round work against that snapshot, and the follow-up `update` (an
+    // O(dirty cone) re-propagation) refreshes them for the next round.
     for _ in 0..4 {
-        let loads = design.net_loads(target.lib);
-        let mut fanouts = vec![0usize; design.netlist.nets.len()];
-        for g in &design.netlist.gates {
-            for &i in &g.inputs {
-                fanouts[i.0 as usize] += 1;
+        engine.update()?;
+        let loads = engine.loads().to_vec();
+        let fanouts = {
+            let nl = &engine.design().netlist;
+            let mut fanouts = vec![0usize; nl.nets.len()];
+            for g in &nl.gates {
+                for &i in &g.inputs {
+                    fanouts[i.0 as usize] += 1;
+                }
             }
-        }
-        for &po in &design.netlist.primary_outputs {
-            fanouts[po.0 as usize] += 1;
-        }
+            for &po in &nl.primary_outputs {
+                fanouts[po.0 as usize] += 1;
+            }
+            fanouts
+        };
         let mut round_changed = false;
-        let gate_count = design.netlist.gates.len();
+        let gate_count = engine.gate_count();
         for gi in 0..gate_count {
-            let outs: Vec<NetId> = design.netlist.gates[gi].outputs.clone();
+            let outs: Vec<NetId> = engine.design().netlist.gates[gi].outputs.clone();
             for &out in &outs {
                 let load = loads[out.0 as usize];
                 let fanout = fanouts[out.0 as usize];
-                let name = design.cell_names[gi].clone();
+                let name = engine.cell_name(gi).to_string();
                 let eff = target.effective_max_load(&name);
                 if load <= eff && fanout <= cfg.max_fanout {
                     continue;
@@ -219,7 +236,7 @@ fn legalize_loads(
                 if fanout <= cfg.max_fanout {
                     if let Some(v) = better {
                         floors[gi] = floors[gi].max(v.drive);
-                        design.cell_names[gi] = v.name;
+                        engine.resize_gate(gi, &v.name)?;
                         round_changed = true;
                         continue;
                     }
@@ -227,7 +244,9 @@ fn legalize_loads(
                 // No variant can carry the load (or fanout is excessive):
                 // split the fanout with an inverter pair.
                 if fanout >= 2 {
-                    insert_inverter_pair(design, target, floors, out, gi);
+                    engine.split_fanout(out, &buffering_inverter(target))?;
+                    floors.push(0.0);
+                    floors.push(0.0);
                     *buffers_inserted += 2;
                     round_changed = true;
                 }
@@ -238,7 +257,7 @@ fn legalize_loads(
             break;
         }
     }
-    changed
+    Ok(changed)
 }
 
 fn drive_of(cell_name: &str) -> f64 {
@@ -247,93 +266,61 @@ fn drive_of(cell_name: &str) -> f64 {
         .unwrap_or(1.0)
 }
 
-/// Splits roughly half the sinks of `net` behind an INV→INV pair.
-fn insert_inverter_pair(
-    design: &mut MappedDesign,
-    target: &TargetLibrary<'_>,
-    floors: &mut Vec<f64>,
-    net: NetId,
-    _driver: usize,
-) {
-    let nl = &mut design.netlist;
-    let mid = nl.add_net(format!("{}_bufm", nl.net_name(net)));
-    let out = nl.add_net(format!("{}_bufo", nl.net_name(net)));
-
-    // Collect sink positions (gate, input index) of `net`.
-    let sinks: Vec<(usize, usize)> = nl
-        .gates
-        .iter()
-        .enumerate()
-        .flat_map(|(gi, g)| {
-            g.inputs
-                .iter()
-                .enumerate()
-                .filter(|(_, &i)| i == net)
-                .map(move |(k, _)| (gi, k))
-        })
-        .collect();
-    // Move the second half of the sinks to the buffered copy.
-    for &(gi, k) in &sinks[sinks.len() / 2..] {
-        nl.gates[gi].inputs[k] = out;
-    }
-    nl.add_gate(GateKind::Inv, vec![net], vec![mid]);
-    nl.add_gate(GateKind::Inv, vec![mid], vec![out]);
-
-    // Map the new inverters to a mid-size drive; legalization will resize.
-    let inv = target
+/// Mid-size inverter for fanout buffering; legalization will resize.
+fn buffering_inverter(target: &TargetLibrary<'_>) -> String {
+    target
         .variants("INV")
         .and_then(|vs| vs.iter().find(|v| v.drive >= 2.0).or_else(|| vs.last()))
         .map(|v| v.name.clone())
-        .unwrap_or_else(|| "INV_2".to_string());
-    design.cell_names.push(inv.clone());
-    design.cell_names.push(inv);
-    floors.push(0.0);
-    floors.push(0.0);
+        .unwrap_or_else(|| "INV_2".to_string())
 }
 
 /// Upsize drivers whose output edge is too shallow for a sink's window.
+///
+/// Reads the slews as of the engine's last `update` (edits made here do
+/// not shift them until the caller re-propagates), so every offending
+/// driver is judged against the same timing snapshot.
 fn legalize_slews(
-    design: &mut MappedDesign,
+    engine: &mut TimingGraph<'_>,
     target: &TargetLibrary<'_>,
-    report: &TimingReport,
     floors: &mut [f64],
-) -> bool {
+) -> Result<bool, SynthError> {
     let mut changed = false;
-    let driver_of = design.netlist.driver_map();
-    let gate_count = design.netlist.gates.len();
+    let gate_count = engine.gate_count();
     for gi in 0..gate_count {
-        let max_slew = target.effective_max_slew(&design.cell_names[gi]);
+        let max_slew = target.effective_max_slew(engine.cell_name(gi));
         if !max_slew.is_finite() {
             continue;
         }
-        let inputs: Vec<NetId> = design.netlist.gates[gi].inputs.clone();
+        let inputs: Vec<NetId> = engine.design().netlist.gates[gi].inputs.clone();
         for inp in inputs {
-            if report.nets[inp.0 as usize].slew <= max_slew {
+            if engine.net_timing(inp).slew <= max_slew {
                 continue;
             }
-            let Some(&src) = driver_of.get(&inp) else {
+            let Some(src) = engine.driver(inp) else {
                 continue; // primary input; boundary slew is fixed
             };
-            if let Some(v) = target.upsize(&design.cell_names[src]) {
+            if let Some(v) = target.upsize(engine.cell_name(src)) {
                 floors[src] = floors[src].max(v.drive);
-                design.cell_names[src] = v.name.clone();
+                let name = v.name.clone();
+                engine.resize_gate(src, &name)?;
                 changed = true;
             }
         }
     }
-    changed
+    Ok(changed)
 }
 
 /// Upsize every cell on the worst violating paths one step.
 fn size_critical_paths(
-    design: &mut MappedDesign,
+    engine: &mut TimingGraph<'_>,
     target: &TargetLibrary<'_>,
-    report: &TimingReport,
     floors: &mut [f64],
     cfg: &SynthConfig,
-) -> bool {
+) -> Result<bool, SynthError> {
     let mut changed = false;
     let mut seen_gates = std::collections::BTreeSet::new();
+    let report = engine.report();
     let endpoints = report.critical_endpoints();
     for ep in endpoints
         .iter()
@@ -346,57 +333,54 @@ fn size_critical_paths(
             let t = report.nets[net.0 as usize];
             let Some(gi) = t.driver else { break };
             if seen_gates.insert(gi) {
-                let name = design.cell_names[gi].clone();
+                let name = engine.cell_name(gi).to_string();
                 let load = t.load;
                 if let Some(v) = target.upsize(&name) {
                     // Only upsize if the bigger cell may legally carry the
                     // current load (windows shrink with tuning).
                     if target.effective_max_load(&v.name) >= load {
                         floors[gi] = floors[gi].max(v.drive);
-                        design.cell_names[gi] = v.name.clone();
+                        engine.resize_gate(gi, &v.name)?;
                         changed = true;
                     }
                 }
             }
             match t.crit_input {
-                Some(k) => net = design.netlist.gates[gi].inputs[k],
+                Some(k) => net = engine.design().netlist.gates[gi].inputs[k],
                 None => break,
             }
         }
     }
-    changed
+    Ok(changed)
 }
 
 /// Downsize cells with generous slack, never below their floor.
 fn recover_area(
-    design: &mut MappedDesign,
+    engine: &mut TimingGraph<'_>,
     target: &TargetLibrary<'_>,
-    lib: &Library,
-    report: &TimingReport,
     floors: &[f64],
     cfg: &SynthConfig,
 ) -> Result<bool, SynthError> {
-    let req = required_times(design, lib, report)?;
+    let req = engine.required_times()?;
     let margin = 0.18 * cfg.sta.effective_period();
     let mut changed = false;
-    let gate_count = design.netlist.gates.len();
-    #[allow(clippy::needless_range_loop)] // `design` is mutated inside the loop
-    for gi in 0..gate_count {
-        let g = &design.netlist.gates[gi];
+    let gate_count = engine.gate_count();
+    for (gi, &floor) in floors.iter().enumerate().take(gate_count) {
+        let g = &engine.design().netlist.gates[gi];
         if g.kind.is_sequential() {
             continue; // keep registers stable
         }
         let out = g.outputs[0];
-        let t = report.nets[out.0 as usize];
+        let t = *engine.net_timing(out);
         let slack = req[out.0 as usize] - t.arrival;
         if !slack.is_finite() || slack < margin {
             continue;
         }
-        let name = design.cell_names[gi].clone();
+        let name = engine.cell_name(gi).to_string();
         let Some(v) = target.downsize(&name) else {
             continue;
         };
-        if v.drive < floors[gi] {
+        if v.drive < floor {
             continue;
         }
         if target.effective_max_load(&v.name) < t.load {
@@ -409,7 +393,7 @@ fn recover_area(
             .map(|(new, old)| new - old);
         if let Some(p) = penalty {
             if p < slack * 0.25 {
-                design.cell_names[gi] = v.name.clone();
+                engine.resize_gate(gi, &v.name)?;
                 changed = true;
             }
         }
