@@ -64,5 +64,10 @@ fn bench_synthesis(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(flow_benches, bench_mc_generation, bench_tuning_methods, bench_synthesis);
+criterion_group!(
+    flow_benches,
+    bench_mc_generation,
+    bench_tuning_methods,
+    bench_synthesis
+);
 criterion_main!(flow_benches);

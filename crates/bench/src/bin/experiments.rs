@@ -40,7 +40,9 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--scale small|paper] [--threads N] [all | <id> ...]");
+                eprintln!(
+                    "usage: experiments [--scale small|paper] [--threads N] [all | <id> ...]"
+                );
                 eprintln!("ids: {}", ALL_IDS.join(" "));
                 return ExitCode::SUCCESS;
             }
@@ -60,7 +62,10 @@ fn main() -> ExitCode {
 
     scale.flow.threads = threads;
 
-    eprintln!("[experiments] preparing context at scale `{}`...", scale.label);
+    eprintln!(
+        "[experiments] preparing context at scale `{}`...",
+        scale.label
+    );
     let t0 = Instant::now();
     let ctx = Ctx::new(scale);
     eprintln!(
@@ -76,7 +81,10 @@ fn main() -> ExitCode {
         let out = run_experiment(&ctx, id);
         println!("==================== {id} ====================");
         println!("{out}");
-        eprintln!("[experiments] {id} done in {:.1}s", t.elapsed().as_secs_f64());
+        eprintln!(
+            "[experiments] {id} done in {:.1}s",
+            t.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

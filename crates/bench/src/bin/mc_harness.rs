@@ -92,9 +92,17 @@ fn main() -> ExitCode {
 
     // A representative 12-cell path with mid-size relative sigmas.
     let cells: Vec<PathCell> = (0..12)
-        .map(|i| PathCell::new(0.08 + 0.01 * f64::from(i % 5), 0.04 + 0.005 * f64::from(i % 3)))
+        .map(|i| {
+            PathCell::new(
+                0.08 + 0.01 * f64::from(i % 5),
+                0.04 + 0.005 * f64::from(i % 3),
+            )
+        })
         .collect();
-    println!("\n[path MC] {} cells, global+local, slow corner", cells.len());
+    println!(
+        "\n[path MC] {} cells, global+local, slow corner",
+        cells.len()
+    );
     let mut path_base = None;
     let mut path_ref = None;
     for &t in &threads {
@@ -123,7 +131,9 @@ fn main() -> ExitCode {
 }
 
 fn parse_thread_list(s: String) -> Option<Vec<usize>> {
-    s.split(',').map(|p| p.trim().parse::<usize>().ok()).collect()
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().ok())
+        .collect()
 }
 
 fn report_row(threads: usize, dt: f64, base: &mut Option<f64>) {
@@ -134,7 +144,10 @@ fn report_row(threads: usize, dt: f64, base: &mut Option<f64>) {
         }
         Some(b) => *b / dt,
     };
-    println!("  {threads:>2} thread(s): {:>8.3} s  speedup {speedup:>5.2}x", dt);
+    println!(
+        "  {threads:>2} thread(s): {:>8.3} s  speedup {speedup:>5.2}x",
+        dt
+    );
 }
 
 fn usage(msg: &str) -> ExitCode {

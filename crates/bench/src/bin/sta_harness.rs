@@ -82,7 +82,10 @@ fn main() -> ExitCode {
     };
     let gates = design.netlist.gates.len();
     let cfg = StaConfig::with_clock_period(2.41);
-    println!("design: {gates} gates, {} nets; best of {repeat}", design.netlist.nets.len());
+    println!(
+        "design: {gates} gates, {} nets; best of {repeat}",
+        design.netlist.nets.len()
+    );
 
     // Warm-up.
     let _ = analyze(&design, &lib, &cfg);
@@ -230,12 +233,19 @@ fn reports_bit_identical(a: &TimingReport, b: &TimingReport) -> Result<(), Strin
             || x.slew.to_bits() != y.slew.to_bits()
             || x.load.to_bits() != y.load.to_bits()
         {
-            return Err(format!("net {i}: ({}, {}) vs ({}, {})", x.arrival, x.slew, y.arrival, y.slew));
+            return Err(format!(
+                "net {i}: ({}, {}) vs ({}, {})",
+                x.arrival, x.slew, y.arrival, y.slew
+            ));
         }
     }
     for (i, (x, y)) in a.endpoints.iter().zip(&b.endpoints).enumerate() {
         if x.slack().to_bits() != y.slack().to_bits() {
-            return Err(format!("endpoint {i}: slack {} vs {}", x.slack(), y.slack()));
+            return Err(format!(
+                "endpoint {i}: slack {} vs {}",
+                x.slack(),
+                y.slack()
+            ));
         }
     }
     Ok(())
@@ -269,7 +279,9 @@ fn render_json(
 }
 
 fn parse_thread_list(s: String) -> Option<Vec<usize>> {
-    s.split(',').map(|p| p.trim().parse::<usize>().ok()).collect()
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().ok())
+        .collect()
 }
 
 fn usage(msg: &str) -> ExitCode {

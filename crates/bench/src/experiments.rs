@@ -186,7 +186,8 @@ pub fn fig5(ctx: &Ctx) -> String {
 /// Fig. 6 — the largest rectangle on a binarized LUT, drawn in ASCII.
 pub fn fig6(ctx: &Ctx) -> String {
     let lut = delay_lut(ctx, "INV_1", false);
-    let threshold = 0.5 * (lut.max_value().expect("non-empty") + lut.min_value().expect("non-empty"));
+    let threshold =
+        0.5 * (lut.max_value().expect("non-empty") + lut.min_value().expect("non-empty"));
     let accept = varitune_core::slope::binarize(&lut, threshold);
     let rect = varitune_core::largest_rectangle(&accept).expect("half the table accepts");
     let mut s = format!(
@@ -245,7 +246,13 @@ pub fn fig7(ctx: &Ctx) -> String {
     let peak = *counts.iter().max().expect("non-empty") as f64;
     for (k, &c) in counts.iter().enumerate() {
         let lo = maxima[0] + k as f64 * width;
-        let _ = writeln!(s, "{:>7} ns | {:<40} {}", f3(lo), bar(c as f64, peak, 40), c);
+        let _ = writeln!(
+            s,
+            "{:>7} ns | {:<40} {}",
+            f3(lo),
+            bar(c as f64, peak, 40),
+            c
+        );
     }
     s
 }
@@ -270,7 +277,11 @@ pub fn fig8(ctx: &Ctx) -> String {
             format!("{period:.2}"),
             format!("{area:.0}"),
             bar(*area, max_area, 36),
-            if *met { "met".into() } else { "VIOLATED".into() },
+            if *met {
+                "met".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
     }
     let mut s = String::from(
@@ -285,10 +296,26 @@ pub fn fig8(ctx: &Ctx) -> String {
 pub fn tab1(ctx: &Ctx) -> String {
     let p = ctx.periods;
     let rows = vec![
-        vec!["High performance".into(), format!("{:.2}", p.high), "2.41".into()],
-        vec!["Close to maximum check".into(), format!("{:.2}", p.check), "2.50".into()],
-        vec!["Medium performance".into(), format!("{:.2}", p.medium), "4.00".into()],
-        vec!["Low performance".into(), format!("{:.2}", p.low), "10.00".into()],
+        vec![
+            "High performance".into(),
+            format!("{:.2}", p.high),
+            "2.41".into(),
+        ],
+        vec![
+            "Close to maximum check".into(),
+            format!("{:.2}", p.check),
+            "2.50".into(),
+        ],
+        vec![
+            "Medium performance".into(),
+            format!("{:.2}", p.medium),
+            "4.00".into(),
+        ],
+        vec![
+            "Low performance".into(),
+            format!("{:.2}", p.low),
+            "10.00".into(),
+        ],
     ];
     let mut s = String::from(
         "Table 1 — clock periods (ours derived from the synthetic design's\n\
@@ -330,7 +357,10 @@ pub fn tab2(_ctx: &Ctx) -> String {
 /// and low performance periods.
 pub fn fig9(ctx: &Ctx) -> String {
     let mut s = String::from("Fig. 9 — cell use, baseline vs tuned (sigma ceiling)\n");
-    for (label, period) in [("(a) high performance", ctx.periods.high), ("(b) low performance", ctx.periods.low)] {
+    for (label, period) in [
+        ("(a) high performance", ctx.periods.high),
+        ("(b) low performance", ctx.periods.low),
+    ] {
         let baseline = ctx.baseline(period);
         let params = ctx
             .best_under_cap(TuningMethod::SigmaCeiling, period, 10.0)
@@ -338,8 +368,8 @@ pub fn fig9(ctx: &Ctx) -> String {
             .unwrap_or_else(|| TuningParams::with_sigma_ceiling(0.02));
         let tuned = ctx.tuned_run(TuningMethod::SigmaCeiling, params, period);
         let rows: Vec<Vec<String>> = varitune_synth::usage_comparison(
-            &baseline.synthesis.design.cell_usage(),
-            &tuned.1.synthesis.design.cell_usage(),
+            &baseline.synthesis.design.cell_usage(&ctx.flow.nominal),
+            &tuned.1.synthesis.design.cell_usage(&ctx.flow.nominal),
             ctx.scale.usage_threshold,
         )
         .into_iter()
@@ -355,8 +385,7 @@ pub fn fig9(ctx: &Ctx) -> String {
         let _ = writeln!(
             s,
             "\n{label} @ {period:.2} ns (cells used > {} times; ceiling {})",
-            ctx.scale.usage_threshold,
-            params.sigma_ceiling
+            ctx.scale.usage_threshold, params.sigma_ceiling
         );
         s.push_str(&table(&["cell", "baseline", "tuned", ""], &rows));
     }
@@ -479,7 +508,13 @@ pub fn fig11(ctx: &Ctx) -> String {
          (tighter ceilings cut more sigma but cost more area)\n"
     );
     s.push_str(&table(
-        &["ceiling", "sigma delta", "area delta", "sigma (ns)", "area (um^2)"],
+        &[
+            "ceiling",
+            "sigma delta",
+            "area delta",
+            "sigma (ns)",
+            "area (um^2)",
+        ],
         &rows,
     ));
     s
@@ -494,9 +529,7 @@ pub fn fig12(ctx: &Ctx) -> String {
     let ht = depth_histogram(&tuned.paths);
     let maxd = hb.len().max(ht.len());
     let peak = hb.iter().chain(ht.iter()).copied().max().unwrap_or(1) as f64;
-    let mut s = format!(
-        "Fig. 12 — worst-path depth per unique endpoint @ {period:.2} ns\n"
-    );
+    let mut s = format!("Fig. 12 — worst-path depth per unique endpoint @ {period:.2} ns\n");
     let _ = writeln!(
         s,
         "{:>5}  {:<24} {:<24}",
@@ -557,20 +590,21 @@ pub fn fig13(ctx: &Ctx) -> String {
         rows
     };
     let mut s = format!("Fig. 13 — path sigma vs path depth @ {period:.2} ns\n");
-    for (label, paths) in [("baseline", &baseline.paths), ("sigma ceiling", &tuned.paths)] {
+    for (label, paths) in [
+        ("baseline", &baseline.paths),
+        ("sigma ceiling", &tuned.paths),
+    ] {
         let _ = writeln!(s, "\n{label}:");
         let rows: Vec<Vec<String>> = bucket(paths)
             .into_iter()
             .map(|(lo, hi, n, mean, max)| {
-                vec![
-                    format!("{lo}-{hi}"),
-                    n.to_string(),
-                    f3(mean),
-                    f3(max),
-                ]
+                vec![format!("{lo}-{hi}"), n.to_string(), f3(mean), f3(max)]
             })
             .collect();
-        s.push_str(&table(&["depth", "paths", "mean sigma", "max sigma"], &rows));
+        s.push_str(&table(
+            &["depth", "paths", "mean sigma", "max sigma"],
+            &rows,
+        ));
     }
     s.push_str(
         "\nExpected shape: no monotone depth->sigma relation; the cells on the\n\
@@ -609,7 +643,11 @@ pub fn fig14(ctx: &Ctx) -> String {
                 c.len().to_string(),
                 f3(mean),
                 f3(m3s),
-                if m3s > eff { "FAILS +3s".into() } else { "ok".into() },
+                if m3s > eff {
+                    "FAILS +3s".into()
+                } else {
+                    "ok".into()
+                },
             ]);
         }
         let worst = run
@@ -640,7 +678,13 @@ pub fn fig15(ctx: &Ctx) -> String {
          (local variation only; values relative to the typical corner)\n"
     );
     for (label, path) in labels.iter().zip(&mc_paths) {
-        let typ = simulate_path(path, ProcessCorner::Typical, VariationMode::LocalOnly, n, 15);
+        let typ = simulate_path(
+            path,
+            ProcessCorner::Typical,
+            VariationMode::LocalOnly,
+            n,
+            15,
+        );
         let mut rows = Vec::new();
         for corner in ProcessCorner::ALL {
             let r = simulate_path(path, corner, VariationMode::LocalOnly, n, 15);
@@ -670,12 +714,16 @@ pub fn fig15(ctx: &Ctx) -> String {
 pub fn fig16(ctx: &Ctx) -> String {
     let (labels, mc_paths) = extracted_paths(ctx);
     let n = ctx.scale.mc_samples;
-    let mut s = format!(
-        "Fig. 16 — variation decomposition (N = {n}) on three extracted paths\n"
-    );
+    let mut s = format!("Fig. 16 — variation decomposition (N = {n}) on three extracted paths\n");
     let mut rows = Vec::new();
     for (label, path) in labels.iter().zip(&mc_paths) {
-        let local = simulate_path(path, ProcessCorner::Typical, VariationMode::LocalOnly, n, 16);
+        let local = simulate_path(
+            path,
+            ProcessCorner::Typical,
+            VariationMode::LocalOnly,
+            n,
+            16,
+        );
         let both = simulate_path(
             path,
             ProcessCorner::Typical,
@@ -693,7 +741,13 @@ pub fn fig16(ctx: &Ctx) -> String {
         ]);
     }
     s.push_str(&table(
-        &["path", "cells", "sigma local", "sigma glob+loc", "local share"],
+        &[
+            "path",
+            "cells",
+            "sigma local",
+            "sigma glob+loc",
+            "local share",
+        ],
         &rows,
     ));
     s.push_str(
@@ -831,7 +885,13 @@ pub fn abl_corners(ctx: &Ctx) -> String {
         }
     }
     s.push_str(&table(
-        &["library", "corner factor", "design mean", "design sigma", "sigma rel"],
+        &[
+            "library",
+            "corner factor",
+            "design mean",
+            "design sigma",
+            "sigma rel",
+        ],
         &rows,
     ));
     s.push_str(
@@ -852,9 +912,7 @@ pub fn abl_yield(ctx: &Ctx) -> String {
     let period = ctx.periods.high;
     let baseline = ctx.baseline(period);
     let tuned = best_ceiling_run(ctx, period);
-    let mut s = format!(
-        "Ablation D — parametric timing yield @ {period:.2} ns synthesis\n"
-    );
+    let mut s = format!("Ablation D — parametric timing yield @ {period:.2} ns synthesis\n");
     let d99_base = deadline_at_yield(&baseline.paths, 0.99, 1e-4);
     let d99_tuned = deadline_at_yield(&tuned.paths, 0.99, 1e-4);
     let sweep_hi = d99_base.max(d99_tuned) * 1.05;
@@ -868,7 +926,10 @@ pub fn abl_yield(ctx: &Ctx) -> String {
             format!("{:.4}", timing_yield(&tuned.paths, d)),
         ]);
     }
-    s.push_str(&table(&["deadline (ns)", "baseline yield", "tuned yield"], &rows));
+    s.push_str(&table(
+        &["deadline (ns)", "baseline yield", "tuned yield"],
+        &rows,
+    ));
     let _ = writeln!(
         s,
         "\ndeadline for 99% yield:   baseline {} ns, tuned {} ns ({})",
@@ -1005,7 +1066,13 @@ pub fn abl_power(ctx: &Ctx) -> String {
         "Ablation F — average power @ {period:.2} ns (activity simulated over 256 random cycles)\n"
     );
     s.push_str(&table(
-        &["design", "internal mW", "switching mW", "leakage mW", "total mW"],
+        &[
+            "design",
+            "internal mW",
+            "switching mW",
+            "leakage mW",
+            "total mW",
+        ],
         &rows,
     ));
     let _ = writeln!(
@@ -1051,8 +1118,13 @@ pub fn abl_fir(ctx: &Ctx) -> String {
     let period = min_p * 1.02;
 
     let run_with = |constraints: &LibraryConstraints| {
-        let synth = synthesize(&fir, &ctx.flow.stat.mean, constraints, &ctx.synth_config(period))
-            .expect("FIR synthesis");
+        let synth = synthesize(
+            &fir,
+            &ctx.flow.stat.mean,
+            constraints,
+            &ctx.synth_config(period),
+        )
+        .expect("FIR synthesis");
         let (paths, design_t) = worst_paths(
             &synth.design,
             &ctx.flow.stat.mean,
@@ -1101,7 +1173,14 @@ pub fn abl_fir(ctx: &Ctx) -> String {
         ]);
     }
     s.push_str(&table(
-        &["design", "ceiling", "sigma (ns)", "area (um^2)", "sigma delta", "area delta"],
+        &[
+            "design",
+            "ceiling",
+            "sigma (ns)",
+            "area (um^2)",
+            "sigma delta",
+            "area delta",
+        ],
         &rows,
     ));
     s.push_str(
@@ -1197,9 +1276,32 @@ fn extracted_paths(ctx: &Ctx) -> (Vec<String>, Vec<Vec<PathCell>>) {
 /// entries are this reproduction's extensions (sample-depth convergence,
 /// ρ sensitivity, corner portability).
 pub const ALL_IDS: [&str; 26] = [
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "tab1", "tab2", "fig9",
-    "fig10", "tab3", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "abl-samples",
-    "abl-rho", "abl-corners", "abl-yield", "abl-exclusion", "abl-power", "abl-fir",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "tab1",
+    "tab2",
+    "fig9",
+    "fig10",
+    "tab3",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "abl-samples",
+    "abl-rho",
+    "abl-corners",
+    "abl-yield",
+    "abl-exclusion",
+    "abl-power",
+    "abl-fir",
 ];
 
 /// Runs one experiment by id.
@@ -1263,7 +1365,9 @@ mod tests {
     #[test]
     fn cheap_experiments_render() {
         let c = ctx();
-        for id in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab1", "tab2"] {
+        for id in [
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab1", "tab2",
+        ] {
             let out = run_experiment(c, id);
             assert!(out.len() > 80, "{id} output too short:\n{out}");
         }
@@ -1310,7 +1414,10 @@ mod tests {
     #[test]
     fn ablation_rho_scales_sigma_monotonically() {
         let out = abl_rho(ctx());
-        assert!(out.contains("1.00x"), "rho=0 row is the unit reference:\n{out}");
+        assert!(
+            out.contains("1.00x"),
+            "rho=0 row is the unit reference:\n{out}"
+        );
         assert!(out.contains("rho"));
     }
 

@@ -8,10 +8,10 @@
 //! dropped when its worst-case sigma exceeds the budget, with a guard that keeps at least one variant per family so
 //! synthesis stays feasible.
 
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
-use varitune_libchar::{StatLibrary, TableKind};
-use varitune_liberty::{Library, Lut};
+use varitune_libchar::StatLibrary;
+use varitune_liberty::{CellId, Library};
 
 /// Result of exclusion-based tuning.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,58 +38,75 @@ pub struct ExclusionTuning {
 /// One variant per family is always kept (the one with the lowest worst
 /// sigma) so technology mapping remains possible.
 pub fn tune_by_exclusion(stat: &StatLibrary, ceiling: f64) -> ExclusionTuning {
-    // Worst-case (maximum-entry) delay sigma per cell.
-    let worst_sigma = |cell: &varitune_liberty::Cell| -> Option<f64> {
-        let mut worst: Option<f64> = None;
-        for pin in cell.output_pins() {
-            for arc in &pin.timing {
-                for kind in TableKind::DELAYS {
-                    if let Some(v) = kind.of(arc).and_then(Lut::max_value) {
-                        worst = Some(worst.map_or(v, |b: f64| b.max(v)));
-                    }
-                }
-            }
-        }
-        worst
-    };
+    let interner = stat.sigma.interner();
+    let cell_count = stat.sigma.cells.len();
 
-    let mut families: BTreeMap<&str, Vec<(&str, f64)>> = BTreeMap::new();
-    let mut sigma_of: BTreeMap<&str, f64> = BTreeMap::new();
-    for cell in &stat.sigma.cells {
-        let Some(s) = worst_sigma(cell) else { continue };
-        let family = cell.name.rsplit_once('_').map_or(cell.name.as_str(), |(f, _)| f);
-        families.entry(family).or_default().push((cell.name.as_str(), s));
-        sigma_of.insert(cell.name.as_str(), s);
+    // Worst-case (maximum-entry) delay sigma per cell: one contiguous scan
+    // of the columnar sigma blocks, indexed by id.
+    let sigma_of: Vec<Option<f64>> = (0..cell_count)
+        .map(|i| stat.worst_delay_sigma_id(CellId(i as u32)))
+        .collect();
+
+    // Family partition in deterministic interner order (families sorted by
+    // name, members by ascending drive); cells without a family — no `_`
+    // suffix — form trailing singletons in id order.
+    let mut groups: Vec<Vec<CellId>> = interner
+        .families()
+        .iter()
+        .map(|f| f.members.clone())
+        .collect();
+    for i in 0..cell_count {
+        let id = CellId(i as u32);
+        if interner.family_of(id).is_none() {
+            groups.push(vec![id]);
+        }
     }
 
-    let mut excluded = Vec::new();
-    let mut kept_for_feasibility = Vec::new();
+    let mut excluded_ids: Vec<CellId> = Vec::new();
+    let mut feasibility_ids: Vec<CellId> = Vec::new();
     let mut kept = 0usize;
-    for (_family, members) in families {
-        let all_violate = members.iter().all(|(_, s)| *s > ceiling);
-        let champion = members
+    for members in &groups {
+        let scored: Vec<(CellId, f64)> = members
+            .iter()
+            .filter_map(|&id| sigma_of[id.index()].map(|s| (id, s)))
+            .collect();
+        if scored.is_empty() {
+            continue; // no delay tables anywhere in the family
+        }
+        let all_violate = scored.iter().all(|&(_, s)| s > ceiling);
+        let champion = scored
             .iter()
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(n, _)| *n);
-        for (name, s) in &members {
-            if *s > ceiling {
-                if all_violate && Some(*name) == champion {
-                    kept_for_feasibility.push(name.to_string());
+            .map(|&(id, _)| id);
+        for &(id, s) in &scored {
+            if s > ceiling {
+                if all_violate && Some(id) == champion {
+                    feasibility_ids.push(id);
                     kept += 1;
                 } else {
-                    excluded.push(name.to_string());
+                    excluded_ids.push(id);
                 }
             } else {
                 kept += 1;
             }
         }
     }
+
+    // At most one survivor per family can be pushed, but guard against
+    // duplicates anyway and preserve the interner (family-name) order the
+    // loop produced.
+    let mut seen: BTreeSet<CellId> = BTreeSet::new();
+    feasibility_ids.retain(|id| seen.insert(*id));
+
+    // Report boundary: materialize names only now.
+    let name_of = |id: &CellId| stat.sigma.cells[id.index()].name.clone();
+    let mut excluded: Vec<String> = excluded_ids.iter().map(name_of).collect();
     excluded.sort();
     ExclusionTuning {
         ceiling,
         excluded,
         kept,
-        kept_for_feasibility,
+        kept_for_feasibility: feasibility_ids.iter().map(name_of).collect(),
     }
 }
 
@@ -133,7 +150,11 @@ mod tests {
         assert_eq!(t.kept_for_feasibility.len(), 5);
         // The survivor of each family should be its largest drive (lowest
         // Pelgrom sigma).
-        assert!(t.kept_for_feasibility.iter().any(|n| n == "INV_8"), "{:?}", t.kept_for_feasibility);
+        assert!(
+            t.kept_for_feasibility.iter().any(|n| n == "INV_8"),
+            "{:?}",
+            t.kept_for_feasibility
+        );
     }
 
     #[test]
@@ -160,8 +181,60 @@ mod tests {
     }
 
     #[test]
+    fn feasibility_fallback_keeps_one_variant_per_family_and_synthesis_works() {
+        // A ceiling below every cell's sigma would exclude the entire
+        // library; the fallback must keep exactly one variant per family —
+        // deduplicated, in interner (family-name) order — and the filtered
+        // library must still synthesize.
+        let stat = stat_fixture();
+        let t = tune_by_exclusion(&stat, f64::MIN_POSITIVE);
+
+        let families: Vec<&str> = stat
+            .sigma
+            .interner()
+            .families()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        let survivor_families: Vec<&str> = t
+            .kept_for_feasibility
+            .iter()
+            .map(|n| n.rsplit_once('_').expect("generated names have drives").0)
+            .collect();
+        assert_eq!(
+            survivor_families, families,
+            "one survivor per family, in order"
+        );
+
+        let mut unique = t.kept_for_feasibility.clone();
+        unique.dedup();
+        assert_eq!(unique, t.kept_for_feasibility, "no duplicate survivors");
+
+        let filtered = apply_exclusion(&stat.mean, &t);
+        assert_eq!(filtered.cells.len(), families.len());
+        let mut nl = varitune_netlist::Netlist::new("feas");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate(varitune_netlist::GateKind::Nand, vec![a, b], vec![x]);
+        nl.add_gate(varitune_netlist::GateKind::Inv, vec![x], vec![y]);
+        nl.mark_output(y);
+        let r = varitune_synth::synthesize(
+            &nl,
+            &filtered,
+            &varitune_synth::LibraryConstraints::unconstrained(),
+            &varitune_synth::SynthConfig::with_clock_period(10.0),
+        );
+        assert!(r.is_ok(), "filtered library must stay mappable: {r:?}");
+    }
+
+    #[test]
     fn exclusion_is_deterministic() {
         let stat = stat_fixture();
-        assert_eq!(tune_by_exclusion(&stat, 0.01), tune_by_exclusion(&stat, 0.01));
+        assert_eq!(
+            tune_by_exclusion(&stat, 0.01),
+            tune_by_exclusion(&stat, 0.01)
+        );
     }
 }

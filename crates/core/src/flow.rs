@@ -11,7 +11,7 @@
 use std::error::Error;
 use std::fmt;
 
-use varitune_libchar::{generate_mc_libraries_threaded, generate_nominal, GenerateConfig, StatLibrary};
+use varitune_libchar::{generate_nominal, GenerateConfig, StatLibrary};
 use varitune_liberty::Library;
 use varitune_netlist::{generate_mcu, McuConfig, Netlist};
 use varitune_sta::paths::worst_paths;
@@ -128,14 +128,16 @@ impl Flow {
     /// propagated rather than unwrapped).
     pub fn prepare(config: FlowConfig) -> Result<Self, FlowError> {
         let nominal = generate_nominal(&config.generate);
-        let mc = generate_mc_libraries_threaded(
+        // Streaming characterization: perturbed values flow column-wise
+        // straight into the Welford merge, bit-identical to materializing
+        // `mc_libraries` full libraries and calling `from_libraries`.
+        let stat = StatLibrary::from_monte_carlo(
             &nominal,
             &config.generate,
             config.mc_libraries,
             config.seed,
             config.threads,
         );
-        let stat = StatLibrary::from_libraries(&mc).map_err(|e| FlowError::Stat(e.to_string()))?;
         let netlist = generate_mcu(&config.mcu);
         Ok(Self {
             config,
@@ -318,7 +320,9 @@ mod tests {
     #[test]
     fn baseline_run_produces_paths_and_sigma() {
         let flow = flow_fixture();
-        let run = flow.run_baseline(&SynthConfig::with_clock_period(8.0)).unwrap();
+        let run = flow
+            .run_baseline(&SynthConfig::with_clock_period(8.0))
+            .unwrap();
         assert!(run.synthesis.met_timing);
         assert!(!run.paths.is_empty());
         assert!(run.sigma() > 0.0);
@@ -364,7 +368,9 @@ mod tests {
             let mut cfg = FlowConfig::small_for_tests();
             cfg.threads = threads;
             let flow = Flow::prepare(cfg).unwrap();
-            let run = flow.run_baseline(&SynthConfig::with_clock_period(8.0)).unwrap();
+            let run = flow
+                .run_baseline(&SynthConfig::with_clock_period(8.0))
+                .unwrap();
             run.sigma()
         };
         let one = sigma_at(1);

@@ -106,8 +106,7 @@ pub fn largest_rectangle(bin: &[Vec<bool>]) -> Option<Rect> {
     let mut sat = vec![vec![0u32; cols + 1]; rows + 1];
     for i in 0..rows {
         for j in 0..cols {
-            sat[i + 1][j + 1] =
-                sat[i][j + 1] + sat[i + 1][j] - sat[i][j] + u32::from(bin[i][j]);
+            sat[i + 1][j + 1] = sat[i][j + 1] + sat[i + 1][j] - sat[i][j] + u32::from(bin[i][j]);
         }
     }
     let count = |r: &Rect| {
@@ -262,7 +261,9 @@ mod tests {
             grid(&["0"]),
             grid(&["10", "01"]),
             grid(&["1110", "0111", "1111", "1101"]),
-            grid(&["1111111", "1111110", "1111100", "1111000", "1110000", "1100000", "1000000"]),
+            grid(&[
+                "1111111", "1111110", "1111100", "1111000", "1110000", "1100000", "1000000",
+            ]),
         ] {
             assert_eq!(largest_rectangle(&g), largest_rectangle_bruteforce(&g));
         }

@@ -143,7 +143,10 @@ mod tests {
     fn and_tables_intersects() {
         let a = vec![vec![true, true], vec![false, true]];
         let b = vec![vec![true, false], vec![true, true]];
-        assert_eq!(and_tables(&a, &b), vec![vec![true, false], vec![false, true]]);
+        assert_eq!(
+            and_tables(&a, &b),
+            vec![vec![true, false], vec![false, true]]
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use varitune_libchar::{StatLibrary, TableKind};
-use varitune_liberty::{Cell, Lut};
+use varitune_liberty::{CellId, Lut};
 use varitune_synth::{LibraryConstraints, OperatingWindow};
 
 use crate::methods::{TuningMethod, TuningParams};
@@ -59,17 +59,20 @@ pub struct TunedLibrary {
 pub fn tune(stat: &StatLibrary, method: TuningMethod, params: TuningParams) -> TunedLibrary {
     let clusters = build_clusters(stat, method);
 
-    // Stage 1: sigma threshold per cluster.
+    // Stage 1: sigma threshold per cluster, recorded densely by cell id —
+    // stage 2 then reads it by position, never by name.
     let mut cluster_thresholds = Vec::with_capacity(clusters.len());
-    let mut threshold_of: BTreeMap<&str, Option<f64>> = BTreeMap::new();
+    let mut threshold_of: Vec<Option<f64>> = vec![None; stat.sigma.cells.len()];
     for (label, cells) in &clusters {
         let threshold = if method.is_slope_method() {
-            extract_cluster_threshold(cells, &params)
+            extract_cluster_threshold(stat, cells, &params)
         } else {
             Some(params.sigma_ceiling)
         };
-        for c in cells {
-            threshold_of.insert(c.name.as_str(), threshold);
+        if threshold.is_some() {
+            for c in cells {
+                threshold_of[c.index()] = threshold;
+            }
         }
         cluster_thresholds.push(ClusterThreshold {
             label: label.clone(),
@@ -82,8 +85,8 @@ pub fn tune(stat: &StatLibrary, method: TuningMethod, params: TuningParams) -> T
     let mut constraints = LibraryConstraints::unconstrained();
     let mut restricted = 0usize;
     let mut unrestricted = 0usize;
-    for cell in &stat.sigma.cells {
-        let Some(Some(threshold)) = threshold_of.get(cell.name.as_str()) else {
+    for (ci, cell) in stat.sigma.cells.iter().enumerate() {
+        let Some(threshold) = threshold_of[ci] else {
             unrestricted += cell.output_pins().count();
             continue;
         };
@@ -97,7 +100,7 @@ pub fn tune(stat: &StatLibrary, method: TuningMethod, params: TuningParams) -> T
                 unrestricted += 1;
                 continue;
             };
-            let accept = binarize(&equiv, *threshold);
+            let accept = binarize(&equiv, threshold);
             match largest_rectangle(&accept) {
                 Some(rect) => {
                     let window = rect_to_window(&equiv, &rect);
@@ -131,31 +134,50 @@ pub fn tune(stat: &StatLibrary, method: TuningMethod, params: TuningParams) -> T
 
 /// Clusters the sigma-library cells per the method: by drive strength or
 /// one cluster per cell. Cells without a parsable drive strength form their
-/// own singleton clusters in strength mode.
-fn build_clusters(
-    stat: &StatLibrary,
-    method: TuningMethod,
-) -> Vec<(String, Vec<&Cell>)> {
-    let mut clusters: BTreeMap<String, Vec<&Cell>> = BTreeMap::new();
-    for cell in &stat.sigma.cells {
-        let label = if method.is_strength_clustered() {
+/// own singleton clusters in strength mode. Clusters carry [`CellId`]
+/// members; the `String` label is materialized once per cluster for the
+/// report and sorted last to keep the historical (label-lexicographic)
+/// cluster order.
+fn build_clusters(stat: &StatLibrary, method: TuningMethod) -> Vec<(String, Vec<CellId>)> {
+    let cells = &stat.sigma.cells;
+    let mut clusters: Vec<(String, Vec<CellId>)> = if method.is_strength_clustered() {
+        let mut by_drive: BTreeMap<u64, Vec<CellId>> = BTreeMap::new();
+        let mut singles: Vec<(String, Vec<CellId>)> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
             match cell.drive_strength() {
-                Some(d) => format!("drive {d}"),
-                None => format!("cell {}", cell.name),
+                Some(d) => by_drive
+                    .entry(d.to_bits())
+                    .or_default()
+                    .push(CellId(i as u32)),
+                None => singles.push((format!("cell {}", cell.name), vec![CellId(i as u32)])),
             }
-        } else {
-            format!("cell {}", cell.name)
-        };
-        clusters.entry(label).or_default().push(cell);
-    }
-    clusters.into_iter().collect()
+        }
+        by_drive
+            .into_iter()
+            .map(|(bits, members)| (format!("drive {}", f64::from_bits(bits)), members))
+            .chain(singles)
+            .collect()
+    } else {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (format!("cell {}", c.name), vec![CellId(i as u32)]))
+            .collect()
+    };
+    clusters.sort_by(|a, b| a.0.cmp(&b.0));
+    clusters
 }
 
 /// Stage 1 for slope methods: equivalent LUT → slope tables → binary AND →
 /// largest rectangle → sigma at the far corner.
-fn extract_cluster_threshold(cells: &[&Cell], params: &TuningParams) -> Option<f64> {
+fn extract_cluster_threshold(
+    stat: &StatLibrary,
+    cells: &[CellId],
+    params: &TuningParams,
+) -> Option<f64> {
     let tables: Vec<&Lut> = cells
         .iter()
+        .map(|id| &stat.sigma.cells[id.index()])
         .flat_map(|c| c.output_pins())
         .flat_map(|p| &p.timing)
         .flat_map(|a| TableKind::DELAYS.iter().filter_map(|k| k.of(a)))
@@ -233,8 +255,22 @@ mod tests {
         // INV_8's sigma is ~sqrt(8) lower; its window should be looser (or
         // absent).
         let w8 = tuned.constraints.window("INV_8", "Z");
-        let lib_max_1 = stat.mean.cell("INV_1").unwrap().pin("Z").unwrap().max_capacitance.unwrap();
-        let lib_max_8 = stat.mean.cell("INV_8").unwrap().pin("Z").unwrap().max_capacitance.unwrap();
+        let lib_max_1 = stat
+            .mean
+            .cell("INV_1")
+            .unwrap()
+            .pin("Z")
+            .unwrap()
+            .max_capacitance
+            .unwrap();
+        let lib_max_8 = stat
+            .mean
+            .cell("INV_8")
+            .unwrap()
+            .pin("Z")
+            .unwrap()
+            .max_capacitance
+            .unwrap();
         let rel1 = w1.max_load / lib_max_1;
         let rel8 = w8.max_load.min(lib_max_8) / lib_max_8;
         assert!(rel8 > rel1, "INV_8 rel window {rel8} vs INV_1 {rel1}");

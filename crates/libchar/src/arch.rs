@@ -143,15 +143,63 @@ pub fn standard_inventory() -> Vec<Archetype> {
 
     // 36 AND/OR (6 functions x 6 drives).
     inv.push(combinational("AN2", &["A", "B"], "A&B", 1.45, 2.3, 1.4, d6));
-    inv.push(combinational("AN3", &["A", "B", "C"], "A&B&C", 1.65, 2.8, 1.7, d6));
-    inv.push(combinational("AN4", &["A", "B", "C", "D"], "A&B&C&D", 1.85, 3.3, 2.0, d6));
+    inv.push(combinational(
+        "AN3",
+        &["A", "B", "C"],
+        "A&B&C",
+        1.65,
+        2.8,
+        1.7,
+        d6,
+    ));
+    inv.push(combinational(
+        "AN4",
+        &["A", "B", "C", "D"],
+        "A&B&C&D",
+        1.85,
+        3.3,
+        2.0,
+        d6,
+    ));
     inv.push(combinational("OR2", &["A", "B"], "A|B", 1.7, 2.5, 1.4, d6));
-    inv.push(combinational("OR3", &["A", "B", "C"], "A|B|C", 2.1, 3.1, 1.7, d6));
-    inv.push(combinational("OR4", &["A", "B", "C", "D"], "A|B|C|D", 2.5, 3.7, 2.0, d6));
+    inv.push(combinational(
+        "OR3",
+        &["A", "B", "C"],
+        "A|B|C",
+        2.1,
+        3.1,
+        1.7,
+        d6,
+    ));
+    inv.push(combinational(
+        "OR4",
+        &["A", "B", "C", "D"],
+        "A|B|C|D",
+        2.5,
+        3.7,
+        2.0,
+        d6,
+    ));
 
     // 46 NAND: ND2 x12, ND3 x12, ND4 x12, ND2B x10.
-    inv.push(combinational("ND2", &["A", "B"], "!(A&B)", 4.0 / 3.0, 2.0, 1.2, d12));
-    inv.push(combinational("ND3", &["A", "B", "C"], "!(A&B&C)", 5.0 / 3.0, 3.0, 1.5, d12));
+    inv.push(combinational(
+        "ND2",
+        &["A", "B"],
+        "!(A&B)",
+        4.0 / 3.0,
+        2.0,
+        1.2,
+        d12,
+    ));
+    inv.push(combinational(
+        "ND3",
+        &["A", "B", "C"],
+        "!(A&B&C)",
+        5.0 / 3.0,
+        3.0,
+        1.5,
+        d12,
+    ));
     inv.push(combinational(
         "ND4",
         &["A", "B", "C", "D"],
@@ -161,17 +209,73 @@ pub fn standard_inventory() -> Vec<Archetype> {
         1.8,
         d12,
     ));
-    inv.push(combinational("ND2B", &["A", "B"], "!(!A&B)", 1.5, 2.4, 1.4, d10));
+    inv.push(combinational(
+        "ND2B",
+        &["A", "B"],
+        "!(!A&B)",
+        1.5,
+        2.4,
+        1.4,
+        d10,
+    ));
 
     // 43 NOR: NR2 x12, NR3 x12, NR4 x9, NR2B x10.
-    inv.push(combinational("NR2", &["A", "B"], "!(A|B)", 5.0 / 3.0, 2.2, 1.2, d12));
-    inv.push(combinational("NR3", &["A", "B", "C"], "!(A|B|C)", 7.0 / 3.0, 3.4, 1.5, d12));
-    inv.push(combinational("NR4", &["A", "B", "C", "D"], "!(A|B|C|D)", 3.0, 4.6, 1.8, d9));
-    inv.push(combinational("NR2B", &["A", "B"], "!(!A|B)", 1.9, 2.6, 1.4, d10));
+    inv.push(combinational(
+        "NR2",
+        &["A", "B"],
+        "!(A|B)",
+        5.0 / 3.0,
+        2.2,
+        1.2,
+        d12,
+    ));
+    inv.push(combinational(
+        "NR3",
+        &["A", "B", "C"],
+        "!(A|B|C)",
+        7.0 / 3.0,
+        3.4,
+        1.5,
+        d12,
+    ));
+    inv.push(combinational(
+        "NR4",
+        &["A", "B", "C", "D"],
+        "!(A|B|C|D)",
+        3.0,
+        4.6,
+        1.8,
+        d9,
+    ));
+    inv.push(combinational(
+        "NR2B",
+        &["A", "B"],
+        "!(!A|B)",
+        1.9,
+        2.6,
+        1.4,
+        d10,
+    ));
 
     // 29 XNOR/XOR: XN2 x10, XN3 x9, EO2 x10.
-    inv.push(combinational("XN2", &["A", "B"], "!(A^B)", 2.2, 4.0, 1.9, d10));
-    inv.push(combinational("XN3", &["A", "B", "C"], "!(A^B^C)", 2.8, 5.5, 2.5, d9));
+    inv.push(combinational(
+        "XN2",
+        &["A", "B"],
+        "!(A^B)",
+        2.2,
+        4.0,
+        1.9,
+        d10,
+    ));
+    inv.push(combinational(
+        "XN3",
+        &["A", "B", "C"],
+        "!(A^B^C)",
+        2.8,
+        5.5,
+        2.5,
+        d9,
+    ));
     inv.push(combinational("EO2", &["A", "B"], "A^B", 2.2, 4.0, 1.9, d10));
 
     // 34 adders: AD1 (half) x10, AD2 (full) x12, AD3 (full, fast carry) x12.
@@ -190,10 +294,7 @@ pub fn standard_inventory() -> Vec<Archetype> {
         prefix: "AD2".to_string(),
         inputs: vec!["A".to_string(), "B".to_string(), "C".to_string()],
         clock: None,
-        outputs: vec![
-            out("S", "A^B^C", 1.25),
-            out("CO", "(A&B)|(C&(A^B))", 1.0),
-        ],
+        outputs: vec![out("S", "A^B^C", 1.25), out("CO", "(A&B)|(C&(A^B))", 1.0)],
         logical_effort: 2.6,
         parasitic: 5.5,
         unit_area: 3.2,
@@ -204,10 +305,7 @@ pub fn standard_inventory() -> Vec<Archetype> {
         prefix: "AD3".to_string(),
         inputs: vec!["A".to_string(), "B".to_string(), "C".to_string()],
         clock: None,
-        outputs: vec![
-            out("S", "A^B^C", 1.2),
-            out("CO", "(A&B)|(C&(A^B))", 0.75),
-        ],
+        outputs: vec![out("S", "A^B^C", 1.2), out("CO", "(A&B)|(C&(A^B))", 0.75)],
         logical_effort: 2.8,
         parasitic: 5.0,
         unit_area: 3.8,
@@ -242,11 +340,7 @@ pub fn standard_inventory() -> Vec<Archetype> {
             "S1".to_string(),
         ],
         clock: None,
-        outputs: vec![out(
-            "Z",
-            "(A&!S0&!S1)|(B&S0&!S1)|(C&!S0&S1)|(D&S0&S1)",
-            1.2,
-        )],
+        outputs: vec![out("Z", "(A&!S0&!S1)|(B&S0&!S1)|(C&!S0&S1)|(D&S0&S1)", 1.2)],
         logical_effort: 2.6,
         parasitic: 4.8,
         unit_area: 3.6,
@@ -294,8 +388,24 @@ pub fn standard_inventory() -> Vec<Archetype> {
     inv.push(latch("LAL"));
 
     // 7 others: DEL1 x4 delay buffers, GCKB x3 clock-gating buffers.
-    inv.push(combinational("DEL1", &["A"], "A", 1.2, 9.0, 2.0, &[1.0, 2.0, 4.0, 8.0]));
-    inv.push(combinational("GCKB", &["A"], "A", 1.3, 2.6, 1.6, &[2.0, 4.0, 8.0]));
+    inv.push(combinational(
+        "DEL1",
+        &["A"],
+        "A",
+        1.2,
+        9.0,
+        2.0,
+        &[1.0, 2.0, 4.0, 8.0],
+    ));
+    inv.push(combinational(
+        "GCKB",
+        &["A"],
+        "A",
+        1.3,
+        2.6,
+        1.6,
+        &[2.0, 4.0, 8.0],
+    ));
 
     inv
 }
@@ -307,7 +417,10 @@ mod tests {
 
     #[test]
     fn inventory_totals_304_cells() {
-        let total: usize = standard_inventory().iter().map(Archetype::variant_count).sum();
+        let total: usize = standard_inventory()
+            .iter()
+            .map(Archetype::variant_count)
+            .sum();
         assert_eq!(total, 304);
     }
 

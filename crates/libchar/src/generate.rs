@@ -9,7 +9,9 @@
 //! SPICE characterization with perturbed transistor models, which is how
 //! the paper builds its 50 statistical input libraries.
 
-use varitune_liberty::{Cell, InternalPower, Library, Lut, Pin, TimingArc, TimingSense, TimingType};
+use varitune_liberty::{
+    Cell, InternalPower, Library, Lut, Pin, PinDirection, TimingArc, TimingSense, TimingType,
+};
 use varitune_variation::parallel::run_trials;
 use varitune_variation::rng::rng_from;
 use varitune_variation::sampler::Xoshiro256PlusPlus;
@@ -90,7 +92,9 @@ fn timing_sense_for(arch: &Archetype) -> TimingSense {
         p if p.starts_with("INV") || p.starts_with("ND") || p.starts_with("NR") => {
             TimingSense::NegativeUnate
         }
-        p if p.starts_with("XN") || p.starts_with("EO") || p.starts_with("MU")
+        p if p.starts_with("XN")
+            || p.starts_with("EO")
+            || p.starts_with("MU")
             || p.starts_with("AD") =>
         {
             TimingSense::NonUnate
@@ -159,10 +163,16 @@ fn build_cell(cfg: &GenerateConfig, arch: &Archetype, drive: f64) -> Cell {
                 .map(|i| (i.as_str(), TimingType::Combinational))
                 .collect(),
             SequentialKind::FlipFlop => {
-                vec![(arch.clock.as_deref().expect("ff has clock"), TimingType::RisingEdge)]
+                vec![(
+                    arch.clock.as_deref().expect("ff has clock"),
+                    TimingType::RisingEdge,
+                )]
             }
             SequentialKind::Latch => {
-                vec![(arch.clock.as_deref().expect("latch has clock"), TimingType::RisingEdge)]
+                vec![(
+                    arch.clock.as_deref().expect("latch has clock"),
+                    TimingType::RisingEdge,
+                )]
             }
         };
 
@@ -180,10 +190,13 @@ fn build_cell(cfg: &GenerateConfig, arch: &Archetype, drive: f64) -> Cell {
             arc.timing_sense = sense;
             arc.timing_type = *ttype;
             arc.cell_rise = Some(fill_lut(&slew_axis, &load_axis, &delay_at));
-            arc.cell_fall = Some(fill_lut(&slew_axis, &load_axis, &|s, l| 0.95 * delay_at(s, l)));
+            arc.cell_fall = Some(fill_lut(&slew_axis, &load_axis, &|s, l| {
+                0.95 * delay_at(s, l)
+            }));
             arc.rise_transition = Some(fill_lut(&slew_axis, &load_axis, &trans_at));
-            arc.fall_transition =
-                Some(fill_lut(&slew_axis, &load_axis, &|s, l| 0.97 * trans_at(s, l)));
+            arc.fall_transition = Some(fill_lut(&slew_axis, &load_axis, &|s, l| {
+                0.97 * trans_at(s, l)
+            }));
             pin.timing.push(arc);
 
             // Internal power mirrors the timing arcs (one group per
@@ -195,8 +208,9 @@ fn build_cell(cfg: &GenerateConfig, arch: &Archetype, drive: f64) -> Cell {
             };
             let mut power = InternalPower::new(rel.to_string());
             power.rise_power = Some(fill_lut(&slew_axis, &load_axis, &energy_at));
-            power.fall_power =
-                Some(fill_lut(&slew_axis, &load_axis, &|s, l| 0.92 * energy_at(s, l)));
+            power.fall_power = Some(fill_lut(&slew_axis, &load_axis, &|s, l| {
+                0.92 * energy_at(s, l)
+            }));
             pin.internal_power.push(power);
         }
         cell.pins.push(pin);
@@ -261,13 +275,32 @@ pub fn generate_mc_libraries_threaded(
 /// noise. The two shares are chosen so total variance stays `rel_sigma²`.
 const CELL_SHARE: f64 = 0.95;
 
-fn perturb_library(nominal: &Library, cfg: &GenerateConfig, mut rng: Xoshiro256PlusPlus) -> Library {
+fn perturb_library(
+    nominal: &Library,
+    cfg: &GenerateConfig,
+    mut rng: Xoshiro256PlusPlus,
+) -> Library {
     let entry_share = (1.0 - CELL_SHARE * CELL_SHARE).sqrt();
     let mut lib = nominal.clone();
     lib.name = format!("{}_mc", nominal.name);
+    // Per-cell cache of the relative-sigma surface: every output-pin table
+    // of one cell shares the characterization axes, so the Pelgrom model
+    // (with its `powf`) is evaluated once per cell rather than once per
+    // table entry. The axis guard keeps the cache exact should a cell ever
+    // carry mixed table shapes. The RNG draw order is part of this crate's
+    // determinism contract: one `z_cell` per cell, then per table one
+    // Box–Muller *pair* per two entries in row-major order (an odd last
+    // entry discards the pair's second deviate). `perturb_into_column`
+    // replays exactly this sequence.
+    let mut rel_slews: Vec<f64> = Vec::new();
+    let mut rel_loads: Vec<f64> = Vec::new();
+    let mut rel: Vec<f64> = Vec::new();
     for cell in &mut lib.cells {
         let drive = cell.drive_strength().unwrap_or(1.0);
         let z_cell: f64 = rng.standard_normal();
+        let common = CELL_SHARE * z_cell;
+        rel_slews.clear();
+        rel_loads.clear(); // `rel` depends on drive: invalidate across cells
         for pin in cell.output_pins_mut() {
             // Timing and power tables perturb alike (the §III remark that
             // the method extends to transition power relies on power
@@ -278,21 +311,122 @@ fn perturb_library(nominal: &Library, cfg: &GenerateConfig, mut rng: Xoshiro256P
                 .iter_mut()
                 .flat_map(InternalPower::tables_mut);
             for lut in timing_tables.chain(power_tables) {
-                let slews = lut.index_slew.clone();
-                let loads = lut.index_load.clone();
-                for (i, row) in lut.values.iter_mut().enumerate() {
-                    for (j, v) in row.iter_mut().enumerate() {
-                        let stress = cfg.technology.stress(drive, slews[i], loads[j]);
-                        let rel = cfg.pelgrom.relative_sigma(drive, stress);
-                        let z_entry: f64 = rng.standard_normal();
-                        let factor = 1.0 + rel * (CELL_SHARE * z_cell + entry_share * z_entry);
+                let Lut {
+                    index_slew,
+                    index_load,
+                    values,
+                } = lut;
+                if rel_slews != *index_slew || rel_loads != *index_load {
+                    rel_slews.clone_from(index_slew);
+                    rel_loads.clone_from(index_load);
+                    rel.clear();
+                    rel.reserve(index_slew.len() * index_load.len());
+                    for &s in index_slew.iter() {
+                        for &l in index_load.iter() {
+                            let stress = cfg.technology.stress(drive, s, l);
+                            rel.push(cfg.pelgrom.relative_sigma(drive, stress));
+                        }
+                    }
+                }
+                let mut r = 0;
+                let mut stash: Option<f64> = None;
+                for row in values.iter_mut() {
+                    for v in row.iter_mut() {
+                        let z_entry = match stash.take() {
+                            Some(z) => z,
+                            None => {
+                                let (a, b) = rng.standard_normal_pair();
+                                stash = Some(b);
+                                a
+                            }
+                        };
+                        let factor = 1.0 + rel[r] * (common + entry_share * z_entry);
                         *v *= factor.max(0.05);
+                        r += 1;
                     }
                 }
             }
         }
     }
     lib
+}
+
+/// Streams the LUT values of one perturbed library directly into a flat
+/// column, in the canonical structure order of the statistical merge
+/// (cells → pins → timing arcs × table kinds → power groups × rise/fall),
+/// without materializing a `Library`.
+///
+/// The RNG draw sequence and every floating-point operation match
+/// [`perturb_library`] exactly — input-pin tables (flip-flop setup/hold
+/// constraints) are not perturbed there, so here they contribute their
+/// nominal values and consume no draws — making the column bit-identical
+/// to gathering a materialized perturbed library.
+pub(crate) fn perturb_into_column(
+    nominal: &Library,
+    cfg: &GenerateConfig,
+    mut rng: Xoshiro256PlusPlus,
+    column: &mut Vec<f64>,
+) {
+    let entry_share = (1.0 - CELL_SHARE * CELL_SHARE).sqrt();
+    column.clear();
+    let mut rel_slews: Vec<f64> = Vec::new();
+    let mut rel_loads: Vec<f64> = Vec::new();
+    let mut rel: Vec<f64> = Vec::new();
+    for cell in &nominal.cells {
+        let drive = cell.drive_strength().unwrap_or(1.0);
+        let z_cell: f64 = rng.standard_normal();
+        let common = CELL_SHARE * z_cell;
+        rel_slews.clear();
+        rel_loads.clear();
+        for pin in &cell.pins {
+            if pin.direction != PinDirection::Output {
+                for lut in pin
+                    .timing
+                    .iter()
+                    .flat_map(TimingArc::all_tables)
+                    .chain(pin.internal_power.iter().flat_map(InternalPower::tables))
+                {
+                    for row in &lut.values {
+                        column.extend_from_slice(row);
+                    }
+                }
+                continue;
+            }
+            let timing_tables = pin.timing.iter().flat_map(TimingArc::all_tables);
+            let power_tables = pin.internal_power.iter().flat_map(InternalPower::tables);
+            for lut in timing_tables.chain(power_tables) {
+                if rel_slews != lut.index_slew || rel_loads != lut.index_load {
+                    rel_slews.clone_from(&lut.index_slew);
+                    rel_loads.clone_from(&lut.index_load);
+                    rel.clear();
+                    rel.reserve(lut.index_slew.len() * lut.index_load.len());
+                    for &s in lut.index_slew.iter() {
+                        for &l in lut.index_load.iter() {
+                            let stress = cfg.technology.stress(drive, s, l);
+                            rel.push(cfg.pelgrom.relative_sigma(drive, stress));
+                        }
+                    }
+                }
+                let mut r = 0;
+                let mut stash: Option<f64> = None;
+                for row in &lut.values {
+                    for &v in row {
+                        let z_entry = match stash.take() {
+                            Some(z) => z,
+                            None => {
+                                let (a, b) = rng.standard_normal_pair();
+                                stash = Some(b);
+                                a
+                            }
+                        };
+                        let factor = 1.0 + rel[r] * (common + entry_share * z_entry);
+                        column.push(v * factor.max(0.05));
+                        r += 1;
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -44,4 +44,4 @@ pub mod statlib;
 pub use generate::{
     generate_mc_libraries, generate_mc_libraries_threaded, generate_nominal, GenerateConfig,
 };
-pub use statlib::{StatLibrary, StatTable, TableKind};
+pub use statlib::{BuildStatError, SigmaColumns, StatLibError, StatLibrary, StatTable, TableKind};

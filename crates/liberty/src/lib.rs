@@ -60,12 +60,14 @@
 //! ```
 
 pub mod error;
+pub mod ids;
 pub mod lexer;
 pub mod model;
 pub mod parser;
 pub mod writer;
 
 pub use error::{InterpolateError, ParseLibertyError};
+pub use ids::{CellId, Family, FamilyId, Interner, PinId};
 pub use model::{
     Cell, CellKind, InternalPower, Library, Lut, LutTemplate, Pin, PinDirection, TimingArc,
     TimingSense, TimingType,

@@ -1,6 +1,6 @@
 //! The Liberty data model: libraries, cells, pins, timing arcs and LUTs.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -212,9 +212,10 @@ impl Lut {
     /// Iterates over all `(slew_idx, load_idx, value)` entries in row-major
     /// order.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.values.iter().enumerate().flat_map(|(i, row)| {
-            row.iter().enumerate().map(move |(j, &v)| (i, j, v))
-        })
+        self.values
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().enumerate().map(move |(j, &v)| (i, j, v)))
     }
 
     /// Returns a new LUT with the same axes and `f` applied to every value.
@@ -383,7 +384,9 @@ impl TimingArc {
 
     /// Iterates over the transition tables present on this arc.
     pub fn transition_tables(&self) -> impl Iterator<Item = &Lut> {
-        self.rise_transition.iter().chain(self.fall_transition.iter())
+        self.rise_transition
+            .iter()
+            .chain(self.fall_transition.iter())
     }
 
     /// Iterates over every table on this arc, delay and transition alike.
@@ -776,16 +779,17 @@ pub struct Library {
     pub templates: BTreeMap<String, LutTemplate>,
     /// Cells in declaration order.
     pub cells: Vec<Cell>,
-    /// Lazily built name→index map behind [`Library::cell_index`]. Not
-    /// part of the library's value: ignored by equality, reset on clone.
+    /// Lazily built [`Interner`] behind [`Library::interner`] /
+    /// [`Library::cell_index`]. Not part of the library's value: ignored by
+    /// equality, reset on clone.
     lookup: CellLookup,
 }
 
-/// Lazily built cell-name index. A cache, not data: clones start empty and
-/// any two caches compare equal, so `Library`'s derived `Clone`/`PartialEq`
-/// keep their value semantics.
+/// Lazily built cell/family/pin registry. A cache, not data: clones start
+/// empty and any two caches compare equal, so `Library`'s derived
+/// `Clone`/`PartialEq` keep their value semantics.
 #[derive(Default)]
-struct CellLookup(OnceLock<HashMap<String, usize>>);
+struct CellLookup(OnceLock<crate::ids::Interner>);
 
 impl Clone for CellLookup {
     fn clone(&self) -> Self {
@@ -820,23 +824,39 @@ impl Library {
         }
     }
 
+    /// The library's [`Interner`](crate::ids::Interner): typed cell /
+    /// family / pin ids minted once from the current cell list.
+    ///
+    /// Built lazily on first use. The registry is a snapshot: mutating
+    /// `cells` afterwards leaves the family and pin tables describing the
+    /// old snapshot (name lookups through [`Library::cell_index`] stay
+    /// correct — every hit is verified). Intern after the library is
+    /// finalized.
+    pub fn interner(&self) -> &crate::ids::Interner {
+        self.lookup
+            .0
+            .get_or_init(|| crate::ids::Interner::build(&self.cells))
+    }
+
+    /// The typed id of the cell named `name` (see [`Library::cell_index`]
+    /// for the staleness contract).
+    pub fn cell_id(&self, name: &str) -> Option<crate::ids::CellId> {
+        self.cell_index(name).map(|i| crate::ids::CellId(i as u32))
+    }
+
     /// Index of the cell named `name` in [`Library::cells`].
     ///
-    /// The first lookup builds a name→index `HashMap`; later lookups are
-    /// O(1). Because `cells` is a public field the map can go stale: every
-    /// hit is verified against the actual cell name, and a miss (or a
-    /// stale hit) falls back to the original linear scan, so mutation
-    /// after the first lookup costs performance but never correctness.
+    /// The first lookup builds the [`Library::interner`] registry; later
+    /// lookups are O(1). Because `cells` is a public field the registry can
+    /// go stale: every hit is verified against the actual cell name, and a
+    /// miss (or a stale hit) falls back to the original linear scan, so
+    /// mutation after the first lookup costs performance but never
+    /// correctness.
     pub fn cell_index(&self, name: &str) -> Option<usize> {
-        let map = self.lookup.0.get_or_init(|| {
-            self.cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| (c.name.clone(), i))
-                .collect()
-        });
-        match map.get(name) {
-            Some(&i) if self.cells.get(i).is_some_and(|c| c.name == name) => Some(i),
+        match self.interner().cell_id(name) {
+            Some(id) if self.cells.get(id.index()).is_some_and(|c| c.name == name) => {
+                Some(id.index())
+            }
             _ => self.cells.iter().position(|c| c.name == name),
         }
     }

@@ -78,12 +78,16 @@ impl Group {
 
     /// Simple attribute value as text.
     pub fn attr_text(&self, name: &str) -> Option<String> {
-        self.attr(name).and_then(|a| a.values.first()).map(Value::as_text)
+        self.attr(name)
+            .and_then(|a| a.values.first())
+            .map(Value::as_text)
     }
 
     /// Simple attribute value as a number.
     pub fn attr_number(&self, name: &str) -> Option<f64> {
-        self.attr(name).and_then(|a| a.values.first()).and_then(Value::as_number)
+        self.attr(name)
+            .and_then(|a| a.values.first())
+            .and_then(Value::as_number)
     }
 
     /// Iterates over sub-groups with the given keyword.
@@ -150,7 +154,9 @@ impl Parser {
                 t.column,
                 format!("expected {}, found {}", kind.describe(), t.kind.describe()),
             )),
-            None => Err(self.error_here(format!("expected {}, found end of input", kind.describe()))),
+            None => {
+                Err(self.error_here(format!("expected {}, found end of input", kind.describe())))
+            }
         }
     }
 
@@ -295,9 +301,7 @@ impl Parser {
                                 }
                                 Some(TokenKind::Ident(_)) => self.parse_member(&mut group)?,
                                 Some(_) => {
-                                    return Err(
-                                        self.error_here("expected attribute, group or `}`")
-                                    )
+                                    return Err(self.error_here("expected attribute, group or `}`"))
                                 }
                                 None => return Err(self.error_here("unterminated group body")),
                             }
@@ -317,9 +321,7 @@ impl Parser {
                     }
                 }
             }
-            _ => Err(self.error_here(format!(
-                "expected `:` or `(` after `{name}`"
-            ))),
+            _ => Err(self.error_here(format!("expected `:` or `(` after `{name}`"))),
         }
     }
 }
@@ -376,9 +378,10 @@ fn parse_float_list(values: &[Value]) -> Result<Vec<f64>, ParseLibertyError> {
                     if part.is_empty() {
                         continue;
                     }
-                    out.push(part.parse::<f64>().map_err(|_| {
-                        lower_err(format!("cannot parse `{part}` as a number"))
-                    })?);
+                    out.push(
+                        part.parse::<f64>()
+                            .map_err(|_| lower_err(format!("cannot parse `{part}` as a number")))?,
+                    );
                 }
             }
         }
@@ -404,7 +407,9 @@ fn lower_template(g: &Group) -> Result<LutTemplate, ParseLibertyError> {
 }
 
 fn lower_cell(g: &Group, lib: &Library) -> Result<Cell, ParseLibertyError> {
-    let name = g.arg_name().ok_or_else(|| lower_err("cell without a name"))?;
+    let name = g
+        .arg_name()
+        .ok_or_else(|| lower_err("cell without a name"))?;
     let mut cell = Cell::new(name, g.attr_number("area").unwrap_or(0.0));
     cell.leakage_power = g.attr_number("cell_leakage_power").unwrap_or(0.0);
     for pg in g.groups_named("pin") {
@@ -414,7 +419,9 @@ fn lower_cell(g: &Group, lib: &Library) -> Result<Cell, ParseLibertyError> {
 }
 
 fn lower_pin(g: &Group, lib: &Library) -> Result<Pin, ParseLibertyError> {
-    let name = g.arg_name().ok_or_else(|| lower_err("pin without a name"))?;
+    let name = g
+        .arg_name()
+        .ok_or_else(|| lower_err("pin without a name"))?;
     let direction = match g.attr_text("direction").as_deref() {
         Some("input") => PinDirection::Input,
         Some("output") => PinDirection::Output,
@@ -442,7 +449,8 @@ fn lower_pin(g: &Group, lib: &Library) -> Result<Pin, ParseLibertyError> {
         pin.timing.push(lower_timing(tg, lib, &pin.name)?);
     }
     for pg in g.groups_named("internal_power") {
-        pin.internal_power.push(lower_internal_power(pg, lib, &pin.name)?);
+        pin.internal_power
+            .push(lower_internal_power(pg, lib, &pin.name)?);
     }
     Ok(pin)
 }
@@ -452,9 +460,9 @@ fn lower_internal_power(
     lib: &Library,
     pin: &str,
 ) -> Result<InternalPower, ParseLibertyError> {
-    let related = g.attr_text("related_pin").ok_or_else(|| {
-        lower_err(format!("internal_power on pin `{pin}` missing related_pin"))
-    })?;
+    let related = g
+        .attr_text("related_pin")
+        .ok_or_else(|| lower_err(format!("internal_power on pin `{pin}` missing related_pin")))?;
     let mut power = InternalPower::new(related);
     for (field, slot) in [
         ("rise_power", &mut power.rise_power),
@@ -531,7 +539,10 @@ fn lower_lut(g: &Group, lib: &Library) -> Result<Lut, ParseLibertyError> {
         rows.push(parse_float_list(std::slice::from_ref(v))?);
     }
     // A 1-D values list for a 2-D template: reshape row-major.
-    if rows.len() == 1 && index_slew.len() > 1 && rows[0].len() == index_slew.len() * index_load.len() {
+    if rows.len() == 1
+        && index_slew.len() > 1
+        && rows[0].len() == index_slew.len() * index_load.len()
+    {
         let flat = rows.pop().expect("one row present");
         rows = flat.chunks(index_load.len()).map(|c| c.to_vec()).collect();
     }

@@ -6,7 +6,9 @@
 
 use std::fmt::Write as _;
 
-use crate::model::{InternalPower, Library, Lut, Pin, PinDirection, TimingArc, TimingSense, TimingType};
+use crate::model::{
+    InternalPower, Library, Lut, Pin, PinDirection, TimingArc, TimingSense, TimingType,
+};
 
 /// Renders `lib` as Liberty text.
 pub fn write_library(lib: &Library) -> String {
@@ -76,7 +78,10 @@ fn write_pin(w: &mut String, p: &Pin) {
 fn write_internal_power(w: &mut String, ip: &InternalPower) {
     let _ = writeln!(w, "      internal_power () {{");
     let _ = writeln!(w, "        related_pin : \"{}\";", ip.related_pin);
-    for (name, table) in [("rise_power", &ip.rise_power), ("fall_power", &ip.fall_power)] {
+    for (name, table) in [
+        ("rise_power", &ip.rise_power),
+        ("fall_power", &ip.fall_power),
+    ] {
         if let Some(t) = table {
             write_lut(w, name, t);
         }
@@ -137,7 +142,10 @@ fn fmt_f64(v: f64) -> String {
 }
 
 fn join_f64(vs: &[f64]) -> String {
-    vs.iter().map(|v| fmt_f64(*v)).collect::<Vec<_>>().join(", ")
+    vs.iter()
+        .map(|v| fmt_f64(*v))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]

@@ -7,12 +7,16 @@ use crate::ir::{GateKind, NetId, Netlist};
 
 /// Creates `width` fresh internal nets named `prefix[i]`.
 pub fn word(nl: &mut Netlist, prefix: &str, width: usize) -> Vec<NetId> {
-    (0..width).map(|i| nl.add_net(format!("{prefix}[{i}]"))).collect()
+    (0..width)
+        .map(|i| nl.add_net(format!("{prefix}[{i}]")))
+        .collect()
 }
 
 /// Creates `width` primary-input nets named `prefix[i]`.
 pub fn input_word(nl: &mut Netlist, prefix: &str, width: usize) -> Vec<NetId> {
-    (0..width).map(|i| nl.add_input(format!("{prefix}[{i}]"))).collect()
+    (0..width)
+        .map(|i| nl.add_input(format!("{prefix}[{i}]")))
+        .collect()
 }
 
 /// Registers every bit of `d` through a flip-flop; returns the `q` word.
@@ -152,7 +156,12 @@ pub fn mux4_word(
 /// # Panics
 ///
 /// Panics if `words` is empty or `sels` is shorter than needed.
-pub fn mux_tree(nl: &mut Netlist, prefix: &str, words: &[Vec<NetId>], sels: &[NetId]) -> Vec<NetId> {
+pub fn mux_tree(
+    nl: &mut Netlist,
+    prefix: &str,
+    words: &[Vec<NetId>],
+    sels: &[NetId],
+) -> Vec<NetId> {
     assert!(!words.is_empty(), "mux tree needs at least one word");
     if words.len() == 1 {
         return words[0].clone();
@@ -172,7 +181,13 @@ pub fn mux_tree(nl: &mut Netlist, prefix: &str, words: &[Vec<NetId>], sels: &[Ne
                     sels[1],
                 ),
                 3 => {
-                    let lo = mux2_word(nl, &format!("{prefix}_l{k}a"), &chunk[0], &chunk[1], sels[0]);
+                    let lo = mux2_word(
+                        nl,
+                        &format!("{prefix}_l{k}a"),
+                        &chunk[0],
+                        &chunk[1],
+                        sels[0],
+                    );
                     mux2_word(nl, &format!("{prefix}_l{k}"), &lo, &chunk[2], sels[1])
                 }
                 2 => mux2_word(nl, &format!("{prefix}_l{k}"), &chunk[0], &chunk[1], sels[0]),
@@ -180,7 +195,12 @@ pub fn mux_tree(nl: &mut Netlist, prefix: &str, words: &[Vec<NetId>], sels: &[Ne
             };
             level.push(reduced);
         }
-        mux_tree(nl, &format!("{prefix}_u"), &level, &sels[2.min(sels.len())..])
+        mux_tree(
+            nl,
+            &format!("{prefix}_u"),
+            &level,
+            &sels[2.min(sels.len())..],
+        )
     } else {
         let z = mux2_word(nl, &format!("{prefix}_m"), &words[0], &words[1], sels[0]);
         if words.len() == 2 {
@@ -312,7 +332,10 @@ pub fn register_file(
     raddr1: &[NetId],
     raddr2: &[NetId],
 ) -> (Vec<NetId>, Vec<NetId>) {
-    assert!(regs.is_power_of_two(), "register count must be a power of two");
+    assert!(
+        regs.is_power_of_two(),
+        "register count must be a power of two"
+    );
     assert_eq!(waddr.len(), regs.trailing_zeros() as usize);
     let onehot = decoder(nl, &format!("{prefix}_wd"), waddr);
     let mut qwords = Vec::with_capacity(regs);
@@ -456,7 +479,10 @@ mod tests {
         let (sum, _cout) = ripple_adder(&mut nl, "add", &a, &b, cin);
         assert_eq!(sum.len(), 8);
         assert_eq!(
-            nl.gates.iter().filter(|g| g.kind == GateKind::FullAdder).count(),
+            nl.gates
+                .iter()
+                .filter(|g| g.kind == GateKind::FullAdder)
+                .count(),
             8
         );
         nl.validate().unwrap();
@@ -468,7 +494,10 @@ mod tests {
         let d = input_word(&mut nl, "d", 4);
         let q = register_word(&mut nl, "r", &d);
         assert_eq!(q.len(), 4);
-        assert_eq!(nl.gates.iter().filter(|g| g.kind == GateKind::Dff).count(), 4);
+        assert_eq!(
+            nl.gates.iter().filter(|g| g.kind == GateKind::Dff).count(),
+            4
+        );
         nl.validate().unwrap();
     }
 
@@ -485,8 +514,9 @@ mod tests {
     fn mux_tree_handles_non_power_of_two() {
         for n in [2usize, 3, 5, 6, 8, 16] {
             let mut nl = fresh();
-            let words: Vec<Vec<NetId>> =
-                (0..n).map(|i| input_word(&mut nl, &format!("w{i}"), 4)).collect();
+            let words: Vec<Vec<NetId>> = (0..n)
+                .map(|i| input_word(&mut nl, &format!("w{i}"), 4))
+                .collect();
             let sels = input_word(&mut nl, "s", 4);
             let z = mux_tree(&mut nl, "m", &words, &sels);
             assert_eq!(z.len(), 4, "width preserved for n={n}");
@@ -598,7 +628,10 @@ mod tests {
         let z = incrementer(&mut nl, "inc", &a, one);
         assert_eq!(z.len(), 8);
         assert_eq!(
-            nl.gates.iter().filter(|g| g.kind == GateKind::HalfAdder).count(),
+            nl.gates
+                .iter()
+                .filter(|g| g.kind == GateKind::HalfAdder)
+                .count(),
             8
         );
         nl.validate().unwrap();

@@ -98,13 +98,8 @@ pub fn generate_fir(cfg: &FirConfig) -> Netlist {
             product = Some(match product {
                 None => shifted,
                 Some(p) => {
-                    let (sum, _) = ripple_adder(
-                        &mut nl,
-                        &format!("t{tap}_b{bit}"),
-                        &p,
-                        &shifted,
-                        zero,
-                    );
+                    let (sum, _) =
+                        ripple_adder(&mut nl, &format!("t{tap}_b{bit}"), &p, &shifted, zero);
                     sum
                 }
             });
@@ -161,7 +156,11 @@ mod tests {
     fn arithmetic_dominates_the_gate_mix() {
         let nl = generate_fir(&FirConfig::small_for_tests());
         let stats = nl.stats();
-        let fas = stats.by_kind.get(&GateKind::FullAdder).copied().unwrap_or(0);
+        let fas = stats
+            .by_kind
+            .get(&GateKind::FullAdder)
+            .copied()
+            .unwrap_or(0);
         assert!(
             fas * 2 > stats.total_gates - stats.flip_flops,
             "adders should dominate: {fas} of {}",
@@ -187,10 +186,7 @@ mod tests {
                 vec![false; n_in]
             };
             sim.step(&inputs);
-            let out_any = nl
-                .primary_outputs
-                .iter()
-                .any(|&o| sim.value(o));
+            let out_any = nl.primary_outputs.iter().any(|&o| sim.value(o));
             if cycle < 1 {
                 assert!(!out_any, "output before the register latency");
             }

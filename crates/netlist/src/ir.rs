@@ -231,18 +231,17 @@ impl Netlist {
     ///
     /// Panics if the connection counts violate the kind's arity — the
     /// builders are trusted code, so this is a bug, not an input error.
-    pub fn add_gate(
-        &mut self,
-        kind: GateKind,
-        inputs: Vec<NetId>,
-        outputs: Vec<NetId>,
-    ) -> &Gate {
+    pub fn add_gate(&mut self, kind: GateKind, inputs: Vec<NetId>, outputs: Vec<NetId>) -> &Gate {
         assert!(
             kind.input_arity().contains(&inputs.len()),
             "{kind}: bad input count {}",
             inputs.len()
         );
-        assert_eq!(outputs.len(), kind.output_count(), "{kind}: bad output count");
+        assert_eq!(
+            outputs.len(),
+            kind.output_count(),
+            "{kind}: bad output count"
+        );
         let name = format!("g{}_{kind}", self.gates.len());
         self.gates.push(Gate {
             name,
@@ -417,12 +416,7 @@ impl Netlist {
                         );
                     }
                     None => {
-                        let _ = writeln!(
-                            s,
-                            "  \"{}\" -> \"{}\";",
-                            self.net_name(i),
-                            g.name
-                        );
+                        let _ = writeln!(s, "  \"{}\" -> \"{}\";", self.net_name(i), g.name);
                     }
                 }
             }

@@ -128,7 +128,16 @@ pub fn generate_mcu(cfg: &McuConfig) -> Netlist {
     // Execute: register file, ALU, shifter, multiplier.
     // ------------------------------------------------------------------
     let wb_data = word(&mut nl, "wb", w);
-    let (rs1, rs2) = register_file(&mut nl, "rf", cfg.registers, &wb_data, &waddr, wen, &ra1, &ra2);
+    let (rs1, rs2) = register_file(
+        &mut nl,
+        "rf",
+        cfg.registers,
+        &wb_data,
+        &waddr,
+        wen,
+        &ra1,
+        &ra2,
+    );
 
     // ALU: add, sub (via complement), and, xor, muxed by op bits.
     let rs2_n = crate::build::map_word(&mut nl, GateKind::Inv, "alu_bn", &rs2);
@@ -149,13 +158,7 @@ pub fn generate_mcu(cfg: &McuConfig) -> Netlist {
     let shifted = barrel_shifter(&mut nl, "shift", &alu_out, &shamt, zero);
 
     // Multiplier array: mult_width rows of AND partial products + adders.
-    let mut acc = zip_word(
-        &mut nl,
-        GateKind::And,
-        "mul_pp0",
-        &rs1,
-        &vec![rs2[0]; w],
-    );
+    let mut acc = zip_word(&mut nl, GateKind::And, "mul_pp0", &rs1, &vec![rs2[0]; w]);
     for row in 1..cfg.mult_width {
         let pp = zip_word(
             &mut nl,
@@ -212,7 +215,13 @@ pub fn generate_mcu(cfg: &McuConfig) -> Netlist {
         for (d, src) in cnt_d.iter().zip(&cnt_inc) {
             nl.add_gate(GateKind::Buf, vec![*src], vec![*d]);
         }
-        let cmp = zip_word(&mut nl, GateKind::Xnor, &format!("tim{t}_cmp"), &cnt_q, &alu_out);
+        let cmp = zip_word(
+            &mut nl,
+            GateKind::Xnor,
+            &format!("tim{t}_cmp"),
+            &cnt_q,
+            &alu_out,
+        );
         let hit = crate::build::and_reduce(&mut nl, &format!("tim{t}_hit"), &cmp);
         timer_irqs.push(hit);
         slave_words.push(cnt_q);

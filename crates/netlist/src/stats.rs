@@ -70,7 +70,7 @@ impl std::fmt::Display for NetlistStats {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::mcu::{generate_mcu, McuConfig};
 
     #[test]

@@ -34,7 +34,7 @@
 //! floating-point operations in the same order). The `tests/` tree and
 //! the `sta_harness` bench binary both assert this.
 
-use varitune_liberty::{Library, TimingArc, TimingType};
+use varitune_liberty::{CellId, Library, TimingArc, TimingType};
 use varitune_netlist::{GateKind, NetId, Netlist, ValidateNetlistError};
 use varitune_variation::parallel::{resolve_threads, run_trials};
 
@@ -115,7 +115,7 @@ struct Core<'l> {
 impl<'l> Core<'l> {
     fn build(
         nl: &Netlist,
-        cell_names: &[String],
+        cells: &[CellId],
         wire_model: WireModel,
         lib: &'l Library,
         config: &StaConfig,
@@ -130,7 +130,7 @@ impl<'l> Core<'l> {
         let mut gate_inputs = Vec::with_capacity(n_gates);
         let mut gate_outputs = Vec::with_capacity(n_gates);
         for (gi, g) in nl.gates.iter().enumerate() {
-            let (ci, ga, caps) = intern_gate(lib, nl, gi, &cell_names[gi])?;
+            let (ci, ga, caps) = intern_gate(lib, nl, gi, cells[gi])?;
             cell_idx.push(ci);
             is_seq.push(g.kind.is_sequential());
             arcs.push(ga);
@@ -272,9 +272,11 @@ impl<'l> Core<'l> {
         }
         let comb_count = (0..n).filter(|&gi| !self.is_seq[gi]).count();
         if processed != comb_count {
-            return Err(StaError::Netlist(ValidateNetlistError::CombinationalCycle {
-                net: "unknown".to_string(),
-            }));
+            return Err(StaError::Netlist(
+                ValidateNetlistError::CombinationalCycle {
+                    net: "unknown".to_string(),
+                },
+            ));
         }
         self.level = level;
         Ok(())
@@ -450,8 +452,9 @@ impl<'l> Core<'l> {
             Some(gi) => {
                 let data_slew = self.nets[net].slew;
                 let setup = match &self.arcs[gi] {
-                    GateArcs::Seq { setup, .. } => setup
-                        .and_then(|a| a.worst_delay(data_slew, self.config.clock_slew).ok()),
+                    GateArcs::Seq { setup, .. } => {
+                        setup.and_then(|a| a.worst_delay(data_slew, self.config.clock_slew).ok())
+                    }
                     GateArcs::Comb { .. } => None,
                 }
                 .unwrap_or(self.config.setup_time);
@@ -546,19 +549,23 @@ impl<'l> Core<'l> {
 }
 
 /// Resolves gate `gi`'s cell, timing arcs and input-pin capacitances under
-/// `cell_name`, surfacing the same errors (with the same gate index) the
-/// full analysis would.
+/// the typed `cell` id — a bounds check plus direct indexing, no name
+/// lookup — surfacing the same errors (with the same gate index) the full
+/// analysis would.
 fn intern_gate<'l>(
     lib: &'l Library,
     nl: &Netlist,
     gi: usize,
-    cell_name: &str,
+    cell: CellId,
 ) -> Result<(usize, GateArcs<'l>, Vec<f64>), StaError> {
     let g = &nl.gates[gi];
-    let ci = lib.cell_index(cell_name).ok_or_else(|| StaError::UnknownCell {
-        gate: gi,
-        name: cell_name.to_string(),
-    })?;
+    let ci = cell.index();
+    if ci >= lib.cells.len() {
+        return Err(StaError::UnknownCell {
+            gate: gi,
+            name: format!("cell#{}", cell.0),
+        });
+    }
     let cell = &lib.cells[ci];
     let missing = || StaError::MissingArc {
         gate: gi,
@@ -641,7 +648,7 @@ impl<'l> TimingGraph<'l> {
         design.netlist.validate()?;
         let mut core = Core::build(
             &design.netlist,
-            &design.cell_names,
+            &design.cells,
             design.wire_model,
             lib,
             config,
@@ -681,9 +688,15 @@ impl<'l> TimingGraph<'l> {
         self.design.netlist.gates.len()
     }
 
-    /// Cell name of gate `gi`.
+    /// Cell name of gate `gi`, resolved through the library (ids always
+    /// resolve here: they were validated when the gate was interned).
     pub fn cell_name(&self, gi: usize) -> &str {
-        &self.design.cell_names[gi]
+        &self.core.lib.cells[self.core.cell_idx[gi]].name
+    }
+
+    /// Cell id of gate `gi`.
+    pub fn cell_id(&self, gi: usize) -> CellId {
+        self.design.cells[gi]
     }
 
     /// Load on `net` as of the last [`TimingGraph::update`].
@@ -769,12 +782,30 @@ impl<'l> TimingGraph<'l> {
     /// [`StaError::UnknownCell`]/[`StaError::MissingArc`] if the cell does
     /// not fit; the engine is unchanged on error.
     pub fn resize_gate(&mut self, gi: usize, cell_name: &str) -> Result<(), StaError> {
-        if self.design.cell_names[gi] == cell_name {
+        let id = self
+            .core
+            .lib
+            .cell_id(cell_name)
+            .ok_or_else(|| StaError::UnknownCell {
+                gate: gi,
+                name: cell_name.to_string(),
+            })?;
+        self.resize_gate_id(gi, id)
+    }
+
+    /// Id-based [`TimingGraph::resize_gate`] — the sizing-loop entry
+    /// point: no name lookup, no string compare.
+    ///
+    /// # Errors
+    ///
+    /// As [`TimingGraph::resize_gate`]; an out-of-range id reports
+    /// [`StaError::UnknownCell`] with a `cell#<id>` label.
+    pub fn resize_gate_id(&mut self, gi: usize, cell: CellId) -> Result<(), StaError> {
+        if self.design.cells[gi] == cell {
             return Ok(());
         }
-        let (ci, ga, caps) =
-            intern_gate(self.core.lib, &self.design.netlist, gi, cell_name)?;
-        self.design.cell_names[gi] = cell_name.to_string();
+        let (ci, ga, caps) = intern_gate(self.core.lib, &self.design.netlist, gi, cell)?;
+        self.design.cells[gi] = cell;
         self.core.cell_idx[gi] = ci;
         self.core.arcs[gi] = ga;
         self.core.input_caps[gi] = caps;
@@ -808,6 +839,29 @@ impl<'l> TimingGraph<'l> {
     /// [`StaError::UnknownCell`]/[`StaError::MissingArc`] if `inv_cell`
     /// cannot be interned; the engine is unchanged on error.
     pub fn split_fanout(&mut self, net: NetId, inv_cell: &str) -> Result<(usize, usize), StaError> {
+        let gate = self.design.netlist.gates.len();
+        let id = self
+            .core
+            .lib
+            .cell_id(inv_cell)
+            .ok_or_else(|| StaError::UnknownCell {
+                gate,
+                name: inv_cell.to_string(),
+            })?;
+        self.split_fanout_id(net, id)
+    }
+
+    /// Id-based [`TimingGraph::split_fanout`] — no name lookup in the
+    /// buffering loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`TimingGraph::split_fanout`].
+    pub fn split_fanout_id(
+        &mut self,
+        net: NetId,
+        inv_cell: CellId,
+    ) -> Result<(usize, usize), StaError> {
         let ni = net.0 as usize;
         let all = self.core.sinks[ni].clone();
         let moved: Vec<(u32, u32)> = all[all.len() / 2..].to_vec();
@@ -822,13 +876,13 @@ impl<'l> TimingGraph<'l> {
         nl.add_gate(GateKind::Inv, vec![net], vec![mid]);
         let g2 = nl.gates.len();
         nl.add_gate(GateKind::Inv, vec![mid], vec![out]);
-        self.design.cell_names.push(inv_cell.to_string());
-        self.design.cell_names.push(inv_cell.to_string());
+        self.design.cells.push(inv_cell);
+        self.design.cells.push(inv_cell);
 
         // Intern the new inverters (validates `inv_cell`; on failure the
         // netlist edit must be undone to keep the engine consistent).
-        let interned = intern_gate(self.core.lib, &self.design.netlist, g1, inv_cell)
-            .and_then(|a| {
+        let interned =
+            intern_gate(self.core.lib, &self.design.netlist, g1, inv_cell).and_then(|a| {
                 intern_gate(self.core.lib, &self.design.netlist, g2, inv_cell).map(|b| (a, b))
             });
         let ((ci1, ga1, caps1), (ci2, ga2, caps2)) = match interned {
@@ -837,7 +891,7 @@ impl<'l> TimingGraph<'l> {
                 let nl = &mut self.design.netlist;
                 nl.gates.truncate(g1);
                 nl.nets.truncate(mid.0 as usize);
-                self.design.cell_names.truncate(g1);
+                self.design.cells.truncate(g1);
                 for &(g, k) in &moved {
                     self.design.netlist.gates[g as usize].inputs[k as usize] = net;
                 }
@@ -967,7 +1021,7 @@ pub(crate) fn analyze_via_engine(
     design.netlist.validate()?;
     let mut core = Core::build(
         &design.netlist,
-        &design.cell_names,
+        &design.cells,
         design.wire_model,
         lib,
         config,
@@ -993,7 +1047,7 @@ mod tests {
     }
 
     /// inv chain: a -> inv -> ... -> out, all `cell`.
-    fn chain(n: usize, cell: &str) -> MappedDesign {
+    fn chain(n: usize, cell: &str, lib: &Library) -> MappedDesign {
         let mut nl = Netlist::new("chain");
         let mut prev = nl.add_input("a");
         for i in 0..n {
@@ -1002,7 +1056,7 @@ mod tests {
             prev = z;
         }
         nl.mark_output(prev);
-        MappedDesign::new(nl, vec![cell.into(); n], WireModel::default())
+        MappedDesign::from_names(nl, &vec![cell; n], lib, WireModel::default()).unwrap()
     }
 
     fn assert_reports_bit_identical(a: &TimingReport, b: &TimingReport) {
@@ -1022,7 +1076,11 @@ mod tests {
         assert_eq!(a.endpoints.len(), b.endpoints.len());
         for (i, (x, y)) in a.endpoints.iter().zip(&b.endpoints).enumerate() {
             assert_eq!(x.net, y.net, "endpoint {i} net");
-            assert_eq!(x.arrival.to_bits(), y.arrival.to_bits(), "endpoint {i} arrival");
+            assert_eq!(
+                x.arrival.to_bits(),
+                y.arrival.to_bits(),
+                "endpoint {i} arrival"
+            );
             assert_eq!(
                 x.required.to_bits(),
                 y.required.to_bits(),
@@ -1035,7 +1093,7 @@ mod tests {
     fn fresh_engine_matches_analyze() {
         let lib = lib();
         let cfg = StaConfig::with_clock_period(2.0);
-        let d = chain(8, "INV_2");
+        let d = chain(8, "INV_2", &lib);
         let full = analyze(&d, &lib, &cfg).unwrap();
         let engine = TimingGraph::new(d, &lib, &cfg).unwrap();
         assert_reports_bit_identical(&engine.report(), &full);
@@ -1045,7 +1103,7 @@ mod tests {
     fn resize_retime_matches_fresh_analyze() {
         let lib = lib();
         let cfg = StaConfig::with_clock_period(2.0);
-        let mut engine = TimingGraph::new(chain(10, "INV_2"), &lib, &cfg).unwrap();
+        let mut engine = TimingGraph::new(chain(10, "INV_2", &lib), &lib, &cfg).unwrap();
         engine.resize_gate(4, "INV_8").unwrap();
         engine.update().unwrap();
         let full = analyze(engine.design(), &lib, &cfg).unwrap();
@@ -1056,7 +1114,7 @@ mod tests {
     fn resize_recomputes_only_the_dirty_cone() {
         let lib = lib();
         let cfg = StaConfig::with_clock_period(5.0);
-        let mut engine = TimingGraph::new(chain(50, "INV_2"), &lib, &cfg).unwrap();
+        let mut engine = TimingGraph::new(chain(50, "INV_2", &lib), &lib, &cfg).unwrap();
         assert_eq!(engine.gates_recomputed_in_last_update(), 50);
         // Resizing gate 40 dirties its driver (input load changed) and
         // its downstream cone — a handful of gates, not the chain.
@@ -1071,7 +1129,7 @@ mod tests {
     fn noop_update_recomputes_nothing() {
         let lib = lib();
         let cfg = StaConfig::with_clock_period(5.0);
-        let mut engine = TimingGraph::new(chain(10, "INV_2"), &lib, &cfg).unwrap();
+        let mut engine = TimingGraph::new(chain(10, "INV_2", &lib), &lib, &cfg).unwrap();
         engine.update().unwrap();
         assert_eq!(engine.gates_recomputed_in_last_update(), 0);
         // Resizing to the current cell is a no-op, too.
@@ -1096,7 +1154,7 @@ mod tests {
             nl.mark_output(z);
             names.push("INV_2".into());
         }
-        let d = MappedDesign::new(nl, names, WireModel::default());
+        let d = MappedDesign::from_names(nl, &names, &lib, WireModel::default()).unwrap();
         let mut engine = TimingGraph::new(d, &lib, &cfg).unwrap();
         let (g1, g2) = engine.split_fanout(x, "INV_2").unwrap();
         assert_eq!((g1, g2), (9, 10));
@@ -1123,7 +1181,7 @@ mod tests {
             nl.mark_output(q);
             names.push("DF_1".into());
         }
-        let d = MappedDesign::new(nl, names, WireModel::default());
+        let d = MappedDesign::from_names(nl, &names, &lib, WireModel::default()).unwrap();
         let mut engine = TimingGraph::new(d, &lib, &cfg).unwrap();
         engine.split_fanout(x, "INV_2").unwrap();
         engine.update().unwrap();
@@ -1136,7 +1194,7 @@ mod tests {
     fn set_load_override_propagates_and_clears() {
         let lib = lib();
         let cfg = StaConfig::with_clock_period(5.0);
-        let d = chain(5, "INV_2");
+        let d = chain(5, "INV_2", &lib);
         let x = d.netlist.gates[1].outputs[0];
         let mut engine = TimingGraph::new(d, &lib, &cfg).unwrap();
         let before = engine.report();
@@ -1154,7 +1212,7 @@ mod tests {
     fn required_times_match_free_function() {
         let lib = lib();
         let cfg = StaConfig::with_clock_period(2.0);
-        let d = chain(6, "INV_2");
+        let d = chain(6, "INV_2", &lib);
         let report = analyze(&d, &lib, &cfg).unwrap();
         let free = crate::graph::required_times(&d, &lib, &report).unwrap();
         let engine = TimingGraph::new(d, &lib, &cfg).unwrap();
@@ -1169,7 +1227,7 @@ mod tests {
     fn unknown_cell_resize_leaves_engine_intact() {
         let lib = lib();
         let cfg = StaConfig::with_clock_period(2.0);
-        let mut engine = TimingGraph::new(chain(4, "INV_2"), &lib, &cfg).unwrap();
+        let mut engine = TimingGraph::new(chain(4, "INV_2", &lib), &lib, &cfg).unwrap();
         let before = engine.report();
         assert!(matches!(
             engine.resize_gate(2, "NOPE_9"),
@@ -1192,9 +1250,13 @@ mod tests {
             let z = nl.add_net(format!("z{i}"));
             nl.add_gate(GateKind::Inv, vec![a], vec![z]);
             nl.mark_output(z);
-            names.push(if i % 3 == 0 { "INV_1".to_string() } else { "INV_2".into() });
+            names.push(if i % 3 == 0 {
+                "INV_1".to_string()
+            } else {
+                "INV_2".into()
+            });
         }
-        let d = MappedDesign::new(nl, names, WireModel::default());
+        let d = MappedDesign::from_names(nl, &names, &lib, WireModel::default()).unwrap();
         let reference = TimingGraph::new(d.clone(), &lib, &cfg).unwrap().report();
         for threads in [2, 8] {
             let mut engine = TimingGraph::new(d.clone(), &lib, &cfg).unwrap();

@@ -291,10 +291,9 @@ pub fn required_times(
             .cell_of(gi, lib)
             .ok_or_else(|| StaError::UnknownCell {
                 gate: gi,
-                name: design.cell_names[gi].clone(),
+                name: design.cell_label(gi, lib),
             })?;
-        let input_pin_names: Vec<&str> =
-            cell.input_pins().map(|p| p.name.as_str()).collect();
+        let input_pin_names: Vec<&str> = cell.input_pins().map(|p| p.name.as_str()).collect();
         for (j, &out) in g.outputs.iter().enumerate() {
             let out_req = req[out.0 as usize];
             if !out_req.is_finite() {
@@ -359,9 +358,11 @@ pub(crate) fn topo_order(nl: &varitune_netlist::Netlist) -> Result<Vec<usize>, S
     }
     let comb_count = (0..nl.gates.len()).filter(|&gi| is_comb(gi)).count();
     if order.len() != comb_count {
-        return Err(StaError::Netlist(ValidateNetlistError::CombinationalCycle {
-            net: "unknown".to_string(),
-        }));
+        return Err(StaError::Netlist(
+            ValidateNetlistError::CombinationalCycle {
+                net: "unknown".to_string(),
+            },
+        ));
     }
     Ok(order)
 }
@@ -387,7 +388,7 @@ mod tests {
             prev = z;
         }
         nl.mark_output(prev);
-        MappedDesign::new(nl, vec!["INV_2".into(); n], WireModel::default())
+        MappedDesign::from_names(nl, &vec!["INV_2"; n], &lib(), WireModel::default()).unwrap()
     }
 
     #[test]
@@ -436,11 +437,9 @@ mod tests {
         let q1 = nl.add_net("q1");
         nl.add_gate(GateKind::Dff, vec![x], vec![q1]);
         nl.mark_output(q1);
-        let d = MappedDesign::new(
-            nl,
-            vec!["DF_1".into(), "INV_2".into(), "DF_1".into()],
-            WireModel::default(),
-        );
+        let d =
+            MappedDesign::from_names(nl, &["DF_1", "INV_2", "DF_1"], &lib, WireModel::default())
+                .unwrap();
         let r = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
         // Endpoints: two FF D-inputs + one PO.
         assert_eq!(r.endpoints.len(), 3);
@@ -460,7 +459,7 @@ mod tests {
     fn unknown_cell_is_reported() {
         let lib = lib();
         let mut d = chain(2);
-        d.cell_names[1] = "NOPE_1".into();
+        d.cells[1] = varitune_liberty::CellId(u32::MAX);
         let err = analyze(&d, &lib, &StaConfig::default()).unwrap_err();
         assert!(matches!(err, StaError::UnknownCell { gate: 1, .. }));
     }
@@ -474,11 +473,8 @@ mod tests {
         let y = nl.add_net("y");
         nl.add_gate(GateKind::Nand, vec![a, y], vec![x]);
         nl.add_gate(GateKind::Inv, vec![x], vec![y]);
-        let d = MappedDesign::new(
-            nl,
-            vec!["ND2_1".into(), "INV_1".into()],
-            WireModel::default(),
-        );
+        let d =
+            MappedDesign::from_names(nl, &["ND2_1", "INV_1"], &lib, WireModel::default()).unwrap();
         assert!(matches!(
             analyze(&d, &lib, &StaConfig::default()),
             Err(StaError::Netlist(_))
@@ -501,7 +497,7 @@ mod tests {
                 nl.mark_output(z);
                 names.push("INV_2".into());
             }
-            MappedDesign::new(nl, names, WireModel::default())
+            MappedDesign::from_names(nl, &names, &lib, WireModel::default()).unwrap()
         };
         let cfg = StaConfig::with_clock_period(10.0);
         let r1 = analyze(&build("INV_1"), &lib, &cfg).unwrap();
@@ -547,7 +543,7 @@ mod tests {
         let a = nl.add_input("a");
         let x = nl.add_net("x");
         nl.add_gate(GateKind::Inv, vec![a], vec![x]);
-        let d = MappedDesign::new(nl, vec!["INV_1".into()], WireModel::default());
+        let d = MappedDesign::from_names(nl, &["INV_1"], &lib, WireModel::default()).unwrap();
         let r = analyze(&d, &lib, &StaConfig::with_clock_period(1.0)).unwrap();
         let req = required_times(&d, &lib, &r).unwrap();
         assert_eq!(req[1], f64::INFINITY);
@@ -565,7 +561,7 @@ mod tests {
         nl.add_gate(GateKind::FullAdder, vec![a, b, c], vec![s, co]);
         nl.mark_output(s);
         nl.mark_output(co);
-        let d = MappedDesign::new(nl, vec!["AD2_2".into()], WireModel::default());
+        let d = MappedDesign::from_names(nl, &["AD2_2"], &lib, WireModel::default()).unwrap();
         let r = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
         let s_t = r.nets[3];
         let co_t = r.nets[4];

@@ -126,7 +126,7 @@ pub fn analyze_hold(
             .cell_of(gi, lib)
             .ok_or_else(|| StaError::UnknownCell {
                 gate: gi,
-                name: design.cell_names[gi].clone(),
+                name: design.cell_label(gi, lib),
             })?;
         for (j, &out) in g.outputs.iter().enumerate() {
             let pin = cell.output_pins().nth(j).ok_or(StaError::MissingArc {
@@ -149,7 +149,7 @@ pub fn analyze_hold(
             .cell_of(gi, lib)
             .ok_or_else(|| StaError::UnknownCell {
                 gate: gi,
-                name: design.cell_names[gi].clone(),
+                name: design.cell_label(gi, lib),
             })?;
         let input_pin_names: Vec<&str> = cell.input_pins().map(|p| p.name.as_str()).collect();
         for (j, &out) in g.outputs.iter().enumerate() {
@@ -242,7 +242,7 @@ mod tests {
         nl.add_gate(GateKind::Dff, vec![prev], vec![q1]);
         names.push("DF_1".to_string());
         nl.mark_output(q1);
-        MappedDesign::new(nl, names, WireModel::default())
+        MappedDesign::from_names(nl, &names, &lib(), WireModel::default()).unwrap()
     }
 
     #[test]
@@ -279,7 +279,11 @@ mod tests {
         let lib = lib();
         // A few inverters of delay comfortably beat a ~12 ps hold time.
         let buffered = analyze_hold(&reg_chain(4), &lib, &HoldConfig::default()).unwrap();
-        assert!(capture_slack(&buffered) > 0.0, "{}", capture_slack(&buffered));
+        assert!(
+            capture_slack(&buffered) > 0.0,
+            "{}",
+            capture_slack(&buffered)
+        );
         // The unconstrained primary-input endpoint reports a violation —
         // the conservative (correct) answer.
         assert!(!buffered.meets_hold());
@@ -358,7 +362,7 @@ mod tests {
         let q1 = nl.add_net("q1");
         nl.add_gate(GateKind::Dff, vec![merge], vec![q1]);
         names.push("DF_1".into());
-        let d = MappedDesign::new(nl, names, WireModel::default());
+        let d = MappedDesign::from_names(nl, &names, &lib, WireModel::default()).unwrap();
         let hold = analyze_hold(&d, &lib, &HoldConfig::default()).unwrap();
         let setup = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
         let merge_idx = 6; // q0=1, l0..l3=2..5, merge=6

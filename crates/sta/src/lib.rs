@@ -36,7 +36,8 @@
 //! nl.add_gate(GateKind::Nand, vec![a, b], vec![x]);
 //! nl.add_gate(GateKind::Inv, vec![x], vec![y]);
 //! nl.mark_output(y);
-//! let design = MappedDesign::new(nl, vec!["ND2_2".into(), "INV_1".into()], WireModel::default());
+//! let design =
+//!     MappedDesign::from_names(nl, &["ND2_2", "INV_1"], &lib, WireModel::default())?;
 //! let report = analyze(&design, &lib, &StaConfig::with_clock_period(1.0))?;
 //! assert!(report.worst_slack() > 0.0); // comfortably meets 1 ns
 //! # Ok(())

@@ -1,6 +1,8 @@
 //! A mapped design: a generic netlist bound to concrete library cells.
 
-use varitune_liberty::{Cell, Library};
+use std::fmt;
+
+use varitune_liberty::{Cell, CellId, Library};
 use varitune_netlist::{NetId, Netlist};
 
 /// Lumped wire-load model: every net contributes a base capacitance plus a
@@ -35,52 +37,118 @@ impl WireModel {
     }
 }
 
-/// A netlist with one library cell name assigned to every gate.
+/// A netlist with one library cell bound to every gate.
 ///
 /// The binding is positional: gate input `k` connects to the cell's `k`-th
 /// input pin (in library declaration order, data pins before the clock pin),
-/// and gate output `j` to the cell's `j`-th output pin.
+/// and gate output `j` to the cell's `j`-th output pin. Cells are stored as
+/// typed [`CellId`]s — indices into `Library::cells` — so every analysis
+/// loop resolves cells by direct indexing, not name lookup. Ids are
+/// positional and therefore portable across structurally identical
+/// libraries (nominal, Monte-Carlo perturbations, the statistical
+/// mean/sigma pair).
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MappedDesign {
     /// The underlying generic netlist (buffering during optimization adds
-    /// gates here and to `cell_names` in lockstep).
+    /// gates here and to `cells` in lockstep).
     pub netlist: Netlist,
-    /// Library cell name per gate index.
-    pub cell_names: Vec<String>,
+    /// Library cell id per gate index.
+    pub cells: Vec<CellId>,
     /// Wire-load model used for net capacitances.
     pub wire_model: WireModel,
 }
+
+/// A cell name that does not exist in the library, reported by
+/// [`MappedDesign::from_names`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCellName {
+    /// Gate whose cell could not be resolved.
+    pub gate: usize,
+    /// The unresolvable name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownCellName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gate {} references unknown cell `{}`",
+            self.gate, self.name
+        )
+    }
+}
+
+impl std::error::Error for UnknownCellName {}
 
 impl MappedDesign {
     /// Creates a mapped design.
     ///
     /// # Panics
     ///
-    /// Panics if `cell_names` does not have one entry per gate.
-    pub fn new(netlist: Netlist, cell_names: Vec<String>, wire_model: WireModel) -> Self {
+    /// Panics if `cells` does not have one entry per gate.
+    pub fn new(netlist: Netlist, cells: Vec<CellId>, wire_model: WireModel) -> Self {
         assert_eq!(
             netlist.gates.len(),
-            cell_names.len(),
-            "one cell name per gate required"
+            cells.len(),
+            "one cell id per gate required"
         );
         Self {
             netlist,
-            cell_names,
+            cells,
             wire_model,
         }
     }
 
-    /// Resolves the library cell of gate `gi`.
+    /// Creates a mapped design from cell *names*, interning each against
+    /// `lib` — the boundary constructor for hand-written designs and tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownCellName`] for the first name `lib` does not contain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` does not have one entry per gate.
+    pub fn from_names<S: AsRef<str>>(
+        netlist: Netlist,
+        names: &[S],
+        lib: &Library,
+        wire_model: WireModel,
+    ) -> Result<Self, UnknownCellName> {
+        let cells = names
+            .iter()
+            .enumerate()
+            .map(|(gi, n)| {
+                lib.cell_id(n.as_ref()).ok_or_else(|| UnknownCellName {
+                    gate: gi,
+                    name: n.as_ref().to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::new(netlist, cells, wire_model))
+    }
+
+    /// Resolves the library cell of gate `gi` (`None` when the id is out of
+    /// range for `lib`).
     pub fn cell_of<'l>(&self, gi: usize, lib: &'l Library) -> Option<&'l Cell> {
-        lib.cell(&self.cell_names[gi])
+        lib.cells.get(self.cells[gi].index())
+    }
+
+    /// Display label of gate `gi`'s cell: its library name, or `cell#<id>`
+    /// when the id does not resolve in `lib`.
+    pub fn cell_label(&self, gi: usize, lib: &Library) -> String {
+        match self.cell_of(gi, lib) {
+            Some(c) => c.name.clone(),
+            None => format!("cell#{}", self.cells[gi].0),
+        }
     }
 
     /// Total cell area of the design under `lib`.
     pub fn total_area(&self, lib: &Library) -> f64 {
-        self.cell_names
+        self.cells
             .iter()
-            .map(|n| lib.cell(n).map_or(0.0, |c| c.area))
+            .map(|id| lib.cells.get(id.index()).map_or(0.0, |c| c.area))
             .sum()
     }
 
@@ -119,14 +187,22 @@ impl MappedDesign {
     }
 
     /// Histogram of cell usage: `(cell name, instance count)` sorted by
-    /// descending count — the paper's Fig. 9 data.
-    pub fn cell_usage(&self) -> Vec<(String, usize)> {
-        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
-        for n in &self.cell_names {
-            *counts.entry(n.as_str()).or_default() += 1;
+    /// descending count — the paper's Fig. 9 data. Counting runs over ids;
+    /// names are materialized once per distinct cell at this report
+    /// boundary.
+    pub fn cell_usage(&self, lib: &Library) -> Vec<(String, usize)> {
+        let mut counts = vec![0usize; lib.cells.len()];
+        for id in &self.cells {
+            if let Some(c) = counts.get_mut(id.index()) {
+                *c += 1;
+            }
         }
-        let mut v: Vec<(String, usize)> =
-            counts.into_iter().map(|(k, c)| (k.to_string(), c)).collect();
+        let mut v: Vec<(String, usize)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (lib.cells[i].name.clone(), c))
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
@@ -147,11 +223,8 @@ mod tests {
         nl.add_gate(GateKind::Inv, vec![a], vec![x]);
         nl.add_gate(GateKind::Inv, vec![x], vec![y]);
         nl.mark_output(y);
-        let d = MappedDesign::new(
-            nl,
-            vec!["INV_1".into(), "INV_4".into()],
-            WireModel::default(),
-        );
+        let d =
+            MappedDesign::from_names(nl, &["INV_1", "INV_4"], &lib, WireModel::default()).unwrap();
         (d, lib)
     }
 
@@ -167,7 +240,13 @@ mod tests {
         let (d, lib) = demo();
         let loads = d.net_loads(&lib);
         // Net x drives INV_4's input: its pin cap plus wire cap for 1 sink.
-        let pin = lib.cell("INV_4").unwrap().input_pins().next().unwrap().capacitance;
+        let pin = lib
+            .cell("INV_4")
+            .unwrap()
+            .input_pins()
+            .next()
+            .unwrap()
+            .capacitance;
         let expect = pin + d.wire_model.wire_cap(1);
         assert!((loads[1] - expect).abs() < 1e-12, "{}", loads[1]);
         // Net y drives only the primary output: wire cap only.
@@ -181,7 +260,7 @@ mod tests {
         let a = nl.add_input("a");
         let x = nl.add_net("x");
         nl.add_gate(GateKind::Inv, vec![a], vec![x]);
-        let d = MappedDesign::new(nl, vec!["INV_1".into()], WireModel::default());
+        let d = MappedDesign::from_names(nl, &["INV_1"], &lib, WireModel::default()).unwrap();
         assert_eq!(d.net_loads(&lib)[1], 0.0);
     }
 
@@ -196,28 +275,48 @@ mod tests {
             nl.add_gate(GateKind::Inv, vec![prev], vec![n]);
             prev = n;
         }
-        let names = vec![
-            "INV_1".into(),
-            "INV_1".into(),
-            "INV_1".into(),
-            "INV_2".into(),
-            "INV_2".into(),
-        ];
-        let d = MappedDesign::new(nl, names, WireModel::default());
-        let usage = d.cell_usage();
+        let names = ["INV_1", "INV_1", "INV_1", "INV_2", "INV_2"];
+        let d = MappedDesign::from_names(nl, &names, &lib, WireModel::default()).unwrap();
+        let usage = d.cell_usage(&lib);
         assert_eq!(usage[0], ("INV_1".to_string(), 3));
         assert_eq!(usage[1], ("INV_2".to_string(), 2));
-        let _ = lib; // silence unused in this test
     }
 
     #[test]
-    #[should_panic(expected = "one cell name per gate")]
-    fn mismatched_names_panic() {
+    #[should_panic(expected = "one cell id per gate")]
+    fn mismatched_ids_panic() {
         let mut nl = Netlist::new("bad");
         let a = nl.add_input("a");
         let x = nl.add_net("x");
         nl.add_gate(GateKind::Inv, vec![a], vec![x]);
         let _ = MappedDesign::new(nl, vec![], WireModel::default());
+    }
+
+    #[test]
+    fn from_names_reports_unknown_cells() {
+        let lib = generate_nominal(&GenerateConfig::small_for_tests());
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Inv, vec![a], vec![x]);
+        let err =
+            MappedDesign::from_names(nl, &["NOPE_9"], &lib, WireModel::default()).unwrap_err();
+        assert_eq!(
+            err,
+            UnknownCellName {
+                gate: 0,
+                name: "NOPE_9".into()
+            }
+        );
+    }
+
+    #[test]
+    fn labels_fall_back_for_unresolvable_ids() {
+        let (mut d, lib) = demo();
+        assert_eq!(d.cell_label(0, &lib), "INV_1");
+        d.cells[0] = CellId(u32::MAX);
+        assert_eq!(d.cell_label(0, &lib), format!("cell#{}", u32::MAX));
+        assert!(d.cell_of(0, &lib).is_none());
     }
 
     #[test]

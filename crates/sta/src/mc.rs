@@ -117,8 +117,8 @@ mod tests {
     use crate::mapped::{MappedDesign, WireModel};
     use crate::paths::worst_paths;
     use varitune_libchar::{generate_mc_libraries, generate_nominal, GenerateConfig};
-    use varitune_netlist::{GateKind, Netlist};
     use varitune_liberty::Library;
+    use varitune_netlist::{GateKind, Netlist};
 
     fn fixtures() -> (Library, StatLibrary) {
         let cfg = GenerateConfig::small_for_tests();
@@ -146,8 +146,8 @@ mod tests {
             prev = z;
         }
         nl.mark_output(prev);
-        let cells = vec!["INV_2".to_string(); 12];
-        MappedDesign::new(nl, cells, WireModel::default())
+        let lib = generate_nominal(&GenerateConfig::small_for_tests());
+        MappedDesign::from_names(nl, &["INV_2"; 12], &lib, WireModel::default()).unwrap()
     }
 
     fn fixture_paths() -> (StatLibrary, Vec<PathTiming>) {

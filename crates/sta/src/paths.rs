@@ -107,6 +107,10 @@ pub fn extract_path(
     rho: f64,
 ) -> Result<PathTiming, StaError> {
     let mut cells_rev: Vec<PathCellSample> = Vec::new();
+    // Id-based query coordinates, parallel to `cells_rev`: the statistical
+    // queries below run on (CellId, pin position) — the PathCellSample
+    // strings are materialized only for the report.
+    let mut arcs_rev: Vec<(varitune_liberty::CellId, usize, Option<usize>)> = Vec::new();
     let mut net = endpoint;
     loop {
         let t = report.nets[net.0 as usize];
@@ -117,7 +121,7 @@ pub fn extract_path(
             .cell_of(gi, lib)
             .ok_or_else(|| StaError::UnknownCell {
                 gate: gi,
-                name: design.cell_names[gi].clone(),
+                name: design.cell_label(gi, lib),
             })?;
         let out_pin = cell
             .output_pins()
@@ -139,21 +143,23 @@ pub fn extract_path(
             load: t.load,
             delay: t.cell_delay,
         });
+        arcs_rev.push((design.cells[gi], t.out_pin, t.crit_input));
         match t.crit_input {
             Some(k) => net = design.netlist.gates[gi].inputs[k],
             None => break, // launching flip-flop
         }
     }
     cells_rev.reverse();
+    arcs_rev.reverse();
 
     let mut means = Vec::with_capacity(cells_rev.len());
     let mut sigmas = Vec::with_capacity(cells_rev.len());
-    for c in &cells_rev {
+    for (c, &(id, out_pin, crit_input)) in cells_rev.iter().zip(&arcs_rev) {
         // Query the precise critical arc when known; launching flip-flops
         // fall back to the pin-level worst (their only arc is clk->q).
-        let (m, s) = match &c.related_pin {
-            Some(rel) => stat.delay_stat_arc(&c.cell, &c.out_pin, rel, c.slew, c.load)?,
-            None => stat.delay_stat(&c.cell, &c.out_pin, c.slew, c.load)?,
+        let (m, s) = match crit_input {
+            Some(k) => stat.delay_stat_arc_id(id, out_pin, k, c.slew, c.load)?,
+            None => stat.delay_stat_id(id, out_pin, c.slew, c.load)?,
         };
         means.push(m);
         sigmas.push(s);
@@ -214,7 +220,10 @@ pub fn timing_yield(paths: &[PathTiming], deadline: f64) -> f64 {
 ///
 /// Panics if `target` is not in `(0, 1)` or `paths` is empty.
 pub fn deadline_at_yield(paths: &[PathTiming], target: f64, tol: f64) -> f64 {
-    assert!(target > 0.0 && target < 1.0, "yield target must be in (0, 1)");
+    assert!(
+        target > 0.0 && target < 1.0,
+        "yield target must be in (0, 1)"
+    );
     assert!(!paths.is_empty(), "need at least one path");
     let mut lo = 0.0f64;
     let mut hi = paths
@@ -269,7 +278,8 @@ mod tests {
             prev = z;
         }
         nl.mark_output(prev);
-        MappedDesign::new(nl, vec![cell.to_string(); n], WireModel::default())
+        let lib = generate_nominal(&GenerateConfig::small_for_tests());
+        MappedDesign::from_names(nl, &vec![cell; n], &lib, WireModel::default()).unwrap()
     }
 
     #[test]
@@ -291,8 +301,12 @@ mod tests {
         let p = extract_path(&d, &lib, &stat, &r, r.endpoints[0].net, 0.0).unwrap();
         // The stat mean uses worst-over-arcs tables, so it sits at or just
         // above the deterministic arrival.
-        assert!(p.mean >= p.arrival * 0.9 && p.mean <= p.arrival * 1.3,
-            "mean {} vs arrival {}", p.mean, p.arrival);
+        assert!(
+            p.mean >= p.arrival * 0.9 && p.mean <= p.arrival * 1.3,
+            "mean {} vs arrival {}",
+            p.mean,
+            p.arrival
+        );
     }
 
     #[test]
@@ -343,7 +357,12 @@ mod tests {
             let r = analyze(&d, &lib, &cfg).unwrap();
             extract_path(&d, &lib, &stat, &r, r.endpoints[0].net, 0.0).unwrap()
         };
-        assert!(strong.sigma < weak.sigma, "{} vs {}", strong.sigma, weak.sigma);
+        assert!(
+            strong.sigma < weak.sigma,
+            "{} vs {}",
+            strong.sigma,
+            weak.sigma
+        );
     }
 
     #[test]
@@ -356,7 +375,7 @@ mod tests {
         // The same net is marked PO twice — still one unique endpoint.
         nl.mark_output(x);
         nl.mark_output(x);
-        let d = MappedDesign::new(nl, vec!["INV_1".into()], WireModel::default());
+        let d = MappedDesign::from_names(nl, &["INV_1"], &lib, WireModel::default()).unwrap();
         let r = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
         let (paths, design_t) = worst_paths(&d, &lib, &stat, &r, 0.0).unwrap();
         assert_eq!(paths.len(), 1);
@@ -476,17 +495,11 @@ mod tests {
         nl.add_gate(GateKind::Inv, vec![q0], vec![x]);
         let q1 = nl.add_net("q1");
         nl.add_gate(GateKind::Dff, vec![x], vec![q1]);
-        let d = MappedDesign::new(
-            nl,
-            vec!["DF_1".into(), "INV_2".into(), "DF_1".into()],
-            WireModel::default(),
-        );
+        let d =
+            MappedDesign::from_names(nl, &["DF_1", "INV_2", "DF_1"], &lib, WireModel::default())
+                .unwrap();
         let r = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
-        let ep = r
-            .endpoints
-            .iter()
-            .find(|e| e.net == NetId(2))
-            .unwrap();
+        let ep = r.endpoints.iter().find(|e| e.net == NetId(2)).unwrap();
         let p = extract_path(&d, &lib, &stat, &r, ep.net, 0.0).unwrap();
         // Launching DF_1 + INV_2 = depth 2.
         assert_eq!(p.depth(), 2);

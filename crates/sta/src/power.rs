@@ -119,14 +119,13 @@ fn estimate(
             .cell_of(gi, lib)
             .ok_or_else(|| StaError::UnknownCell {
                 gate: gi,
-                name: design.cell_names[gi].clone(),
+                name: design.cell_label(gi, lib),
             })?;
         // nW -> mW.
         leakage += cell.leakage_power * 1e-6;
         for (j, &out) in g.outputs.iter().enumerate() {
             let t = report.nets[out.0 as usize];
-            let net_activity =
-                activity.map_or(config.activity, |a| a[out.0 as usize]);
+            let net_activity = activity.map_or(config.activity, |a| a[out.0 as usize]);
             let events_per_ns = net_activity * freq_ghz;
             // pJ/event * events/ns = mW.
             switching += 0.5 * t.load * v2 * events_per_ns;
@@ -167,13 +166,20 @@ mod tests {
             prev = z;
         }
         nl.mark_output(prev);
-        MappedDesign::new(nl, vec![cell.to_string(); n], WireModel::default())
+        let lib = generate_nominal(&GenerateConfig::small_for_tests());
+        MappedDesign::from_names(nl, &vec![cell; n], &lib, WireModel::default()).unwrap()
     }
 
     fn power_of(design: &MappedDesign, period: f64) -> PowerReport {
         let lib = generate_nominal(&GenerateConfig::small_for_tests());
         let report = analyze(design, &lib, &StaConfig::with_clock_period(period)).unwrap();
-        estimate_power(design, &lib, &report, &PowerConfig::with_clock_period(period)).unwrap()
+        estimate_power(
+            design,
+            &lib,
+            &report,
+            &PowerConfig::with_clock_period(period),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -237,12 +243,16 @@ mod tests {
         let cfg = PowerConfig::with_clock_period(5.0);
         let activity =
             varitune_netlist::random_activity(&d.netlist, 128, 3).expect("valid netlist");
-        let p =
-            estimate_power_with_activity(&d, &lib, &report, &cfg, &activity.per_net).unwrap();
+        let p = estimate_power_with_activity(&d, &lib, &report, &cfg, &activity.per_net).unwrap();
         // An inverter chain fed with random bits toggles heavily, so the
         // measured-activity estimate exceeds the 0.1 blanket one.
         let blanket = estimate_power(&d, &lib, &report, &cfg).unwrap();
-        assert!(p.internal > blanket.internal, "{} vs {}", p.internal, blanket.internal);
+        assert!(
+            p.internal > blanket.internal,
+            "{} vs {}",
+            p.internal,
+            blanket.internal
+        );
     }
 
     #[test]
@@ -250,7 +260,7 @@ mod tests {
         let lib = generate_nominal(&GenerateConfig::small_for_tests());
         let mut d = chain(2, "INV_1");
         let report = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
-        d.cell_names[0] = "MISSING_1".into();
+        d.cells[0] = varitune_liberty::CellId(u32::MAX);
         let err =
             estimate_power(&d, &lib, &report, &PowerConfig::with_clock_period(5.0)).unwrap_err();
         assert!(matches!(err, StaError::UnknownCell { .. }));

@@ -45,7 +45,7 @@ pub fn report_timing(
         let path = extract_path(design, lib, stat, report, ep.net, 0.0)?;
         let kind = match ep.kind {
             EndpointKind::FlipFlopData { gate } => {
-                format!("setup at {}", design.cell_names[gate])
+                format!("setup at {}", design.cell_label(gate, lib))
             }
             EndpointKind::PrimaryOutput => "primary output".to_string(),
         };
@@ -82,11 +82,7 @@ pub fn report_timing(
                 out,
                 "  {:<12} {:>4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
                 c.cell,
-                format!(
-                    "{}>{}",
-                    c.related_pin.as_deref().unwrap_or("CK"),
-                    c.out_pin
-                ),
+                format!("{}>{}", c.related_pin.as_deref().unwrap_or("CK"), c.out_pin),
                 c.slew,
                 c.load,
                 c.delay,
@@ -108,8 +104,7 @@ mod tests {
     fn fixture() -> (MappedDesign, Library, StatLibrary) {
         let cfg = GenerateConfig::small_for_tests();
         let lib = generate_nominal(&cfg);
-        let stat =
-            StatLibrary::from_libraries(&generate_mc_libraries(&lib, &cfg, 10, 5)).unwrap();
+        let stat = StatLibrary::from_libraries(&generate_mc_libraries(&lib, &cfg, 10, 5)).unwrap();
         let mut nl = Netlist::new("rpt");
         let a = nl.add_input("a");
         let x = nl.add_net("x");
@@ -119,11 +114,9 @@ mod tests {
         nl.add_gate(GateKind::Inv, vec![x], vec![y]);
         nl.add_gate(GateKind::Dff, vec![y], vec![q]);
         nl.mark_output(q);
-        let d = MappedDesign::new(
-            nl,
-            vec!["INV_1".into(), "INV_2".into(), "DF_1".into()],
-            WireModel::default(),
-        );
+        let d =
+            MappedDesign::from_names(nl, &["INV_1", "INV_2", "DF_1"], &lib, WireModel::default())
+                .unwrap();
         (d, lib, stat)
     }
 

@@ -41,7 +41,7 @@ pub fn write_sdf(
             .cell_of(gi, lib)
             .ok_or_else(|| StaError::UnknownCell {
                 gate: gi,
-                name: design.cell_names[gi].clone(),
+                name: design.cell_label(gi, lib),
             })?;
         let input_pin_names: Vec<&str> = cell.input_pins().map(|p| p.name.as_str()).collect();
         let mut iopaths = Vec::new();
@@ -156,11 +156,8 @@ mod tests {
         nl.add_gate(GateKind::Nand, vec![a, b], vec![x]);
         nl.add_gate(GateKind::Dff, vec![x], vec![q]);
         nl.mark_output(q);
-        let d = MappedDesign::new(
-            nl,
-            vec!["ND2_2".into(), "DF_1".into()],
-            WireModel::default(),
-        );
+        let d =
+            MappedDesign::from_names(nl, &["ND2_2", "DF_1"], &lib, WireModel::default()).unwrap();
         let r = analyze(&d, &lib, &StaConfig::with_clock_period(5.0)).unwrap();
         (d, lib, r)
     }
@@ -197,7 +194,12 @@ mod tests {
         let arc = &cell.pin("Z").unwrap().timing[0];
         let load = r.nets[2].load;
         let slew = r.nets[0].slew;
-        let rise = arc.cell_rise.as_ref().unwrap().interpolate(slew, load).unwrap();
+        let rise = arc
+            .cell_rise
+            .as_ref()
+            .unwrap()
+            .interpolate(slew, load)
+            .unwrap();
         assert!(
             sdf.contains(&format!("{rise:.4}")),
             "expected {rise:.4} in:\n{sdf}"

@@ -1,10 +1,17 @@
 //! Technology mapping: generic gates → library cell families and variants.
+//!
+//! The mapper consumes the library's [`Interner`]: families are resolved to
+//! [`FamilyId`]s once, and every per-cell quantity the sizing loops need
+//! (drive, effective max load / max slew under the tuning windows, position
+//! on the family's drive ladder) is precomputed into dense arrays indexed
+//! by [`CellId`]. Cell *names* only appear at the boundaries — building the
+//! [`TargetLibrary`] and reporting.
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-use varitune_liberty::Library;
+use varitune_liberty::{CellId, FamilyId, Library};
 use varitune_netlist::{GateKind, Netlist};
 use varitune_sta::{MappedDesign, WireModel};
 
@@ -13,7 +20,9 @@ use crate::constraint::LibraryConstraints;
 /// One drive-strength variant of a cell family.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Variant {
-    /// Cell name.
+    /// Cell id in the underlying library.
+    pub id: CellId,
+    /// Cell name (materialized once at construction for reports).
     pub name: String,
     /// Drive strength.
     pub drive: f64,
@@ -48,46 +57,84 @@ impl fmt::Display for MapError {
 
 impl Error for MapError {}
 
-/// The mapper's view of a library: variants grouped per family, combined
-/// with the tuning constraints.
+/// The mapper's view of a library: drive-variant families resolved to
+/// [`FamilyId`]s, with the tuning constraints folded into dense per-cell
+/// limits at construction time.
 #[derive(Debug, Clone)]
 pub struct TargetLibrary<'a> {
     /// The underlying Liberty library.
     pub lib: &'a Library,
     /// Operating-window constraints from tuning (empty for baseline runs).
     pub constraints: &'a LibraryConstraints,
-    families: BTreeMap<String, Vec<Variant>>,
+    /// Sizable variants per family, smallest drive first (indexed by
+    /// `FamilyId`; empty for families whose members carry no numeric drive
+    /// suffix).
+    variants: Vec<Vec<Variant>>,
+    /// Per cell: `(family, position on that family's drive ladder)`.
+    ladder_pos: Vec<Option<(FamilyId, u32)>>,
+    /// Per cell: drive strength (1.0 when the name has no numeric suffix).
+    drive: Vec<f64>,
+    /// Per cell: `min(library max_capacitance, window max_load)` over
+    /// output pins — the windows are consulted once, here.
+    eff_max_load: Vec<f64>,
+    /// Per cell: min over output pins of the window `max_slew`.
+    eff_max_slew: Vec<f64>,
 }
 
 impl<'a> TargetLibrary<'a> {
-    /// Indexes `lib` by cell-family prefix.
+    /// Indexes `lib` by cell family via the library interner and folds the
+    /// tuning windows into per-cell effective limits.
     pub fn new(lib: &'a Library, constraints: &'a LibraryConstraints) -> Self {
-        let mut families: BTreeMap<String, Vec<Variant>> = BTreeMap::new();
-        for cell in &lib.cells {
-            let Some(drive) = cell.drive_strength() else {
-                continue;
-            };
-            let Some((prefix, _)) = cell.name.rsplit_once('_') else {
-                continue;
-            };
-            let lib_max_load = cell
-                .output_pins()
-                .filter_map(|p| p.max_capacitance)
-                .fold(f64::INFINITY, f64::min);
-            families.entry(prefix.to_string()).or_default().push(Variant {
-                name: cell.name.clone(),
-                drive,
-                area: cell.area,
-                lib_max_load,
-            });
+        let interner = lib.interner();
+        let n = lib.cells.len();
+        let mut drive = vec![1.0f64; n];
+        let mut eff_max_load = vec![0.0f64; n];
+        let mut eff_max_slew = vec![0.0f64; n];
+        for (ci, cell) in lib.cells.iter().enumerate() {
+            drive[ci] = cell.drive_strength().unwrap_or(1.0);
+            let mut load = f64::INFINITY;
+            let mut slew = f64::INFINITY;
+            for p in cell.output_pins() {
+                let win = constraints.window(&cell.name, &p.name);
+                load = load.min(p.max_capacitance.unwrap_or(f64::INFINITY).min(win.max_load));
+                slew = slew.min(win.max_slew);
+            }
+            eff_max_load[ci] = load;
+            eff_max_slew[ci] = slew;
         }
-        for v in families.values_mut() {
-            v.sort_by(|a, b| a.drive.total_cmp(&b.drive));
+
+        let mut variants: Vec<Vec<Variant>> = vec![Vec::new(); interner.families().len()];
+        let mut ladder_pos: Vec<Option<(FamilyId, u32)>> = vec![None; n];
+        for (fi, fam) in interner.families().iter().enumerate() {
+            let fid = FamilyId(fi as u32);
+            let out = &mut variants[fi];
+            for &id in &fam.members {
+                let cell = &lib.cells[id.index()];
+                let Some(d) = cell.drive_strength() else {
+                    continue;
+                };
+                let lib_max_load = cell
+                    .output_pins()
+                    .filter_map(|p| p.max_capacitance)
+                    .fold(f64::INFINITY, f64::min);
+                ladder_pos[id.index()] = Some((fid, out.len() as u32));
+                out.push(Variant {
+                    id,
+                    name: cell.name.clone(),
+                    drive: d,
+                    area: cell.area,
+                    lib_max_load,
+                });
+            }
         }
         Self {
             lib,
             constraints,
-            families,
+            variants,
+            ladder_pos,
+            drive,
+            eff_max_load,
+            eff_max_slew,
         }
     }
 
@@ -110,60 +157,112 @@ impl<'a> TargetLibrary<'a> {
         }
     }
 
-    /// All variants of a family, smallest drive first.
+    /// The id of the family named `family`, when the library has sizable
+    /// variants for it.
+    pub fn family_id(&self, family: &str) -> Option<FamilyId> {
+        let fid = self.lib.interner().family_id(family)?;
+        (!self.variants[fid.index()].is_empty()).then_some(fid)
+    }
+
+    /// All sizable variants of a family, smallest drive first.
+    pub fn family_variants(&self, family: FamilyId) -> &[Variant] {
+        &self.variants[family.index()]
+    }
+
+    /// All variants of a family by name prefix, smallest drive first.
     pub fn variants(&self, family: &str) -> Option<&[Variant]> {
-        self.families.get(family).map(Vec::as_slice)
+        self.family_id(family)
+            .map(|fid| self.variants[fid.index()].as_slice())
+    }
+
+    /// Drive strength of a cell (`1.0` for cells without a numeric
+    /// suffix; `1.0` for out-of-range ids).
+    pub fn drive(&self, cell: CellId) -> f64 {
+        self.drive.get(cell.index()).copied().unwrap_or(1.0)
     }
 
     /// The maximum load a cell may drive once tuning windows are applied:
     /// `min(library max_capacitance, window max_load)` over output pins.
+    /// Out-of-range ids drive nothing.
+    pub fn effective_max_load_id(&self, cell: CellId) -> f64 {
+        self.eff_max_load.get(cell.index()).copied().unwrap_or(0.0)
+    }
+
+    /// [`TargetLibrary::effective_max_load_id`] by name — report/test
+    /// boundary.
     pub fn effective_max_load(&self, cell_name: &str) -> f64 {
-        let Some(cell) = self.lib.cell(cell_name) else {
-            return 0.0;
-        };
-        cell.output_pins()
-            .map(|p| {
-                let lib_cap = p.max_capacitance.unwrap_or(f64::INFINITY);
-                let win = self.constraints.window(cell_name, &p.name).max_load;
-                lib_cap.min(win)
-            })
-            .fold(f64::INFINITY, f64::min)
+        self.lib
+            .cell_id(cell_name)
+            .map_or(0.0, |id| self.effective_max_load_id(id))
     }
 
     /// The maximum *input* slew a cell may see once tuning windows are
     /// applied (min over output pins' window `max_slew`).
+    pub fn effective_max_slew_id(&self, cell: CellId) -> f64 {
+        self.eff_max_slew.get(cell.index()).copied().unwrap_or(0.0)
+    }
+
+    /// [`TargetLibrary::effective_max_slew_id`] by name — report/test
+    /// boundary.
     pub fn effective_max_slew(&self, cell_name: &str) -> f64 {
-        let Some(cell) = self.lib.cell(cell_name) else {
-            return 0.0;
-        };
-        cell.output_pins()
-            .map(|p| self.constraints.window(cell_name, &p.name).max_slew)
-            .fold(f64::INFINITY, f64::min)
+        self.lib
+            .cell_id(cell_name)
+            .map_or(0.0, |id| self.effective_max_slew_id(id))
     }
 
     /// Smallest variant of `family` whose effective max load covers `load`;
     /// falls back to the largest variant when none qualifies.
     pub fn pick_for_load(&self, family: &str, load: f64) -> Option<&Variant> {
-        let vs = self.variants(family)?;
+        self.pick_for_load_id(self.family_id(family)?, load)
+    }
+
+    /// Id-based [`TargetLibrary::pick_for_load`].
+    pub fn pick_for_load_id(&self, family: FamilyId, load: f64) -> Option<&Variant> {
+        let vs = self.family_variants(family);
         vs.iter()
-            .find(|v| self.effective_max_load(&v.name) >= load)
+            .find(|v| self.effective_max_load_id(v.id) >= load)
             .or_else(|| vs.last())
     }
 
-    /// The next-larger variant in the same family, if any.
-    pub fn upsize(&self, cell_name: &str) -> Option<&Variant> {
-        let (family, _) = cell_name.rsplit_once('_')?;
-        let vs = self.variants(family)?;
-        let idx = vs.iter().position(|v| v.name == cell_name)?;
-        vs.get(idx + 1)
+    /// The family of a cell, when it sits on a drive ladder.
+    pub fn family_of(&self, cell: CellId) -> Option<FamilyId> {
+        self.ladder_pos
+            .get(cell.index())
+            .copied()
+            .flatten()
+            .map(|(f, _)| f)
     }
 
-    /// The next-smaller variant in the same family, if any.
+    /// The next-larger variant on a cell's drive ladder, if any.
+    pub fn upsize_id(&self, cell: CellId) -> Option<&Variant> {
+        let (fid, pos) = self.ladder_pos.get(cell.index()).copied().flatten()?;
+        self.variants[fid.index()].get(pos as usize + 1)
+    }
+
+    /// The next-larger variant in the same family, by name.
+    pub fn upsize(&self, cell_name: &str) -> Option<&Variant> {
+        self.upsize_id(self.lib.cell_id(cell_name)?)
+    }
+
+    /// The next-smaller variant on a cell's drive ladder, if any.
+    pub fn downsize_id(&self, cell: CellId) -> Option<&Variant> {
+        let (fid, pos) = self.ladder_pos.get(cell.index()).copied().flatten()?;
+        let prev = pos.checked_sub(1)?;
+        self.variants[fid.index()].get(prev as usize)
+    }
+
+    /// The next-smaller variant in the same family, by name.
     pub fn downsize(&self, cell_name: &str) -> Option<&Variant> {
-        let (family, _) = cell_name.rsplit_once('_')?;
-        let vs = self.variants(family)?;
-        let idx = vs.iter().position(|v| v.name == cell_name)?;
-        idx.checked_sub(1).map(|i| &vs[i])
+        self.downsize_id(self.lib.cell_id(cell_name)?)
+    }
+
+    /// The smallest variant with drive ≥ 1 (the initial-mapping choice),
+    /// falling back to the family's largest.
+    fn initial_variant(&self, family: FamilyId) -> &Variant {
+        let vs = self.family_variants(family);
+        vs.iter()
+            .find(|v| v.drive >= 1.0)
+            .unwrap_or_else(|| vs.last().expect("families are non-empty"))
     }
 }
 
@@ -176,6 +275,9 @@ impl<'a> TargetLibrary<'a> {
 /// reduced test libraries; real runs use the full 304-cell library, which
 /// has `GCKB`).
 ///
+/// Family names are formatted and resolved once per distinct
+/// `(kind, input count)` pair; the per-gate loop works in ids.
+///
 /// # Errors
 ///
 /// Returns [`MapError::MissingFamily`] when the library lacks a family for
@@ -185,25 +287,31 @@ pub fn map_netlist(
     target: &TargetLibrary<'_>,
     wire_model: WireModel,
 ) -> Result<MappedDesign, MapError> {
-    let mut names = Vec::with_capacity(netlist.gates.len());
+    let mut by_shape: BTreeMap<(GateKind, usize), CellId> = BTreeMap::new();
+    let mut cells = Vec::with_capacity(netlist.gates.len());
     for g in &netlist.gates {
-        let mut family = TargetLibrary::family_for(g.kind, g.inputs.len());
-        if g.kind == GateKind::Buf && target.variants(&family).is_none() {
-            family = "INV".to_string();
-        }
-        let vs = target
-            .variants(&family)
-            .ok_or_else(|| MapError::MissingFamily {
-                family: family.clone(),
-                kind: g.kind.to_string(),
-            })?;
-        let v = vs
-            .iter()
-            .find(|v| v.drive >= 1.0)
-            .unwrap_or(vs.last().expect("families are non-empty"));
-        names.push(v.name.clone());
+        let shape = (g.kind, g.inputs.len());
+        let id = match by_shape.get(&shape) {
+            Some(&id) => id,
+            None => {
+                let mut family = TargetLibrary::family_for(g.kind, g.inputs.len());
+                let mut fid = target.family_id(&family);
+                if g.kind == GateKind::Buf && fid.is_none() {
+                    family = "INV".to_string();
+                    fid = target.family_id(&family);
+                }
+                let fid = fid.ok_or_else(|| MapError::MissingFamily {
+                    family,
+                    kind: g.kind.to_string(),
+                })?;
+                let id = target.initial_variant(fid).id;
+                by_shape.insert(shape, id);
+                id
+            }
+        };
+        cells.push(id);
     }
-    Ok(MappedDesign::new(netlist.clone(), names, wire_model))
+    Ok(MappedDesign::new(netlist.clone(), cells, wire_model))
 }
 
 #[cfg(test)]
@@ -226,6 +334,16 @@ mod tests {
         assert!(invs.windows(2).all(|w| w[0].drive < w[1].drive));
         assert!(t.variants("ND3").is_some());
         assert!(t.variants("NOPE").is_none());
+    }
+
+    #[test]
+    fn variants_carry_library_ids() {
+        let lib = full_lib();
+        let c = LibraryConstraints::unconstrained();
+        let t = TargetLibrary::new(&lib, &c);
+        for v in t.variants("INV").unwrap() {
+            assert_eq!(lib.cells[v.id.index()].name, v.name);
+        }
     }
 
     #[test]
@@ -286,6 +404,9 @@ mod tests {
         assert_eq!(down.name, "INV_1");
         assert!(t.downsize("INV_0P5").is_none());
         assert!(t.upsize("INV_32").is_none());
+        // The id-based ladder agrees with the name-based one.
+        let id = lib.cell_id("INV_1").unwrap();
+        assert_eq!(t.upsize_id(id).unwrap().name, "INV_1P5");
     }
 
     #[test]
@@ -301,7 +422,8 @@ mod tests {
         nl.add_gate(GateKind::Nand, vec![a, b], vec![x]);
         nl.add_gate(GateKind::Dff, vec![x], vec![y]);
         let d = map_netlist(&nl, &t, WireModel::default()).unwrap();
-        assert_eq!(d.cell_names, vec!["ND2_1".to_string(), "DF_1".to_string()]);
+        assert_eq!(d.cell_label(0, &lib), "ND2_1");
+        assert_eq!(d.cell_label(1, &lib), "DF_1");
     }
 
     #[test]
@@ -333,6 +455,6 @@ mod tests {
         let x = nl.add_net("x");
         nl.add_gate(GateKind::Buf, vec![a], vec![x]);
         let d = map_netlist(&nl, &t, WireModel::default()).unwrap();
-        assert!(d.cell_names[0].starts_with("INV"));
+        assert!(d.cell_label(0, &lib).starts_with("INV"));
     }
 }

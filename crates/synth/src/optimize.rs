@@ -20,7 +20,7 @@
 use std::error::Error;
 use std::fmt;
 
-use varitune_liberty::Library;
+use varitune_liberty::{CellId, Library};
 use varitune_netlist::{NetId, Netlist};
 use varitune_sta::{MappedDesign, StaConfig, StaError, TimingGraph, TimingReport, WireModel};
 
@@ -142,7 +142,13 @@ pub fn synthesize(
         iterations += 1;
         let mut changed = false;
 
-        changed |= legalize_loads(&mut engine, &target, &mut floors, cfg, &mut buffers_inserted)?;
+        changed |= legalize_loads(
+            &mut engine,
+            &target,
+            &mut floors,
+            cfg,
+            &mut buffers_inserted,
+        )?;
         engine.update()?;
 
         changed |= legalize_slews(&mut engine, &target, &mut floors)?;
@@ -219,24 +225,24 @@ fn legalize_loads(
             for &out in &outs {
                 let load = loads[out.0 as usize];
                 let fanout = fanouts[out.0 as usize];
-                let name = engine.cell_name(gi).to_string();
-                let eff = target.effective_max_load(&name);
+                let id = engine.cell_id(gi);
+                let eff = target.effective_max_load_id(id);
                 if load <= eff && fanout <= cfg.max_fanout {
                     continue;
                 }
-                // Try up-sizing within the family first.
-                let family = name.rsplit_once('_').map(|(f, _)| f.to_string());
-                let better = family.as_deref().and_then(|f| {
+                // Try up-sizing within the family first: walk the drive
+                // ladder upward from the current variant.
+                let drive = target.drive(id);
+                let better = target.family_of(id).and_then(|fid| {
                     target
-                        .variants(f)?
+                        .family_variants(fid)
                         .iter()
-                        .find(|v| v.drive > drive_of(&name) && target.effective_max_load(&v.name) >= load)
-                        .cloned()
+                        .find(|v| v.drive > drive && target.effective_max_load_id(v.id) >= load)
                 });
                 if fanout <= cfg.max_fanout {
                     if let Some(v) = better {
                         floors[gi] = floors[gi].max(v.drive);
-                        engine.resize_gate(gi, &v.name)?;
+                        engine.resize_gate_id(gi, v.id)?;
                         round_changed = true;
                         continue;
                     }
@@ -244,7 +250,7 @@ fn legalize_loads(
                 // No variant can carry the load (or fanout is excessive):
                 // split the fanout with an inverter pair.
                 if fanout >= 2 {
-                    engine.split_fanout(out, &buffering_inverter(target))?;
+                    engine.split_fanout_id(out, buffering_inverter(target))?;
                     floors.push(0.0);
                     floors.push(0.0);
                     *buffers_inserted += 2;
@@ -260,19 +266,15 @@ fn legalize_loads(
     Ok(changed)
 }
 
-fn drive_of(cell_name: &str) -> f64 {
-    varitune_liberty::Cell::new(cell_name, 0.0)
-        .drive_strength()
-        .unwrap_or(1.0)
-}
-
-/// Mid-size inverter for fanout buffering; legalization will resize.
-fn buffering_inverter(target: &TargetLibrary<'_>) -> String {
+/// Mid-size inverter for fanout buffering; legalization will resize. A
+/// library without inverters yields an unresolvable id, which the engine
+/// reports as an unknown cell on use.
+fn buffering_inverter(target: &TargetLibrary<'_>) -> CellId {
     target
         .variants("INV")
         .and_then(|vs| vs.iter().find(|v| v.drive >= 2.0).or_else(|| vs.last()))
-        .map(|v| v.name.clone())
-        .unwrap_or_else(|| "INV_2".to_string())
+        .map(|v| v.id)
+        .unwrap_or(CellId(u32::MAX))
 }
 
 /// Upsize drivers whose output edge is too shallow for a sink's window.
@@ -288,7 +290,7 @@ fn legalize_slews(
     let mut changed = false;
     let gate_count = engine.gate_count();
     for gi in 0..gate_count {
-        let max_slew = target.effective_max_slew(engine.cell_name(gi));
+        let max_slew = target.effective_max_slew_id(engine.cell_id(gi));
         if !max_slew.is_finite() {
             continue;
         }
@@ -300,10 +302,9 @@ fn legalize_slews(
             let Some(src) = engine.driver(inp) else {
                 continue; // primary input; boundary slew is fixed
             };
-            if let Some(v) = target.upsize(engine.cell_name(src)) {
+            if let Some(v) = target.upsize_id(engine.cell_id(src)) {
                 floors[src] = floors[src].max(v.drive);
-                let name = v.name.clone();
-                engine.resize_gate(src, &name)?;
+                engine.resize_gate_id(src, v.id)?;
                 changed = true;
             }
         }
@@ -333,14 +334,13 @@ fn size_critical_paths(
             let t = report.nets[net.0 as usize];
             let Some(gi) = t.driver else { break };
             if seen_gates.insert(gi) {
-                let name = engine.cell_name(gi).to_string();
                 let load = t.load;
-                if let Some(v) = target.upsize(&name) {
+                if let Some(v) = target.upsize_id(engine.cell_id(gi)) {
                     // Only upsize if the bigger cell may legally carry the
                     // current load (windows shrink with tuning).
-                    if target.effective_max_load(&v.name) >= load {
+                    if target.effective_max_load_id(v.id) >= load {
                         floors[gi] = floors[gi].max(v.drive);
-                        engine.resize_gate(gi, &v.name)?;
+                        engine.resize_gate_id(gi, v.id)?;
                         changed = true;
                     }
                 }
@@ -376,24 +376,25 @@ fn recover_area(
         if !slack.is_finite() || slack < margin {
             continue;
         }
-        let name = engine.cell_name(gi).to_string();
-        let Some(v) = target.downsize(&name) else {
+        let id = engine.cell_id(gi);
+        let Some(v) = target.downsize_id(id) else {
             continue;
         };
         if v.drive < floor {
             continue;
         }
-        if target.effective_max_load(&v.name) < t.load {
+        if target.effective_max_load_id(v.id) < t.load {
             continue;
         }
         // Estimate the delay penalty of the smaller cell at the recorded
         // operating point; only accept clearly safe moves.
-        let penalty = delay_at(target.lib, &v.name, t.crit_input_slew, t.load)
-            .zip(delay_at(target.lib, &name, t.crit_input_slew, t.load))
+        let small = v.id;
+        let penalty = delay_at(target.lib, small, t.crit_input_slew, t.load)
+            .zip(delay_at(target.lib, id, t.crit_input_slew, t.load))
             .map(|(new, old)| new - old);
         if let Some(p) = penalty {
             if p < slack * 0.25 {
-                engine.resize_gate(gi, &v.name)?;
+                engine.resize_gate_id(gi, small)?;
                 changed = true;
             }
         }
@@ -401,8 +402,8 @@ fn recover_area(
     Ok(changed)
 }
 
-fn delay_at(lib: &Library, cell: &str, slew: f64, load: f64) -> Option<f64> {
-    let c = lib.cell(cell)?;
+fn delay_at(lib: &Library, cell: CellId, slew: f64, load: f64) -> Option<f64> {
+    let c = lib.cells.get(cell.index())?;
     let pin = c.output_pins().next()?;
     let arc = pin.timing.first()?;
     arc.worst_delay(slew, load).ok()
@@ -421,6 +422,12 @@ mod tests {
 
     fn small_mcu() -> Netlist {
         generate_mcu(&McuConfig::small_for_tests())
+    }
+
+    fn drive_at(d: &MappedDesign, gi: usize, lib: &Library) -> f64 {
+        lib.cells[d.cells[gi].index()]
+            .drive_strength()
+            .unwrap_or(1.0)
     }
 
     #[test]
@@ -492,11 +499,11 @@ mod tests {
         let target = TargetLibrary::new(&lib, &c);
         for (gi, g) in r.design.netlist.gates.iter().enumerate() {
             for &out in &g.outputs {
-                let eff = target.effective_max_load(&r.design.cell_names[gi]);
+                let eff = target.effective_max_load_id(r.design.cells[gi]);
                 assert!(
                     loads[out.0 as usize] <= eff * 1.0001,
                     "gate {gi} ({}) overloaded: {} > {}",
-                    r.design.cell_names[gi],
+                    r.design.cell_label(gi, &lib),
                     loads[out.0 as usize],
                     eff
                 );
@@ -535,8 +542,13 @@ mod tests {
                 }
             }
         }
-        let tuned = synthesize(&nl, &lib, &constraints, &SynthConfig::with_clock_period(10.0))
-            .unwrap();
+        let tuned = synthesize(
+            &nl,
+            &lib,
+            &constraints,
+            &SynthConfig::with_clock_period(10.0),
+        )
+        .unwrap();
         tuned.design.netlist.validate().unwrap();
         assert!(
             tuned.area > baseline.area,
@@ -570,7 +582,7 @@ mod tests {
             &SynthConfig::with_clock_period(10.0),
         )
         .unwrap();
-        let driver_drive_base = drive_of(&baseline.design.cell_names[0]);
+        let driver_drive_base = drive_at(&baseline.design, 0, &lib);
 
         // Constrain every inverter's input slew tightly.
         let mut constraints = LibraryConstraints::unconstrained();
@@ -586,9 +598,14 @@ mod tests {
                 },
             );
         }
-        let tuned = synthesize(&nl, &lib, &constraints, &SynthConfig::with_clock_period(10.0))
-            .unwrap();
-        let driver_drive_tuned = drive_of(&tuned.design.cell_names[0]);
+        let tuned = synthesize(
+            &nl,
+            &lib,
+            &constraints,
+            &SynthConfig::with_clock_period(10.0),
+        )
+        .unwrap();
+        let driver_drive_tuned = drive_at(&tuned.design, 0, &lib);
         assert!(
             driver_drive_tuned > driver_drive_base,
             "driver should upsize: {driver_drive_base} -> {driver_drive_tuned}"

@@ -33,7 +33,12 @@ pub fn period_area_sweep(
     periods
         .iter()
         .map(|&p| {
-            let r = synthesize(netlist, lib, constraints, &SynthConfig::with_clock_period(p))?;
+            let r = synthesize(
+                netlist,
+                lib,
+                constraints,
+                &SynthConfig::with_clock_period(p),
+            )?;
             Ok(SweepPoint {
                 period: p,
                 area: r.area,
@@ -63,10 +68,20 @@ pub fn find_min_period(
     mut hi: f64,
     tolerance: f64,
 ) -> Result<(f64, SynthesisResult), SynthError> {
-    let mut best = synthesize(netlist, lib, constraints, &SynthConfig::with_clock_period(hi))?;
+    let mut best = synthesize(
+        netlist,
+        lib,
+        constraints,
+        &SynthConfig::with_clock_period(hi),
+    )?;
     while hi - lo > tolerance {
         let mid = 0.5 * (lo + hi);
-        let r = synthesize(netlist, lib, constraints, &SynthConfig::with_clock_period(mid))?;
+        let r = synthesize(
+            netlist,
+            lib,
+            constraints,
+            &SynthConfig::with_clock_period(mid),
+        )?;
         if r.met_timing {
             hi = mid;
             best = r;

@@ -41,7 +41,11 @@ pub fn write_verilog(design: &MappedDesign, lib: &Library) -> Result<String, Map
         ports.push("clk".to_string());
     }
     ports.extend(nl.primary_inputs.iter().map(|&i| net_name(i)));
-    ports.extend(nl.primary_outputs.iter().map(|&o| format!("{}_po", net_name(o))));
+    ports.extend(
+        nl.primary_outputs
+            .iter()
+            .map(|&o| format!("{}_po", net_name(o))),
+    );
     let _ = writeln!(out, "module {} (", sanitize(&nl.name));
     let _ = writeln!(out, "  {}", ports.join(",\n  "));
     let _ = writeln!(out, ");");
@@ -72,7 +76,7 @@ pub fn write_verilog(design: &MappedDesign, lib: &Library) -> Result<String, Map
         let cell = design
             .cell_of(gi, lib)
             .ok_or_else(|| MapError::MissingFamily {
-                family: design.cell_names[gi].clone(),
+                family: design.cell_label(gi, lib),
                 kind: g.kind.to_string(),
             })?;
         let mut conns: BTreeMap<String, String> = BTreeMap::new();
@@ -88,10 +92,7 @@ pub fn write_verilog(design: &MappedDesign, lib: &Library) -> Result<String, Map
                 conns.insert(pin.name.clone(), net_name(net));
             }
         }
-        let conn_str: Vec<String> = conns
-            .iter()
-            .map(|(p, n)| format!(".{p}({n})"))
-            .collect();
+        let conn_str: Vec<String> = conns.iter().map(|(p, n)| format!(".{p}({n})")).collect();
         let _ = writeln!(
             out,
             "  {} {} ({});",
@@ -149,11 +150,8 @@ mod tests {
         nl.add_gate(GateKind::Nand, vec![a, b], vec![x]);
         nl.add_gate(GateKind::Dff, vec![x], vec![q]);
         nl.mark_output(q);
-        let d = MappedDesign::new(
-            nl,
-            vec!["ND2_1".into(), "DF_1".into()],
-            WireModel::default(),
-        );
+        let d =
+            MappedDesign::from_names(nl, &["ND2_1", "DF_1"], &lib, WireModel::default()).unwrap();
         let v = write_verilog(&d, &lib).unwrap();
         for needle in [
             "module demo (",
@@ -181,7 +179,10 @@ mod tests {
         )
         .unwrap();
         let v = write_verilog(&r.design, &lib).unwrap();
-        let instances = v.lines().filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_uppercase())).count();
+        let instances = v
+            .lines()
+            .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_uppercase()))
+            .count();
         assert_eq!(instances, r.design.netlist.gates.len());
         assert!(v.ends_with("endmodule\n"));
     }
@@ -193,7 +194,11 @@ mod tests {
         let a = nl.add_input("a");
         let x = nl.add_net("x");
         nl.add_gate(GateKind::Inv, vec![a], vec![x]);
-        let d = MappedDesign::new(nl, vec!["NOPE_9".into()], WireModel::default());
+        let d = MappedDesign::new(
+            nl,
+            vec![varitune_liberty::CellId(u32::MAX)],
+            WireModel::default(),
+        );
         assert!(write_verilog(&d, &lib).is_err());
     }
 }

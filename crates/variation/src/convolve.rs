@@ -36,7 +36,10 @@ pub fn path_mean(cell_means: impl Iterator<Item = f64>) -> f64 {
 ///
 /// Panics if `rho` is outside `[-1, 1]`.
 pub fn path_sigma(cell_sigmas: &[f64], rho: f64) -> f64 {
-    assert!((-1.0..=1.0).contains(&rho), "correlation must be in [-1, 1]");
+    assert!(
+        (-1.0..=1.0).contains(&rho),
+        "correlation must be in [-1, 1]"
+    );
     let sum_sq: f64 = cell_sigmas.iter().map(|s| s * s).sum();
     let sum: f64 = cell_sigmas.iter().sum();
     // ΣΣ_{i≠j} σᵢσⱼ = (Σσ)² − Σσ².

@@ -23,8 +23,11 @@ pub enum ProcessCorner {
 
 impl ProcessCorner {
     /// All corners, slow to fast — the order used in Fig. 15 reports.
-    pub const ALL: [ProcessCorner; 3] =
-        [ProcessCorner::Fast, ProcessCorner::Typical, ProcessCorner::Slow];
+    pub const ALL: [ProcessCorner; 3] = [
+        ProcessCorner::Fast,
+        ProcessCorner::Typical,
+        ProcessCorner::Slow,
+    ];
 
     /// Nominal multiplicative delay factor of the corner relative to
     /// typical. Fast silicon at 40 nm is roughly 20 % faster, slow roughly
@@ -56,8 +59,11 @@ impl ProcessCorner {
 
     /// Samples one die's global delay factor at this corner.
     pub fn sample_die_factor(self, rng: &mut Xoshiro256PlusPlus) -> f64 {
-        let n = Normal::new(self.delay_factor(), self.delay_factor() * self.global_rel_sigma())
-            .expect("finite parameters");
+        let n = Normal::new(
+            self.delay_factor(),
+            self.delay_factor() * self.global_rel_sigma(),
+        )
+        .expect("finite parameters");
         n.sample(rng).max(0.05)
     }
 }

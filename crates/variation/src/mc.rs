@@ -163,12 +163,7 @@ pub fn simulate_path_threaded(
 ///
 /// Returns a fraction in `[0, 1]` (clamped; finite-sample noise can push the
 /// raw ratio slightly above 1 for long paths where the local share is tiny).
-pub fn local_variation_share(
-    path: &[PathCell],
-    corner: ProcessCorner,
-    n: usize,
-    seed: u64,
-) -> f64 {
+pub fn local_variation_share(path: &[PathCell], corner: ProcessCorner, n: usize, seed: u64) -> f64 {
     local_variation_share_threaded(path, corner, n, seed, 1)
 }
 
@@ -182,8 +177,14 @@ pub fn local_variation_share_threaded(
     threads: usize,
 ) -> f64 {
     let local = simulate_path_threaded(path, corner, VariationMode::LocalOnly, n, seed, threads);
-    let total =
-        simulate_path_threaded(path, corner, VariationMode::GlobalAndLocal, n, seed, threads);
+    let total = simulate_path_threaded(
+        path,
+        corner,
+        VariationMode::GlobalAndLocal,
+        n,
+        seed,
+        threads,
+    );
     let lv = local.summary.std_dev.powi(2);
     let tv = total.summary.std_dev.powi(2);
     if tv <= 0.0 {
@@ -207,14 +208,26 @@ mod tests {
     #[test]
     fn local_only_mean_matches_analytic() {
         let path = uniform_path(10, 0.1, 0.05);
-        let r = simulate_path(&path, ProcessCorner::Typical, VariationMode::LocalOnly, N, 1);
+        let r = simulate_path(
+            &path,
+            ProcessCorner::Typical,
+            VariationMode::LocalOnly,
+            N,
+            1,
+        );
         assert!((r.summary.mean - 1.0).abs() < 0.01, "{}", r.summary.mean);
     }
 
     #[test]
     fn local_only_sigma_matches_rss() {
         let path = uniform_path(10, 0.1, 0.05);
-        let r = simulate_path(&path, ProcessCorner::Typical, VariationMode::LocalOnly, N, 2);
+        let r = simulate_path(
+            &path,
+            ProcessCorner::Typical,
+            VariationMode::LocalOnly,
+            N,
+            2,
+        );
         // Each cell sigma = 0.1*0.05 = 0.005; RSS over 10 = 0.0158.
         let expect = (10f64).sqrt() * 0.005;
         assert!(
@@ -229,7 +242,13 @@ mod tests {
     fn corner_scales_mean_and_sigma_by_same_factor() {
         // The Fig. 15 property.
         let path = uniform_path(18, 0.12, 0.06);
-        let typ = simulate_path(&path, ProcessCorner::Typical, VariationMode::LocalOnly, N, 3);
+        let typ = simulate_path(
+            &path,
+            ProcessCorner::Typical,
+            VariationMode::LocalOnly,
+            N,
+            3,
+        );
         let slow = simulate_path(&path, ProcessCorner::Slow, VariationMode::LocalOnly, N, 3);
         let mean_ratio = slow.summary.mean / typ.summary.mean;
         let sigma_ratio = slow.summary.std_dev / typ.summary.std_dev;
@@ -240,7 +259,13 @@ mod tests {
     #[test]
     fn global_mode_increases_sigma() {
         let path = uniform_path(18, 0.12, 0.06);
-        let local = simulate_path(&path, ProcessCorner::Typical, VariationMode::LocalOnly, N, 4);
+        let local = simulate_path(
+            &path,
+            ProcessCorner::Typical,
+            VariationMode::LocalOnly,
+            N,
+            4,
+        );
         let both = simulate_path(
             &path,
             ProcessCorner::Typical,
@@ -256,7 +281,8 @@ mod tests {
         // The Fig. 16 property: local share shrinks as the path deepens,
         // because the common-mode global term grows linearly with depth
         // while the local term grows like sqrt(depth).
-        let short = local_variation_share(&uniform_path(3, 0.1, 0.08), ProcessCorner::Typical, N, 5);
+        let short =
+            local_variation_share(&uniform_path(3, 0.1, 0.08), ProcessCorner::Typical, N, 5);
         let medium =
             local_variation_share(&uniform_path(18, 0.1, 0.08), ProcessCorner::Typical, N, 5);
         let long =
@@ -270,10 +296,28 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let path = uniform_path(5, 0.1, 0.05);
-        let a = simulate_path(&path, ProcessCorner::Fast, VariationMode::GlobalAndLocal, 50, 9);
-        let b = simulate_path(&path, ProcessCorner::Fast, VariationMode::GlobalAndLocal, 50, 9);
+        let a = simulate_path(
+            &path,
+            ProcessCorner::Fast,
+            VariationMode::GlobalAndLocal,
+            50,
+            9,
+        );
+        let b = simulate_path(
+            &path,
+            ProcessCorner::Fast,
+            VariationMode::GlobalAndLocal,
+            50,
+            9,
+        );
         assert_eq!(a.samples, b.samples);
-        let c = simulate_path(&path, ProcessCorner::Fast, VariationMode::GlobalAndLocal, 50, 10);
+        let c = simulate_path(
+            &path,
+            ProcessCorner::Fast,
+            VariationMode::GlobalAndLocal,
+            50,
+            10,
+        );
         assert_ne!(a.samples, c.samples);
     }
 
@@ -310,6 +354,12 @@ mod tests {
     #[should_panic(expected = "at least one MC sample")]
     fn zero_samples_panics() {
         let path = uniform_path(1, 0.1, 0.01);
-        let _ = simulate_path(&path, ProcessCorner::Typical, VariationMode::LocalOnly, 0, 0);
+        let _ = simulate_path(
+            &path,
+            ProcessCorner::Typical,
+            VariationMode::LocalOnly,
+            0,
+            0,
+        );
     }
 }

@@ -97,6 +97,21 @@ impl Xoshiro256PlusPlus {
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
         mean + std_dev * self.standard_normal()
     }
+
+    /// Two **independent** standard-normal deviates from one Box–Muller
+    /// transform — the full `(r·cos θ, r·sin θ)` pair. Consumes exactly two
+    /// generator outputs like [`Self::standard_normal`] (whose value the
+    /// first component matches for the same generator state), but yields
+    /// both deviates, halving the `ln`/`sqrt`/trig traffic of bulk
+    /// sampling.
+    #[inline]
+    pub fn standard_normal_pair(&mut self) -> (f64, f64) {
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (TAU * u2).sin_cos();
+        (r * cos, r * sin)
+    }
 }
 
 /// Error constructing a [`Normal`] distribution.
@@ -235,6 +250,35 @@ mod tests {
         assert!((tail(1.0) - 0.3173).abs() < 0.01, "1-sigma {}", tail(1.0));
         assert!((tail(2.0) - 0.0455).abs() < 0.005, "2-sigma {}", tail(2.0));
         assert!((tail(3.0) - 0.0027).abs() < 0.002, "3-sigma {}", tail(3.0));
+    }
+
+    #[test]
+    fn normal_pair_matches_single_draw_and_moments() {
+        // The pair's first deviate is the standard_normal value for the
+        // same generator state, and both components are sound N(0, 1)
+        // samples (two generator outputs consumed either way).
+        let mut a = rng_from(77, "pair-test", 0);
+        let mut b = rng_from(77, "pair-test", 0);
+        for _ in 0..1000 {
+            let single = a.standard_normal();
+            let (first, _) = b.standard_normal_pair();
+            assert_eq!(single.to_bits(), first.to_bits());
+        }
+
+        const N: usize = 100_000;
+        let mut rng = rng_from(1234, "pair-moments", 0);
+        let mut samples = Vec::with_capacity(2 * N);
+        for _ in 0..N {
+            let (x, y) = rng.standard_normal_pair();
+            samples.push(x);
+            samples.push(y);
+        }
+        let s = Summary::from_samples(&samples).unwrap();
+        assert!(s.mean.abs() < 0.01, "mean {}", s.mean);
+        assert!((s.std_dev - 1.0).abs() < 0.01, "sigma {}", s.std_dev);
+        // Components of one pair are independent: zero correlation.
+        let corr: f64 = samples.chunks_exact(2).map(|p| p[0] * p[1]).sum::<f64>() / N as f64;
+        assert!(corr.abs() < 0.02, "pair correlation {corr}");
     }
 
     #[test]

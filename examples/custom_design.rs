@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             result.report.worst_slack(),
             if result.met_timing { "met" } else { "VIOLATED" },
         );
-        let usage = result.design.cell_usage();
+        let usage = result.design.cell_usage(&lib);
         let top: Vec<String> = usage
             .iter()
             .take(5)

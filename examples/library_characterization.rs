@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(std::env::temp_dir);
 
     let cfg = GenerateConfig::full();
-    println!("characterizing {} cells...", cfg.inventory.iter().map(|a| a.drives.len()).sum::<usize>());
+    println!(
+        "characterizing {} cells...",
+        cfg.inventory.iter().map(|a| a.drives.len()).sum::<usize>()
+    );
     let nominal = generate_nominal(&cfg);
 
     println!("running 50 Monte-Carlo characterizations...");

@@ -8,9 +8,7 @@
 
 use varitune::core::flow::{Flow, FlowConfig};
 use varitune::synth::SynthConfig;
-use varitune::variation::mc::{
-    local_variation_share, simulate_path, PathCell, VariationMode,
-};
+use varitune::variation::mc::{local_variation_share, simulate_path, PathCell, VariationMode};
 use varitune::variation::ProcessCorner;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect::<Result<_, _>>()?;
 
         println!("\n{label} path ({} cells):", cells.len());
-        let typ = simulate_path(&cells, ProcessCorner::Typical, VariationMode::LocalOnly, 200, 1);
+        let typ = simulate_path(
+            &cells,
+            ProcessCorner::Typical,
+            VariationMode::LocalOnly,
+            200,
+            1,
+        );
         for corner in ProcessCorner::ALL {
             let r = simulate_path(&cells, corner, VariationMode::LocalOnly, 200, 1);
             println!(

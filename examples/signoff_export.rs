@@ -13,7 +13,9 @@ use varitune::core::flow::{Flow, FlowConfig};
 use varitune::core::{tune, TuningMethod, TuningParams};
 use varitune::netlist::random_activity;
 use varitune::sta::paths::deadline_at_yield;
-use varitune::sta::{analyze_hold, estimate_power_with_activity, write_sdf, HoldConfig, PowerConfig};
+use varitune::sta::{
+    analyze_hold, estimate_power_with_activity, write_sdf, HoldConfig, PowerConfig,
+};
 use varitune::synth::{write_verilog, SynthConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -48,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter(|e| run.synthesis.report.nets[e.net.0 as usize].driver.is_some())
         .all(|e| e.slack() >= 0.0);
-    println!("  hold on register transfers: {}", if ff_hold_ok { "clean" } else { "VIOLATED" });
+    println!(
+        "  hold on register transfers: {}",
+        if ff_hold_ok { "clean" } else { "VIOLATED" }
+    );
 
     // Power sign-off with simulated switching activity.
     let activity = random_activity(&design.netlist, 256, 7)?;
@@ -76,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sdf_path = out_dir.join("varitune_signoff.sdf");
     let win_path = out_dir.join("varitune_signoff.windows");
     std::fs::write(&v_path, write_verilog(design, &flow.stat.mean)?)?;
-    std::fs::write(&sdf_path, write_sdf(design, &flow.stat.mean, &run.synthesis.report)?)?;
+    std::fs::write(
+        &sdf_path,
+        write_sdf(design, &flow.stat.mean, &run.synthesis.report)?,
+    )?;
     std::fs::write(&win_path, tuned.constraints.to_text())?;
     println!("\nwrote:");
     for p in [&v_path, &sdf_path, &win_path] {

@@ -19,9 +19,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use varitune::core::{tune, TuningMethod, TuningParams};
-use varitune::libchar::{
-    generate_mc_libraries, generate_nominal, GenerateConfig, StatLibrary,
-};
+use varitune::libchar::{generate_mc_libraries, generate_nominal, GenerateConfig, StatLibrary};
 use varitune::liberty::{parse_library, write_library};
 use varitune::netlist::{generate_mcu, McuConfig};
 use varitune::synth::{synthesize, write_verilog, LibraryConstraints, SynthConfig};
@@ -71,9 +69,7 @@ fn print_help() {
     );
 }
 
-fn parse_options(
-    args: impl Iterator<Item = String>,
-) -> Result<BTreeMap<String, String>, CliError> {
+fn parse_options(args: impl Iterator<Item = String>) -> Result<BTreeMap<String, String>, CliError> {
     let mut opts = BTreeMap::new();
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -84,7 +80,8 @@ fn parse_options(
         let value = if key == "small" {
             "true".to_string()
         } else {
-            args.next().ok_or_else(|| format!("--{key} needs a value"))?
+            args.next()
+                .ok_or_else(|| format!("--{key} needs a value"))?
         };
         opts.insert(key.to_string(), value);
     }
@@ -136,9 +133,7 @@ fn stat_lib(opts: &BTreeMap<String, String>) -> Result<(), CliError> {
     let stat = StatLibrary::from_libraries(&mc)?;
     std::fs::write(out_mean, write_library(&stat.mean))?;
     std::fs::write(out_sigma, write_library(&stat.sigma))?;
-    println!(
-        "wrote {out_mean} and {out_sigma} from {n} MC libraries (seed {seed})"
-    );
+    println!("wrote {out_mean} and {out_sigma} from {n} MC libraries (seed {seed})");
     Ok(())
 }
 
@@ -165,11 +160,7 @@ fn tune_cmd(opts: &BTreeMap<String, String>) -> Result<(), CliError> {
     let method = parse_method(required(opts, "method")?)?;
     let value: f64 = required(opts, "value")?.parse()?;
     let out = required(opts, "out")?;
-    let stat = StatLibrary {
-        mean,
-        sigma,
-        sample_count: 0,
-    };
+    let stat = StatLibrary::from_parts(mean, sigma, 0);
     let params = match method {
         TuningMethod::CellStrengthLoadSlope | TuningMethod::CellLoadSlope => {
             TuningParams::with_load_slope(value)
@@ -202,7 +193,12 @@ fn synth_cmd(opts: &BTreeMap<String, String>) -> Result<(), CliError> {
         Some("small") => generate_mcu(&McuConfig::small_for_tests()),
         Some(other) => return Err(format!("unknown design `{other}` (small|paper)").into()),
     };
-    let result = synthesize(&design, &lib, &constraints, &SynthConfig::with_clock_period(period))?;
+    let result = synthesize(
+        &design,
+        &lib,
+        &constraints,
+        &SynthConfig::with_clock_period(period),
+    )?;
     println!(
         "design {}: {} gates mapped, area {:.0} um^2, worst slack {:.3} ns, timing {}",
         design.name,
@@ -215,7 +211,7 @@ fn synth_cmd(opts: &BTreeMap<String, String>) -> Result<(), CliError> {
         "iterations {}, buffers inserted {}",
         result.iterations, result.buffers_inserted
     );
-    for (cell, n) in result.design.cell_usage().into_iter().take(10) {
+    for (cell, n) in result.design.cell_usage(&lib).into_iter().take(10) {
         println!("  {cell:<10} x{n}");
     }
     if let Some(vout) = opts.get("verilog") {

@@ -47,7 +47,11 @@ fn every_tuning_method_produces_a_usable_library() {
         let (tuned_lib, run) = flow
             .run_tuned(method, params, &cfg)
             .unwrap_or_else(|e| panic!("{method} failed: {e}"));
-        run.synthesis.design.netlist.validate().expect("valid netlist");
+        run.synthesis
+            .design
+            .netlist
+            .validate()
+            .expect("valid netlist");
         assert!(run.design.sigma > 0.0, "{method}: sigma must be positive");
         assert!(
             tuned_lib.restricted_pins + tuned_lib.unrestricted_pins > 0,
@@ -139,7 +143,7 @@ fn full_flow_is_deterministic_across_processes_inputs() {
     let cfg = SynthConfig::with_clock_period(6.0);
     let ra = a.run_baseline(&cfg).expect("run a");
     let rb = b.run_baseline(&cfg).expect("run b");
-    assert_eq!(ra.synthesis.design.cell_names, rb.synthesis.design.cell_names);
+    assert_eq!(ra.synthesis.design.cells, rb.synthesis.design.cells);
     assert_eq!(ra.design, rb.design);
 }
 
@@ -156,4 +160,70 @@ fn synthesize_rejects_library_without_needed_family() {
     )
     .unwrap_err();
     assert!(err.to_string().contains("DF"), "{err}");
+}
+
+#[test]
+fn tuned_library_roundtrip_interns_to_identical_ids() {
+    // Satellite check for the typed-ID core: write a *tuned* library (the
+    // mean library with the tuned windows applied as pin limits) through
+    // the Liberty writer, parse it back, and require that the re-parsed
+    // library interns every cell, family and pin to the identical IDs. The
+    // IDs are positional, so this pins down that the writer emits cells and
+    // pins in model order and the parser preserves it.
+    let flow = flow_fixture();
+    let tuned = tune(
+        &flow.stat,
+        TuningMethod::SigmaCeiling,
+        TuningParams::with_sigma_ceiling(0.02),
+    );
+    assert!(
+        !tuned.constraints.is_empty(),
+        "tuning must restrict something"
+    );
+
+    // Apply the windows: clamp each restricted pin's limits to its window.
+    let mut lib = flow.stat.mean.clone();
+    for ((cell, pin), w) in tuned.constraints.iter() {
+        let c = lib
+            .cells
+            .iter_mut()
+            .find(|c| &c.name == cell)
+            .expect("constraint names a library cell");
+        let p = c
+            .pins
+            .iter_mut()
+            .find(|p| &p.name == pin)
+            .expect("constraint names a pin");
+        if w.max_load.is_finite() {
+            p.max_capacitance = Some(p.max_capacitance.unwrap_or(w.max_load).min(w.max_load));
+        }
+        if w.max_slew.is_finite() {
+            p.max_transition = Some(p.max_transition.unwrap_or(w.max_slew).min(w.max_slew));
+        }
+    }
+
+    let text = varitune::liberty::write_library(&lib);
+    let parsed = varitune::liberty::parse_library(&text).expect("parse tuned library");
+    assert_eq!(parsed.cells, lib.cells);
+
+    // Cell IDs are identical for every name.
+    for cell in &lib.cells {
+        assert_eq!(
+            parsed.cell_id(&cell.name),
+            lib.cell_id(&cell.name),
+            "cell {} must intern to the same id",
+            cell.name
+        );
+    }
+    // The whole interner agrees: families (names, order, members) and the
+    // pin table.
+    let a = lib.interner();
+    let b = parsed.interner();
+    assert_eq!(a.families(), b.families());
+    for (ci, cell) in lib.cells.iter().enumerate() {
+        let id = varitune::liberty::CellId(ci as u32);
+        for pi in 0..cell.pins.len() {
+            assert_eq!(a.pin_id(id, pi), b.pin_id(id, pi));
+        }
+    }
 }

@@ -24,7 +24,11 @@ fn assert_bit_identical(eng: &TimingReport, full: &TimingReport, ctx: &str) {
         assert_eq!(a.driver, b.driver, "{ctx}: net {i} driver");
         assert_eq!(a.crit_input, b.crit_input, "{ctx}: net {i} crit_input");
     }
-    assert_eq!(eng.endpoints.len(), full.endpoints.len(), "{ctx}: endpoints");
+    assert_eq!(
+        eng.endpoints.len(),
+        full.endpoints.len(),
+        "{ctx}: endpoints"
+    );
     for (i, (a, b)) in eng.endpoints.iter().zip(&full.endpoints).enumerate() {
         assert_eq!(a.net, b.net, "{ctx}: endpoint {i} net");
         assert_eq!(
@@ -102,7 +106,11 @@ fn randomized_edit_sequence_is_bit_identical_to_full_analyze() {
             }
         }
         engine.update().expect("incremental update");
-        engine.design().netlist.validate().expect("edited netlist valid");
+        engine
+            .design()
+            .netlist
+            .validate()
+            .expect("edited netlist valid");
         let full = analyze(engine.design(), &lib, &cfg).expect("full analyze");
         assert_bit_identical(&engine.report(), &full, &format!("after edit {step}"));
     }
@@ -177,6 +185,10 @@ fn parallel_propagation_is_bit_identical_across_thread_counts() {
     for threads in [2, 8] {
         let (full_n, edited_n) = run(threads);
         assert_bit_identical(&full_n, &full_1, &format!("full at {threads} threads"));
-        assert_bit_identical(&edited_n, &edited_1, &format!("edited at {threads} threads"));
+        assert_bit_identical(
+            &edited_n,
+            &edited_1,
+            &format!("edited at {threads} threads"),
+        );
     }
 }

@@ -72,7 +72,9 @@ fn rectangle_is_all_true_and_maximal_area() {
 /// values — the same shape `lut_strategy()` generates.
 fn fixed_lut() -> Lut {
     let slew: Vec<f64> = (0..4).map(|i| 0.01 * ((i * i + i + 1) as f64)).collect();
-    let load: Vec<f64> = (0..5).map(|j| 0.002 * ((j * j + 2 * j + 1) as f64)).collect();
+    let load: Vec<f64> = (0..5)
+        .map(|j| 0.002 * ((j * j + 2 * j + 1) as f64))
+        .collect();
     let values = vec![
         vec![0.11, 0.34, 0.58, 0.92, 1.40],
         vec![0.19, 0.41, 0.33, 1.05, 1.62],
@@ -119,7 +121,9 @@ fn interpolation_is_bounded_by_table_extremes() {
 fn interpolation_recovers_grid_points() {
     let lut = fixed_lut();
     for (i, j, expect) in lut.entries() {
-        let v = lut.interpolate(lut.index_slew[i], lut.index_load[j]).expect("valid");
+        let v = lut
+            .interpolate(lut.index_slew[i], lut.index_load[j])
+            .expect("valid");
         assert!((v - expect).abs() < 1e-9, "({i}, {j}): {v} vs {expect}");
     }
 }
@@ -148,7 +152,10 @@ fn equal_rho_matches_full_covariance() {
                 .collect();
             let a = path_sigma(&sigmas, rho);
             let b = path_sigma_full(&sigmas, &corr);
-            assert!((a - b).abs() < 1e-9, "rho {rho}, sigmas {sigmas:?}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-9,
+                "rho {rho}, sigmas {sigmas:?}: {a} vs {b}"
+            );
         }
     }
 }

@@ -59,8 +59,7 @@ proptest! {
 fn lut_strategy() -> impl Strategy<Value = Lut> {
     (2usize..=6, 2usize..=6)
         .prop_flat_map(|(r, c)| {
-            let values =
-                proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, c), r);
+            let values = proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, c), r);
             (Just(r), Just(c), values)
         })
         .prop_map(|(r, c, values)| {

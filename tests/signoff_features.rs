@@ -35,7 +35,10 @@ fn hold_is_clean_on_register_transfers_of_a_synthesized_design() {
     // violations.
     let mut checked = 0;
     for ep in &hold.endpoints {
-        if run.synthesis.report.nets[ep.net.0 as usize].driver.is_some() {
+        if run.synthesis.report.nets[ep.net.0 as usize]
+            .driver
+            .is_some()
+        {
             assert!(
                 ep.slack() >= 0.0,
                 "hold violation on a register transfer: slack {}",
@@ -109,12 +112,18 @@ fn verilog_and_sdf_agree_on_instances() {
     let gates = run.synthesis.design.netlist.gates.len();
     assert_eq!(sdf.matches("(INSTANCE ").count(), gates);
     // Every SDF instance name appears in the Verilog netlist.
-    for line in sdf.lines().filter(|l| l.trim_start().starts_with("(INSTANCE")) {
+    for line in sdf
+        .lines()
+        .filter(|l| l.trim_start().starts_with("(INSTANCE"))
+    {
         let name = line
             .trim()
             .trim_start_matches("(INSTANCE ")
             .trim_end_matches(')');
-        assert!(v.contains(name), "SDF instance `{name}` missing from Verilog");
+        assert!(
+            v.contains(name),
+            "SDF instance `{name}` missing from Verilog"
+        );
     }
 }
 
