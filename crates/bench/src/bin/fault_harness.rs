@@ -1,0 +1,604 @@
+//! Deterministic fault-injection harness for the hardened ingestion path.
+//!
+//! Applies seeded corruption operators to Liberty library text and to
+//! generated netlists, then drives the full flow under every
+//! [`Strictness`] policy **in-process**, asserting:
+//!
+//! * nothing ever panics (every scenario runs under `catch_unwind`),
+//! * `Strict` rejects whenever a tolerant policy saw anything to tolerate,
+//! * `Quarantine` / `BestEffort` either succeed with an *accurate*
+//!   degradation ledger — every cell present in the parsed text but absent
+//!   from the flow's library is accounted for as quarantined — or fail
+//!   with a typed error,
+//! * corrupted netlists produce typed synthesis errors, never crashes.
+//!
+//! All randomness comes from `varitune_variation::rng` seed derivation —
+//! no wall clock, no OS entropy — so `BENCH_fault.json` is bit-identical
+//! across reruns and thread counts.
+//!
+//! ```text
+//! fault_harness [--ops N] [--seed S] [--threads T] [--out PATH]
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{self, AssertUnwindSafe};
+use std::process::ExitCode;
+
+use varitune_core::flow::{Flow, FlowConfig, FlowError};
+use varitune_core::{Degradation, Strictness};
+use varitune_libchar::{generate_nominal, GenerateConfig};
+use varitune_liberty::{parse_library_recovering, write_library};
+use varitune_netlist::{generate_mcu, McuConfig, NetId, Netlist};
+use varitune_synth::{synthesize, LibraryConstraints, SynthConfig, SynthesisResult};
+use varitune_variation::rng::rng_from;
+use varitune_variation::Xoshiro256PlusPlus;
+
+/// Corruption operators over Liberty text.
+const LIBERTY_OPS: &[&str] = &[
+    "truncate",
+    "unbalance-brace",
+    "flip-char",
+    "inject-nan",
+    "inject-inf",
+    "shuffle-axis",
+    "delete-arc",
+    "duplicate-cell",
+    "insert-junk",
+];
+
+/// Corruption operators over netlists.
+const NETLIST_OPS: &[&str] = &["dangling-port", "comb-cycle", "arity-break"];
+
+fn main() -> ExitCode {
+    let mut ops = 64usize;
+    let mut seed = 7u64;
+    let mut threads = 0usize;
+    let mut out = "BENCH_fault.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ops" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => ops = n,
+                _ => return usage("--ops expects a positive integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed expects a u64"),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threads = t,
+                None => return usage("--threads expects an integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = p,
+                None => return usage("--out expects a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: fault_harness [--ops N] [--seed S] [--threads T] [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    println!(
+        "fault harness: {ops} seeded scenario(s), seed {seed}, {} operator(s)",
+        LIBERTY_OPS.len() + NETLIST_OPS.len()
+    );
+
+    // Pristine baselines the corruption operators start from. The written
+    // text re-parses cleanly (pinned by a liberty test), so every
+    // diagnostic a scenario produces is attributable to its operator. The
+    // full cell inventory is required: the MCU's gate kinds don't map onto
+    // the reduced test library.
+    let generate = GenerateConfig::full();
+    let mcu = McuConfig::small_for_tests();
+    let pristine_lib = generate_nominal(&generate);
+    let pristine_text = match write_library(&pristine_lib) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fault_harness: generated library failed to serialize: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pristine_mcu = generate_mcu(&mcu);
+    let flow_config = |strictness: Strictness| FlowConfig {
+        generate: generate.clone(),
+        mcu: mcu.clone(),
+        mc_libraries: 8,
+        seed,
+        rho: 0.0,
+        threads,
+        strictness,
+    };
+    // Relaxed clock so a pristine small library closes timing; corrupted
+    // runs may still fail cleanly, which the ledger records.
+    let synth_cfg = SynthConfig::with_clock_period(12.0);
+
+    // The default hook would spray backtraces for every caught panic;
+    // scenarios are supposed to be panic-free, so silence it and report
+    // anything caught ourselves.
+    let saved_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    let mut tally: BTreeMap<&str, OpTally> = BTreeMap::new();
+    let mut panics = 0usize;
+    let mut accounting_failures = 0usize;
+    let mut policy_violations = 0usize;
+    let all_ops = LIBERTY_OPS.len() + NETLIST_OPS.len();
+
+    for i in 0..ops {
+        let op_idx = i % all_ops;
+        let mut rng = rng_from(seed, "fault", i as u64);
+        if op_idx < LIBERTY_OPS.len() {
+            let op = LIBERTY_OPS[op_idx];
+            let corrupted = corrupt_liberty(op, &pristine_text, &mut rng);
+            let entry = tally.entry(op).or_default();
+            entry.scenarios += 1;
+
+            let mut strict_rejected = false;
+            let mut tolerant_saw_damage = false;
+            for strictness in [
+                Strictness::Strict,
+                Strictness::Quarantine,
+                Strictness::BestEffort,
+            ] {
+                let cfg = flow_config(strictness);
+                let text = corrupted.clone();
+                let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                    run_liberty_scenario(cfg, &text, &synth_cfg)
+                }));
+                match caught {
+                    Err(payload) => {
+                        panics += 1;
+                        eprintln!(
+                            "PANIC: scenario {i} op {op} policy {strictness}: {}",
+                            panic_message(&payload)
+                        );
+                        entry.record(strictness, Outcome::Panicked, 0);
+                    }
+                    Ok(result) => match result {
+                        ScenarioResult::Rejected => {
+                            if strictness == Strictness::Strict {
+                                strict_rejected = true;
+                            }
+                            entry.record(strictness, Outcome::Rejected, 0);
+                        }
+                        ScenarioResult::FailedCleanly => {
+                            entry.record(strictness, Outcome::FailedCleanly, 0);
+                        }
+                        ScenarioResult::Succeeded {
+                            degradations,
+                            dropped_cells,
+                            accounted,
+                        } => {
+                            if degradations > 0 {
+                                tolerant_saw_damage = true;
+                            }
+                            if !accounted {
+                                accounting_failures += 1;
+                                eprintln!(
+                                    "ACCOUNTING: scenario {i} op {op} policy {strictness}: \
+                                     dropped cells not fully covered by degradations"
+                                );
+                            }
+                            entry.record(strictness, Outcome::Succeeded, dropped_cells);
+                        }
+                    },
+                }
+            }
+            // Strict must never accept what a tolerant policy had to
+            // degrade around.
+            if tolerant_saw_damage && !strict_rejected {
+                policy_violations += 1;
+                eprintln!(
+                    "POLICY: scenario {i} op {op}: tolerant policies degraded \
+                     but strict did not reject"
+                );
+            }
+        } else {
+            let op = NETLIST_OPS[op_idx - LIBERTY_OPS.len()];
+            let mut nl = pristine_mcu.clone();
+            corrupt_netlist(op, &mut nl, &mut rng);
+            let entry = tally.entry(op).or_default();
+            entry.scenarios += 1;
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                synthesize(
+                    &nl,
+                    &pristine_lib,
+                    &LibraryConstraints::unconstrained(),
+                    &synth_cfg,
+                )
+            }));
+            match caught {
+                Err(payload) => {
+                    panics += 1;
+                    eprintln!(
+                        "PANIC: scenario {i} netlist op {op}: {}",
+                        panic_message(&payload)
+                    );
+                    entry.netlist_panics += 1;
+                }
+                Ok(Err(_)) => entry.typed_errors += 1,
+                Ok(Ok(SynthesisResult { .. })) => entry.clean_successes += 1,
+            }
+        }
+    }
+
+    panic::set_hook(saved_hook);
+
+    let json = render_json(
+        ops,
+        seed,
+        panics,
+        accounting_failures,
+        policy_violations,
+        &tally,
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("fault_harness: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{ops} scenario(s): {panics} panic(s), {accounting_failures} accounting failure(s), \
+         {policy_violations} policy violation(s) -> {out}"
+    );
+    if panics > 0 || accounting_failures > 0 || policy_violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fault_harness: {msg}");
+    eprintln!("usage: fault_harness [--ops N] [--seed S] [--threads T] [--out PATH]");
+    ExitCode::FAILURE
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario execution
+
+enum ScenarioResult {
+    /// Ingestion screening refused the library ([`FlowError::Rejected`]).
+    Rejected,
+    /// Ingestion passed but a later stage returned a typed error.
+    FailedCleanly,
+    /// The whole flow ran.
+    Succeeded {
+        /// Number of degradations the flow accepted.
+        degradations: usize,
+        /// Cells quarantined out of the parsed library.
+        dropped_cells: usize,
+        /// Whether `parsed − kept == quarantined` held exactly.
+        accounted: bool,
+    },
+}
+
+fn run_liberty_scenario(cfg: FlowConfig, text: &str, synth_cfg: &SynthConfig) -> ScenarioResult {
+    let flow = match Flow::prepare_from_liberty_text(cfg, text) {
+        Ok(f) => f,
+        Err(FlowError::Rejected { .. }) => return ScenarioResult::Rejected,
+        Err(_) => return ScenarioResult::FailedCleanly,
+    };
+
+    // Accounting invariant: the set difference between what the recovering
+    // parser produced and what the flow runs on is exactly the set of
+    // quarantined cells in the report.
+    let (parsed, _) = parse_library_recovering(text);
+    let parsed_names: BTreeSet<&str> = parsed.cells.iter().map(|c| c.name.as_str()).collect();
+    let kept_names: BTreeSet<&str> = flow.nominal.cells.iter().map(|c| c.name.as_str()).collect();
+    let dropped: BTreeSet<&str> = parsed_names.difference(&kept_names).copied().collect();
+    let quarantined: BTreeSet<&str> = flow.report.quarantined_cells().into_iter().collect();
+    let accounted = dropped == quarantined
+        && flow.report.parsed_cells == parsed.cells.len()
+        && flow.report.kept_cells == flow.nominal.cells.len()
+        && !flow.report.degradations.iter().any(|d| {
+            matches!(d, Degradation::CellKeptForFeasibility { cell, .. }
+                if !kept_names.contains(cell.as_str()))
+        });
+
+    let degradations = flow.report.degradations.len();
+    let dropped_cells = quarantined.len();
+    match flow.run_baseline(synth_cfg) {
+        Ok(_) => ScenarioResult::Succeeded {
+            degradations,
+            dropped_cells,
+            accounted,
+        },
+        // A quarantined library may no longer map the design; that must
+        // surface as a typed error, which it just did.
+        Err(_) => {
+            if accounted {
+                ScenarioResult::FailedCleanly
+            } else {
+                ScenarioResult::Succeeded {
+                    degradations,
+                    dropped_cells,
+                    accounted,
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption operators
+
+fn pick(rng: &mut Xoshiro256PlusPlus, n: usize) -> usize {
+    debug_assert!(n > 0);
+    (rng.next_u64() % n as u64) as usize
+}
+
+/// Byte offsets of every occurrence of `needle` in `text`.
+fn occurrences(text: &str, needle: &str) -> Vec<usize> {
+    let mut at = 0;
+    let mut found = Vec::new();
+    while let Some(p) = text[at..].find(needle) {
+        found.push(at + p);
+        at += p + needle.len();
+    }
+    found
+}
+
+/// Extends a float literal starting at `start` over `[0-9.eE+-]`.
+fn number_end(text: &str, start: usize) -> usize {
+    text[start..]
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | 'e' | 'E' | '+' | '-'))
+        .map_or(text.len(), |off| start + off)
+}
+
+/// Matches the `{ ... }` block whose `{` is at `open`, returning the byte
+/// offset just past the closing `}`.
+fn block_end(text: &str, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (off, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn corrupt_liberty(op: &str, text: &str, rng: &mut Xoshiro256PlusPlus) -> String {
+    let mut s = text.to_string();
+    match op {
+        "truncate" => {
+            // Cut somewhere in the back three quarters (writer output is
+            // ASCII, so any byte offset is a char boundary).
+            let cut = s.len() / 4 + pick(rng, s.len() - s.len() / 4);
+            s.truncate(cut);
+        }
+        "unbalance-brace" => {
+            let braces = occurrences(&s, "}");
+            if !braces.is_empty() {
+                s.remove(braces[pick(rng, braces.len())]);
+            }
+        }
+        "flip-char" => {
+            // Clobber one byte of a cell body with a shell-ish junk char.
+            let pos = s.len() / 4 + pick(rng, s.len() / 2);
+            s.replace_range(pos..=pos, "@");
+        }
+        "inject-nan" | "inject-inf" => {
+            let repl = if op == "inject-nan" { "nan" } else { "inf" };
+            let starts = occurrences(&s, "0.");
+            if !starts.is_empty() {
+                let at = starts[pick(rng, starts.len())];
+                let end = number_end(&s, at);
+                s.replace_range(at..end, repl);
+            }
+        }
+        "shuffle-axis" => {
+            // Swap the first two entries of one index_1 axis list.
+            let axes = occurrences(&s, "index_1 (\"");
+            if !axes.is_empty() {
+                let open = axes[pick(rng, axes.len())] + "index_1 (\"".len();
+                if let Some(close) = s[open..].find('"').map(|p| open + p) {
+                    let list = s[open..close].to_string();
+                    let parts: Vec<&str> = list.split(", ").collect();
+                    if parts.len() >= 2 {
+                        let mut swapped = parts.clone();
+                        swapped.swap(0, 1);
+                        s.replace_range(open..close, &swapped.join(", "));
+                    }
+                }
+            }
+        }
+        "delete-arc" => {
+            let arcs = occurrences(&s, "timing ()");
+            if !arcs.is_empty() {
+                let at = arcs[pick(rng, arcs.len())];
+                if let Some(open) = s[at..].find('{').map(|p| at + p) {
+                    if let Some(end) = block_end(&s, open) {
+                        s.replace_range(at..end, "");
+                    }
+                }
+            }
+        }
+        "duplicate-cell" => {
+            let cells = occurrences(&s, "cell (");
+            if !cells.is_empty() {
+                let at = cells[pick(rng, cells.len())];
+                if let Some(open) = s[at..].find('{').map(|p| at + p) {
+                    if let Some(end) = block_end(&s, open) {
+                        let dup = s[at..end].to_string();
+                        s.insert_str(end, "\n  ");
+                        s.insert_str(end + 3, &dup);
+                    }
+                }
+            }
+        }
+        "insert-junk" => {
+            let pos = pick(rng, s.len());
+            s.insert_str(pos, " @#%$ ");
+        }
+        other => unreachable!("unknown liberty operator {other}"),
+    }
+    s
+}
+
+fn corrupt_netlist(op: &str, nl: &mut Netlist, rng: &mut Xoshiro256PlusPlus) {
+    match op {
+        "dangling-port" => {
+            let bogus = NetId(nl.nets.len() as u32 + 1 + pick(rng, 1000) as u32);
+            if nl.primary_outputs.is_empty() {
+                nl.primary_outputs.push(bogus);
+            } else {
+                let k = pick(rng, nl.primary_outputs.len());
+                nl.primary_outputs[k] = bogus;
+            }
+        }
+        "comb-cycle" => {
+            // Feed some combinational gate its own output.
+            let comb: Vec<usize> = (0..nl.gates.len())
+                .filter(|&gi| {
+                    let g = &nl.gates[gi];
+                    !g.kind.is_sequential() && !g.inputs.is_empty() && !g.outputs.is_empty()
+                })
+                .collect();
+            if !comb.is_empty() {
+                let gi = comb[pick(rng, comb.len())];
+                let out = nl.gates[gi].outputs[0];
+                nl.gates[gi].inputs[0] = out;
+            }
+        }
+        "arity-break" => {
+            if !nl.gates.is_empty() {
+                let gi = pick(rng, nl.gates.len());
+                nl.gates[gi].inputs.clear();
+            }
+        }
+        other => unreachable!("unknown netlist operator {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tallying and JSON
+
+#[derive(Clone, Copy, PartialEq)]
+enum Outcome {
+    Rejected,
+    FailedCleanly,
+    Succeeded,
+    Panicked,
+}
+
+#[derive(Default)]
+struct PolicyTally {
+    rejected: usize,
+    failed_cleanly: usize,
+    succeeded: usize,
+    panicked: usize,
+    cells_dropped: usize,
+}
+
+#[derive(Default)]
+struct OpTally {
+    scenarios: usize,
+    strict: PolicyTally,
+    quarantine: PolicyTally,
+    best_effort: PolicyTally,
+    // Netlist operators only:
+    typed_errors: usize,
+    clean_successes: usize,
+    netlist_panics: usize,
+}
+
+impl OpTally {
+    fn record(&mut self, strictness: Strictness, outcome: Outcome, dropped: usize) {
+        let t = match strictness {
+            Strictness::Strict => &mut self.strict,
+            Strictness::Quarantine => &mut self.quarantine,
+            Strictness::BestEffort => &mut self.best_effort,
+        };
+        match outcome {
+            Outcome::Rejected => t.rejected += 1,
+            Outcome::FailedCleanly => t.failed_cleanly += 1,
+            Outcome::Succeeded => t.succeeded += 1,
+            Outcome::Panicked => t.panicked += 1,
+        }
+        t.cells_dropped += dropped;
+    }
+
+    fn is_netlist(&self) -> bool {
+        self.typed_errors + self.clean_successes + self.netlist_panics > 0
+    }
+}
+
+fn policy_json(t: &PolicyTally) -> String {
+    format!(
+        "{{\"rejected\": {}, \"failed_cleanly\": {}, \"succeeded\": {}, \
+         \"panicked\": {}, \"cells_dropped\": {}}}",
+        t.rejected, t.failed_cleanly, t.succeeded, t.panicked, t.cells_dropped
+    )
+}
+
+fn render_json(
+    ops: usize,
+    seed: u64,
+    panics: usize,
+    accounting_failures: usize,
+    policy_violations: usize,
+    tally: &BTreeMap<&str, OpTally>,
+) -> String {
+    // No timings and no thread counts: the file must be bit-identical
+    // across reruns and `--threads` values.
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"varitune-fault-harness/1\",\n");
+    s.push_str(&format!("  \"ops\": {ops},\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!(
+        "  \"operators_exercised\": {},\n  \"panics\": {panics},\n",
+        tally.len()
+    ));
+    s.push_str(&format!(
+        "  \"accounting_failures\": {accounting_failures},\n"
+    ));
+    s.push_str(&format!("  \"policy_violations\": {policy_violations},\n"));
+    s.push_str("  \"operators\": {\n");
+    let mut first = true;
+    for (op, t) in tally {
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        if t.is_netlist() {
+            s.push_str(&format!(
+                "    \"{op}\": {{\"scenarios\": {}, \"typed_errors\": {}, \
+                 \"clean_successes\": {}, \"panics\": {}}}",
+                t.scenarios, t.typed_errors, t.clean_successes, t.netlist_panics
+            ));
+        } else {
+            s.push_str(&format!(
+                "    \"{op}\": {{\"scenarios\": {}, \"strict\": {}, \
+                 \"quarantine\": {}, \"best_effort\": {}}}",
+                t.scenarios,
+                policy_json(&t.strict),
+                policy_json(&t.quarantine),
+                policy_json(&t.best_effort)
+            ));
+        }
+    }
+    s.push_str("\n  }\n}\n");
+    s
+}

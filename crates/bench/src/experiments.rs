@@ -862,6 +862,7 @@ pub fn abl_corners(ctx: &Ctx) -> String {
             seed: ctx.flow.config.seed,
             rho: ctx.flow.config.rho,
             threads: ctx.flow.config.threads,
+            strictness: ctx.flow.config.strictness,
         };
         let flow = Flow::prepare(cfg).expect("corner flow");
         // Synthesize at a relaxed corner-scaled period so all corners close.

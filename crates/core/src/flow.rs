@@ -12,13 +12,14 @@ use std::error::Error;
 use std::fmt;
 
 use varitune_libchar::{generate_nominal, GenerateConfig, StatLibrary};
-use varitune_liberty::Library;
+use varitune_liberty::{parse_library_recovering, Library};
 use varitune_netlist::{generate_mcu, McuConfig, Netlist};
 use varitune_sta::paths::worst_paths;
 use varitune_sta::{DesignTiming, PathTiming, StaError};
 use varitune_synth::{synthesize, LibraryConstraints, SynthConfig, SynthError, SynthesisResult};
 
 use crate::methods::{TuningMethod, TuningParams};
+use crate::quarantine::{screen_library, FlowReport, Strictness};
 use crate::tuning::{tune, TunedLibrary};
 
 /// Everything the flow needs to prepare.
@@ -39,6 +40,10 @@ pub struct FlowConfig {
     /// timing re-propagation during synthesis (`0` = all available cores).
     /// Results are bit-identical for any value.
     pub threads: usize,
+    /// How much damage library ingestion tolerates (parse diagnostics,
+    /// sick cells). Irrelevant for generated libraries, which are always
+    /// pristine.
+    pub strictness: Strictness,
 }
 
 impl FlowConfig {
@@ -52,6 +57,7 @@ impl FlowConfig {
             seed: 20_140_324, // DATE 2014 week
             rho: 0.0,
             threads: 0,
+            strictness: Strictness::Strict,
         }
     }
 
@@ -65,6 +71,7 @@ impl FlowConfig {
             seed: 7,
             rho: 0.0,
             threads: 0,
+            strictness: Strictness::Strict,
         }
     }
 }
@@ -78,6 +85,12 @@ pub enum FlowError {
     Sta(StaError),
     /// The statistical library could not be built.
     Stat(String),
+    /// Ingestion screening refused the library under the configured
+    /// [`Strictness`].
+    Rejected {
+        /// Human-readable account of the first disqualifying problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -86,6 +99,7 @@ impl fmt::Display for FlowError {
             FlowError::Synth(e) => write!(f, "synthesis failed: {e}"),
             FlowError::Sta(e) => write!(f, "timing failed: {e}"),
             FlowError::Stat(e) => write!(f, "statistical library failed: {e}"),
+            FlowError::Rejected { reason } => write!(f, "library rejected: {reason}"),
         }
     }
 }
@@ -115,6 +129,9 @@ pub struct Flow {
     pub stat: StatLibrary,
     /// The design under test.
     pub netlist: Netlist,
+    /// What ingestion did to the library before preparation (pristine for
+    /// generated libraries).
+    pub report: FlowReport,
 }
 
 impl Flow {
@@ -128,6 +145,45 @@ impl Flow {
     /// propagated rather than unwrapped).
     pub fn prepare(config: FlowConfig) -> Result<Self, FlowError> {
         let nominal = generate_nominal(&config.generate);
+        let report = FlowReport::pristine(config.strictness, nominal.cells.len());
+        Self::finish_prepare(config, nominal, report)
+    }
+
+    /// Prepares the flow around an externally supplied nominal library
+    /// instead of the generator's. The library is linted and screened under
+    /// `config.strictness` first; cells the screen removes are recorded in
+    /// [`Flow::report`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Rejected`] when the screen refuses the library (always
+    /// under [`Strictness::Strict`] if anything is wrong, under any policy
+    /// when no usable cell remains).
+    pub fn prepare_from_library(config: FlowConfig, nominal: &Library) -> Result<Self, FlowError> {
+        let (screened, report) = screen_library(nominal, &[], config.strictness)?;
+        Self::finish_prepare(config, screened, report)
+    }
+
+    /// Parses Liberty `text` with the recovering parser, screens the result
+    /// under `config.strictness`, and prepares the flow on whatever
+    /// survives. Parse diagnostics feed the screen: strict ingestion
+    /// rejects on any of them, tolerant policies record them as
+    /// degradations.
+    ///
+    /// # Errors
+    ///
+    /// See [`Flow::prepare_from_library`].
+    pub fn prepare_from_liberty_text(config: FlowConfig, text: &str) -> Result<Self, FlowError> {
+        let (parsed, diagnostics) = parse_library_recovering(text);
+        let (screened, report) = screen_library(&parsed, &diagnostics, config.strictness)?;
+        Self::finish_prepare(config, screened, report)
+    }
+
+    fn finish_prepare(
+        config: FlowConfig,
+        nominal: Library,
+        report: FlowReport,
+    ) -> Result<Self, FlowError> {
         // Streaming characterization: perturbed values flow column-wise
         // straight into the Welford merge, bit-identical to materializing
         // `mc_libraries` full libraries and calling `from_libraries`.
@@ -144,6 +200,7 @@ impl Flow {
             nominal,
             stat,
             netlist,
+            report,
         })
     }
 

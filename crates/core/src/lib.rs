@@ -16,7 +16,10 @@
 //! * [`exclusion`] — the coarse related-work baseline (whole-cell
 //!   subsetting) the paper's method improves on,
 //! * [`flow`] — the end-to-end experiment flow (characterize → synthesize →
-//!   tune → re-synthesize → compare).
+//!   tune → re-synthesize → compare),
+//! * [`quarantine`] — ingestion screening for external libraries: the
+//!   [`Strictness`] policies, cell quarantine with the drive-family
+//!   feasibility fallback, and the [`Degradation`] ledger.
 //!
 //! # Example
 //!
@@ -44,9 +47,15 @@
 //! # }
 //! ```
 
+// Panics must not be reachable from user input in this crate; every
+// non-test `unwrap`/`expect` needs an `#[allow]` with an invariant note.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod exclusion;
 pub mod flow;
 pub mod methods;
+pub mod quarantine;
 pub mod rectangle;
 pub mod slope;
 pub mod tuning;
@@ -54,5 +63,6 @@ pub mod tuning;
 pub use exclusion::{apply_exclusion, tune_by_exclusion, ExclusionTuning};
 pub use flow::{Comparison, Flow, FlowConfig, FlowError, FlowRun};
 pub use methods::{TuningMethod, TuningParams};
+pub use quarantine::{screen_library, Degradation, FlowReport, Strictness};
 pub use rectangle::{largest_rectangle, largest_rectangle_bruteforce, Rect};
 pub use tuning::{tune, ClusterThreshold, TunedLibrary};

@@ -516,7 +516,7 @@ mod tests {
     #[test]
     fn generated_library_round_trips_through_liberty_text() {
         let lib = generate_nominal(&GenerateConfig::small_for_tests());
-        let text = varitune_liberty::write_library(&lib);
+        let text = varitune_liberty::write_library(&lib).unwrap();
         let parsed = varitune_liberty::parse_library(&text).unwrap();
         assert_eq!(parsed, lib);
     }
@@ -578,7 +578,8 @@ mod tests {
     fn power_round_trips_through_liberty() {
         let lib = generate_nominal(&GenerateConfig::small_for_tests());
         let parsed =
-            varitune_liberty::parse_library(&varitune_liberty::write_library(&lib)).unwrap();
+            varitune_liberty::parse_library(&varitune_liberty::write_library(&lib).unwrap())
+                .unwrap();
         assert_eq!(parsed, lib);
     }
 

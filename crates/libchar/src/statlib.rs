@@ -8,7 +8,7 @@
 //! statistics instead" described in the paper.
 //!
 //! Internally the reduction is *columnar*: the first library's structure is
-//! flattened once into a [`StructureIndex`] (one slot per LUT, one flat
+//! flattened once into a `StructureIndex` (one slot per LUT, one flat
 //! entry range per slot), every further library is validated against that
 //! index up front (typed [`StatLibError`]s, not string diffs), and the
 //! Welford merge then runs over flat `Vec<f64>` columns — libraries outer,
@@ -497,7 +497,7 @@ impl StatLibrary {
     /// Builds the statistical library from `libs` (the §IV procedure).
     ///
     /// The first library's structure is flattened once into a
-    /// [`StructureIndex`]; every further library is validated against the
+    /// `StructureIndex`; every further library is validated against the
     /// first in a single typed pass, and the per-entry Welford merge runs
     /// columnar (libraries outer, flat entries inner). The merged values are
     /// bit-identical to the per-entry accumulator formulation.

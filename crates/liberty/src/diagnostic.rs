@@ -1,0 +1,152 @@
+//! Span-carrying diagnostics for recovering parses and library validation.
+//!
+//! A [`Diagnostic`] records *where* a problem was found (1-based line and
+//! column for source-level problems, `0:0` for model-level lints), *how bad*
+//! it is ([`Severity`]), and *what part of the library tree* it concerns via
+//! a slash-separated context path such as
+//! `library/cell(NAND2_2)/pin(Y)/timing`.
+//!
+//! Diagnostics are the currency of the hardened ingestion layer: the
+//! recovering parser ([`crate::parser::parse_library_recovering`]) returns
+//! them instead of aborting, and the [`crate::validate`] lints use the same
+//! type so downstream policy code (strict / quarantine / best-effort) can
+//! treat both sources uniformly.
+
+use std::fmt;
+
+use crate::error::ParseLibertyError;
+
+/// How bad a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but usable data; strict policies may still reject it.
+    Warning,
+    /// Data that was dropped, repaired around, or would break consumers.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One problem found while parsing or validating Liberty data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based source line; `0` when the problem is model-level (no span).
+    pub line: usize,
+    /// 1-based source column; `0` when the problem is model-level.
+    pub column: usize,
+    /// Problem severity.
+    pub severity: Severity,
+    /// Slash-separated path into the library tree, e.g.
+    /// `library/cell(NAND2_2)/pin(Y)/timing`. Empty for lexical problems
+    /// found before any structure exists.
+    pub context: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error-severity diagnostic.
+    pub fn error(
+        line: usize,
+        column: usize,
+        context: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            line,
+            column,
+            severity: Severity::Error,
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    pub fn warning(
+        line: usize,
+        column: usize,
+        context: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            line,
+            column,
+            severity: Severity::Warning,
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Whether this diagnostic is error severity.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Converts the diagnostic into a [`ParseLibertyError`] carrying the
+    /// same span, with the context folded into the message.
+    pub fn into_parse_error(self) -> ParseLibertyError {
+        let message = if self.context.is_empty() {
+            self.message
+        } else {
+            format!("{}: {}", self.context, self.message)
+        };
+        ParseLibertyError::new(self.line, self.column, message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.severity)?;
+        if self.line != 0 {
+            write!(f, " at {}:{}", self.line, self.column)?;
+        }
+        if !self.context.is_empty() {
+            write!(f, " in {}", self.context)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span_context_and_severity() {
+        let d = Diagnostic::error(3, 14, "library/cell(ND2_1)/pin(Y)/timing", "bad table");
+        let s = d.to_string();
+        assert!(s.contains("error"), "{s}");
+        assert!(s.contains("3:14"), "{s}");
+        assert!(s.contains("library/cell(ND2_1)/pin(Y)/timing"), "{s}");
+        assert!(s.contains("bad table"), "{s}");
+    }
+
+    #[test]
+    fn display_omits_zero_span() {
+        let d = Diagnostic::warning(0, 0, "library/cell(X)", "negative area");
+        let s = d.to_string();
+        assert!(!s.contains("0:0"), "{s}");
+        assert!(s.starts_with("warning"), "{s}");
+    }
+
+    #[test]
+    fn severity_orders_error_above_warning() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn into_parse_error_keeps_span() {
+        let e = Diagnostic::error(2, 7, "library", "boom").into_parse_error();
+        assert_eq!((e.line, e.column), (2, 7));
+        assert!(e.message.contains("library"), "{}", e.message);
+        assert!(e.message.contains("boom"), "{}", e.message);
+    }
+}

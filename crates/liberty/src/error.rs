@@ -40,6 +40,32 @@ impl fmt::Display for ParseLibertyError {
 
 impl Error for ParseLibertyError {}
 
+/// Error produced when serializing a library whose text would not re-parse.
+///
+/// The writer refuses non-finite values: `inf`/`NaN` literals are rejected
+/// by the parser, so emitting them would break the round-trip property
+/// (anything written must parse back).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteLibertyError {
+    /// Slash-separated path to the offending value, e.g.
+    /// `library/cell(INV_1)/pin(Z)/timing/cell_rise`.
+    pub context: String,
+    /// The non-finite value that cannot be serialized.
+    pub value: f64,
+}
+
+impl fmt::Display for WriteLibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot write non-finite value {} at {}: the emitted Liberty text would not re-parse",
+            self.value, self.context
+        )
+    }
+}
+
+impl Error for WriteLibertyError {}
+
 /// Error produced when a LUT cannot be evaluated at a requested point.
 #[derive(Debug, Clone, PartialEq)]
 pub enum InterpolateError {
@@ -101,5 +127,17 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ParseLibertyError>();
         assert_send_sync::<InterpolateError>();
+        assert_send_sync::<WriteLibertyError>();
+    }
+
+    #[test]
+    fn write_error_display_names_context_and_value() {
+        let e = WriteLibertyError {
+            context: "library/cell(INV_1)/pin(Z)/timing/cell_rise".to_string(),
+            value: f64::NAN,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cell(INV_1)"), "{s}");
+        assert!(s.contains("NaN"), "{s}");
     }
 }

@@ -75,9 +75,10 @@ pub struct Family {
 ///
 /// The interner is a *cache over* `Library::cells`, not part of the
 /// library's value: it is built lazily on first use and reflects the cells
-/// at that moment. Name lookups through [`Library::cell_index`]
-/// (crate::Library::cell_index) stay correct after mutation (verified hit +
-/// linear fallback); the family and pin tables are snapshots and should
+/// at that moment. Name lookups through
+/// [`Library::cell_index`](crate::Library::cell_index) stay correct after
+/// mutation (verified hit + linear fallback); the family and pin tables
+/// are snapshots and should
 /// only be consumed once a library is finalized.
 #[derive(Debug, Default)]
 pub struct Interner {

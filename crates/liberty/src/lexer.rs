@@ -68,6 +68,21 @@ impl TokenKind {
 /// Returns [`ParseLibertyError`] on unterminated comments/strings or
 /// characters that are not part of the Liberty grammar.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseLibertyError> {
+    let (tokens, mut problems) = tokenize_recovering(input);
+    match problems.is_empty() {
+        true => Ok(tokens),
+        false => Err(problems.remove(0)),
+    }
+}
+
+/// Tokenizes Liberty text, recovering from lexical problems.
+///
+/// Every problem the strict [`tokenize`] would abort on is recorded as a
+/// [`ParseLibertyError`] instead: an unexpected character is skipped, an
+/// unterminated string yields the accumulated contents, and an unterminated
+/// block comment swallows the rest of the input. On clean input the token
+/// stream is identical to the strict lexer's and the problem list is empty.
+pub fn tokenize_recovering(input: &str) -> (Vec<Token>, Vec<ParseLibertyError>) {
     Lexer::new(input).run()
 }
 
@@ -75,6 +90,7 @@ struct Lexer<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
     line: usize,
     column: usize,
+    problems: Vec<ParseLibertyError>,
 }
 
 impl<'a> Lexer<'a> {
@@ -83,6 +99,7 @@ impl<'a> Lexer<'a> {
             chars: input.chars().peekable(),
             line: 1,
             column: 1,
+            problems: Vec::new(),
         }
     }
 
@@ -101,11 +118,12 @@ impl<'a> Lexer<'a> {
         self.chars.peek().copied()
     }
 
-    fn error(&self, msg: impl Into<String>) -> ParseLibertyError {
-        ParseLibertyError::new(self.line, self.column, msg)
+    fn problem(&mut self, msg: impl Into<String>) {
+        self.problems
+            .push(ParseLibertyError::new(self.line, self.column, msg));
     }
 
-    fn run(mut self) -> Result<Vec<Token>, ParseLibertyError> {
+    fn run(mut self) -> (Vec<Token>, Vec<ParseLibertyError>) {
         let mut out = Vec::new();
         while let Some(c) = self.peek() {
             let (line, column) = (self.line, self.column);
@@ -129,7 +147,7 @@ impl<'a> Lexer<'a> {
                     match self.peek() {
                         Some('*') => {
                             self.bump();
-                            self.skip_block_comment()?;
+                            self.skip_block_comment();
                         }
                         Some('/') => {
                             while let Some(c) = self.peek() {
@@ -139,7 +157,7 @@ impl<'a> Lexer<'a> {
                                 self.bump();
                             }
                         }
-                        _ => return Err(self.error("unexpected `/`")),
+                        _ => self.problem("unexpected `/`"),
                     }
                 }
                 '(' => self.push_simple(&mut out, TokenKind::LParen),
@@ -151,7 +169,7 @@ impl<'a> Lexer<'a> {
                 ',' => self.push_simple(&mut out, TokenKind::Comma),
                 '"' => {
                     self.bump();
-                    let s = self.lex_string()?;
+                    let s = self.lex_string();
                     out.push(Token {
                         kind: TokenKind::Str(s),
                         line,
@@ -159,7 +177,7 @@ impl<'a> Lexer<'a> {
                     });
                 }
                 c if c.is_ascii_digit() || c == '-' || c == '+' => {
-                    let kind = self.lex_number_or_word()?;
+                    let kind = self.lex_number_or_word();
                     out.push(Token { kind, line, column });
                 }
                 c if is_word_start(c) => {
@@ -170,10 +188,13 @@ impl<'a> Lexer<'a> {
                         column,
                     });
                 }
-                other => return Err(self.error(format!("unexpected character `{other}`"))),
+                other => {
+                    self.problem(format!("unexpected character `{other}`"));
+                    self.bump();
+                }
             }
         }
-        Ok(out)
+        (out, self.problems)
     }
 
     fn push_simple(&mut self, out: &mut Vec<Token>, kind: TokenKind) {
@@ -182,24 +203,27 @@ impl<'a> Lexer<'a> {
         out.push(Token { kind, line, column });
     }
 
-    fn skip_block_comment(&mut self) -> Result<(), ParseLibertyError> {
+    fn skip_block_comment(&mut self) {
         loop {
             match self.bump() {
                 Some('*') if self.peek() == Some('/') => {
                     self.bump();
-                    return Ok(());
+                    return;
                 }
                 Some(_) => {}
-                None => return Err(self.error("unterminated block comment")),
+                None => {
+                    self.problem("unterminated block comment");
+                    return;
+                }
             }
         }
     }
 
-    fn lex_string(&mut self) -> Result<String, ParseLibertyError> {
+    fn lex_string(&mut self) -> String {
         let mut s = String::new();
         loop {
             match self.bump() {
-                Some('"') => return Ok(s),
+                Some('"') => return s,
                 Some('\\') => {
                     // Inside strings a backslash-newline is a continuation;
                     // any other escaped character is taken literally.
@@ -211,11 +235,17 @@ impl<'a> Lexer<'a> {
                             }
                         }
                         Some(c) => s.push(c),
-                        None => return Err(self.error("unterminated string")),
+                        None => {
+                            self.problem("unterminated string");
+                            return s;
+                        }
                     }
                 }
                 Some(c) => s.push(c),
-                None => return Err(self.error("unterminated string")),
+                None => {
+                    self.problem("unterminated string");
+                    return s;
+                }
             }
         }
     }
@@ -223,7 +253,7 @@ impl<'a> Lexer<'a> {
     /// Lexes something that starts like a number. Liberty barewords may also
     /// start with a digit (`1ns`, `0.1pf`), so if the char run contains
     /// non-numeric characters we fall back to an identifier token.
-    fn lex_number_or_word(&mut self) -> Result<TokenKind, ParseLibertyError> {
+    fn lex_number_or_word(&mut self) -> TokenKind {
         let mut s = String::new();
         while let Some(c) = self.peek() {
             if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '+' | '_') {
@@ -234,9 +264,9 @@ impl<'a> Lexer<'a> {
             }
         }
         if let Ok(n) = s.parse::<f64>() {
-            Ok(TokenKind::Number(n))
+            TokenKind::Number(n)
         } else {
-            Ok(TokenKind::Ident(s))
+            TokenKind::Ident(s)
         }
     }
 
@@ -374,6 +404,44 @@ mod tests {
         let toks = tokenize("a\n  b").unwrap();
         assert_eq!((toks[0].line, toks[0].column), (1, 1));
         assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn recovering_lexer_skips_junk_and_keeps_tokens() {
+        let (toks, problems) = tokenize_recovering("area @ : # 2;");
+        assert_eq!(problems.len(), 2);
+        assert_eq!(problems[0].column, 6);
+        assert_eq!(
+            toks.iter().map(|t| t.kind.clone()).collect::<Vec<_>>(),
+            vec![
+                TokenKind::Ident("area".into()),
+                TokenKind::Colon,
+                TokenKind::Number(2.0),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn recovering_lexer_finishes_unterminated_string() {
+        let (toks, problems) = tokenize_recovering("\"0.1, 0.2");
+        assert_eq!(problems.len(), 1);
+        assert_eq!(
+            toks,
+            vec![Token {
+                kind: TokenKind::Str("0.1, 0.2".into()),
+                line: 1,
+                column: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn recovering_lexer_matches_strict_on_clean_input() {
+        let input = "library (L) { area : 1.5; /* c */ }";
+        let (toks, problems) = tokenize_recovering(input);
+        assert!(problems.is_empty());
+        assert_eq!(toks, tokenize(input).unwrap());
     }
 
     #[test]

@@ -12,7 +12,14 @@
 //! * [`Library`], [`Cell`], [`Pin`], [`TimingArc`], [`Lut`], [`LutTemplate`]
 //!   — the data model ([`model`]),
 //! * a tokenizer ([`lexer`]) and recursive-descent parser ([`parser`]),
-//! * a writer that emits well-formed Liberty text ([`writer`]),
+//!   with both a strict mode ([`parse_library`]) and a recovering mode
+//!   ([`parse_library_recovering`]) that records span-carrying
+//!   [`Diagnostic`]s and keeps whatever survives,
+//! * library lints producing per-cell [`CellHealth`] verdicts
+//!   ([`validate`]),
+//! * a writer that emits well-formed Liberty text ([`writer`]); it refuses
+//!   non-finite values with a typed [`WriteLibertyError`] so anything
+//!   written is guaranteed to re-parse,
 //! * bilinear LUT interpolation ([`Lut::interpolate`]).
 //!
 //! # Example
@@ -59,18 +66,27 @@
 //! # }
 //! ```
 
+// Panics must not be reachable from user input in this crate; every
+// non-test `unwrap`/`expect` needs an `#[allow]` with an invariant note.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod diagnostic;
 pub mod error;
 pub mod ids;
 pub mod lexer;
 pub mod model;
 pub mod parser;
+pub mod validate;
 pub mod writer;
 
-pub use error::{InterpolateError, ParseLibertyError};
+pub use diagnostic::{Diagnostic, Severity};
+pub use error::{InterpolateError, ParseLibertyError, WriteLibertyError};
 pub use ids::{CellId, Family, FamilyId, Interner, PinId};
 pub use model::{
     Cell, CellKind, InternalPower, Library, Lut, LutTemplate, Pin, PinDirection, TimingArc,
     TimingSense, TimingType,
 };
-pub use parser::parse_library;
+pub use parser::{parse_library, parse_library_recovering};
+pub use validate::{validate_cell, validate_library, CellHealth, CellReport, LibraryHealth};
 pub use writer::write_library;

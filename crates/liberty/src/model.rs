@@ -327,6 +327,9 @@ fn bracket(axis: &[f64], x: f64) -> (usize, usize, f64) {
     if x <= axis[0] {
         return (0, 0, 0.0);
     }
+    // Invariant: callers check for an empty table before bracketing, and the
+    // len == 1 case returned above, so the axis has at least one element.
+    #[allow(clippy::expect_used)]
     if x >= *axis.last().expect("non-empty axis") {
         let last = axis.len() - 1;
         return (last, last, 0.0);

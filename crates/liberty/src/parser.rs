@@ -7,8 +7,11 @@
 //! parser robust against the many vendor-specific extensions found in real
 //! `.lib` files.
 
+use std::collections::HashSet;
+
+use crate::diagnostic::Diagnostic;
 use crate::error::ParseLibertyError;
-use crate::lexer::{tokenize, Token, TokenKind};
+use crate::lexer::{tokenize, tokenize_recovering, Token, TokenKind};
 use crate::model::{
     Cell, InternalPower, Library, Lut, LutTemplate, Pin, PinDirection, TimingArc, TimingSense,
     TimingType,
@@ -63,6 +66,10 @@ pub struct Group {
     pub attributes: Vec<Attribute>,
     /// Nested groups in declaration order.
     pub groups: Vec<Group>,
+    /// 1-based source line of the group keyword (`0` for synthetic groups).
+    pub line: usize,
+    /// 1-based source column of the group keyword (`0` for synthetic groups).
+    pub column: usize,
 }
 
 impl Group {
@@ -219,11 +226,12 @@ impl Parser {
 
     /// Parses a group whose keyword token has not been consumed yet.
     fn parse_group(&mut self) -> Result<Group, ParseLibertyError> {
-        let name = match self.bump() {
+        let (name, line, column) = match self.bump() {
             Some(Token {
                 kind: TokenKind::Ident(s),
-                ..
-            }) => s,
+                line,
+                column,
+            }) => (s, line, column),
             Some(t) => {
                 return Err(ParseLibertyError::new(
                     t.line,
@@ -240,6 +248,8 @@ impl Parser {
             args,
             attributes: Vec::new(),
             groups: Vec::new(),
+            line,
+            column,
         };
         loop {
             match self.peek().map(|t| &t.kind) {
@@ -260,11 +270,12 @@ impl Parser {
     /// `name (args) ;` (complex attribute) or `name (args) { ... }`
     /// (sub-group).
     fn parse_member(&mut self, parent: &mut Group) -> Result<(), ParseLibertyError> {
-        let name = match self.bump() {
+        let (name, line, column) = match self.bump() {
             Some(Token {
                 kind: TokenKind::Ident(s),
-                ..
-            }) => s,
+                line,
+                column,
+            }) => (s, line, column),
             _ => unreachable!("caller checked for an identifier"),
         };
         match self.peek().map(|t| &t.kind) {
@@ -292,6 +303,8 @@ impl Parser {
                             args,
                             attributes: Vec::new(),
                             groups: Vec::new(),
+                            line,
+                            column,
                         };
                         loop {
                             match self.peek().map(|t| &t.kind) {
@@ -322,6 +335,315 @@ impl Parser {
                 }
             }
             _ => Err(self.error_here(format!("expected `:` or `(` after `{name}`"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovering parse: diagnostics + resynchronization instead of aborting
+// ---------------------------------------------------------------------------
+
+/// Parses Liberty text, recovering from malformed regions instead of
+/// aborting on the first problem.
+///
+/// Every problem — lexical junk, unbalanced syntax, or structural issues
+/// found while lowering (bad tables, unknown enum values, missing required
+/// attributes) — is recorded as a span-carrying [`Diagnostic`] whose context
+/// path names the enclosing structure (e.g.
+/// `library/cell(NAND2_2)/pin(Y)/timing`). The offending region is skipped by
+/// resynchronizing at the next balanced `;` or `}` and parsing continues.
+/// The returned [`Library`] holds everything that survived; the diagnostics
+/// account for everything that did not.
+pub fn parse_library_recovering(input: &str) -> (Library, Vec<Diagnostic>) {
+    let mut diags = Vec::new();
+    let (tokens, lex_problems) = tokenize_recovering(input);
+    for e in lex_problems {
+        diags.push(Diagnostic::error(e.line, e.column, "", e.message));
+    }
+    let root = {
+        let mut rp = RecoveringParser {
+            p: Parser { tokens, pos: 0 },
+            diags: &mut diags,
+            path: Vec::new(),
+        };
+        rp.parse_root()
+    };
+    let lib = lower_library_recovering(&root, &mut diags);
+    (lib, diags)
+}
+
+/// `name(first_arg)` or bare `name` — one segment of a diagnostic context
+/// path.
+fn path_segment(name: &str, args: &[Value]) -> String {
+    match args.first().map(Value::as_text) {
+        Some(arg) if !arg.is_empty() => format!("{name}({arg})"),
+        _ => name.to_string(),
+    }
+}
+
+struct RecoveringParser<'d> {
+    p: Parser,
+    diags: &'d mut Vec<Diagnostic>,
+    /// Stack of context segments for the groups currently being parsed.
+    path: Vec<String>,
+}
+
+impl RecoveringParser<'_> {
+    fn context(&self) -> String {
+        self.path.join("/")
+    }
+
+    fn report(&mut self, e: ParseLibertyError) {
+        let context = self.context();
+        self.diags
+            .push(Diagnostic::error(e.line, e.column, context, e.message));
+    }
+
+    /// Skips tokens until a recovery point: just *before* a `}` that closes
+    /// the current body, just *after* a `;` at balanced depth, or end of
+    /// input. Brace depth is tracked so a malformed nested group is skipped
+    /// whole rather than spilling its members into the parent.
+    fn resync(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.p.peek() {
+            match t.kind {
+                TokenKind::LBrace => {
+                    depth += 1;
+                    self.p.bump();
+                }
+                TokenKind::RBrace => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.p.bump();
+                }
+                TokenKind::Semicolon => {
+                    self.p.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {
+                    self.p.bump();
+                }
+            }
+        }
+    }
+
+    /// Skips forward to the next `{` (left unconsumed); refuses to cross a
+    /// `}` or `;`, which would eat the parent body. Returns whether a `{`
+    /// was found.
+    fn skip_to_lbrace(&mut self) -> bool {
+        while let Some(t) = self.p.peek() {
+            match t.kind {
+                TokenKind::LBrace => return true,
+                TokenKind::RBrace | TokenKind::Semicolon => return false,
+                _ => {
+                    self.p.bump();
+                }
+            }
+        }
+        false
+    }
+
+    fn parse_root(&mut self) -> Group {
+        // Skip leading junk so a stray token before `library` does not kill
+        // the whole parse; only the first offender is reported.
+        let mut reported = false;
+        while let Some(t) = self.p.peek() {
+            if matches!(t.kind, TokenKind::Ident(_)) {
+                break;
+            }
+            if !reported {
+                let e = ParseLibertyError::new(
+                    t.line,
+                    t.column,
+                    format!("expected group keyword, found {}", t.kind.describe()),
+                );
+                self.report(e);
+                reported = true;
+            }
+            self.p.bump();
+        }
+        let Some(root) = self.parse_group_recovering() else {
+            return Group {
+                name: String::new(),
+                args: Vec::new(),
+                attributes: Vec::new(),
+                groups: Vec::new(),
+                line: 0,
+                column: 0,
+            };
+        };
+        if let Some(t) = self.p.peek() {
+            let e = ParseLibertyError::new(
+                t.line,
+                t.column,
+                format!("trailing {} after library body", t.kind.describe()),
+            );
+            self.report(e);
+        }
+        root
+    }
+
+    /// Parses `name (args) { body }` with recovery. Returns `None` only when
+    /// the input is exhausted before a group keyword appears.
+    fn parse_group_recovering(&mut self) -> Option<Group> {
+        let (name, line, column) = match self.p.bump() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                line,
+                column,
+            }) => (s, line, column),
+            Some(_) => unreachable!("caller skipped to an identifier"),
+            None => {
+                let e = self
+                    .p
+                    .error_here("expected group keyword, found end of input");
+                self.report(e);
+                return None;
+            }
+        };
+        let args = match self.p.peek().map(|t| &t.kind) {
+            Some(TokenKind::LParen) => match self.p.parse_arg_list() {
+                Ok(args) => args,
+                Err(e) => {
+                    self.report(e);
+                    self.skip_to_lbrace();
+                    Vec::new()
+                }
+            },
+            _ => {
+                let e = self.p.error_here(format!("expected `(` after `{name}`"));
+                self.report(e);
+                Vec::new()
+            }
+        };
+        let mut group = Group {
+            name,
+            args,
+            attributes: Vec::new(),
+            groups: Vec::new(),
+            line,
+            column,
+        };
+        // The issue-convention context path starts with a bare `library`
+        // segment; nested segments carry their argument name.
+        let segment = if self.path.is_empty() {
+            group.name.clone()
+        } else {
+            path_segment(&group.name, &group.args)
+        };
+        self.path.push(segment);
+        match self.p.peek().map(|t| &t.kind) {
+            Some(TokenKind::LBrace) => {
+                self.p.bump();
+                self.parse_body(&mut group);
+            }
+            _ => {
+                let e = self
+                    .p
+                    .error_here(format!("expected `{{` to open `{}` body", group.name));
+                self.report(e);
+                if self.skip_to_lbrace() {
+                    self.p.bump();
+                    self.parse_body(&mut group);
+                }
+            }
+        }
+        self.path.pop();
+        Some(group)
+    }
+
+    /// Parses a `{`-opened body, recovering from each malformed member.
+    fn parse_body(&mut self, group: &mut Group) {
+        loop {
+            match self.p.peek().map(|t| &t.kind) {
+                Some(TokenKind::RBrace) => {
+                    self.p.bump();
+                    return;
+                }
+                Some(TokenKind::Ident(_)) => {
+                    if let Err(e) = self.parse_member_recovering(group) {
+                        self.report(e);
+                        self.resync();
+                    }
+                }
+                Some(_) => {
+                    let e = self.p.error_here("expected attribute, group or `}`");
+                    self.report(e);
+                    self.resync();
+                }
+                None => {
+                    let e = self
+                        .p
+                        .error_here(format!("unterminated `{}` body (missing `}}`)", group.name));
+                    self.report(e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Recovering twin of [`Parser::parse_member`]; errors are returned for
+    /// the caller to report and resynchronize from, while nested groups
+    /// recover internally.
+    fn parse_member_recovering(&mut self, parent: &mut Group) -> Result<(), ParseLibertyError> {
+        let (name, line, column) = match self.p.bump() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                line,
+                column,
+            }) => (s, line, column),
+            _ => unreachable!("caller checked for an identifier"),
+        };
+        match self.p.peek().map(|t| &t.kind) {
+            Some(TokenKind::Colon) => {
+                self.p.bump();
+                let v = self.p.parse_value()?;
+                if matches!(self.p.peek().map(|t| &t.kind), Some(TokenKind::Semicolon)) {
+                    self.p.bump();
+                }
+                parent.attributes.push(Attribute {
+                    name,
+                    values: vec![v],
+                });
+                Ok(())
+            }
+            Some(TokenKind::LParen) => {
+                let args = self.p.parse_arg_list()?;
+                match self.p.peek().map(|t| &t.kind) {
+                    Some(TokenKind::LBrace) => {
+                        self.p.bump();
+                        let mut group = Group {
+                            name,
+                            args,
+                            attributes: Vec::new(),
+                            groups: Vec::new(),
+                            line,
+                            column,
+                        };
+                        self.path.push(path_segment(&group.name, &group.args));
+                        self.parse_body(&mut group);
+                        self.path.pop();
+                        parent.groups.push(group);
+                        Ok(())
+                    }
+                    Some(TokenKind::Semicolon) => {
+                        self.p.bump();
+                        parent.attributes.push(Attribute { name, values: args });
+                        Ok(())
+                    }
+                    _ => {
+                        parent.attributes.push(Attribute { name, values: args });
+                        Ok(())
+                    }
+                }
+            }
+            _ => Err(self
+                .p
+                .error_here(format!("expected `:` or `(` after `{name}`"))),
         }
     }
 }
@@ -543,6 +865,8 @@ fn lower_lut(g: &Group, lib: &Library) -> Result<Lut, ParseLibertyError> {
         && index_slew.len() > 1
         && rows[0].len() == index_slew.len() * index_load.len()
     {
+        // Invariant: the enclosing `if` just checked `rows.len() == 1`.
+        #[allow(clippy::expect_used)]
         let flat = rows.pop().expect("one row present");
         rows = flat.chunks(index_load.len()).map(|c| c.to_vec()).collect();
     }
@@ -557,7 +881,13 @@ fn lower_lut(g: &Group, lib: &Library) -> Result<Lut, ParseLibertyError> {
     }
     // Axis monotonicity is checked once here so `Lut::interpolate` can skip
     // it on every timing query; `Lut::new` would panic on the same input.
+    // NaN compares false both ways, so the finiteness test must come first
+    // or a NaN axis would sail through the monotonicity check below and
+    // reach the `Lut::new` assertion.
     for (axis, name) in [(&index_slew, "index_1"), (&index_load, "index_2")] {
+        if axis.iter().any(|v| !v.is_finite()) {
+            return Err(lower_err(format!("{name} axis has a non-finite entry")));
+        }
         if axis.windows(2).any(|w| w[1] <= w[0]) {
             return Err(lower_err(format!(
                 "{name} axis must be strictly increasing"
@@ -565,6 +895,187 @@ fn lower_lut(g: &Group, lib: &Library) -> Result<Lut, ParseLibertyError> {
         }
     }
     Ok(Lut::new(index_slew, index_load, rows))
+}
+
+// ---------------------------------------------------------------------------
+// Recovering lowering: drop the bad unit (template / cell / pin / arc),
+// keep everything else, account for every drop with a Diagnostic
+// ---------------------------------------------------------------------------
+
+/// Picks the error's own span when it has one, else the group keyword's.
+fn span_or(e: &ParseLibertyError, g: &Group) -> (usize, usize) {
+    if e.line == 0 {
+        (g.line, g.column)
+    } else {
+        (e.line, e.column)
+    }
+}
+
+fn report_lower(diags: &mut Vec<Diagnostic>, e: ParseLibertyError, g: &Group, context: &str) {
+    let (line, column) = span_or(&e, g);
+    diags.push(Diagnostic::error(line, column, context, e.message));
+}
+
+fn lower_library_recovering(root: &Group, diags: &mut Vec<Diagnostic>) -> Library {
+    if root.name != "library" {
+        diags.push(Diagnostic::error(
+            root.line,
+            root.column,
+            "",
+            format!("expected top-level `library` group, found `{}`", root.name),
+        ));
+        return Library::new(String::new());
+    }
+    let mut lib = Library::new(root.arg_name().unwrap_or_default());
+    if let Some(t) = root.attr_text("time_unit") {
+        lib.time_unit = t;
+    }
+    if let Some(a) = root.attr("capacitive_load_unit") {
+        let parts: Vec<String> = a.values.iter().map(Value::as_text).collect();
+        lib.cap_unit = parts.join("");
+    }
+    if let Some(v) = root.attr_number("nom_voltage") {
+        lib.voltage = v;
+    }
+    if let Some(t) = root.attr_number("nom_temperature") {
+        lib.temperature = t;
+    }
+    for g in root.groups_named("lu_table_template") {
+        let context = format!("library/{}", path_segment(&g.name, &g.args));
+        match lower_template(g) {
+            Ok(t) => {
+                if lib.templates.contains_key(&t.name) {
+                    diags.push(Diagnostic::warning(
+                        g.line,
+                        g.column,
+                        context,
+                        format!(
+                            "duplicate lu_table_template `{}` overrides earlier definition",
+                            t.name
+                        ),
+                    ));
+                }
+                lib.templates.insert(t.name.clone(), t);
+            }
+            Err(e) => report_lower(diags, e, g, &context),
+        }
+    }
+    let mut seen = HashSet::new();
+    for g in root.groups_named("cell") {
+        let context = format!("library/{}", path_segment(&g.name, &g.args));
+        if let Some(cell) = lower_cell_recovering(g, &lib, diags) {
+            if seen.contains(cell.name.as_str()) {
+                diags.push(Diagnostic::error(
+                    g.line,
+                    g.column,
+                    context,
+                    format!(
+                        "duplicate cell `{}` dropped (first definition kept)",
+                        cell.name
+                    ),
+                ));
+                continue;
+            }
+            seen.insert(cell.name.clone());
+            lib.cells.push(cell);
+        }
+    }
+    lib
+}
+
+fn lower_cell_recovering(g: &Group, lib: &Library, diags: &mut Vec<Diagnostic>) -> Option<Cell> {
+    let cell_ctx = format!("library/{}", path_segment(&g.name, &g.args));
+    let Some(name) = g.arg_name() else {
+        diags.push(Diagnostic::error(
+            g.line,
+            g.column,
+            cell_ctx,
+            "cell without a name; dropped",
+        ));
+        return None;
+    };
+    let mut cell = Cell::new(name, g.attr_number("area").unwrap_or(0.0));
+    cell.leakage_power = g.attr_number("cell_leakage_power").unwrap_or(0.0);
+    for pg in g.groups_named("pin") {
+        if let Some(pin) = lower_pin_recovering(pg, lib, &cell_ctx, diags) {
+            cell.pins.push(pin);
+        }
+    }
+    Some(cell)
+}
+
+fn lower_pin_recovering(
+    g: &Group,
+    lib: &Library,
+    cell_ctx: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<Pin> {
+    let pin_ctx = format!("{cell_ctx}/{}", path_segment(&g.name, &g.args));
+    let Some(name) = g.arg_name() else {
+        diags.push(Diagnostic::error(
+            g.line,
+            g.column,
+            pin_ctx,
+            "pin without a name; dropped",
+        ));
+        return None;
+    };
+    let direction = match g.attr_text("direction").as_deref() {
+        Some("input") => PinDirection::Input,
+        Some("output") => PinDirection::Output,
+        Some("inout") => PinDirection::Inout,
+        Some("internal") => PinDirection::Internal,
+        Some(other) => {
+            diags.push(Diagnostic::error(
+                g.line,
+                g.column,
+                pin_ctx,
+                format!("pin `{name}` has unknown direction `{other}`; pin dropped"),
+            ));
+            return None;
+        }
+        None => PinDirection::Input,
+    };
+    let mut pin = Pin {
+        name,
+        direction,
+        capacitance: g.attr_number("capacitance").unwrap_or(0.0),
+        max_capacitance: g.attr_number("max_capacitance"),
+        max_transition: g.attr_number("max_transition"),
+        function: g.attr_text("function"),
+        is_clock: matches!(g.attr_text("clock").as_deref(), Some("true")),
+        timing: Vec::new(),
+        internal_power: Vec::new(),
+    };
+    for tg in g.groups_named("timing") {
+        match lower_timing(tg, lib, &pin.name) {
+            Ok(arc) => pin.timing.push(arc),
+            Err(e) => {
+                let (line, column) = span_or(&e, tg);
+                diags.push(Diagnostic::error(
+                    line,
+                    column,
+                    format!("{pin_ctx}/timing"),
+                    format!("{}; arc dropped", e.message),
+                ));
+            }
+        }
+    }
+    for pg in g.groups_named("internal_power") {
+        match lower_internal_power(pg, lib, &pin.name) {
+            Ok(p) => pin.internal_power.push(p),
+            Err(e) => {
+                let (line, column) = span_or(&e, pg);
+                diags.push(Diagnostic::error(
+                    line,
+                    column,
+                    format!("{pin_ctx}/internal_power"),
+                    format!("{}; power table dropped", e.message),
+                ));
+            }
+        }
+    }
+    Some(pin)
 }
 
 #[cfg(test)]
@@ -829,5 +1340,146 @@ mod tests {
             "unexpected message: {}",
             err.message
         );
+    }
+
+    // -- recovering parser ---------------------------------------------------
+
+    use crate::diagnostic::Severity;
+
+    #[test]
+    fn recovering_parse_on_clean_input_matches_strict() {
+        let strict = parse_library(SMALL_LIB).unwrap();
+        let (lib, diags) = parse_library_recovering(SMALL_LIB);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(lib, strict);
+    }
+
+    #[test]
+    fn truncated_file_recovers_surviving_cells() {
+        let text = "library (L) {\n  cell (GOOD_1) {\n    area : 1.0;\n    pin (A) { direction : input; capacitance : 0.001; }\n  }\n  cell (BAD_1) {\n    area : 2.0;";
+        let (lib, diags) = parse_library_recovering(text);
+        let names: Vec<&str> = lib.cells.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["GOOD_1", "BAD_1"]);
+        assert_eq!(lib.cells[0].pins.len(), 1);
+        // Two unterminated bodies: the truncated cell and the library itself.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(Diagnostic::is_error));
+        assert_eq!(diags[0].context, "library/cell(BAD_1)");
+        assert_eq!(diags[1].context, "library");
+        // Both point at the last token before end of input: the `;` on line 7.
+        assert_eq!((diags[0].line, diags[0].column), (7, 15));
+    }
+
+    #[test]
+    fn unbalanced_brace_closes_library_early() {
+        let text =
+            "library (L) {\n  cell (A_1) { area : 1.0; } }\n  cell (B_1) { area : 2.0; }\n}\n";
+        let (lib, diags) = parse_library_recovering(text);
+        assert_eq!(lib.cells.len(), 1);
+        assert_eq!(lib.cells[0].name, "A_1");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!((diags[0].line, diags[0].column), (3, 3));
+        assert!(
+            diags[0].message.contains("trailing"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn malformed_number_drops_only_the_arc() {
+        let text = "library (L) {\n  cell (C_1) {\n    area : 1.0;\n    pin (Z) {\n      direction : output;\n      timing () {\n        related_pin : \"A\";\n        cell_rise () {\n          index_1 (\"1, 2\");\n          index_2 (\"1, 2\");\n          values (\"1, 2x\", \"3, 4\");\n        }\n      }\n    }\n  }\n}\n";
+        let (lib, diags) = parse_library_recovering(text);
+        assert_eq!(lib.cells.len(), 1);
+        let pin = &lib.cells[0].pins[0];
+        assert!(pin.timing.is_empty(), "bad arc must be dropped");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].context, "library/cell(C_1)/pin(Z)/timing");
+        // The lowering error has no span of its own; it falls back to the
+        // `timing` keyword at line 6, column 7.
+        assert_eq!((diags[0].line, diags[0].column), (6, 7));
+        assert!(diags[0].message.contains("2x"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn duplicate_cell_is_dropped_with_diagnostic() {
+        let text = "library (L) {\n  cell (X_1) { area : 1.0; }\n  cell (X_1) { area : 9.0; }\n}\n";
+        let (lib, diags) = parse_library_recovering(text);
+        assert_eq!(lib.cells.len(), 1);
+        assert_eq!(lib.cells[0].area, 1.0, "first definition wins");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].is_error());
+        assert_eq!((diags[0].line, diags[0].column), (3, 3));
+        assert_eq!(diags[0].context, "library/cell(X_1)");
+    }
+
+    #[test]
+    fn duplicate_template_overrides_with_warning() {
+        let text = "library (L) {\n  lu_table_template (t) { index_1 (\"1, 2\"); }\n  lu_table_template (t) { index_1 (\"3, 4\"); }\n}\n";
+        let (lib, diags) = parse_library_recovering(text);
+        assert_eq!(lib.templates.len(), 1);
+        assert_eq!(lib.templates["t"].index_1, vec![3.0, 4.0]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert_eq!((diags[0].line, diags[0].column), (3, 3));
+    }
+
+    #[test]
+    fn bad_member_resyncs_and_keeps_siblings() {
+        let text = "library (L) {\n  cell (A_1) {\n    area 5;\n    pin (X) { direction : input; capacitance : 0.002; }\n  }\n}\n";
+        let (lib, diags) = parse_library_recovering(text);
+        assert_eq!(lib.cells.len(), 1);
+        assert_eq!(
+            lib.cells[0].pins.len(),
+            1,
+            "pin after the bad member survives"
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        // `error_here` points at the token after `area`: the number 5.
+        assert_eq!((diags[0].line, diags[0].column), (3, 10));
+        assert_eq!(diags[0].context, "library/cell(A_1)");
+    }
+
+    #[test]
+    fn lexical_junk_is_reported_with_empty_context() {
+        let text = "library (L) {\n  cell (A_1) { area : 1.0 @ ; }\n}\n";
+        let (lib, diags) = parse_library_recovering(text);
+        assert_eq!(lib.cells.len(), 1);
+        assert!(!diags.is_empty());
+        assert_eq!(diags[0].context, "");
+        assert_eq!((diags[0].line, diags[0].column), (2, 27));
+    }
+
+    #[test]
+    fn nan_axis_is_a_parse_error_not_a_panic() {
+        // NaN compares false both ways; a naively written monotonicity
+        // check lets it through to the `Lut::new` assertion.
+        let text = r#"
+library (L) {
+  cell (C_1) {
+    area : 1.0;
+    pin (A) { direction : input; capacitance : 0.001; }
+    pin (Z) {
+      direction : output;
+      timing () {
+        related_pin : "A";
+        cell_rise (x) {
+          index_1 ("nan, 0.1");
+          index_2 ("0.001, 0.01");
+          values ("0.1, 0.2", "0.3, 0.4");
+        }
+      }
+    }
+  }
+}
+"#;
+        let err = parse_library(text).unwrap_err();
+        assert!(err.message.contains("non-finite"), "{err}");
+        let (lib, diags) = parse_library_recovering(text);
+        assert_eq!(lib.cells.len(), 1);
+        assert!(lib.cells[0].pin("Z").unwrap().timing.is_empty());
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("non-finite") && d.message.contains("arc dropped")));
     }
 }

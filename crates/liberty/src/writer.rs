@@ -2,16 +2,26 @@
 //!
 //! Output round-trips through [`crate::parse_library`]: parsing the emitted
 //! text yields a library equal to the input (floating-point values are
-//! written with enough precision to survive the round trip).
+//! written with enough precision to survive the round trip). To keep that
+//! property, non-finite values are rejected up front with a
+//! [`WriteLibertyError`] naming the offending location — `inf`/`NaN`
+//! literals would be rejected by the parser on the way back in.
 
 use std::fmt::Write as _;
 
+use crate::error::WriteLibertyError;
 use crate::model::{
     InternalPower, Library, Lut, Pin, PinDirection, TimingArc, TimingSense, TimingType,
 };
 
 /// Renders `lib` as Liberty text.
-pub fn write_library(lib: &Library) -> String {
+///
+/// # Errors
+///
+/// Returns [`WriteLibertyError`] if any numeric value in the library is not
+/// finite; the error names the offending value's location.
+pub fn write_library(lib: &Library) -> Result<String, WriteLibertyError> {
+    check_writable(lib)?;
     let mut out = String::new();
     let w = &mut out;
     let _ = writeln!(w, "library ({}) {{", lib.name);
@@ -39,7 +49,81 @@ pub fn write_library(lib: &Library) -> String {
         let _ = writeln!(w, "  }}");
     }
     let _ = writeln!(w, "}}");
-    out
+    Ok(out)
+}
+
+/// Pre-scan for non-finite values so rendering itself stays infallible.
+fn check_writable(lib: &Library) -> Result<(), WriteLibertyError> {
+    ensure(lib.voltage, || "library/nom_voltage".to_string())?;
+    ensure(lib.temperature, || "library/nom_temperature".to_string())?;
+    for t in lib.templates.values() {
+        let ctx = || format!("library/lu_table_template({})", t.name);
+        ensure_all(t.index_1.iter().chain(&t.index_2), &ctx)?;
+    }
+    for c in &lib.cells {
+        let cell_ctx = format!("library/cell({})", c.name);
+        ensure(c.area, || format!("{cell_ctx}/area"))?;
+        ensure(c.leakage_power, || format!("{cell_ctx}/cell_leakage_power"))?;
+        for p in &c.pins {
+            let pin_ctx = format!("{cell_ctx}/pin({})", p.name);
+            ensure(p.capacitance, || format!("{pin_ctx}/capacitance"))?;
+            if let Some(mc) = p.max_capacitance {
+                ensure(mc, || format!("{pin_ctx}/max_capacitance"))?;
+            }
+            if let Some(mt) = p.max_transition {
+                ensure(mt, || format!("{pin_ctx}/max_transition"))?;
+            }
+            for arc in &p.timing {
+                for (slot, lut) in [
+                    ("cell_rise", &arc.cell_rise),
+                    ("cell_fall", &arc.cell_fall),
+                    ("rise_transition", &arc.rise_transition),
+                    ("fall_transition", &arc.fall_transition),
+                ] {
+                    if let Some(lut) = lut {
+                        ensure_lut(lut, &|| format!("{pin_ctx}/timing/{slot}"))?;
+                    }
+                }
+            }
+            for ip in &p.internal_power {
+                for (slot, lut) in [
+                    ("rise_power", &ip.rise_power),
+                    ("fall_power", &ip.fall_power),
+                ] {
+                    if let Some(lut) = lut {
+                        ensure_lut(lut, &|| format!("{pin_ctx}/internal_power/{slot}"))?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn ensure(v: f64, ctx: impl FnOnce() -> String) -> Result<(), WriteLibertyError> {
+    if v.is_finite() {
+        Ok(())
+    } else {
+        Err(WriteLibertyError {
+            context: ctx(),
+            value: v,
+        })
+    }
+}
+
+fn ensure_all<'a>(
+    vs: impl Iterator<Item = &'a f64>,
+    ctx: &impl Fn() -> String,
+) -> Result<(), WriteLibertyError> {
+    for &v in vs {
+        ensure(v, ctx)?;
+    }
+    Ok(())
+}
+
+fn ensure_lut(lut: &Lut, ctx: &impl Fn() -> String) -> Result<(), WriteLibertyError> {
+    ensure_all(lut.index_slew.iter().chain(&lut.index_load), ctx)?;
+    ensure_all(lut.values.iter().flatten(), ctx)
 }
 
 fn write_pin(w: &mut String, p: &Pin) {
@@ -133,9 +217,10 @@ fn write_lut(w: &mut String, name: &str, lut: &Lut) {
 }
 
 fn fmt_f64(v: f64) -> String {
-    // Shortest representation that round-trips.
+    // Shortest representation that round-trips. Finiteness is guaranteed by
+    // the `check_writable` pre-scan.
     let mut s = format!("{v}");
-    if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+    if !s.contains('.') && !s.contains('e') {
         s.push_str(".0");
     }
     s
@@ -185,14 +270,14 @@ mod tests {
     #[test]
     fn writer_output_parses_back_equal() {
         let lib = sample_library();
-        let text = write_library(&lib);
+        let text = write_library(&lib).unwrap();
         let parsed = parse_library(&text).unwrap();
         assert_eq!(parsed, lib);
     }
 
     #[test]
     fn writer_emits_all_sections() {
-        let text = write_library(&sample_library());
+        let text = write_library(&sample_library()).unwrap();
         for needle in [
             "library (TT1P1V25C)",
             "lu_table_template (d)",
@@ -213,7 +298,7 @@ mod tests {
     fn round_trip_preserves_awkward_floats() {
         let mut lib = sample_library();
         lib.cells[0].area = 0.1 + 0.2; // 0.30000000000000004
-        let parsed = parse_library(&write_library(&lib)).unwrap();
+        let parsed = parse_library(&write_library(&lib).unwrap()).unwrap();
         assert_eq!(parsed.cells[0].area, lib.cells[0].area);
     }
 
@@ -239,7 +324,7 @@ mod tests {
             .expect("Z pin")
             .internal_power
             .push(ip);
-        let text = write_library(&lib);
+        let text = write_library(&lib).unwrap();
         assert!(text.contains("internal_power"));
         assert!(text.contains("cell_leakage_power : 1.75"));
         assert!(text.contains("rise_power"));
@@ -261,8 +346,36 @@ mod tests {
         q.timing.push(arc);
         ff.pins.push(q);
         lib.cells.push(ff);
-        let parsed = parse_library(&write_library(&lib)).unwrap();
+        let parsed = parse_library(&write_library(&lib).unwrap()).unwrap();
         assert_eq!(parsed, lib);
         assert!(parsed.cells[0].is_sequential());
+    }
+
+    #[test]
+    fn non_finite_value_is_a_typed_write_error() {
+        let mut lib = sample_library();
+        lib.cells[0].pins[1].timing[0]
+            .cell_rise
+            .as_mut()
+            .unwrap()
+            .values[0][1] = f64::NAN;
+        let err = write_library(&lib).unwrap_err();
+        assert_eq!(err.context, "library/cell(INV_1)/pin(Z)/timing/cell_rise");
+        assert!(err.value.is_nan());
+
+        let mut lib = sample_library();
+        lib.cells[0].area = f64::INFINITY;
+        let err = write_library(&lib).unwrap_err();
+        assert_eq!(err.context, "library/cell(INV_1)/area");
+    }
+
+    #[test]
+    fn anything_written_reparses() {
+        // Round-trip property: every Ok(text) must parse back cleanly —
+        // including through the recovering parser with zero diagnostics.
+        let text = write_library(&sample_library()).unwrap();
+        let (lib, diags) = crate::parser::parse_library_recovering(&text);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(lib, sample_library());
     }
 }

@@ -155,6 +155,13 @@ pub enum ValidateNetlistError {
         /// Name of a net on the cycle.
         net: String,
     },
+    /// A primary input or output references a net id outside the netlist.
+    DanglingPort {
+        /// `"input"` or `"output"`.
+        port: &'static str,
+        /// The offending net id.
+        net: NetId,
+    },
 }
 
 impl fmt::Display for ValidateNetlistError {
@@ -174,6 +181,9 @@ impl fmt::Display for ValidateNetlistError {
             }
             ValidateNetlistError::CombinationalCycle { net } => {
                 write!(f, "combinational cycle through net `{net}`")
+            }
+            ValidateNetlistError::DanglingPort { port, net } => {
+                write!(f, "primary {port} references non-existent net {net}")
             }
         }
     }
@@ -303,6 +313,17 @@ impl Netlist {
     /// (paths may only close through flip-flops).
     pub fn validate(&self) -> Result<(), ValidateNetlistError> {
         let n = self.nets.len() as u32;
+        // Port ids come first: everything below indexes per-net tables with
+        // them, so an out-of-range id must become a typed error, not a
+        // panic.
+        for (port, ids) in [
+            ("input", &self.primary_inputs),
+            ("output", &self.primary_outputs),
+        ] {
+            if let Some(&id) = ids.iter().find(|id| id.0 >= n) {
+                return Err(ValidateNetlistError::DanglingPort { port, net: id });
+            }
+        }
         let mut drivers: Vec<u8> = vec![0; self.nets.len()];
         for &pi in &self.primary_inputs {
             drivers[pi.0 as usize] += 1;
@@ -514,6 +535,22 @@ mod tests {
         assert!(matches!(
             n.validate(),
             Err(ValidateNetlistError::DanglingNet { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_port_detected_without_panicking() {
+        let mut n = tiny();
+        n.primary_outputs[0] = NetId(99);
+        assert!(matches!(
+            n.validate(),
+            Err(ValidateNetlistError::DanglingPort { port: "output", .. })
+        ));
+        let mut n = tiny();
+        n.primary_inputs.push(NetId(1_000_000));
+        assert!(matches!(
+            n.validate(),
+            Err(ValidateNetlistError::DanglingPort { port: "input", .. })
         ));
     }
 

@@ -162,7 +162,12 @@ impl<'l> Core<'l> {
         let mut seq_ep: Vec<Option<u32>> = vec![None; n_gates];
         for (gi, g) in nl.gates.iter().enumerate() {
             if g.kind.is_sequential() {
-                let d = g.inputs[0];
+                let Some(&d) = g.inputs.first() else {
+                    return Err(StaError::MalformedGate {
+                        gate: gi,
+                        reason: "sequential gate has no data input".into(),
+                    });
+                };
                 let e = endpoints.len() as u32;
                 ep_of_net[d.0 as usize].push(e);
                 ep_gate.push(Some(gi));
@@ -373,7 +378,15 @@ impl<'l> Core<'l> {
             let mut best: Option<NetTiming> = None;
             for (k, &inp) in inputs.iter().enumerate() {
                 let in_t = self.nets[inp as usize];
-                debug_assert!(in_t.arrival.is_finite(), "level order broken");
+                if !in_t.arrival.is_finite() {
+                    return Err(StaError::MalformedGate {
+                        gate: gi,
+                        reason: format!(
+                            "input #{k} has non-finite arrival {} during propagation",
+                            in_t.arrival
+                        ),
+                    });
+                }
                 let arc = input_arcs[k];
                 let delay = arc.worst_delay(in_t.slew, load)?;
                 let arrival = in_t.arrival + delay;

@@ -78,6 +78,13 @@ pub enum StaError {
     },
     /// LUT evaluation failed.
     Interpolate(InterpolateError),
+    /// A gate's pin structure is inconsistent with its role in the design.
+    MalformedGate {
+        /// Gate index.
+        gate: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StaError {
@@ -91,6 +98,9 @@ impl fmt::Display for StaError {
                 write!(f, "gate #{gate} ({cell}) lacks a required timing arc")
             }
             StaError::Interpolate(e) => write!(f, "table evaluation failed: {e}"),
+            StaError::MalformedGate { gate, reason } => {
+                write!(f, "gate #{gate} is malformed: {reason}")
+            }
         }
     }
 }

@@ -186,7 +186,12 @@ pub fn analyze_hold(
     let mut endpoints = Vec::new();
     for (gi, g) in nl.gates.iter().enumerate() {
         if g.kind.is_sequential() {
-            let d = g.inputs[0];
+            let Some(&d) = g.inputs.first() else {
+                return Err(StaError::MalformedGate {
+                    gate: gi,
+                    reason: "sequential gate has no data input".into(),
+                });
+            };
             let hold_time = design
                 .cell_of(gi, lib)
                 .and_then(|cell| {

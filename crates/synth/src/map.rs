@@ -1,6 +1,7 @@
 //! Technology mapping: generic gates → library cell families and variants.
 //!
-//! The mapper consumes the library's [`Interner`]: families are resolved to
+//! The mapper consumes the library's [`Interner`](varitune_liberty::Interner):
+//! families are resolved to
 //! [`FamilyId`]s once, and every per-cell quantity the sizing loops need
 //! (drive, effective max load / max slew under the tuning windows, position
 //! on the family's drive ladder) is precomputed into dense arrays indexed

@@ -370,7 +370,9 @@ fn recover_area(
         if g.kind.is_sequential() {
             continue; // keep registers stable
         }
-        let out = g.outputs[0];
+        let Some(&out) = g.outputs.first() else {
+            continue; // outputless gate: nothing to downsize against
+        };
         let t = *engine.net_timing(out);
         let slack = req[out.0 as usize] - t.arrival;
         if !slack.is_finite() || slack < margin {

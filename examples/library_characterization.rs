@@ -42,9 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nominal_path = out_dir.join("varitune_tt1p1v25c.lib");
     let mean_path = out_dir.join("varitune_stat_mean.lib");
     let sigma_path = out_dir.join("varitune_stat_sigma.lib");
-    std::fs::write(&nominal_path, write_library(&nominal))?;
-    std::fs::write(&mean_path, write_library(&stat.mean))?;
-    std::fs::write(&sigma_path, write_library(&stat.sigma))?;
+    std::fs::write(&nominal_path, write_library(&nominal)?)?;
+    std::fs::write(&mean_path, write_library(&stat.mean)?)?;
+    std::fs::write(&sigma_path, write_library(&stat.sigma)?)?;
     println!("\nwrote:");
     for p in [&nominal_path, &mean_path, &sigma_path] {
         println!("  {}", p.display());

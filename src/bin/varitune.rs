@@ -117,7 +117,7 @@ fn gen_lib(opts: &BTreeMap<String, String>) -> Result<(), CliError> {
     let cfg = generate_config(opts)?;
     let out = required(opts, "out")?;
     let lib = generate_nominal(&cfg);
-    std::fs::write(out, write_library(&lib))?;
+    std::fs::write(out, write_library(&lib)?)?;
     println!("wrote {} ({} cells)", out, lib.cells.len());
     Ok(())
 }
@@ -131,8 +131,8 @@ fn stat_lib(opts: &BTreeMap<String, String>) -> Result<(), CliError> {
     let nominal = generate_nominal(&cfg);
     let mc = generate_mc_libraries(&nominal, &cfg, n, seed);
     let stat = StatLibrary::from_libraries(&mc)?;
-    std::fs::write(out_mean, write_library(&stat.mean))?;
-    std::fs::write(out_sigma, write_library(&stat.sigma))?;
+    std::fs::write(out_mean, write_library(&stat.mean)?)?;
+    std::fs::write(out_sigma, write_library(&stat.sigma)?)?;
     println!("wrote {out_mean} and {out_sigma} from {n} MC libraries (seed {seed})");
     Ok(())
 }

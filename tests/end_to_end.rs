@@ -124,7 +124,7 @@ fn statistical_library_written_and_reparsed_preserves_flow_results() {
     // The statistical library survives a Liberty round trip, and the
     // re-parsed library produces identical tuning.
     let flow = flow_fixture();
-    let text = varitune::liberty::write_library(&flow.stat.sigma);
+    let text = varitune::liberty::write_library(&flow.stat.sigma).unwrap();
     let reparsed = varitune::liberty::parse_library(&text).expect("parse back");
     assert_eq!(reparsed.cells, flow.stat.sigma.cells);
 
@@ -202,7 +202,7 @@ fn tuned_library_roundtrip_interns_to_identical_ids() {
         }
     }
 
-    let text = varitune::liberty::write_library(&lib);
+    let text = varitune::liberty::write_library(&lib).unwrap();
     let parsed = varitune::liberty::parse_library(&text).expect("parse tuned library");
     assert_eq!(parsed.cells, lib.cells);
 

@@ -234,7 +234,7 @@ fn liberty_round_trips_fixed_table() {
     z.timing.push(arc);
     cell.pins.push(z);
     lib.cells.push(cell);
-    let text = varitune::liberty::write_library(&lib);
+    let text = varitune::liberty::write_library(&lib).unwrap();
     let parsed = varitune::liberty::parse_library(&text).expect("round trip parses");
     assert_eq!(parsed, lib);
 }

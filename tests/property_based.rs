@@ -180,7 +180,7 @@ proptest! {
         z.timing.push(arc);
         cell.pins.push(z);
         lib.cells.push(cell);
-        let text = varitune::liberty::write_library(&lib);
+        let text = varitune::liberty::write_library(&lib).unwrap();
         let parsed = varitune::liberty::parse_library(&text).expect("round trip parses");
         prop_assert_eq!(parsed, lib);
     }
