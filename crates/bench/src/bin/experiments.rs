@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--scale small|paper] [--threads N] [all | <id> ...]
+//! experiments [--scale small|paper] [--threads N] [--trace PATH] [all | <id> ...]
 //! ```
 //!
 //! Ids: fig1..fig16, tab1..tab3. `all` (the default) runs everything in
@@ -9,17 +9,20 @@
 //! libraries and the ~20 k-gate design; `--scale small` is a fast sanity
 //! run. `--threads N` sets the Monte-Carlo characterization worker count
 //! (`0` = all cores, the default); results are bit-identical for any N.
+//! `--trace PATH` writes a `varitune-trace` flow trace of the whole run.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use varitune_bench::experiments::{run_experiment, ALL_IDS};
+use varitune_bench::trace::run_traced;
 use varitune_bench::{Ctx, Scale};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::paper();
     let mut threads: usize = 0;
+    let mut trace: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -39,9 +42,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(p),
+                None => {
+                    eprintln!("--trace expects a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--scale small|paper] [--threads N] [all | <id> ...]"
+                    "usage: experiments [--scale small|paper] [--threads N] [--trace PATH] \
+                     [all | <id> ...]"
                 );
                 eprintln!("ids: {}", ALL_IDS.join(" "));
                 return ExitCode::SUCCESS;
@@ -62,6 +73,10 @@ fn main() -> ExitCode {
 
     scale.flow.threads = threads;
 
+    run_traced(trace.as_deref(), || run(scale, &ids))
+}
+
+fn run(scale: Scale, ids: &[String]) -> ExitCode {
     eprintln!(
         "[experiments] preparing context at scale `{}`...",
         scale.label
@@ -76,7 +91,7 @@ fn main() -> ExitCode {
         ctx.flow.netlist.gates.len()
     );
 
-    for id in &ids {
+    for id in ids {
         let t = Instant::now();
         let out = run_experiment(&ctx, id);
         println!("==================== {id} ====================");

@@ -17,13 +17,14 @@
 //! across reruns and thread counts.
 //!
 //! ```text
-//! fault_harness [--ops N] [--seed S] [--threads T] [--out PATH]
+//! fault_harness [--ops N] [--seed S] [--threads T] [--out PATH] [--trace PATH]
 //! ```
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::process::ExitCode;
 
+use varitune_bench::trace::run_traced;
 use varitune_core::flow::{Flow, FlowConfig, FlowError};
 use varitune_core::{Degradation, Strictness};
 use varitune_libchar::{generate_nominal, GenerateConfig};
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
     let mut seed = 7u64;
     let mut threads = 0usize;
     let mut out = "BENCH_fault.json".to_string();
+    let mut trace: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -74,14 +76,25 @@ fn main() -> ExitCode {
                 Some(p) => out = p,
                 None => return usage("--out expects a path"),
             },
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(p),
+                None => return usage("--trace expects a path"),
+            },
             "--help" | "-h" => {
-                eprintln!("usage: fault_harness [--ops N] [--seed S] [--threads T] [--out PATH]");
+                eprintln!(
+                    "usage: fault_harness [--ops N] [--seed S] [--threads T] [--out PATH] \
+                     [--trace PATH]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
 
+    run_traced(trace.as_deref(), || run(ops, seed, threads, &out))
+}
+
+fn run(ops: usize, seed: u64, threads: usize, out: &str) -> ExitCode {
     println!(
         "fault harness: {ops} seeded scenario(s), seed {seed}, {} operator(s)",
         LIBERTY_OPS.len() + NETLIST_OPS.len()
@@ -122,6 +135,7 @@ fn main() -> ExitCode {
     let saved_hook = panic::take_hook();
     panic::set_hook(Box::new(|_| {}));
 
+    let scenario_span = varitune_trace::span!("fault_harness.scenarios");
     let mut tally: BTreeMap<&str, OpTally> = BTreeMap::new();
     let mut panics = 0usize;
     let mut accounting_failures = 0usize;
@@ -227,6 +241,7 @@ fn main() -> ExitCode {
     }
 
     panic::set_hook(saved_hook);
+    drop(scenario_span);
 
     let json = render_json(
         ops,
@@ -236,7 +251,7 @@ fn main() -> ExitCode {
         policy_violations,
         &tally,
     );
-    if let Err(e) = std::fs::write(&out, &json) {
+    if let Err(e) = std::fs::write(out, &json) {
         eprintln!("fault_harness: cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
@@ -253,7 +268,9 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("fault_harness: {msg}");
-    eprintln!("usage: fault_harness [--ops N] [--seed S] [--threads T] [--out PATH]");
+    eprintln!(
+        "usage: fault_harness [--ops N] [--seed S] [--threads T] [--out PATH] [--trace PATH]"
+    );
     ExitCode::FAILURE
 }
 

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! mc_harness [--libraries N] [--samples N] [--threads N,N,...] [--repeat N]
+//!            [--trace PATH]
 //! ```
 //!
 //! Times the two parallel Monte-Carlo kernels — §IV library
@@ -17,6 +18,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use varitune_bench::trace::run_traced;
 use varitune_libchar::{generate_mc_libraries_threaded, generate_nominal, GenerateConfig};
 use varitune_variation::mc::{simulate_path_threaded, PathCell, VariationMode};
 use varitune_variation::ProcessCorner;
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
     let mut samples = 200_000usize;
     let mut repeat = 3usize;
     let mut threads: Vec<usize> = DEFAULT_THREADS.to_vec();
+    let mut trace: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -48,9 +51,14 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => repeat = n,
                 _ => return usage("--repeat expects a positive integer"),
             },
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(p),
+                None => return usage("--trace expects a path"),
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: mc_harness [--libraries N] [--samples N] [--threads N,N,...] [--repeat N]"
+                    "usage: mc_harness [--libraries N] [--samples N] [--threads N,N,...] \
+                     [--repeat N] [--trace PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -61,6 +69,12 @@ fn main() -> ExitCode {
         return usage("--threads entries must be explicit positive counts");
     }
 
+    run_traced(trace.as_deref(), || {
+        run(libraries, samples, repeat, &threads)
+    })
+}
+
+fn run(libraries: usize, samples: usize, repeat: usize, threads: &[usize]) -> ExitCode {
     println!("Monte-Carlo micro-harness (std::time::Instant, offline)");
     println!(
         "characterization: {libraries} MC libraries; path MC: {samples} samples; \
@@ -74,9 +88,10 @@ fn main() -> ExitCode {
     let _ = generate_mc_libraries_threaded(&nominal, &cfg, 2, 1, 1);
 
     println!("\n[characterization MC] {libraries} perturbed libraries");
+    let char_span = varitune_trace::span!("mc_harness.characterization");
     let mut char_base = None;
     let mut reference = None;
-    for &t in &threads {
+    for &t in threads {
         let mut dt = f64::INFINITY;
         for _ in 0..repeat {
             let t0 = Instant::now();
@@ -89,6 +104,7 @@ fn main() -> ExitCode {
         }
         report_row(t, dt, &mut char_base);
     }
+    drop(char_span);
 
     // A representative 12-cell path with mid-size relative sigmas.
     let cells: Vec<PathCell> = (0..12)
@@ -103,9 +119,10 @@ fn main() -> ExitCode {
         "\n[path MC] {} cells, global+local, slow corner",
         cells.len()
     );
+    let path_span = varitune_trace::span!("mc_harness.path_mc");
     let mut path_base = None;
     let mut path_ref = None;
-    for &t in &threads {
+    for &t in threads {
         let mut dt = f64::INFINITY;
         for _ in 0..repeat {
             let t0 = Instant::now();
@@ -125,6 +142,7 @@ fn main() -> ExitCode {
         }
         report_row(t, dt, &mut path_base);
     }
+    drop(path_span);
 
     println!("\nall thread counts produced bit-identical results");
     ExitCode::SUCCESS
@@ -152,6 +170,9 @@ fn report_row(threads: usize, dt: f64, base: &mut Option<f64>) {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
-    eprintln!("usage: mc_harness [--libraries N] [--samples N] [--threads N,N,...] [--repeat N]");
+    eprintln!(
+        "usage: mc_harness [--libraries N] [--samples N] [--threads N,N,...] [--repeat N] \
+         [--trace PATH]"
+    );
     ExitCode::FAILURE
 }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! sta_harness [--smoke] [--edits N] [--threads N,N,...] [--repeat N] [--out PATH]
+//!             [--trace PATH]
 //! ```
 //!
 //! Builds the paper-scale MCU (`--smoke` uses the small test scale), times
@@ -17,6 +18,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use varitune_bench::trace::run_traced;
 use varitune_libchar::{generate_nominal, GenerateConfig};
 use varitune_netlist::{generate_mcu, McuConfig};
 use varitune_sta::{analyze, StaConfig, TimingGraph, TimingReport, WireModel};
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
     let mut repeat = 3usize;
     let mut threads: Vec<usize> = DEFAULT_THREADS.to_vec();
     let mut out = "BENCH_sta.json".to_string();
+    let mut trace: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -51,10 +54,14 @@ fn main() -> ExitCode {
                 Some(p) => out = p,
                 None => return usage("--out expects a path"),
             },
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(p),
+                None => return usage("--trace expects a path"),
+            },
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sta_harness [--smoke] [--edits N] [--threads N,N,...] \
-                     [--repeat N] [--out PATH]"
+                     [--repeat N] [--out PATH] [--trace PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -62,9 +69,16 @@ fn main() -> ExitCode {
         }
     }
 
+    run_traced(trace.as_deref(), || {
+        run(smoke, edits, repeat, &threads, &out)
+    })
+}
+
+fn run(smoke: bool, edits: usize, repeat: usize, threads: &[usize], out: &str) -> ExitCode {
     let scale = if smoke { "smoke" } else { "paper" };
     println!("STA micro-harness (std::time::Instant, offline) — {scale} scale");
 
+    let build_span = varitune_trace::span!("sta_harness.build");
     let lib = generate_nominal(&GenerateConfig::full());
     let mcu = if smoke {
         McuConfig::small_for_tests()
@@ -112,6 +126,7 @@ fn main() -> ExitCode {
     }
     let mut engine = engine.expect("repeat >= 1");
     println!("engine build:          {build_ms:>9.3} ms (once per design)");
+    drop(build_span);
 
     // Single-gate resize re-times: the optimizer's inner-loop move. Each
     // cycle resizes one gate to a different same-family drive and
@@ -121,6 +136,7 @@ fn main() -> ExitCode {
         eprintln!("no resizable gates found");
         return ExitCode::FAILURE;
     }
+    let incr_span = varitune_trace::span!("sta_harness.incremental");
     let t0 = Instant::now();
     let mut recomputed = 0usize;
     for (gi, cell) in &plan {
@@ -145,11 +161,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("equivalence:           incremental == full analysis (bit-identical)");
+    drop(incr_span);
 
     // Thread scaling of a full levelized re-propagation.
+    let scaling_span = varitune_trace::span!("sta_harness.thread_scaling");
     let mut scaling: Vec<(usize, f64)> = Vec::new();
     let mut reference: Option<TimingReport> = None;
-    for &t in &threads {
+    for &t in threads {
         engine.set_threads(t);
         let mut dt = f64::INFINITY;
         for _ in 0..repeat {
@@ -171,11 +189,12 @@ fn main() -> ExitCode {
         scaling.push((t, dt));
     }
     println!("all thread counts produced bit-identical results");
+    drop(scaling_span);
 
     let json = render_json(
         scale, gates, full_ms, build_ms, &plan, incr_ms, avg_cone, speedup, &scaling,
     );
-    if let Err(e) = std::fs::write(&out, json) {
+    if let Err(e) = std::fs::write(out, json) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
@@ -287,7 +306,8 @@ fn parse_thread_list(s: String) -> Option<Vec<usize>> {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
     eprintln!(
-        "usage: sta_harness [--smoke] [--edits N] [--threads N,N,...] [--repeat N] [--out PATH]"
+        "usage: sta_harness [--smoke] [--edits N] [--threads N,N,...] [--repeat N] [--out PATH] \
+         [--trace PATH]"
     );
     ExitCode::FAILURE
 }

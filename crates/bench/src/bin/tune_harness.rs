@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! tune_harness [--smoke] [--repeat N] [--out PATH] [--before PREP_MS,TUNE_MS]
+//!              [--trace PATH]
 //! ```
 //!
 //! The harness times the exact calls `Flow::prepare` makes (so the sum is
@@ -13,10 +14,13 @@
 //! determinism across repeats. `--before` embeds a previously recorded
 //! (prepare, tune) measurement so the emitted JSON carries the
 //! before/after comparison in one file (default `BENCH_tune.json`).
+//! `--trace` additionally writes a `varitune-trace` flow trace, which is
+//! byte-identical across reruns in default builds.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use varitune_bench::trace::run_traced;
 use varitune_core::flow::FlowConfig;
 use varitune_core::{tune, TuningMethod, TuningParams};
 use varitune_libchar::{generate_nominal, StatLibrary};
@@ -27,6 +31,7 @@ fn main() -> ExitCode {
     let mut repeat = 1usize;
     let mut out = "BENCH_tune.json".to_string();
     let mut before: Option<(f64, f64)> = None;
+    let mut trace: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -44,10 +49,14 @@ fn main() -> ExitCode {
                 Some(Some(pair)) => before = Some(pair),
                 _ => return usage("--before expects PREPARE_MS,TUNE_MS"),
             },
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(p),
+                None => return usage("--trace expects a path"),
+            },
             "--help" | "-h" => {
                 eprintln!(
                     "usage: tune_harness [--smoke] [--repeat N] [--out PATH] \
-                     [--before PREP_MS,TUNE_MS]"
+                     [--before PREP_MS,TUNE_MS] [--trace PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -55,6 +64,10 @@ fn main() -> ExitCode {
         }
     }
 
+    run_traced(trace.as_deref(), || run(smoke, repeat, &out, before))
+}
+
+fn run(smoke: bool, repeat: usize, out: &str, before: Option<(f64, f64)>) -> ExitCode {
     let scale = if smoke { "smoke" } else { "paper" };
     println!("tuning micro-harness (std::time::Instant, offline) — {scale} scale");
 
@@ -65,6 +78,7 @@ fn main() -> ExitCode {
     };
 
     // Component timings of what Flow::prepare runs, best of `repeat`.
+    let prepare_span = varitune_trace::span!("tune_harness.prepare");
     let mut nominal_ms = f64::INFINITY;
     let mut char_ms = f64::INFINITY;
     let mut mcu_ms = f64::INFINITY;
@@ -93,6 +107,7 @@ fn main() -> ExitCode {
         stat = Some(s);
     }
     let stat = stat.expect("repeat >= 1");
+    drop(prepare_span);
     let prepare_ms = nominal_ms + char_ms + mcu_ms;
     println!("nominal library:       {nominal_ms:>9.1} ms");
     println!(
@@ -112,6 +127,7 @@ fn main() -> ExitCode {
                 .map(move |p| (m, p))
         })
         .collect();
+    let sweep_span = varitune_trace::span!("tune_harness.tune_sweep");
     let mut tune_ms = f64::INFINITY;
     let mut reference: Option<Vec<usize>> = None;
     for _ in 0..repeat {
@@ -133,6 +149,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    drop(sweep_span);
     let total_ms = prepare_ms + tune_ms;
     println!("tune x{} (Table 2):    {tune_ms:>9.1} ms", grid.len());
     println!("prepare + tune:        {total_ms:>9.1} ms");
@@ -157,7 +174,7 @@ fn main() -> ExitCode {
         total_ms,
         comparison,
     );
-    if let Err(e) = std::fs::write(&out, json) {
+    if let Err(e) = std::fs::write(out, json) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
@@ -208,6 +225,9 @@ fn parse_pair(s: &str) -> Option<(f64, f64)> {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
-    eprintln!("usage: tune_harness [--smoke] [--repeat N] [--out PATH] [--before PREP_MS,TUNE_MS]");
+    eprintln!(
+        "usage: tune_harness [--smoke] [--repeat N] [--out PATH] [--before PREP_MS,TUNE_MS] \
+         [--trace PATH]"
+    );
     ExitCode::FAILURE
 }

@@ -8,6 +8,7 @@
 
 pub mod experiments;
 pub mod text;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::HashMap;

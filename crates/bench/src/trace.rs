@@ -1,0 +1,69 @@
+//! Shared `--trace` plumbing for the bench binaries.
+//!
+//! Every binary accepts `--trace PATH`: the whole measurement body runs
+//! under [`varitune_trace::capture`] and the resulting [`FlowTrace`] is
+//! written to `PATH` as deterministic JSON. Without the `wall-clock`
+//! feature the file is byte-identical across reruns and thread counts,
+//! which CI exploits as a determinism gate.
+//!
+//! [`FlowTrace`]: varitune_trace::FlowTrace
+
+use std::process::ExitCode;
+
+/// Runs `f`, capturing a flow trace around it when `path` is given.
+///
+/// With `path = None` this is a plain call — tracing stays disabled and
+/// the binary behaves exactly as before the observability layer existed.
+/// With a path, the trace is serialized after `f` returns; an unwritable
+/// path turns a successful run into a failure, since the caller asked for
+/// an artefact that could not be produced.
+pub fn run_traced(path: Option<&str>, f: impl FnOnce() -> ExitCode) -> ExitCode {
+    match path {
+        None => f(),
+        Some(path) => {
+            let (code, trace) = varitune_trace::capture(f);
+            if let Err(e) = std::fs::write(path, trace.to_json()) {
+                eprintln!("cannot write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote trace {path}");
+            code
+        }
+    }
+}
+
+/// Documented stage spans each binary's `--trace` output must contain.
+///
+/// These are the schema contract pinned by `tests/trace_schema.rs`:
+/// renaming a span in a binary (or in the flow) without updating the
+/// matching constant here fails that test.
+pub mod stages {
+    /// `experiments` drives [`varitune_core::flow::Flow`], so its trace
+    /// carries the baseline flow stages (context preparation alone runs
+    /// prepare, characterize, generate and several baseline syntheses).
+    pub const EXPERIMENTS: &[&str] = &[
+        "flow.prepare",
+        "flow.characterize",
+        "flow.generate_design",
+        "flow.run",
+        "flow.synthesize",
+        "flow.sta",
+    ];
+    /// `tune_harness` times the prepare components and the Table-2 sweep.
+    pub const TUNE_HARNESS: &[&str] = &[
+        "tune_harness.prepare",
+        "libchar.mc_characterize",
+        "tune_harness.tune_sweep",
+    ];
+    /// `mc_harness` times the two parallel Monte-Carlo kernels.
+    pub const MC_HARNESS: &[&str] = &["mc_harness.characterization", "mc_harness.path_mc"];
+    /// `sta_harness` times full analysis, incremental re-timing and the
+    /// thread-scaling sweep.
+    pub const STA_HARNESS: &[&str] = &[
+        "sta_harness.build",
+        "sta_harness.incremental",
+        "sta_harness.thread_scaling",
+    ];
+    /// `fault_harness` runs all corruption scenarios under one span.
+    pub const FAULT_HARNESS: &[&str] = &["fault_harness.scenarios"];
+}

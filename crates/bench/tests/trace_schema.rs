@@ -1,0 +1,154 @@
+//! Trace-schema contract: every bench binary's `--trace` output parses
+//! back through [`varitune_trace::FlowTrace::from_json`], carries the
+//! schema tag, round-trips to the identical byte string, and contains one
+//! span per documented stage of that binary (the constants in
+//! [`varitune_bench::trace::stages`]). Renaming a span without updating
+//! the matching constant fails here.
+//!
+//! Each binary runs as a subprocess (`CARGO_BIN_EXE_*`) at its smallest
+//! scale, so this suite stays offline and self-contained.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::Command;
+
+use varitune_bench::trace::stages;
+use varitune_trace::FlowTrace;
+
+/// Runs `bin` with `args` plus `--trace <tmp>` and returns the parsed
+/// trace. Panics (failing the test) on a non-zero exit or unparsable
+/// trace, with the binary's stderr in the message.
+fn traced_run(bin: &str, name: &str, args: &[&str]) -> FlowTrace {
+    let dir = std::env::temp_dir();
+    let trace_path: PathBuf =
+        dir.join(format!("varitune_{name}_{}.trace.json", std::process::id()));
+    let mut cmd = Command::new(bin);
+    cmd.args(args)
+        .arg("--trace")
+        .arg(&trace_path)
+        .current_dir(&dir);
+    let output = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "{name} {args:?} failed: {}\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&trace_path)
+        .unwrap_or_else(|e| panic!("{name} did not write {}: {e}", trace_path.display()));
+    let _ = std::fs::remove_file(&trace_path);
+    let trace =
+        FlowTrace::from_json(&text).unwrap_or_else(|e| panic!("{name} trace does not parse: {e}"));
+    // Round-trip fixed point: the renderer and parser agree exactly.
+    assert_eq!(trace.to_json(), text, "{name} trace does not round-trip");
+    trace
+}
+
+/// Every documented stage appears among the trace's span names.
+fn assert_stages(name: &str, trace: &FlowTrace, expected: &[&str]) {
+    let names: BTreeSet<&str> = trace.span_names().into_iter().collect();
+    for stage in expected {
+        assert!(
+            names.contains(stage),
+            "{name} trace is missing documented stage span `{stage}`; spans present: {names:?}"
+        );
+    }
+}
+
+#[test]
+fn tune_harness_trace_matches_schema() {
+    let out = std::env::temp_dir().join(format!("varitune_tune_{}.json", std::process::id()));
+    let trace = traced_run(
+        env!("CARGO_BIN_EXE_tune_harness"),
+        "tune_harness",
+        &["--smoke", "--out", out.to_str().expect("utf-8 tmp path")],
+    );
+    let _ = std::fs::remove_file(&out);
+    assert_stages("tune_harness", &trace, stages::TUNE_HARNESS);
+    // The sweep runs the full Table-2 grid: 5 methods x 4 values.
+    assert_eq!(trace.counter("core.tune_calls"), 20);
+    assert!(trace.counter("libchar.mc_trials") > 0);
+}
+
+#[test]
+fn mc_harness_trace_matches_schema() {
+    let trace = traced_run(
+        env!("CARGO_BIN_EXE_mc_harness"),
+        "mc_harness",
+        &[
+            "--libraries",
+            "2",
+            "--samples",
+            "2000",
+            "--threads",
+            "1,2",
+            "--repeat",
+            "1",
+        ],
+    );
+    assert_stages("mc_harness", &trace, stages::MC_HARNESS);
+    assert!(trace.counter("variation.trials") > 0);
+}
+
+#[test]
+fn sta_harness_trace_matches_schema() {
+    let out = std::env::temp_dir().join(format!("varitune_sta_{}.json", std::process::id()));
+    let trace = traced_run(
+        env!("CARGO_BIN_EXE_sta_harness"),
+        "sta_harness",
+        &[
+            "--smoke",
+            "--edits",
+            "30",
+            "--repeat",
+            "1",
+            "--out",
+            out.to_str().expect("utf-8 tmp path"),
+        ],
+    );
+    let _ = std::fs::remove_file(&out);
+    assert_stages("sta_harness", &trace, stages::STA_HARNESS);
+    // 30 incremental edits plus the full re-propagations of the scaling
+    // sweep all pass through the engine's update counter.
+    assert!(trace.counter("sta.updates") >= 30);
+    assert!(trace.counter("sta.graph_builds") > 0);
+}
+
+#[test]
+fn fault_harness_trace_matches_schema() {
+    let out = std::env::temp_dir().join(format!("varitune_fault_{}.json", std::process::id()));
+    let trace = traced_run(
+        env!("CARGO_BIN_EXE_fault_harness"),
+        "fault_harness",
+        &[
+            "--ops",
+            "4",
+            "--seed",
+            "7",
+            "--out",
+            out.to_str().expect("utf-8 tmp path"),
+        ],
+    );
+    let _ = std::fs::remove_file(&out);
+    assert_stages("fault_harness", &trace, stages::FAULT_HARNESS);
+    // Every scenario re-parses the corrupted library through the
+    // recovering parser under each strictness policy.
+    assert!(trace.counter("liberty.recovering_parses") > 0);
+}
+
+#[test]
+fn experiments_trace_matches_schema() {
+    let trace = traced_run(
+        env!("CARGO_BIN_EXE_experiments"),
+        "experiments",
+        &["--scale", "small", "tab1"],
+    );
+    // Context preparation alone runs the full prepare pipeline and the
+    // min-period bisection's baseline syntheses, so all baseline flow
+    // stages appear even for a table-only experiment id.
+    assert_stages("experiments", &trace, stages::EXPERIMENTS);
+    assert!(trace.counter("core.flows_prepared") > 0);
+    assert!(trace.counter("synth.runs") > 0);
+}

@@ -22,6 +22,20 @@ use crate::methods::{TuningMethod, TuningParams};
 use crate::quarantine::{screen_library, FlowReport, Strictness};
 use crate::tuning::{tune, TunedLibrary};
 
+/// Span names of the documented flow stages, in the order a full
+/// baseline-plus-tuned run opens them. Pinned here so the trace-schema
+/// test catches renames: changing a `span!` name in this crate without
+/// updating this const (and DESIGN.md's span taxonomy) fails CI.
+pub const FLOW_STAGE_SPANS: &[&str] = &[
+    "flow.prepare",
+    "flow.characterize",
+    "flow.generate_design",
+    "flow.tune",
+    "flow.run",
+    "flow.synthesize",
+    "flow.sta",
+];
+
 /// Everything the flow needs to prepare.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowConfig {
@@ -182,19 +196,34 @@ impl Flow {
     fn finish_prepare(
         config: FlowConfig,
         nominal: Library,
-        report: FlowReport,
+        mut report: FlowReport,
     ) -> Result<Self, FlowError> {
+        let span = varitune_trace::span!("flow.prepare");
         // Streaming characterization: perturbed values flow column-wise
         // straight into the Welford merge, bit-identical to materializing
         // `mc_libraries` full libraries and calling `from_libraries`.
-        let stat = StatLibrary::from_monte_carlo(
-            &nominal,
-            &config.generate,
-            config.mc_libraries,
-            config.seed,
-            config.threads,
-        );
-        let netlist = generate_mcu(&config.mcu);
+        let stat = {
+            let _stage = varitune_trace::span!("flow.characterize");
+            StatLibrary::from_monte_carlo(
+                &nominal,
+                &config.generate,
+                config.mc_libraries,
+                config.seed,
+                config.threads,
+            )
+        };
+        let netlist = {
+            let _stage = varitune_trace::span!("flow.generate_design");
+            generate_mcu(&config.mcu)
+        };
+        varitune_trace::add("core.flows_prepared", 1);
+        drop(span);
+        if varitune_trace::enabled() {
+            // The ledger carries the counter totals as of the end of
+            // preparation, so harnesses that only keep the FlowReport
+            // still see what ingestion and characterization did.
+            report.counters = varitune_trace::snapshot().metrics.counters;
+        }
         Ok(Self {
             config,
             nominal,
@@ -218,14 +247,21 @@ impl Flow {
     ) -> Result<FlowRun, FlowError> {
         let mut synth_cfg = *synth_cfg;
         synth_cfg.threads = self.config.threads;
-        let synthesis = synthesize(&self.netlist, &self.stat.mean, constraints, &synth_cfg)?;
-        let (paths, design) = worst_paths(
-            &synthesis.design,
-            &self.stat.mean,
-            &self.stat,
-            &synthesis.report,
-            self.config.rho,
-        )?;
+        let _span = varitune_trace::span!("flow.run");
+        let synthesis = {
+            let _stage = varitune_trace::span!("flow.synthesize");
+            synthesize(&self.netlist, &self.stat.mean, constraints, &synth_cfg)?
+        };
+        let (paths, design) = {
+            let _stage = varitune_trace::span!("flow.sta");
+            worst_paths(
+                &synthesis.design,
+                &self.stat.mean,
+                &self.stat,
+                &synthesis.report,
+                self.config.rho,
+            )?
+        };
         Ok(FlowRun {
             synthesis,
             paths,
@@ -254,7 +290,12 @@ impl Flow {
         params: TuningParams,
         synth_cfg: &SynthConfig,
     ) -> Result<(TunedLibrary, FlowRun), FlowError> {
-        let tuned = tune(&self.stat, method, params);
+        let tuned = {
+            let _stage = varitune_trace::span!("flow.tune");
+            tune(&self.stat, method, params)
+        };
+        varitune_trace::add("core.tunes", 1);
+        varitune_trace::add("core.restricted_pins", tuned.restricted_pins as u64);
         let run = self.run(&tuned.constraints, synth_cfg)?;
         Ok((tuned, run))
     }

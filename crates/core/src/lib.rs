@@ -61,7 +61,7 @@ pub mod slope;
 pub mod tuning;
 
 pub use exclusion::{apply_exclusion, tune_by_exclusion, ExclusionTuning};
-pub use flow::{Comparison, Flow, FlowConfig, FlowError, FlowRun};
+pub use flow::{Comparison, Flow, FlowConfig, FlowError, FlowRun, FLOW_STAGE_SPANS};
 pub use methods::{TuningMethod, TuningParams};
 pub use quarantine::{screen_library, Degradation, FlowReport, Strictness};
 pub use rectangle::{largest_rectangle, largest_rectangle_bruteforce, Rect};

@@ -137,6 +137,10 @@ pub struct FlowReport {
     /// Every accepted loss, in deterministic (library declaration then
     /// family) order. Empty when ingestion was lossless.
     pub degradations: Vec<Degradation>,
+    /// Snapshot of the flight-recorder counters taken when preparation
+    /// finished. Empty unless tracing was enabled (see `varitune-trace`);
+    /// with tracing on, identical across reruns and thread counts.
+    pub counters: std::collections::BTreeMap<String, u64>,
 }
 
 impl FlowReport {
@@ -147,6 +151,7 @@ impl FlowReport {
             parsed_cells: cells,
             kept_cells: cells,
             degradations: Vec::new(),
+            counters: std::collections::BTreeMap::new(),
         }
     }
 
@@ -325,7 +330,16 @@ pub fn screen_library(
         parsed_cells: lib.cells.len(),
         kept_cells: screened.cells.len(),
         degradations,
+        counters: std::collections::BTreeMap::new(),
     };
+    varitune_trace::add("core.screens", 1);
+    varitune_trace::add("core.cells_parsed", report.parsed_cells as u64);
+    varitune_trace::add("core.cells_kept", report.kept_cells as u64);
+    varitune_trace::add("core.degradations", report.degradations.len() as u64);
+    varitune_trace::add(
+        "core.cells_quarantined",
+        report.quarantined_cells().len() as u64,
+    );
     Ok((screened, report))
 }
 

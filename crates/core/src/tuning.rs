@@ -122,6 +122,12 @@ pub fn tune(stat: &StatLibrary, method: TuningMethod, params: TuningParams) -> T
         }
     }
 
+    if varitune_trace::enabled() {
+        varitune_trace::add("core.tune_calls", 1);
+        varitune_trace::add("core.clusters_built", clusters.len() as u64);
+        varitune_trace::observe("core.restricted_pins_per_tune", restricted as u64);
+    }
+
     TunedLibrary {
         method,
         params,

@@ -580,11 +580,18 @@ impl StatLibrary {
         threads: usize,
     ) -> Self {
         assert!(n > 0, "need at least one MC library");
+        let _span = varitune_trace::span!("libchar.mc_characterize");
         // The perturbation leaves structure (and all non-slot state except
         // the library name) untouched, so the nominal library's flattening
         // is the flattening of every trial.
         let index = StructureIndex::build(nominal);
         let total = index.total;
+        // Column throughput: how many LUT entries stream through the
+        // Welford merge. Workload-derived only, so the trace stays
+        // bit-identical across thread counts.
+        varitune_trace::add("libchar.mc_trials", n as u64);
+        varitune_trace::add("libchar.column_values_merged", (n as u64) * (total as u64));
+        varitune_trace::observe("libchar.column_entries", total as u64);
         let columns = run_trials(n, threads, |k| {
             let mut column = Vec::with_capacity(total);
             crate::generate::perturb_into_column(

@@ -369,6 +369,9 @@ pub fn parse_library_recovering(input: &str) -> (Library, Vec<Diagnostic>) {
         rp.parse_root()
     };
     let lib = lower_library_recovering(&root, &mut diags);
+    varitune_trace::add("liberty.recovering_parses", 1);
+    varitune_trace::add("liberty.cells_parsed", lib.cells.len() as u64);
+    varitune_trace::add("liberty.parse_diagnostics", diags.len() as u64);
     (lib, diags)
 }
 

@@ -281,6 +281,8 @@ pub fn generate_mcu(cfg: &McuConfig) -> Netlist {
         nl.mark_output(c);
     }
 
+    varitune_trace::add("netlist.mcu_generated", 1);
+    varitune_trace::add("netlist.gates_generated", nl.gates.len() as u64);
     nl
 }
 

@@ -233,6 +233,7 @@ impl<'l> Core<'l> {
         };
         core.compute_levels()?;
         core.invalidate_all();
+        varitune_trace::add("sta.graph_builds", 1);
         Ok(core)
     }
 
@@ -482,6 +483,7 @@ impl<'l> Core<'l> {
     /// Re-propagates everything marked dirty; no-op when clean.
     fn update(&mut self) -> Result<(), StaError> {
         self.last_recomputed = 0;
+        let tracing = varitune_trace::enabled();
 
         // 1. Net loads, in ascending net order (summation order is fixed
         //    per net by `compute_load`; processing order only decides
@@ -537,6 +539,13 @@ impl<'l> Core<'l> {
                     continue;
                 }
                 list.sort_unstable();
+                if tracing {
+                    // Level-parallelism occupancy: how many dirty gates
+                    // each ascending sweep offers `eval_comb_batch` at
+                    // once. A function of the graph and the edit sequence
+                    // only, never of the thread count.
+                    varitune_trace::observe("sta.level_width", list.len() as u64);
+                }
                 let results = self.eval_comb_batch(&list);
                 for (i, r) in results.into_iter().enumerate() {
                     let gi = list[i] as usize;
@@ -556,6 +565,13 @@ impl<'l> Core<'l> {
                 self.dirty_ep[e as usize] = false;
                 self.recompute_endpoint(e as usize);
             }
+        }
+        if tracing {
+            varitune_trace::add("sta.updates", 1);
+            varitune_trace::add("sta.gates_recomputed", self.last_recomputed as u64);
+            // Dirty-cone size distribution: how local each incremental
+            // edit really was.
+            varitune_trace::observe("sta.dirty_cone", self.last_recomputed as u64);
         }
         Ok(())
     }

@@ -85,6 +85,12 @@ pub enum StaError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A sign-off input (timing report, activity vector) does not belong
+    /// to the design it was passed with.
+    MismatchedInput {
+        /// What was inconsistent.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StaError {
@@ -100,6 +106,9 @@ impl fmt::Display for StaError {
             StaError::Interpolate(e) => write!(f, "table evaluation failed: {e}"),
             StaError::MalformedGate { gate, reason } => {
                 write!(f, "gate #{gate} is malformed: {reason}")
+            }
+            StaError::MismatchedInput { reason } => {
+                write!(f, "sign-off input mismatch: {reason}")
             }
         }
     }

@@ -82,11 +82,9 @@ pub fn estimate_power(
 ///
 /// # Errors
 ///
-/// Returns [`StaError`] as [`estimate_power`] does.
-///
-/// # Panics
-///
-/// Panics if `activity` is shorter than the net count.
+/// Returns [`StaError`] as [`estimate_power`] does, and
+/// [`StaError::MismatchedInput`] when `activity` is shorter than the net
+/// count (one value per net is required).
 pub fn estimate_power_with_activity(
     design: &MappedDesign,
     lib: &Library,
@@ -94,10 +92,15 @@ pub fn estimate_power_with_activity(
     config: &PowerConfig,
     activity: &[f64],
 ) -> Result<PowerReport, StaError> {
-    assert!(
-        activity.len() >= design.netlist.nets.len(),
-        "one activity value per net required"
-    );
+    if activity.len() < design.netlist.nets.len() {
+        return Err(StaError::MismatchedInput {
+            reason: format!(
+                "activity vector covers {} nets but the design has {}",
+                activity.len(),
+                design.netlist.nets.len()
+            ),
+        });
+    }
     estimate(design, lib, report, config, Some(activity))
 }
 
@@ -108,6 +111,15 @@ fn estimate(
     config: &PowerConfig,
     activity: Option<&[f64]>,
 ) -> Result<PowerReport, StaError> {
+    if report.nets.len() < design.netlist.nets.len() {
+        return Err(StaError::MismatchedInput {
+            reason: format!(
+                "timing report covers {} nets but the design has {}",
+                report.nets.len(),
+                design.netlist.nets.len()
+            ),
+        });
+    }
     let freq_ghz = 1.0 / config.clock_period;
     let v2 = config.voltage * config.voltage;
 

@@ -23,13 +23,23 @@ use crate::mapped::MappedDesign;
 /// # Errors
 ///
 /// Returns [`StaError`] for unmapped cells, missing arcs, or failing table
-/// evaluations.
+/// evaluations, and [`StaError::MismatchedInput`] when `report` was built
+/// for a different (smaller) design than the one being annotated.
 pub fn write_sdf(
     design: &MappedDesign,
     lib: &Library,
     report: &TimingReport,
 ) -> Result<String, StaError> {
     let nl = &design.netlist;
+    if report.nets.len() < nl.nets.len() {
+        return Err(StaError::MismatchedInput {
+            reason: format!(
+                "timing report covers {} nets but the design has {}",
+                report.nets.len(),
+                nl.nets.len()
+            ),
+        });
+    }
     let mut out = String::new();
     let _ = writeln!(out, "(DELAYFILE");
     let _ = writeln!(out, "  (SDFVERSION \"3.0\")");

@@ -128,6 +128,7 @@ pub fn synthesize(
     constraints: &LibraryConstraints,
     cfg: &SynthConfig,
 ) -> Result<SynthesisResult, SynthError> {
+    let _span = varitune_trace::span!("synth.optimize");
     let target = TargetLibrary::new(lib, constraints);
     let design = map_netlist(netlist, &target, WireModel::default())?;
     let mut floors: Vec<f64> = vec![0.0; design.netlist.gates.len()];
@@ -175,6 +176,10 @@ pub fn synthesize(
         }
     }
 
+    varitune_trace::add("synth.runs", 1);
+    varitune_trace::add("synth.iterations", iterations as u64);
+    varitune_trace::add("synth.buffers_inserted", buffers_inserted as u64);
+    varitune_trace::observe("synth.iterations_per_run", iterations as u64);
     let report = engine.report();
     let design = engine.into_design();
     let area = design.total_area(lib);
@@ -243,6 +248,7 @@ fn legalize_loads(
                     if let Some(v) = better {
                         floors[gi] = floors[gi].max(v.drive);
                         engine.resize_gate_id(gi, v.id)?;
+                        varitune_trace::add("synth.resizes_load", 1);
                         round_changed = true;
                         continue;
                     }
@@ -254,6 +260,7 @@ fn legalize_loads(
                     floors.push(0.0);
                     floors.push(0.0);
                     *buffers_inserted += 2;
+                    varitune_trace::add("synth.fanout_splits", 1);
                     round_changed = true;
                 }
             }
@@ -305,6 +312,7 @@ fn legalize_slews(
             if let Some(v) = target.upsize_id(engine.cell_id(src)) {
                 floors[src] = floors[src].max(v.drive);
                 engine.resize_gate_id(src, v.id)?;
+                varitune_trace::add("synth.resizes_slew", 1);
                 changed = true;
             }
         }
@@ -341,6 +349,7 @@ fn size_critical_paths(
                     if target.effective_max_load_id(v.id) >= load {
                         floors[gi] = floors[gi].max(v.drive);
                         engine.resize_gate_id(gi, v.id)?;
+                        varitune_trace::add("synth.resizes_critical", 1);
                         changed = true;
                     }
                 }
@@ -397,6 +406,7 @@ fn recover_area(
         if let Some(p) = penalty {
             if p < slack * 0.25 {
                 engine.resize_gate_id(gi, small)?;
+                varitune_trace::add("synth.downsizes", 1);
                 changed = true;
             }
         }

@@ -1,0 +1,247 @@
+//! Deterministic observability for the varitune flow.
+//!
+//! Zero-dependency (hermetic, in-tree — like the RNG backend) tracing:
+//!
+//! * [`span!`] — hierarchical stage spans with RAII guards
+//!   ([`SpanGuard`]); default builds record only names and structure, the
+//!   non-default `wall-clock` feature adds monotonic-clock durations,
+//! * [`metrics`] — typed counters and fixed-bucket [`Histogram`]s whose
+//!   [`Metrics::merge`] is associative and commutative, so parallel
+//!   workers aggregate bit-identically at any thread count,
+//! * [`report`] — the [`FlowTrace`] flight-recorder report with a
+//!   deterministic JSON form (`to_json`/`from_json` round-trip),
+//! * [`json`] — the minimal JSON subset the report uses (the workspace
+//!   `serde` is an in-tree stub; serialization is hand-rolled, as
+//!   everywhere else in this repo).
+//!
+//! # Determinism contract
+//!
+//! With tracing enabled and the `wall-clock` feature **off** (the
+//! default), a [`FlowTrace`] captured from a deterministic workload is
+//! byte-identical across reruns and across `threads = 1/2/8…`: counters
+//! and histograms are integer-valued and merge commutatively, spans come
+//! only from the single orchestration thread, and the JSON writer sorts
+//! every map. Enabling `wall-clock` stamps spans with durations and
+//! deliberately gives up byte-identity — never enable it in a build whose
+//! trace output is diffed.
+//!
+//! # Recording model
+//!
+//! Instrumented library code reports into a process-global recorder that
+//! is **off by default**: every hook is a cheap atomic check until a
+//! harness opts in. Harnesses use [`capture`], which serializes capturing
+//! callers, resets the recorder, runs the workload with tracing enabled,
+//! and returns the [`FlowTrace`]:
+//!
+//! ```
+//! use varitune_trace as trace;
+//!
+//! let (value, flow_trace) = trace::capture(|| {
+//!     let _stage = trace::span!("flow.prepare");
+//!     trace::add("core.kept_cells", 304);
+//!     trace::observe("sta.dirty_cone", 17);
+//!     42
+//! });
+//! assert_eq!(value, 42);
+//! assert_eq!(flow_trace.counter("core.kept_cells"), 304);
+//! assert_eq!(flow_trace.span_names(), ["flow.prepare"]);
+//! let json = flow_trace.to_json();
+//! assert_eq!(trace::FlowTrace::from_json(&json).unwrap(), flow_trace);
+//! ```
+
+// Panics must not be reachable from user input in this crate; every
+// non-test `unwrap`/`expect` needs an `#[allow]` with an invariant note.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{bucket_index, Histogram, Metrics, HISTOGRAM_BUCKETS};
+pub use report::{FlowTrace, SCHEMA};
+pub use span::{SpanGuard, SpanNode};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use span::SpanArena;
+
+/// Global recorder state. `Mutex::new` is const, so no lazy init is
+/// needed; the fast path (tracing disabled) never touches the lock.
+struct Recorder {
+    metrics: Metrics,
+    spans: SpanArena,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: Mutex<Recorder> = Mutex::new(Recorder {
+    metrics: Metrics::new(),
+    spans: SpanArena::new(),
+});
+/// Serializes [`capture`] callers so concurrent captures (e.g. parallel
+/// tests in one binary) cannot interleave their metrics.
+static CAPTURE: Mutex<()> = Mutex::new(());
+
+fn recorder() -> MutexGuard<'static, Recorder> {
+    // A poisoned lock only means a panic mid-record; the state is still
+    // structurally valid (worst case a span is left open, which the arena
+    // tolerates).
+    RECORDER.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Whether the flight recorder is currently accepting events.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the flight recorder on or off. Prefer [`capture`] in harnesses.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Clears all recorded spans and metrics.
+pub fn reset() {
+    let mut rec = recorder();
+    rec.metrics = Metrics::new();
+    rec.spans.clear();
+}
+
+/// Adds `delta` to the global counter `name`. No-op while disabled.
+pub fn add(name: &str, delta: u64) {
+    if enabled() {
+        recorder().metrics.add(name, delta);
+    }
+}
+
+/// Records `value` in the global histogram `name`. No-op while disabled.
+pub fn observe(name: &str, value: u64) {
+    if enabled() {
+        recorder().metrics.observe(name, value);
+    }
+}
+
+/// Folds a locally accumulated [`Metrics`] set into the global recorder.
+/// No-op while disabled. This is the hook for parallel workers: build a
+/// private set per shard, merge once — order does not matter.
+pub fn merge_metrics(local: &Metrics) {
+    if enabled() && !local.is_empty() {
+        recorder().metrics.merge(local);
+    }
+}
+
+/// Opens a stage span (prefer the [`span!`] macro). The guard closes it
+/// on drop; inert while disabled.
+pub fn open_span(name: &'static str) -> SpanGuard {
+    let index = if enabled() {
+        Some(recorder().spans.open(name))
+    } else {
+        None
+    };
+    SpanGuard {
+        index,
+        #[cfg(feature = "wall-clock")]
+        start: std::time::Instant::now(),
+    }
+}
+
+pub(crate) fn close_span(index: usize, nanos: Option<u64>) {
+    recorder().spans.close(index, nanos);
+}
+
+/// Copies the current recorder contents into a [`FlowTrace`].
+#[must_use]
+pub fn snapshot() -> FlowTrace {
+    let rec = recorder();
+    FlowTrace {
+        spans: rec.spans.to_tree(),
+        metrics: rec.metrics.clone(),
+    }
+}
+
+/// Runs `f` with a fresh, enabled recorder and returns its result along
+/// with the captured [`FlowTrace`].
+///
+/// Captures are serialized process-wide; nesting `capture` inside `f`
+/// deadlocks, so don't. The recorder is disabled again before returning.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, FlowTrace) {
+    let _serialize = CAPTURE.lock().unwrap_or_else(PoisonError::into_inner);
+    reset();
+    set_enabled(true);
+    let result = f();
+    set_enabled(false);
+    let trace = snapshot();
+    reset();
+    (result, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_ignores_events() {
+        let (_, trace) = capture(|| ());
+        assert!(trace.metrics.is_empty());
+        // Outside capture the recorder is off: these must not leak into
+        // the next capture.
+        add("ghost", 1);
+        observe("ghost.h", 1);
+        let _ghost = span!("ghost.span");
+        let (_, trace) = capture(|| add("real", 2));
+        assert_eq!(trace.counter("real"), 2);
+        assert_eq!(trace.counter("ghost"), 0);
+        assert!(trace.span_names().is_empty());
+    }
+
+    #[test]
+    fn capture_records_spans_and_metrics() {
+        let ((), trace) = capture(|| {
+            let _outer = span!("outer");
+            {
+                let _inner = span!("inner");
+                add("n", 1);
+            }
+            observe("h", 5);
+        });
+        assert_eq!(trace.span_names(), ["outer", "inner"]);
+        assert_eq!(trace.counter("n"), 1);
+        assert_eq!(trace.metrics.histogram("h").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn merge_metrics_matches_direct_recording() {
+        let mut local = Metrics::new();
+        local.add("a", 3);
+        local.observe("b", 7);
+        let (_, merged) = capture(|| merge_metrics(&local));
+        let (_, direct) = capture(|| {
+            add("a", 3);
+            observe("b", 7);
+        });
+        assert_eq!(merged.metrics, direct.metrics);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let ((), trace) = capture(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    scope.spawn(|| {
+                        for _ in 0..1000 {
+                            add("hits", 1);
+                            observe("values", 3);
+                        }
+                    });
+                }
+            });
+        });
+        assert_eq!(trace.counter("hits"), 8000);
+        assert_eq!(
+            trace.metrics.histogram("values").map(|h| h.count),
+            Some(8000)
+        );
+    }
+}

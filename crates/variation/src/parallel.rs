@@ -26,6 +26,16 @@
 //! assert_eq!(serial, parallel); // bit-identical, any thread count
 //! ```
 
+/// Reports one trial batch to the flight recorder. Only quantities that
+/// are functions of the *workload* (batch size), never of the schedule
+/// (chunk sizes, worker count), may be recorded here: the trace must stay
+/// bit-identical across thread counts.
+fn record_trial_batch(n: usize) {
+    varitune_trace::add("variation.parallel_calls", 1);
+    varitune_trace::add("variation.trials", n as u64);
+    varitune_trace::observe("variation.trials_per_call", n as u64);
+}
+
 /// Resolves a thread-count knob: `0` means "use the machine", anything else
 /// is taken literally.
 pub fn resolve_threads(threads: usize) -> usize {
@@ -53,6 +63,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    record_trial_batch(n);
     let threads = resolve_threads(threads).min(n.max(1));
     if threads <= 1 {
         return (0..n).map(trial).collect();
@@ -97,6 +108,7 @@ where
     I: Fn() -> A + Sync,
     M: Fn(A, T) -> A + Sync,
 {
+    record_trial_batch(n);
     let threads = resolve_threads(threads).min(n.max(1));
     let trial = &trial;
     let init = &init;

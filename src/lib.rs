@@ -20,7 +20,10 @@
 //!   per-pin operating windows,
 //! * [`core`] — the paper's contribution: the five tuning methods,
 //!   threshold extraction, largest-rectangle LUT restriction, and the
-//!   end-to-end [`core::flow`] API.
+//!   end-to-end [`core::flow`] API,
+//! * [`trace`] — deterministic observability: stage spans, mergeable
+//!   counters/histograms, and the `FlowTrace` flight recorder every
+//!   bench binary can dump with `--trace`.
 //!
 //! # Quickstart
 //!
@@ -57,4 +60,5 @@ pub use varitune_liberty as liberty;
 pub use varitune_netlist as netlist;
 pub use varitune_sta as sta;
 pub use varitune_synth as synth;
+pub use varitune_trace as trace;
 pub use varitune_variation as variation;

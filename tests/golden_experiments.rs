@@ -1,0 +1,187 @@
+//! Golden-snapshot suite: the small-scale experiment headline numbers are
+//! pinned byte-for-byte against `tests/fixtures/golden_small.json`.
+//!
+//! Everything in the pipeline is deterministic — in-tree RNG, fixed seeds,
+//! thread-count-invariant reductions — so these values must reproduce
+//! **exactly** (f64 bit patterns, not tolerances). Any drift is either a
+//! real behavior change (then regenerate the fixture deliberately) or a
+//! determinism regression (then fix the code).
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_experiments
+//! ```
+//!
+//! and commit the updated fixture alongside the change that moved it.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use varitune::core::flow::{Comparison, Flow, FlowConfig};
+use varitune::core::{TuningMethod, TuningParams};
+use varitune::libchar::TableKind;
+use varitune::liberty::CellKind;
+use varitune::synth::SynthConfig;
+
+/// Clock period for the snapshot runs: relaxed enough that the small
+/// library closes timing under every tuned constraint set.
+const PERIOD_NS: f64 = 6.0;
+/// Fig. 10 / Table 3 area cap used for winner selection.
+const AREA_CAP_PCT: f64 = 10.0;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("golden_small.json")
+}
+
+/// A float pinned exactly: the IEEE-754 bit pattern carries the equality,
+/// the decimal rendering is for the human reading a diff.
+fn pinned(out: &mut String, key: &str, v: f64) {
+    let _ = write!(out, "\"{key}_bits\": {}, \"{key}\": {v:.6}", v.to_bits());
+}
+
+/// Renders the golden snapshot of the small-scale experiments.
+fn render_snapshot() -> String {
+    let flow = Flow::prepare(FlowConfig::small_for_tests()).expect("flow preparation");
+    let synth = SynthConfig::with_clock_period(PERIOD_NS);
+    let baseline = flow.run_baseline(&synth).expect("baseline");
+
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"varitune-golden/1\",\n");
+    out.push_str("  \"scale\": \"small_for_tests\",\n");
+    let _ = writeln!(out, "  \"clock_period_ns\": {PERIOD_NS:.2},");
+    out.push_str("  \"baseline\": {");
+    pinned(&mut out, "sigma", baseline.design.sigma);
+    out.push_str(", ");
+    pinned(&mut out, "area", baseline.synthesis.area);
+    out.push_str("},\n");
+
+    // Table 2 grid: every method x every parameter value, the headline
+    // sigma/area deltas of each candidate, and the Fig. 10-style winner
+    // (best sigma reduction within the area cap).
+    out.push_str("  \"grid\": {\n");
+    for (mi, &method) in TuningMethod::ALL.iter().enumerate() {
+        let _ = writeln!(out, "    \"{method}\": {{\"rows\": [");
+        let mut winner: Option<(usize, f64)> = None;
+        for (pi, params) in TuningParams::table2_sweep(method).into_iter().enumerate() {
+            let (_, run) = flow
+                .run_tuned(method, params, &synth)
+                .unwrap_or_else(|e| panic!("{method} candidate {pi} failed: {e}"));
+            let cmp = Comparison::between(&baseline, &run);
+            if pi > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("      {");
+            pinned(&mut out, "sigma_reduction_pct", cmp.sigma_reduction_pct());
+            out.push_str(", ");
+            pinned(&mut out, "area_increase_pct", cmp.area_increase_pct());
+            out.push('}');
+            if cmp.area_increase_pct() <= AREA_CAP_PCT
+                && winner.is_none_or(|(_, s)| cmp.sigma_reduction_pct() > s)
+            {
+                winner = Some((pi, cmp.sigma_reduction_pct()));
+            }
+        }
+        let winner = winner.map_or("null".to_string(), |(pi, _)| pi.to_string());
+        let _ = write!(out, "\n    ], \"winner_index\": {winner}}}");
+        out.push_str(if mi + 1 < TuningMethod::ALL.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  },\n");
+
+    // Fig. 4: worst-case delay sigma per inverter drive strength. The
+    // paper's observation — stronger drives have smaller sigma — must hold
+    // monotonically on the generated library.
+    let mut inverters: Vec<(f64, f64)> = flow
+        .stat
+        .sigma
+        .cells
+        .iter()
+        .filter(|c| c.kind() == CellKind::Inverter)
+        .filter_map(|c| {
+            let drive = c.drive_strength()?;
+            let max_sigma = c
+                .output_pins()
+                .flat_map(|p| &p.timing)
+                .flat_map(|a| TableKind::DELAYS.iter().filter_map(|k| k.of(a)))
+                .filter_map(|lut| lut.max_value())
+                .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v))))?;
+            Some((drive, max_sigma))
+        })
+        .collect();
+    inverters.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // Fig. 4's trend with small-sample MC noise: per-step monotonicity
+    // does not survive 20 MC libraries, but the quartile separation does —
+    // every strong drive (top quarter) has smaller worst-case sigma than
+    // every weak drive (bottom quarter).
+    let q = inverters.len() / 4;
+    let weak_min = inverters[..q.max(1)]
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::INFINITY, f64::min);
+    let strong_max = inverters[inverters.len() - q.max(1)..]
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let trend_decreasing = strong_max < weak_min;
+    out.push_str("  \"fig4_inverter_sigma_by_drive\": [\n");
+    for (i, (drive, sigma)) in inverters.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "    {{\"drive\": {drive:.1}, ");
+        pinned(&mut out, "max_sigma", *sigma);
+        out.push('}');
+    }
+    let _ = write!(
+        out,
+        "\n  ],\n  \"fig4_sigma_trend_decreasing\": {trend_decreasing}\n}}\n"
+    );
+    out
+}
+
+#[test]
+fn small_scale_experiments_match_golden_snapshot() {
+    let snapshot = render_snapshot();
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::write(&path, &snapshot)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun `GOLDEN_BLESS=1 cargo test --test golden_experiments` \
+             to generate it",
+            path.display()
+        )
+    });
+    if snapshot != golden {
+        // Surface the first diverging line: with bit-exact pinning a diff
+        // is either a real behavior change or lost determinism.
+        let diverged = snapshot
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}: got `{a}`, golden `{b}`", i + 1))
+            .unwrap_or_else(|| "trailing content differs".to_string());
+        panic!(
+            "golden snapshot mismatch ({diverged}).\nIf the change is intentional, regenerate \
+             with `GOLDEN_BLESS=1 cargo test --test golden_experiments` and commit the fixture."
+        );
+    }
+    // The paper's Fig. 4 claim stays true, not just pinned: strong
+    // inverter drives have smaller worst-case sigma than weak ones.
+    assert!(
+        snapshot.contains("\"fig4_sigma_trend_decreasing\": true"),
+        "inverter sigma no longer decreases with drive strength"
+    );
+}

@@ -163,6 +163,78 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Trace metrics algebra: the merge laws behind thread-count-invariant
+// flow traces (fixed-input versions run offline in
+// `tests/trace_determinism.rs`).
+// ---------------------------------------------------------------------
+
+fn metrics_strategy() -> impl Strategy<Value = varitune::trace::Metrics> {
+    proptest::collection::vec((0usize..4, 0u64..1_000_000), 0..64).prop_map(|events| {
+        let mut m = varitune::trace::Metrics::new();
+        for (name, v) in events {
+            m.add(["a", "b", "c", "d"][name], v);
+            m.observe("h", v);
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn metrics_merge_associative(
+        a in metrics_strategy(),
+        b in metrics_strategy(),
+        c in metrics_strategy(),
+    ) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn metrics_merge_commutative(a in metrics_strategy(), b in metrics_strategy()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_totals_survive_any_sharding(
+        data in proptest::collection::vec(0u64..u64::MAX / 2, 1..256),
+        shards in 1usize..8,
+    ) {
+        let mut sequential = varitune::trace::Histogram::new();
+        for &v in &data {
+            sequential.observe(v);
+        }
+        let mut merged = varitune::trace::Histogram::new();
+        for chunk in data.chunks(data.len().div_ceil(shards)) {
+            let mut shard = varitune::trace::Histogram::new();
+            for &v in chunk {
+                shard.observe(v);
+            }
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn flow_trace_json_round_trips(a in metrics_strategy()) {
+        let trace = varitune::trace::FlowTrace { spans: Vec::new(), metrics: a };
+        let text = trace.to_json();
+        let back = varitune::trace::FlowTrace::from_json(&text).expect("parses");
+        prop_assert_eq!(back.to_json(), text);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Liberty round trip on generated LUT data.
 // ---------------------------------------------------------------------
 

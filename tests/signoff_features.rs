@@ -175,6 +175,48 @@ fn exclusion_baseline_is_coarser_than_windows_at_the_same_budget() {
 }
 
 #[test]
+fn mismatched_signoff_inputs_yield_typed_errors_not_panics() {
+    use varitune::sta::StaError;
+    let (flow, run) = fixture();
+    let cfg = PowerConfig::with_clock_period(6.0);
+
+    // Activity vector shorter than the net list: a typed mismatch, not an
+    // index panic.
+    let short_activity = vec![0.1; run.synthesis.design.netlist.nets.len() / 2];
+    let err = estimate_power_with_activity(
+        &run.synthesis.design,
+        &flow.stat.mean,
+        &run.synthesis.report,
+        &cfg,
+        &short_activity,
+    )
+    .expect_err("short activity must be rejected");
+    assert!(
+        matches!(err, StaError::MismatchedInput { .. }),
+        "unexpected error: {err}"
+    );
+
+    // A stale timing report (fewer nets than the design) against power and
+    // SDF export: both demote to the same typed error.
+    let mut stale = run.synthesis.report.clone();
+    stale.nets.truncate(stale.nets.len() / 2);
+    let err = estimate_power(&run.synthesis.design, &flow.stat.mean, &stale, &cfg)
+        .expect_err("stale report must be rejected by power");
+    assert!(
+        matches!(err, StaError::MismatchedInput { .. }),
+        "unexpected error: {err}"
+    );
+    let err = write_sdf(&run.synthesis.design, &flow.stat.mean, &stale)
+        .expect_err("stale report must be rejected by SDF export");
+    assert!(
+        matches!(err, StaError::MismatchedInput { .. }),
+        "unexpected error: {err}"
+    );
+    // The messages carry the mismatch so logs are actionable.
+    assert!(err.to_string().contains("mismatch"), "got: {err}");
+}
+
+#[test]
 fn constraints_sidecar_round_trips_through_disk_format() {
     let (flow, _run) = fixture();
     let tuned = tune(
