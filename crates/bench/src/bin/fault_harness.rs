@@ -24,31 +24,15 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::process::ExitCode;
 
+use varitune_bench::corrupt::{corrupt_liberty, corrupt_netlist, LIBERTY_OPS, NETLIST_OPS};
 use varitune_bench::trace::run_traced;
 use varitune_core::flow::{Flow, FlowConfig, FlowError};
 use varitune_core::{Degradation, Strictness};
 use varitune_libchar::{generate_nominal, GenerateConfig};
 use varitune_liberty::{parse_library_recovering, write_library};
-use varitune_netlist::{generate_mcu, McuConfig, NetId, Netlist};
+use varitune_netlist::{generate_mcu, McuConfig};
 use varitune_synth::{synthesize, LibraryConstraints, SynthConfig, SynthesisResult};
 use varitune_variation::rng::rng_from;
-use varitune_variation::Xoshiro256PlusPlus;
-
-/// Corruption operators over Liberty text.
-const LIBERTY_OPS: &[&str] = &[
-    "truncate",
-    "unbalance-brace",
-    "flip-char",
-    "inject-nan",
-    "inject-inf",
-    "shuffle-axis",
-    "delete-arc",
-    "duplicate-cell",
-    "insert-junk",
-];
-
-/// Corruption operators over netlists.
-const NETLIST_OPS: &[&str] = &["dangling-port", "comb-cycle", "arity-break"];
 
 fn main() -> ExitCode {
     let mut ops = 64usize;
@@ -347,164 +331,6 @@ fn run_liberty_scenario(cfg: FlowConfig, text: &str, synth_cfg: &SynthConfig) ->
                 }
             }
         }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Corruption operators
-
-fn pick(rng: &mut Xoshiro256PlusPlus, n: usize) -> usize {
-    debug_assert!(n > 0);
-    (rng.next_u64() % n as u64) as usize
-}
-
-/// Byte offsets of every occurrence of `needle` in `text`.
-fn occurrences(text: &str, needle: &str) -> Vec<usize> {
-    let mut at = 0;
-    let mut found = Vec::new();
-    while let Some(p) = text[at..].find(needle) {
-        found.push(at + p);
-        at += p + needle.len();
-    }
-    found
-}
-
-/// Extends a float literal starting at `start` over `[0-9.eE+-]`.
-fn number_end(text: &str, start: usize) -> usize {
-    text[start..]
-        .find(|c: char| !matches!(c, '0'..='9' | '.' | 'e' | 'E' | '+' | '-'))
-        .map_or(text.len(), |off| start + off)
-}
-
-/// Matches the `{ ... }` block whose `{` is at `open`, returning the byte
-/// offset just past the closing `}`.
-fn block_end(text: &str, open: usize) -> Option<usize> {
-    let mut depth = 0usize;
-    for (off, c) in text[open..].char_indices() {
-        match c {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(open + off + 1);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-fn corrupt_liberty(op: &str, text: &str, rng: &mut Xoshiro256PlusPlus) -> String {
-    let mut s = text.to_string();
-    match op {
-        "truncate" => {
-            // Cut somewhere in the back three quarters (writer output is
-            // ASCII, so any byte offset is a char boundary).
-            let cut = s.len() / 4 + pick(rng, s.len() - s.len() / 4);
-            s.truncate(cut);
-        }
-        "unbalance-brace" => {
-            let braces = occurrences(&s, "}");
-            if !braces.is_empty() {
-                s.remove(braces[pick(rng, braces.len())]);
-            }
-        }
-        "flip-char" => {
-            // Clobber one byte of a cell body with a shell-ish junk char.
-            let pos = s.len() / 4 + pick(rng, s.len() / 2);
-            s.replace_range(pos..=pos, "@");
-        }
-        "inject-nan" | "inject-inf" => {
-            let repl = if op == "inject-nan" { "nan" } else { "inf" };
-            let starts = occurrences(&s, "0.");
-            if !starts.is_empty() {
-                let at = starts[pick(rng, starts.len())];
-                let end = number_end(&s, at);
-                s.replace_range(at..end, repl);
-            }
-        }
-        "shuffle-axis" => {
-            // Swap the first two entries of one index_1 axis list.
-            let axes = occurrences(&s, "index_1 (\"");
-            if !axes.is_empty() {
-                let open = axes[pick(rng, axes.len())] + "index_1 (\"".len();
-                if let Some(close) = s[open..].find('"').map(|p| open + p) {
-                    let list = s[open..close].to_string();
-                    let parts: Vec<&str> = list.split(", ").collect();
-                    if parts.len() >= 2 {
-                        let mut swapped = parts.clone();
-                        swapped.swap(0, 1);
-                        s.replace_range(open..close, &swapped.join(", "));
-                    }
-                }
-            }
-        }
-        "delete-arc" => {
-            let arcs = occurrences(&s, "timing ()");
-            if !arcs.is_empty() {
-                let at = arcs[pick(rng, arcs.len())];
-                if let Some(open) = s[at..].find('{').map(|p| at + p) {
-                    if let Some(end) = block_end(&s, open) {
-                        s.replace_range(at..end, "");
-                    }
-                }
-            }
-        }
-        "duplicate-cell" => {
-            let cells = occurrences(&s, "cell (");
-            if !cells.is_empty() {
-                let at = cells[pick(rng, cells.len())];
-                if let Some(open) = s[at..].find('{').map(|p| at + p) {
-                    if let Some(end) = block_end(&s, open) {
-                        let dup = s[at..end].to_string();
-                        s.insert_str(end, "\n  ");
-                        s.insert_str(end + 3, &dup);
-                    }
-                }
-            }
-        }
-        "insert-junk" => {
-            let pos = pick(rng, s.len());
-            s.insert_str(pos, " @#%$ ");
-        }
-        other => unreachable!("unknown liberty operator {other}"),
-    }
-    s
-}
-
-fn corrupt_netlist(op: &str, nl: &mut Netlist, rng: &mut Xoshiro256PlusPlus) {
-    match op {
-        "dangling-port" => {
-            let bogus = NetId(nl.nets.len() as u32 + 1 + pick(rng, 1000) as u32);
-            if nl.primary_outputs.is_empty() {
-                nl.primary_outputs.push(bogus);
-            } else {
-                let k = pick(rng, nl.primary_outputs.len());
-                nl.primary_outputs[k] = bogus;
-            }
-        }
-        "comb-cycle" => {
-            // Feed some combinational gate its own output.
-            let comb: Vec<usize> = (0..nl.gates.len())
-                .filter(|&gi| {
-                    let g = &nl.gates[gi];
-                    !g.kind.is_sequential() && !g.inputs.is_empty() && !g.outputs.is_empty()
-                })
-                .collect();
-            if !comb.is_empty() {
-                let gi = comb[pick(rng, comb.len())];
-                let out = nl.gates[gi].outputs[0];
-                nl.gates[gi].inputs[0] = out;
-            }
-        }
-        "arity-break" => {
-            if !nl.gates.is_empty() {
-                let gi = pick(rng, nl.gates.len());
-                nl.gates[gi].inputs.clear();
-            }
-        }
-        other => unreachable!("unknown netlist operator {other}"),
     }
 }
 

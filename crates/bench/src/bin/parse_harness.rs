@@ -1,0 +1,346 @@
+//! Comparative Liberty-ingestion bench: classic parser vs the zero-copy
+//! pipeline.
+//!
+//! Generates the full 304-cell library plus a synthetic-giant replica,
+//! then measures throughput (MB/s) of the classic recovering parser
+//! against the zero-copy recovering parser at 1, 2 and 8 threads, and of
+//! classic vs routed strict parsing. After benching it runs a
+//! differential gate: over the seeded fault-harness corpora the zero-copy
+//! parser must reproduce the classic parser's library *and* its rendered
+//! diagnostics byte-for-byte under every strictness policy, and the
+//! parallel parse must be bit-identical across thread counts.
+//!
+//! ```text
+//! parse_harness [--smoke] [--seed S] [--out PATH] [--trace PATH]
+//! ```
+//!
+//! `--smoke` shrinks the giant and the corpus and drops the speedup
+//! floor so the binary finishes quickly in CI; the full run (the one
+//! whose `BENCH_parse.json` is committed) refuses to pass unless the
+//! zero-copy parser beats classic by at least [`SPEEDUP_FLOOR`]× on the
+//! synthetic giant.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use varitune_bench::corrupt::liberty_corpus;
+use varitune_bench::trace::run_traced;
+use varitune_libchar::{generate_nominal, GenerateConfig};
+use varitune_liberty::{
+    parse_library, parse_library_classic, parse_library_recovering_classic,
+    parse_library_recovering_threads, write_library, Library,
+};
+
+/// Full-mode gate: zero-copy recovering throughput on the synthetic
+/// giant must be at least this multiple of the classic parser's.
+const SPEEDUP_FLOOR: f64 = 3.0;
+
+/// Thread counts the zero-copy parser is benched and bit-checked at.
+const THREADS: &[usize] = &[1, 2, 8];
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut seed = 7u64;
+    let mut out = "BENCH_parse.json".to_string();
+    let mut trace: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed expects a u64"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = p,
+                None => return usage("--out expects a path"),
+            },
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(p),
+                None => return usage("--trace expects a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: parse_harness [--smoke] [--seed S] [--out PATH] [--trace PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    run_traced(trace.as_deref(), || run(smoke, seed, &out))
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("parse_harness: {msg}");
+    eprintln!("usage: parse_harness [--smoke] [--seed S] [--out PATH] [--trace PATH]");
+    ExitCode::FAILURE
+}
+
+fn run(smoke: bool, seed: u64, out: &str) -> ExitCode {
+    // Smoke keeps the giant at 1× (the 304-cell text itself, ~6 MB) and
+    // a single timing iteration; the full run replicates the library 4×
+    // (~24 MB) and takes the best of five.
+    let (giant_factor, iters, per_op) = if smoke { (1, 1, 1) } else { (4, 5, 2) };
+
+    let generate_span = varitune_trace::span!("parse_harness.generate");
+    let pristine_lib = generate_nominal(&GenerateConfig::full());
+    let pristine = match write_library(&pristine_lib) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("parse_harness: generated library failed to serialize: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let giant = match write_library(&replicate(&pristine_lib, giant_factor)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("parse_harness: synthetic giant failed to serialize: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    drop(generate_span);
+    println!(
+        "parse harness: 304-cell library {:.1} MB, synthetic giant {:.1} MB ({}x), {} iteration(s)",
+        mb(pristine.len()),
+        mb(giant.len()),
+        giant_factor,
+        iters
+    );
+
+    let bench_span = varitune_trace::span!("parse_harness.bench");
+    let corpora = [("cells304", &pristine), ("giant", &giant)];
+    let mut results: Vec<CorpusResult> = Vec::new();
+    for (name, text) in corpora {
+        let classic = bench_mbps(text, iters, parse_library_recovering_classic);
+        let mut fast = Vec::new();
+        for &threads in THREADS {
+            fast.push((
+                threads,
+                bench_mbps(text, iters, |t| {
+                    parse_library_recovering_threads(t, threads)
+                }),
+            ));
+        }
+        let strict_classic = bench_mbps(text, iters, parse_library_classic);
+        let strict_fast = bench_mbps(text, iters, parse_library);
+        let best_fast = fast.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+        println!(
+            "  {name}: classic {classic:.1} MB/s, zero-copy {} MB/s, speedup {:.2}x",
+            fast.iter()
+                .map(|&(t, v)| format!("{v:.1} (t={t})"))
+                .collect::<Vec<_>>()
+                .join(" / "),
+            best_fast / classic
+        );
+        results.push(CorpusResult {
+            name,
+            bytes: text.len(),
+            classic_mbps: classic,
+            fast_mbps: fast,
+            strict_classic_mbps: strict_classic,
+            strict_fast_mbps: strict_fast,
+        });
+    }
+    drop(bench_span);
+
+    let diff_span = varitune_trace::span!("parse_harness.differential");
+    // 1. Fault corpora: zero-copy output must match classic byte-for-byte
+    //    under every strictness policy, at every thread count.
+    let corpus = liberty_corpus(&pristine, seed, per_op);
+    let mut mismatches = 0usize;
+    for (op, damaged) in &corpus {
+        let (want_lib, want_diags) = parse_library_recovering_classic(damaged);
+        let want = (render_library(&want_lib), render_diags(&want_diags));
+        for &threads in THREADS {
+            let (got_lib, got_diags) = parse_library_recovering_threads(damaged, threads);
+            let got = (render_library(&got_lib), render_diags(&got_diags));
+            if got != want {
+                mismatches += 1;
+                eprintln!("MISMATCH: op {op} threads {threads}: recovering output diverges");
+            }
+        }
+        let want_strict = render_strict(parse_library_classic(damaged));
+        let got_strict = render_strict(parse_library(damaged));
+        if got_strict != want_strict {
+            mismatches += 1;
+            eprintln!("MISMATCH: op {op}: strict output diverges");
+        }
+    }
+    // 2. Thread bit-identity on the clean giant: same library, same
+    //    (empty) diagnostics, and identical re-serialization.
+    let mut thread_divergences = 0usize;
+    let (base_lib, base_diags) = parse_library_recovering_threads(&giant, THREADS[0]);
+    let base = (render_library(&base_lib), render_diags(&base_diags));
+    for &threads in &THREADS[1..] {
+        let (lib, diags) = parse_library_recovering_threads(&giant, threads);
+        if (render_library(&lib), render_diags(&diags)) != base
+            || write_library(&lib).ok() != write_library(&base_lib).ok()
+        {
+            thread_divergences += 1;
+            eprintln!(
+                "MISMATCH: giant parse at {threads} threads diverges from {}",
+                THREADS[0]
+            );
+        }
+    }
+    drop(diff_span);
+
+    let giant_speedup = results
+        .iter()
+        .find(|r| r.name == "giant")
+        .map(|r| r.fast_mbps.iter().map(|&(_, v)| v).fold(0.0f64, f64::max) / r.classic_mbps)
+        .unwrap_or(0.0);
+
+    let json = render_json(
+        smoke,
+        seed,
+        giant_factor,
+        iters,
+        corpus.len(),
+        mismatches,
+        thread_divergences,
+        giant_speedup,
+        &results,
+    );
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("parse_harness: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} differential scenario(s): {mismatches} mismatch(es), {thread_divergences} \
+         thread divergence(s), giant speedup {giant_speedup:.2}x -> {out}",
+        corpus.len()
+    );
+
+    if mismatches > 0 || thread_divergences > 0 {
+        return ExitCode::FAILURE;
+    }
+    if !smoke && giant_speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "parse_harness: zero-copy speedup {giant_speedup:.2}x on the synthetic giant \
+             is below the {SPEEDUP_FLOOR}x floor"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Replicates every cell of `lib` `factor`× under distinct names, so the
+/// giant stays a valid library (no duplicate-cell diagnostics).
+fn replicate(lib: &Library, factor: usize) -> Library {
+    let mut giant = lib.clone();
+    giant.name = format!("{}_giant", lib.name);
+    for k in 1..factor {
+        for cell in &lib.cells {
+            let mut c = cell.clone();
+            c.name = format!("{}_g{k}", cell.name);
+            giant.cells.push(c);
+        }
+    }
+    giant
+}
+
+/// Best-of-`iters` throughput of `f` over `text`, in MB/s.
+///
+/// The timed region covers parsing only: `f` returns its parse result
+/// and the drop happens after the clock stops (the same convention as
+/// criterion's `iter_with_large_drop`), so deallocating a multi-MB
+/// `Library` — a cost identical for both parsers — does not flatten the
+/// measured ratio between them.
+fn bench_mbps<T>(text: &str, iters: usize, f: impl Fn(&str) -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        let parsed = f(text);
+        best = best.min(start.elapsed().as_secs_f64());
+        drop(parsed);
+    }
+    mb(text.len()) / best
+}
+
+fn mb(bytes: usize) -> f64 {
+    bytes as f64 / 1.0e6
+}
+
+/// Debug rendering of a library; used instead of `PartialEq` so NaN
+/// payloads (inject-nan corpora) still compare meaningfully.
+fn render_library(lib: &Library) -> String {
+    format!("{lib:?}")
+}
+
+fn render_diags(diags: &[varitune_liberty::Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn render_strict(r: Result<Library, varitune_liberty::ParseLibertyError>) -> String {
+    match r {
+        Ok(lib) => format!("ok: {}", render_library(&lib)),
+        Err(e) => format!("err: {e}"),
+    }
+}
+
+struct CorpusResult {
+    name: &'static str,
+    bytes: usize,
+    classic_mbps: f64,
+    fast_mbps: Vec<(usize, f64)>,
+    strict_classic_mbps: f64,
+    strict_fast_mbps: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    smoke: bool,
+    seed: u64,
+    giant_factor: usize,
+    iters: usize,
+    scenarios: usize,
+    mismatches: usize,
+    thread_divergences: usize,
+    giant_speedup: f64,
+    results: &[CorpusResult],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"varitune-parse-harness/1\",\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"giant_factor\": {giant_factor},\n"));
+    s.push_str(&format!("  \"iterations\": {iters},\n"));
+    s.push_str(&format!("  \"differential_scenarios\": {scenarios},\n"));
+    s.push_str(&format!("  \"differential_mismatches\": {mismatches},\n"));
+    s.push_str(&format!(
+        "  \"thread_divergences\": {thread_divergences},\n"
+    ));
+    s.push_str(&format!("  \"giant_speedup\": {giant_speedup:.2},\n"));
+    s.push_str("  \"corpora\": {\n");
+    let mut first = true;
+    for r in results {
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        let fast = r
+            .fast_mbps
+            .iter()
+            .map(|&(t, v)| format!("\"{t}\": {v:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            "    \"{}\": {{\"bytes\": {}, \"classic_mb_s\": {:.1}, \
+             \"zero_copy_mb_s\": {{{fast}}}, \"strict_classic_mb_s\": {:.1}, \
+             \"strict_zero_copy_mb_s\": {:.1}}}",
+            r.name, r.bytes, r.classic_mbps, r.strict_classic_mbps, r.strict_fast_mbps
+        ));
+    }
+    s.push_str("\n  }\n}\n");
+    s
+}

@@ -1,0 +1,252 @@
+//! Seeded corruption operators over Liberty text and netlists.
+//!
+//! Shared by the fault-injection harness (`fault_harness`), the parser
+//! bench (`parse_harness`) and the differential parser tests: all three
+//! need the *same* damaged corpora so that "the zero-copy parser matches
+//! the classic parser on everything the fault harness throws at it" is a
+//! meaningful statement.
+//!
+//! All randomness comes from the caller-provided
+//! [`Xoshiro256PlusPlus`] state — no wall clock, no OS entropy — so any
+//! artefact derived from these operators is bit-identical across reruns.
+
+use varitune_netlist::{NetId, Netlist};
+use varitune_variation::Xoshiro256PlusPlus;
+
+/// Corruption operators over Liberty text, in scenario-rotation order.
+pub const LIBERTY_OPS: &[&str] = &[
+    "truncate",
+    "unbalance-brace",
+    "flip-char",
+    "inject-nan",
+    "inject-inf",
+    "shuffle-axis",
+    "delete-arc",
+    "duplicate-cell",
+    "insert-junk",
+];
+
+/// Corruption operators over netlists.
+pub const NETLIST_OPS: &[&str] = &["dangling-port", "comb-cycle", "arity-break"];
+
+fn pick(rng: &mut Xoshiro256PlusPlus, n: usize) -> usize {
+    debug_assert!(n > 0);
+    (rng.next_u64() % n as u64) as usize
+}
+
+/// Byte offsets of every occurrence of `needle` in `text`.
+fn occurrences(text: &str, needle: &str) -> Vec<usize> {
+    let mut at = 0;
+    let mut found = Vec::new();
+    while let Some(p) = text[at..].find(needle) {
+        found.push(at + p);
+        at += p + needle.len();
+    }
+    found
+}
+
+/// Extends a float literal starting at `start` over `[0-9.eE+-]`.
+fn number_end(text: &str, start: usize) -> usize {
+    text[start..]
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | 'e' | 'E' | '+' | '-'))
+        .map_or(text.len(), |off| start + off)
+}
+
+/// Matches the `{ ... }` block whose `{` is at `open`, returning the byte
+/// offset just past the closing `}`.
+fn block_end(text: &str, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (off, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Applies the named Liberty corruption operator to `text`.
+///
+/// # Panics
+///
+/// Panics on an operator name outside [`LIBERTY_OPS`] — callers iterate
+/// that constant, so an unknown name is a harness bug.
+pub fn corrupt_liberty(op: &str, text: &str, rng: &mut Xoshiro256PlusPlus) -> String {
+    let mut s = text.to_string();
+    match op {
+        "truncate" => {
+            // Cut somewhere in the back three quarters (writer output is
+            // ASCII, so any byte offset is a char boundary).
+            let cut = s.len() / 4 + pick(rng, s.len() - s.len() / 4);
+            s.truncate(cut);
+        }
+        "unbalance-brace" => {
+            let braces = occurrences(&s, "}");
+            if !braces.is_empty() {
+                s.remove(braces[pick(rng, braces.len())]);
+            }
+        }
+        "flip-char" => {
+            // Clobber one byte of a cell body with a shell-ish junk char.
+            let pos = s.len() / 4 + pick(rng, s.len() / 2);
+            s.replace_range(pos..=pos, "@");
+        }
+        "inject-nan" | "inject-inf" => {
+            let repl = if op == "inject-nan" { "nan" } else { "inf" };
+            let starts = occurrences(&s, "0.");
+            if !starts.is_empty() {
+                let at = starts[pick(rng, starts.len())];
+                let end = number_end(&s, at);
+                s.replace_range(at..end, repl);
+            }
+        }
+        "shuffle-axis" => {
+            // Swap the first two entries of one index_1 axis list.
+            let axes = occurrences(&s, "index_1 (\"");
+            if !axes.is_empty() {
+                let open = axes[pick(rng, axes.len())] + "index_1 (\"".len();
+                if let Some(close) = s[open..].find('"').map(|p| open + p) {
+                    let list = s[open..close].to_string();
+                    let parts: Vec<&str> = list.split(", ").collect();
+                    if parts.len() >= 2 {
+                        let mut swapped = parts.clone();
+                        swapped.swap(0, 1);
+                        s.replace_range(open..close, &swapped.join(", "));
+                    }
+                }
+            }
+        }
+        "delete-arc" => {
+            let arcs = occurrences(&s, "timing ()");
+            if !arcs.is_empty() {
+                let at = arcs[pick(rng, arcs.len())];
+                if let Some(open) = s[at..].find('{').map(|p| at + p) {
+                    if let Some(end) = block_end(&s, open) {
+                        s.replace_range(at..end, "");
+                    }
+                }
+            }
+        }
+        "duplicate-cell" => {
+            let cells = occurrences(&s, "cell (");
+            if !cells.is_empty() {
+                let at = cells[pick(rng, cells.len())];
+                if let Some(open) = s[at..].find('{').map(|p| at + p) {
+                    if let Some(end) = block_end(&s, open) {
+                        let dup = s[at..end].to_string();
+                        s.insert_str(end, "\n  ");
+                        s.insert_str(end + 3, &dup);
+                    }
+                }
+            }
+        }
+        "insert-junk" => {
+            let pos = pick(rng, s.len());
+            s.insert_str(pos, " @#%$ ");
+        }
+        other => unreachable!("unknown liberty operator {other}"),
+    }
+    s
+}
+
+/// Applies the named netlist corruption operator to `nl` in place.
+///
+/// # Panics
+///
+/// Panics on an operator name outside [`NETLIST_OPS`].
+pub fn corrupt_netlist(op: &str, nl: &mut Netlist, rng: &mut Xoshiro256PlusPlus) {
+    match op {
+        "dangling-port" => {
+            let bogus = NetId(nl.nets.len() as u32 + 1 + pick(rng, 1000) as u32);
+            if nl.primary_outputs.is_empty() {
+                nl.primary_outputs.push(bogus);
+            } else {
+                let k = pick(rng, nl.primary_outputs.len());
+                nl.primary_outputs[k] = bogus;
+            }
+        }
+        "comb-cycle" => {
+            // Feed some combinational gate its own output.
+            let comb: Vec<usize> = (0..nl.gates.len())
+                .filter(|&gi| {
+                    let g = &nl.gates[gi];
+                    !g.kind.is_sequential() && !g.inputs.is_empty() && !g.outputs.is_empty()
+                })
+                .collect();
+            if !comb.is_empty() {
+                let gi = comb[pick(rng, comb.len())];
+                let out = nl.gates[gi].outputs[0];
+                nl.gates[gi].inputs[0] = out;
+            }
+        }
+        "arity-break" => {
+            if !nl.gates.is_empty() {
+                let gi = pick(rng, nl.gates.len());
+                nl.gates[gi].inputs.clear();
+            }
+        }
+        other => unreachable!("unknown netlist operator {other}"),
+    }
+}
+
+/// The standard damaged-Liberty corpus: every operator in [`LIBERTY_OPS`]
+/// applied `per_op` times to `pristine`, with the same `rng_from(seed,
+/// "fault", i)` seed derivation the fault harness uses, yielding
+/// `(operator, corrupted text)` pairs in deterministic order.
+pub fn liberty_corpus(pristine: &str, seed: u64, per_op: usize) -> Vec<(&'static str, String)> {
+    let mut corpus = Vec::with_capacity(LIBERTY_OPS.len() * per_op);
+    for round in 0..per_op {
+        for (k, op) in LIBERTY_OPS.iter().enumerate() {
+            let i = (round * LIBERTY_OPS.len() + k) as u64;
+            let mut rng = varitune_variation::rng::rng_from(seed, "fault", i);
+            corpus.push((*op, corrupt_liberty(op, pristine, &mut rng)));
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varitune_variation::rng::rng_from;
+
+    fn pristine() -> String {
+        let lib = varitune_libchar::generate_nominal(&varitune_libchar::GenerateConfig::full());
+        varitune_liberty::write_library(&lib).expect("pristine library serializes")
+    }
+
+    #[test]
+    fn operators_are_deterministic() {
+        let text = pristine();
+        for op in LIBERTY_OPS {
+            let a = corrupt_liberty(op, &text, &mut rng_from(7, "fault", 3));
+            let b = corrupt_liberty(op, &text, &mut rng_from(7, "fault", 3));
+            assert_eq!(a, b, "operator {op} must be seed-deterministic");
+        }
+    }
+
+    #[test]
+    fn every_operator_changes_the_text() {
+        let text = pristine();
+        for op in LIBERTY_OPS {
+            let damaged = corrupt_liberty(op, &text, &mut rng_from(7, "fault", 5));
+            assert_ne!(damaged, text, "operator {op} left the text untouched");
+        }
+    }
+
+    #[test]
+    fn corpus_covers_all_operators_in_order() {
+        let text = pristine();
+        let corpus = liberty_corpus(&text, 7, 2);
+        assert_eq!(corpus.len(), LIBERTY_OPS.len() * 2);
+        for (k, (op, _)) in corpus.iter().enumerate() {
+            assert_eq!(*op, LIBERTY_OPS[k % LIBERTY_OPS.len()]);
+        }
+    }
+}

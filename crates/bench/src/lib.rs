@@ -6,6 +6,7 @@
 //! The `experiments` binary drives them from the command line; the Criterion
 //! benches in `benches/` measure the underlying kernels.
 
+pub mod corrupt;
 pub mod experiments;
 pub mod text;
 pub mod trace;

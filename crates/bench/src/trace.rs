@@ -66,4 +66,12 @@ pub mod stages {
     ];
     /// `fault_harness` runs all corruption scenarios under one span.
     pub const FAULT_HARNESS: &[&str] = &["fault_harness.scenarios"];
+    /// `parse_harness` generates its libraries, benches classic vs
+    /// zero-copy ingestion, and differentially checks them over the
+    /// fault corpora.
+    pub const PARSE_HARNESS: &[&str] = &[
+        "parse_harness.generate",
+        "parse_harness.bench",
+        "parse_harness.differential",
+    ];
 }

@@ -1,0 +1,179 @@
+//! Differential gate: the zero-copy Liberty pipeline against the classic
+//! one, at both the lexer and the parser layer.
+//!
+//! The zero-copy lexer reports byte offsets and borrows payloads; the
+//! classic lexer tracks line/column eagerly and owns its strings. These
+//! tests project both streams onto a common `line:col kind` rendering
+//! (offsets resolved through [`LineMap`]) and require byte-for-byte
+//! equality — over hand-picked lexical edge cases and over the seeded
+//! fault-injection corpora. The parser-level tests then require the whole
+//! recovering and strict pipelines to agree with classic on library
+//! contents and rendered diagnostics at 1, 2 and 8 threads.
+
+use varitune_bench::corrupt::liberty_corpus;
+use varitune_libchar::{generate_nominal, GenerateConfig};
+use varitune_liberty::linemap::LineMap;
+use varitune_liberty::{
+    fastlex, lexer, parse_library, parse_library_classic, parse_library_recovering_classic,
+    parse_library_recovering_threads, write_library,
+};
+
+const THREADS: &[usize] = &[1, 2, 8];
+
+/// Lexical edge cases, including the regressions this change fixed: a
+/// stray backslash mid-line, leading-dot floats, CRLF endings, escaped
+/// quotes, unterminated strings/comments and junk bytes.
+const LEX_EDGE_CASES: &[&str] = &[
+    "",
+    "library (L) { }",
+    "library (L) {\r\n  cap : .5;\r\n}",
+    "a : .25; b : 0.5; c : 5.; d : .5e2; e : -.5;",
+    "x : 1 \\\n+ 2;",
+    "x : 1 \\ 2;",
+    "path : \"a\\\"b\";",
+    "s : \"multi \\\n line\";",
+    "s : \"never closed",
+    "/* never closed",
+    "// line comment\nx : 1;\n/* block */ y : 2;",
+    "weird @ bytes # here $",
+    "n : nan; i : inf; j : infinity; k : Infinity;",
+    "v (\"0.1, 0.2\", \"0.3, 0.4\");",
+    "tab\t:\tvalue\t;",
+];
+
+/// Renders the classic token stream as `line:col kind` lines plus a
+/// `problems:` section of `line:col message` lines.
+fn classic_stream(input: &str) -> String {
+    let (tokens, problems) = lexer::tokenize_recovering(input);
+    render_stream(
+        tokens.iter().map(|t| (t.line, t.column, t.kind.describe())),
+        problems
+            .iter()
+            .map(|p| (p.line, p.column, p.message.clone())),
+    )
+}
+
+/// Renders the zero-copy token stream in the same shape, resolving byte
+/// offsets through a [`LineMap`] exactly as `fastparse` does when it
+/// materializes diagnostics.
+fn fast_stream(input: &str) -> String {
+    let (tokens, problems) = fastlex::lex_recovering(input);
+    let map = LineMap::new(input);
+    render_stream(
+        tokens.iter().map(|t| {
+            let (line, column) = map.line_col(t.offset);
+            (line, column, t.kind.describe())
+        }),
+        problems.iter().map(|(offset, message)| {
+            let (line, column) = map.line_col(*offset);
+            (line, column, message.clone())
+        }),
+    )
+}
+
+fn render_stream(
+    tokens: impl Iterator<Item = (usize, usize, String)>,
+    problems: impl Iterator<Item = (usize, usize, String)>,
+) -> String {
+    let mut s = String::new();
+    for (line, column, what) in tokens {
+        s.push_str(&format!("{line}:{column} {what}\n"));
+    }
+    s.push_str("problems:\n");
+    for (line, column, message) in problems {
+        s.push_str(&format!("{line}:{column} {message}\n"));
+    }
+    s
+}
+
+#[test]
+fn lexer_matches_classic_on_edge_cases() {
+    for input in LEX_EDGE_CASES {
+        assert_eq!(
+            fast_stream(input),
+            classic_stream(input),
+            "token stream diverges on {input:?}"
+        );
+    }
+}
+
+#[test]
+fn lexer_matches_classic_over_fault_corpus() {
+    let pristine = small_library_text();
+    for (op, damaged) in liberty_corpus(&pristine, 7, 1) {
+        assert_eq!(
+            fast_stream(&damaged),
+            classic_stream(&damaged),
+            "token stream diverges on corruption op {op}"
+        );
+    }
+}
+
+/// Library + rendered diagnostics, the unit of parser-level comparison.
+fn recovering_fingerprint(
+    lib: &varitune_liberty::Library,
+    diags: &[varitune_liberty::Diagnostic],
+) -> String {
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    format!("{lib:?}\n{}", rendered.join("\n"))
+}
+
+#[test]
+fn recovering_parser_matches_classic_over_fault_corpus() {
+    let pristine = small_library_text();
+    for (op, damaged) in liberty_corpus(&pristine, 7, 1) {
+        let (want_lib, want_diags) = parse_library_recovering_classic(&damaged);
+        let want = recovering_fingerprint(&want_lib, &want_diags);
+        for &threads in THREADS {
+            let (lib, diags) = parse_library_recovering_threads(&damaged, threads);
+            assert_eq!(
+                recovering_fingerprint(&lib, &diags),
+                want,
+                "recovering output diverges on op {op} at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn strict_parser_matches_classic_over_fault_corpus() {
+    let pristine = small_library_text();
+    for (op, damaged) in liberty_corpus(&pristine, 7, 1) {
+        let want = match parse_library_classic(&damaged) {
+            Ok(lib) => format!("ok: {lib:?}"),
+            Err(e) => format!("err: {e}"),
+        };
+        let got = match parse_library(&damaged) {
+            Ok(lib) => format!("ok: {lib:?}"),
+            Err(e) => format!("err: {e}"),
+        };
+        assert_eq!(got, want, "strict outcome diverges on op {op}");
+    }
+}
+
+#[test]
+fn clean_library_is_bit_identical_across_threads() {
+    let pristine = small_library_text();
+    let (base_lib, base_diags) = parse_library_recovering_threads(&pristine, THREADS[0]);
+    assert!(base_diags.is_empty(), "pristine library should parse clean");
+    let base = recovering_fingerprint(&base_lib, &base_diags);
+    let base_text = write_library(&base_lib).expect("re-serialize");
+    for &threads in &THREADS[1..] {
+        let (lib, diags) = parse_library_recovering_threads(&pristine, threads);
+        assert_eq!(
+            recovering_fingerprint(&lib, &diags),
+            base,
+            "parse at {threads} threads diverges"
+        );
+        assert_eq!(
+            write_library(&lib).expect("re-serialize"),
+            base_text,
+            "re-serialization at {threads} threads diverges"
+        );
+    }
+}
+
+fn small_library_text() -> String {
+    let lib = generate_nominal(&GenerateConfig::small_for_tests());
+    write_library(&lib).expect("generated library serializes")
+}

@@ -139,6 +139,21 @@ fn fault_harness_trace_matches_schema() {
 }
 
 #[test]
+fn parse_harness_trace_matches_schema() {
+    let out = std::env::temp_dir().join(format!("varitune_parse_{}.json", std::process::id()));
+    let trace = traced_run(
+        env!("CARGO_BIN_EXE_parse_harness"),
+        "parse_harness",
+        &["--smoke", "--out", out.to_str().expect("utf-8 tmp path")],
+    );
+    let _ = std::fs::remove_file(&out);
+    assert_stages("parse_harness", &trace, stages::PARSE_HARNESS);
+    // Benching plus the differential gate parse repeatedly through the
+    // recovering entry points.
+    assert!(trace.counter("liberty.recovering_parses") > 0);
+}
+
+#[test]
 fn experiments_trace_matches_schema() {
     let trace = traced_run(
         env!("CARGO_BIN_EXE_experiments"),

@@ -1,0 +1,323 @@
+//! Top-level structure scan: splits a Liberty file into independent
+//! per-member chunks for parallel parsing.
+//!
+//! A single cheap byte pass checks that the file has the canonical shape
+//!
+//! ```text
+//! name ( args ) {
+//!     member ...
+//!     member ...
+//! }
+//! ```
+//!
+//! where every top-level member is either `ident : ... ;`, `ident (...) ;`
+//! or `ident (...) { balanced body }`. The scan is string-, comment- and
+//! continuation-aware (a `}` inside a quoted string or comment does not
+//! count), but deliberately **conservative**: any deviation — unbalanced
+//! braces, a missing `;`, junk between members, nested parens in an
+//! argument list, unterminated strings or comments, trailing bytes after
+//! the root `}` — returns `None` and the caller falls back to the
+//! sequential recovering parser, whose resync logic handles arbitrary
+//! damage. On an eligible file each member chunk lexes and parses
+//! independently of every other, which is what makes per-cell parallelism
+//! safe: problems cannot leak across a chunk boundary because every chunk
+//! is brace-balanced and token runs never span one.
+
+/// Byte ranges of the independently parseable pieces of an eligible file.
+pub struct TopLevelScan {
+    /// `name ( args ) {` — from the first byte of the root keyword through
+    /// the opening brace, inclusive.
+    pub header: (usize, usize),
+    /// One `(start, end)` byte range per top-level member, in order. Each
+    /// range ends just past the member's closing `;` or `}`.
+    pub members: Vec<(usize, usize)>,
+}
+
+/// Scans `src` for the canonical top-level shape. `None` means "not
+/// eligible for chunked parsing" — never an error; the sequential parser
+/// owns all recovery.
+pub fn scan_top_level(src: &str) -> Option<TopLevelScan> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut i = skip_trivia(b, 0)?;
+    if i >= n || !super::fastlex::is_word_start_byte(b[i]) {
+        return None;
+    }
+    let name_start = i;
+    i = skip_word(b, i);
+    i = skip_trivia(b, i)?;
+    if i >= n || b[i] != b'(' {
+        return None;
+    }
+    i = scan_paren(b, i)?;
+    i = skip_trivia(b, i)?;
+    if i >= n || b[i] != b'{' {
+        return None;
+    }
+    let header = (name_start, i + 1);
+    i += 1;
+    let mut members = Vec::new();
+    loop {
+        i = skip_trivia(b, i)?;
+        if i >= n {
+            return None; // unterminated root body
+        }
+        if b[i] == b'}' {
+            i += 1;
+            break;
+        }
+        if !super::fastlex::is_word_start_byte(b[i]) {
+            return None;
+        }
+        let mstart = i;
+        i = skip_word(b, i);
+        i = skip_trivia(b, i)?;
+        if i >= n {
+            return None;
+        }
+        match b[i] {
+            b':' => {
+                // Simple attribute: runs to the `;`. A brace before the
+                // semicolon means the shape assumption is wrong.
+                i += 1;
+                loop {
+                    i = skip_trivia(b, i)?;
+                    if i >= n {
+                        return None;
+                    }
+                    match b[i] {
+                        b';' => {
+                            i += 1;
+                            break;
+                        }
+                        b'{' | b'}' => return None,
+                        b'"' => i = scan_string(b, i)?,
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'(' => {
+                i = scan_paren(b, i)?;
+                i = skip_trivia(b, i)?;
+                if i >= n {
+                    return None;
+                }
+                match b[i] {
+                    b'{' => i = scan_block(b, i)?,
+                    b';' => i += 1,
+                    // A complex attribute without `;`, or worse; let the
+                    // sequential parser sort it out.
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        }
+        members.push((mstart, i));
+    }
+    // Only trivia may follow the root `}`.
+    i = skip_trivia(b, i)?;
+    if i != n {
+        return None;
+    }
+    Some(TopLevelScan { header, members })
+}
+
+fn skip_word(b: &[u8], mut i: usize) -> usize {
+    // The scan only needs the *start* byte to be word-start; the continue
+    // set here just has to cover at least what the lexer consumes so the
+    // next structural byte is found. Number runs share `.`/`-`/`+`.
+    while i < b.len()
+        && (b[i].is_ascii_alphanumeric()
+            || matches!(b[i], b'_' | b'.' | b'!' | b'*' | b'\'' | b'[' | b']'))
+    {
+        i += 1;
+    }
+    i
+}
+
+/// Skips whitespace, comments and line continuations. `None` when a comment
+/// is unterminated or a `\` is stray (both are lexical damage: fall back).
+fn skip_trivia(b: &[u8], mut i: usize) -> Option<usize> {
+    let n = b.len();
+    loop {
+        while i < n && matches!(b[i], b' ' | b'\t' | b'\r' | b'\n') {
+            i += 1;
+        }
+        if i >= n {
+            return Some(i);
+        }
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let mut j = i + 2;
+                loop {
+                    if j + 1 >= n {
+                        return None; // unterminated block comment
+                    }
+                    if b[j] == b'*' && b[j + 1] == b'/' {
+                        i = j + 2;
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            b'\\' if i + 1 < n && matches!(b[i + 1], b'\n' | b'\r') => {
+                let cr = b[i + 1] == b'\r';
+                i += 2;
+                if cr && i < n && b[i] == b'\n' {
+                    i += 1;
+                }
+            }
+            _ => return Some(i),
+        }
+    }
+}
+
+/// Skips a quoted string starting at the `"`. Returns the index just past
+/// the closing quote, or `None` if unterminated.
+fn scan_string(b: &[u8], mut i: usize) -> Option<usize> {
+    let n = b.len();
+    i += 1;
+    while i < n {
+        match b[i] {
+            b'"' => return Some(i + 1),
+            b'\\' => {
+                i += 1;
+                if i >= n {
+                    return None;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Skips `( ... )`. Structural bytes inside an argument list (`{`, `}`,
+/// `;`, a nested `(`) would make the sequential parser's recovery cross the
+/// chunk boundary, so they disqualify the file. Returns the index just past
+/// the `)`.
+fn scan_paren(b: &[u8], mut i: usize) -> Option<usize> {
+    let n = b.len();
+    i += 1;
+    loop {
+        i = skip_trivia(b, i)?;
+        if i >= n {
+            return None;
+        }
+        match b[i] {
+            b')' => return Some(i + 1),
+            b'(' | b'{' | b'}' | b';' => return None,
+            b'"' => i = scan_string(b, i)?,
+            _ => i += 1,
+        }
+    }
+}
+
+/// Skips `{ ... }` with balanced nesting, strings and comments respected.
+/// Returns the index just past the matching `}`.
+fn scan_block(b: &[u8], mut i: usize) -> Option<usize> {
+    let n = b.len();
+    debug_assert!(b[i] == b'{');
+    let mut depth = 0usize;
+    while i < n {
+        match b[i] {
+            b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                i += 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            b'"' => i = scan_string(b, i)?,
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return None;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_simple_library() {
+        let src = "library (L) {\n  time_unit : \"1ns\";\n  cell (A_1) { area : 1.0; }\n  cell (B_1) { area : 2.0; }\n}\n";
+        let scan = scan_top_level(src).unwrap();
+        assert_eq!(&src[scan.header.0..scan.header.1], "library (L) {");
+        assert_eq!(scan.members.len(), 3);
+        assert_eq!(
+            &src[scan.members[0].0..scan.members[0].1],
+            "time_unit : \"1ns\";"
+        );
+        assert_eq!(
+            &src[scan.members[1].0..scan.members[1].1],
+            "cell (A_1) { area : 1.0; }"
+        );
+    }
+
+    #[test]
+    fn complex_attribute_member() {
+        let src = "library (L) { capacitive_load_unit (1, pf); }";
+        let scan = scan_top_level(src).unwrap();
+        assert_eq!(scan.members.len(), 1);
+    }
+
+    #[test]
+    fn braces_in_strings_and_comments_do_not_count() {
+        let src = "library (L) {\n  cell (A_1) { /* } */ function : \"}{\"; // }\n  }\n}";
+        let scan = scan_top_level(src).unwrap();
+        assert_eq!(scan.members.len(), 1);
+    }
+
+    #[test]
+    fn unbalanced_is_ineligible() {
+        assert!(scan_top_level("library (L) { cell (A_1) { area : 1.0; }").is_none());
+        assert!(scan_top_level("library (L) { } }").is_none());
+        assert!(scan_top_level("library (L) { cell (A_1) { } extra_junk }").is_none());
+    }
+
+    #[test]
+    fn junk_and_damage_are_ineligible() {
+        assert!(scan_top_level("").is_none());
+        assert!(scan_top_level("@ library (L) { }").is_none());
+        assert!(scan_top_level("library (L) { area : 1.0 }").is_none());
+        assert!(scan_top_level("library (L) { /* nope }").is_none());
+        assert!(scan_top_level("library (L) { foo (a (b)) { } }").is_none());
+        assert!(scan_top_level("library { }").is_none());
+    }
+
+    #[test]
+    fn empty_body_is_eligible() {
+        let scan = scan_top_level("library (L) { }").unwrap();
+        assert!(scan.members.is_empty());
+    }
+}

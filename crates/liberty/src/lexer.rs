@@ -133,13 +133,22 @@ impl<'a> Lexer<'a> {
                 }
                 '\\' => {
                     // Line continuation: consume the backslash and the
-                    // following newline (if any).
+                    // following newline. A backslash *not* followed by a
+                    // newline is not part of the Liberty grammar; silently
+                    // swallowing it would hide real damage, so it is a
+                    // recovering-mode problem (strict-mode error).
                     self.bump();
                     if matches!(self.peek(), Some('\n') | Some('\r')) {
                         self.bump();
                         if self.peek() == Some('\n') {
                             self.bump();
                         }
+                    } else {
+                        self.problems.push(ParseLibertyError::new(
+                            line,
+                            column,
+                            "stray `\\` is not a line continuation",
+                        ));
                     }
                 }
                 '/' => {
@@ -176,7 +185,7 @@ impl<'a> Lexer<'a> {
                         column,
                     });
                 }
-                c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                c if c.is_ascii_digit() || matches!(c, '-' | '+' | '.') => {
                     let kind = self.lex_number_or_word();
                     out.push(Token { kind, line, column });
                 }
@@ -442,6 +451,37 @@ mod tests {
         let (toks, problems) = tokenize_recovering(input);
         assert!(problems.is_empty());
         assert_eq!(toks, tokenize(input).unwrap());
+    }
+
+    #[test]
+    fn leading_dot_float_is_a_number() {
+        assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5)]);
+        assert_eq!(kinds("-.25"), vec![TokenKind::Number(-0.25)]);
+        assert_eq!(kinds(".5e2"), vec![TokenKind::Number(50.0)]);
+        // A lone dot run that is not a number still falls back to Ident
+        // rather than a per-character problem.
+        assert_eq!(kinds(".a"), vec![TokenKind::Ident(".a".into())]);
+    }
+
+    #[test]
+    fn stray_backslash_is_a_problem_not_silence() {
+        let (toks, problems) = tokenize_recovering("area \\ : 2;");
+        assert_eq!(problems.len(), 1);
+        assert_eq!((problems[0].line, problems[0].column), (1, 6));
+        assert!(
+            problems[0].message.contains("stray `\\`"),
+            "{}",
+            problems[0].message
+        );
+        // The surrounding tokens survive.
+        assert_eq!(toks.len(), 4);
+        // Strict mode turns the problem into a hard error.
+        assert!(tokenize("area \\ : 2;").is_err());
+        // A real continuation stays silent, including CRLF.
+        assert!(tokenize_recovering("a \\\n b").1.is_empty());
+        assert!(tokenize_recovering("a \\\r\n b").1.is_empty());
+        // Backslash at end of input is also stray.
+        assert_eq!(tokenize_recovering("a \\").1.len(), 1);
     }
 
     #[test]

@@ -14,7 +14,13 @@
 //! * a tokenizer ([`lexer`]) and recursive-descent parser ([`parser`]),
 //!   with both a strict mode ([`parse_library`]) and a recovering mode
 //!   ([`parse_library_recovering`]) that records span-carrying
-//!   [`Diagnostic`]s and keeps whatever survives,
+//!   [`Diagnostic`]s and keeps whatever survives; both route through a
+//!   zero-copy ingestion pipeline (borrowed-slice lexer [`fastlex`], lazy
+//!   line/column via [`linemap`], Clinger fast-path floats [`fastfloat`],
+//!   chunked parallel per-cell parsing) that reproduces the classic
+//!   parser's output byte-for-byte — the classic implementations remain
+//!   available as [`parse_library_classic`] /
+//!   [`parse_library_recovering_classic`] for comparison and benching,
 //! * library lints producing per-cell [`CellHealth`] verdicts
 //!   ([`validate`]),
 //! * a writer that emits well-formed Liberty text ([`writer`]); it refuses
@@ -73,12 +79,18 @@
 
 pub mod diagnostic;
 pub mod error;
+pub mod fastfloat;
+pub mod fastlex;
 pub mod ids;
 pub mod lexer;
+pub mod linemap;
 pub mod model;
 pub mod parser;
 pub mod validate;
 pub mod writer;
+
+mod chunk;
+mod fastparse;
 
 pub use diagnostic::{Diagnostic, Severity};
 pub use error::{InterpolateError, ParseLibertyError, WriteLibertyError};
@@ -87,6 +99,9 @@ pub use model::{
     Cell, CellKind, InternalPower, Library, Lut, LutTemplate, Pin, PinDirection, TimingArc,
     TimingSense, TimingType,
 };
-pub use parser::{parse_library, parse_library_recovering};
+pub use parser::{
+    parse_library, parse_library_classic, parse_library_recovering,
+    parse_library_recovering_classic, parse_library_recovering_threads,
+};
 pub use validate::{validate_cell, validate_library, CellHealth, CellReport, LibraryHealth};
 pub use writer::write_library;

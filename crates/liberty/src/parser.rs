@@ -105,12 +105,38 @@ impl Group {
 
 /// Parses Liberty text into the typed [`Library`] model.
 ///
+/// Routed through the zero-copy pipeline (`fastparse`): a clean
+/// parse never allocates per-token strings or line/column bookkeeping. On
+/// any problem the classic parser re-runs to produce the exact historical
+/// error, so behaviour is byte-identical to [`parse_library_classic`].
+///
 /// # Errors
 ///
 /// Returns [`ParseLibertyError`] on malformed syntax or on structural
 /// problems (e.g. a table referencing an undeclared template, or a `values`
 /// body whose shape does not match its axes).
 pub fn parse_library(input: &str) -> Result<Library, ParseLibertyError> {
+    let (lib, diags) = crate::fastparse::parse_library_recovering_core(input, 0);
+    if diags.is_empty() {
+        Ok(lib)
+    } else {
+        // Something is wrong somewhere in the input. The recovering
+        // diagnostics do not always word problems the way the aborting
+        // parser does (and warnings may not abort it at all), so delegate
+        // to the classic strict parser for the authoritative verdict.
+        parse_library_classic(input)
+    }
+}
+
+/// The classic (char-walking, allocating) strict parser. Kept as the
+/// semantic reference for the differential gate and the comparative bench;
+/// [`parse_library`] matches it byte-for-byte.
+///
+/// # Errors
+///
+/// Returns [`ParseLibertyError`] on malformed syntax or on structural
+/// problems, identically to [`parse_library`].
+pub fn parse_library_classic(input: &str) -> Result<Library, ParseLibertyError> {
     let root = parse_root(input)?;
     lower_library(&root)
 }
@@ -354,7 +380,31 @@ impl Parser {
 /// resynchronizing at the next balanced `;` or `}` and parsing continues.
 /// The returned [`Library`] holds everything that survived; the diagnostics
 /// account for everything that did not.
+///
+/// Routed through the zero-copy pipeline (`fastparse`), which
+/// chunks large well-formed files and parses their members in parallel;
+/// output is byte-identical to [`parse_library_recovering_classic`] at any
+/// thread count.
 pub fn parse_library_recovering(input: &str) -> (Library, Vec<Diagnostic>) {
+    parse_library_recovering_threads(input, 0)
+}
+
+/// [`parse_library_recovering`] with an explicit worker-thread count
+/// (`0` = all cores). The result is bit-identical for every thread count;
+/// the knob only trades wall-clock for cores.
+pub fn parse_library_recovering_threads(input: &str, threads: usize) -> (Library, Vec<Diagnostic>) {
+    let (lib, diags) = crate::fastparse::parse_library_recovering_core(input, threads);
+    varitune_trace::add("liberty.recovering_parses", 1);
+    varitune_trace::add("liberty.cells_parsed", lib.cells.len() as u64);
+    varitune_trace::add("liberty.parse_diagnostics", diags.len() as u64);
+    (lib, diags)
+}
+
+/// The classic (char-walking, allocating) recovering parser. Kept as the
+/// semantic reference: the differential gate proves
+/// [`parse_library_recovering`] reproduces its library and diagnostics
+/// byte-for-byte over the fault-injection corpora.
+pub fn parse_library_recovering_classic(input: &str) -> (Library, Vec<Diagnostic>) {
     let mut diags = Vec::new();
     let (tokens, lex_problems) = tokenize_recovering(input);
     for e in lex_problems {
@@ -693,20 +743,35 @@ fn lower_library(root: &Group) -> Result<Library, ParseLibertyError> {
 
 fn parse_float_list(values: &[Value]) -> Result<Vec<f64>, ParseLibertyError> {
     // index_1 ("0.1, 0.2, 0.3")  or  index_1 (0.1, 0.2, 0.3)
+    //
+    // Barewords like `nan`, `inf` or `infinity` (and overflowing literals
+    // such as `1e999`) parse to non-finite f64s that only blow up much
+    // later, far from the source span; reject them here so strict and
+    // recovering modes agree on where the problem is.
     let mut out = Vec::new();
     for v in values {
         match v {
-            Value::Number(n) => out.push(*n),
+            Value::Number(n) => {
+                if !n.is_finite() {
+                    return Err(lower_err(format!("non-finite value `{n}` in number list")));
+                }
+                out.push(*n);
+            }
             Value::Ident(s) | Value::Str(s) => {
                 for part in s.split(',') {
                     let part = part.trim();
                     if part.is_empty() {
                         continue;
                     }
-                    out.push(
-                        part.parse::<f64>()
-                            .map_err(|_| lower_err(format!("cannot parse `{part}` as a number")))?,
-                    );
+                    let x = part
+                        .parse::<f64>()
+                        .map_err(|_| lower_err(format!("cannot parse `{part}` as a number")))?;
+                    if !x.is_finite() {
+                        return Err(lower_err(format!(
+                            "non-finite value `{part}` in number list"
+                        )));
+                    }
+                    out.push(x);
                 }
             }
         }
