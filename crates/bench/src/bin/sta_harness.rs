@@ -1,33 +1,66 @@
 //! Offline STA micro-harness: full analysis versus incremental dirty-cone
-//! re-timing, plus thread scaling of the parallel levelized propagation.
+//! re-timing, plus thread scaling of the sharded levelized propagation at
+//! paper, 10× and 40× (million-gate) scale.
 //!
 //! ```text
-//! sta_harness [--smoke] [--edits N] [--threads N,N,...] [--repeat N] [--out PATH]
-//!             [--trace PATH]
+//! sta_harness [--smoke] [--scale paper|x10|x40|all] [--edits N]
+//!             [--threads N,N,...] [--repeat N] [--out PATH] [--trace PATH]
 //! ```
 //!
-//! Builds the paper-scale MCU (`--smoke` uses the small test scale), times
-//! a full `analyze`, the one-time `TimingGraph` build, and a long sequence
-//! of single-gate resize re-times through the incremental engine, then a
-//! full re-propagation at each requested thread count. Every incremental
-//! result is verified **bit-identical** against a fresh full analysis, and
-//! all thread counts must agree bit-for-bit. Results land in a JSON file
-//! (default `BENCH_sta.json`) so the perf trajectory is tracked across
-//! changes. Timings are the best of `--repeat` runs.
+//! `--scale paper` (the default) builds the paper-scale MCU through the
+//! AoS `MappedDesign` pipeline and times a full `analyze`, the one-time
+//! `TimingGraph` build, and a long sequence of single-gate resize re-times
+//! through the incremental engine, then a full re-propagation at each
+//! requested thread count. `--scale x10`/`x40` stamp the tiled SoC
+//! (~260 k / >1 M gates) through the arena/SoA pipeline and time engine
+//! build, sharded full propagation per thread count, and an incremental
+//! edit sequence; `--scale all` runs everything. `--smoke` swaps in the
+//! small test templates at every scale.
+//!
+//! Every incremental result is verified **bit-identical** against a fresh
+//! full analysis, and all thread counts must agree bit-for-bit — these
+//! checks run on every host. The ≥3× speedup-at-8-threads check only
+//! arms on machines that actually have 8 hardware threads (recorded as
+//! `host_hardware_threads` in the JSON); a single-core runner cannot
+//! demonstrate scaling and must not fabricate it. Results land in a JSON
+//! file (default `BENCH_sta.json`) with one `scale_rows` entry per scale,
+//! so the perf trajectory is tracked across changes. Timings are the best
+//! of `--repeat` runs.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use varitune_bench::trace::run_traced;
 use varitune_libchar::{generate_nominal, GenerateConfig};
-use varitune_netlist::{generate_mcu, McuConfig};
+use varitune_liberty::Library;
+use varitune_netlist::{generate_mcu, generate_soc, McuConfig, SocConfig};
 use varitune_sta::{analyze, StaConfig, TimingGraph, TimingReport, WireModel};
-use varitune_synth::{map_netlist, LibraryConstraints, TargetLibrary};
+use varitune_synth::{map_netlist, map_soa, LibraryConstraints, TargetLibrary};
 
 const DEFAULT_THREADS: [usize; 3] = [1, 2, 8];
 
+/// Tolerance for the smoke-profile "parallel is not slower" check: thread
+/// dispatch on a tiny design may cost a little, it must not cost much.
+const SMOKE_PARALLEL_TOLERANCE: f64 = 1.35;
+
+/// One completed scale measurement, rendered into `scale_rows`.
+struct ScaleRow {
+    scale: String,
+    gates: usize,
+    nets: usize,
+    build_ms: f64,
+    /// Best full propagation over all measured thread counts.
+    full_analyze_ms: f64,
+    /// `(threads, best full re-propagation ms)` per requested count.
+    thread_rows: Vec<(usize, f64)>,
+    edits: usize,
+    avg_retime_ms: f64,
+    avg_cone: f64,
+}
+
 fn main() -> ExitCode {
     let mut smoke = false;
+    let mut scale = "paper".to_string();
     let mut edits = 200usize;
     let mut repeat = 3usize;
     let mut threads: Vec<usize> = DEFAULT_THREADS.to_vec();
@@ -38,6 +71,10 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--scale" => match it.next() {
+                Some(s) if ["paper", "x10", "x40", "all"].contains(&s.as_str()) => scale = s,
+                _ => return usage("--scale expects paper, x10, x40 or all"),
+            },
             "--edits" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => edits = n,
                 _ => return usage("--edits expects a positive integer"),
@@ -60,8 +97,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: sta_harness [--smoke] [--edits N] [--threads N,N,...] \
-                     [--repeat N] [--out PATH] [--trace PATH]"
+                    "usage: sta_harness [--smoke] [--scale paper|x10|x40|all] [--edits N] \
+                     [--threads N,N,...] [--repeat N] [--out PATH] [--trace PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -70,46 +107,180 @@ fn main() -> ExitCode {
     }
 
     run_traced(trace.as_deref(), || {
-        run(smoke, edits, repeat, &threads, &out)
+        run(smoke, &scale, edits, repeat, &threads, &out)
     })
 }
 
-fn run(smoke: bool, edits: usize, repeat: usize, threads: &[usize], out: &str) -> ExitCode {
-    let scale = if smoke { "smoke" } else { "paper" };
-    println!("STA micro-harness (std::time::Instant, offline) — {scale} scale");
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
-    let build_span = varitune_trace::span!("sta_harness.build");
+fn run(
+    smoke: bool,
+    scale: &str,
+    edits: usize,
+    repeat: usize,
+    threads: &[usize],
+    out: &str,
+) -> ExitCode {
+    let hw = hardware_threads();
+    let profile = if smoke { "smoke" } else { "full" };
+    println!(
+        "STA harness (std::time::Instant, offline) — scale {scale}, {profile} profile, \
+         {hw} hardware threads"
+    );
+
     let lib = generate_nominal(&GenerateConfig::full());
+    let cfg = StaConfig::with_clock_period(2.41);
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    let mut paper_extra: Option<(f64, f64)> = None; // (full analyze ms, speedup)
+
+    if scale == "paper" || scale == "all" {
+        match run_paper(&lib, &cfg, smoke, edits, repeat, threads) {
+            Ok((row, full_ms, speedup)) => {
+                paper_extra = Some((full_ms, speedup));
+                rows.push(row);
+            }
+            Err(code) => return code,
+        }
+    }
+    for soc_scale in ["x10", "x40"] {
+        if scale != soc_scale && scale != "all" {
+            continue;
+        }
+        let soc_cfg = if soc_scale == "x10" {
+            SocConfig::x10()
+        } else {
+            SocConfig::x40()
+        };
+        let soc_cfg = if smoke { soc_cfg.smoke() } else { soc_cfg };
+        match run_soc(&lib, &cfg, soc_scale, &soc_cfg, edits, repeat, threads) {
+            Ok(row) => rows.push(row),
+            Err(code) => return code,
+        }
+    }
+
+    // Host-gated scaling assertions: bit-identity was already enforced
+    // per scale; wall-clock speedup claims only arm on hardware that can
+    // express them.
+    for row in &rows {
+        let base = row
+            .thread_rows
+            .iter()
+            .find(|(t, _)| *t == 1)
+            .map(|&(_, ms)| ms);
+        let at8 = row
+            .thread_rows
+            .iter()
+            .find(|(t, _)| *t == 8)
+            .map(|&(_, ms)| ms);
+        if let (Some(base), Some(at8)) = (base, at8) {
+            if hw >= 8 && !smoke {
+                let speedup = base / at8;
+                if speedup < 3.0 {
+                    eprintln!(
+                        "FAIL: {} full propagation speedup at 8 threads is {speedup:.2}x \
+                         (< 3x) on a {hw}-thread host",
+                        row.scale
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!("{}: 8-thread speedup {speedup:.2}x (>= 3x)", row.scale);
+            } else if hw >= 2 {
+                if at8 > base * SMOKE_PARALLEL_TOLERANCE {
+                    eprintln!(
+                        "FAIL: {} parallel propagation ({at8:.3} ms) is slower than \
+                         serial ({base:.3} ms) beyond tolerance on a {hw}-thread host",
+                        row.scale
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!("{}: parallel not slower than serial (ok)", row.scale);
+            } else {
+                println!(
+                    "{}: thread-scaling assertion skipped ({hw} hardware thread)",
+                    row.scale
+                );
+            }
+        }
+    }
+    if !smoke {
+        if let Some(x40) = rows.iter().find(|r| r.scale == "x40") {
+            if x40.gates < 1_000_000 {
+                eprintln!("FAIL: x40 scale is {} gates (< 1M)", x40.gates);
+                return ExitCode::FAILURE;
+            }
+            if x40.full_analyze_ms > 5000.0 {
+                eprintln!(
+                    "FAIL: x40 full STA {:.1} ms exceeds the 5 s budget",
+                    x40.full_analyze_ms
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "x40: {} gates, full STA {:.1} ms (<= 5 s)",
+                x40.gates, x40.full_analyze_ms
+            );
+        }
+    }
+
+    let json = render_json(hw, &rows, paper_extra);
+    if let Err(e) = std::fs::write(out, json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if let Some((_, speedup)) = paper_extra {
+        if !smoke && speedup < 5.0 {
+            eprintln!("FAIL: incremental speedup {speedup:.1}x is below the 5x floor");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Paper-scale MCU through the AoS pipeline: full `analyze` vs engine
+/// build vs incremental re-times, then the thread-scaling sweep. Returns
+/// the scale row plus `(full analyze ms, incremental speedup)`.
+fn run_paper(
+    lib: &Library,
+    cfg: &StaConfig,
+    smoke: bool,
+    edits: usize,
+    repeat: usize,
+    threads: &[usize],
+) -> Result<(ScaleRow, f64, f64), ExitCode> {
+    let build_span = varitune_trace::span!("sta_harness.build");
     let mcu = if smoke {
         McuConfig::small_for_tests()
     } else {
         McuConfig::paper_scale()
     };
     let constraints = LibraryConstraints::unconstrained();
-    let target = TargetLibrary::new(&lib, &constraints);
+    let target = TargetLibrary::new(lib, &constraints);
     let design = match map_netlist(&generate_mcu(&mcu), &target, WireModel::default()) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("mapping failed: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     };
     let gates = design.netlist.gates.len();
-    let cfg = StaConfig::with_clock_period(2.41);
-    println!(
-        "design: {gates} gates, {} nets; best of {repeat}",
-        design.netlist.nets.len()
-    );
+    let nets = design.netlist.nets.len();
+    println!("paper: {gates} gates, {nets} nets; best of {repeat}");
 
     // Warm-up.
-    let _ = analyze(&design, &lib, &cfg);
+    let _ = analyze(&design, lib, cfg);
 
     // Full analysis: validate + build + propagate, as every optimizer
     // iteration paid before the incremental engine existed.
     let mut full_ms = f64::INFINITY;
     for _ in 0..repeat {
         let t0 = Instant::now();
-        let r = analyze(&design, &lib, &cfg).expect("full analyze");
+        let r = analyze(&design, lib, cfg).expect("full analyze");
         full_ms = full_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         std::hint::black_box(r);
     }
@@ -120,7 +291,7 @@ fn run(smoke: bool, edits: usize, repeat: usize, threads: &[usize], out: &str) -
     let mut engine = None;
     for _ in 0..repeat {
         let t0 = Instant::now();
-        let e = TimingGraph::new(design.clone(), &lib, &cfg).expect("engine builds");
+        let e = TimingGraph::new(design.clone(), lib, cfg).expect("engine builds");
         build_ms = build_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         engine = Some(e);
     }
@@ -131,10 +302,10 @@ fn run(smoke: bool, edits: usize, repeat: usize, threads: &[usize], out: &str) -
     // Single-gate resize re-times: the optimizer's inner-loop move. Each
     // cycle resizes one gate to a different same-family drive and
     // re-propagates only the dirty cone.
-    let plan = resize_plan(&lib, &engine, edits);
+    let plan = resize_plan(lib, &engine, edits);
     if plan.is_empty() {
         eprintln!("no resizable gates found");
-        return ExitCode::FAILURE;
+        return Err(ExitCode::FAILURE);
     }
     let incr_span = varitune_trace::span!("sta_harness.incremental");
     let t0 = Instant::now();
@@ -155,17 +326,143 @@ fn run(smoke: bool, edits: usize, repeat: usize, threads: &[usize], out: &str) -
 
     // Equivalence proof: the edited engine must match a fresh full
     // analysis of the edited design to the last bit.
-    let full_report = analyze(engine.design(), &lib, &cfg).expect("full analyze of edited");
+    let full_report = analyze(engine.design(), lib, cfg).expect("full analyze of edited");
     if let Err(msg) = reports_bit_identical(&engine.report(), &full_report) {
         eprintln!("incremental result diverged from full analysis: {msg}");
-        return ExitCode::FAILURE;
+        return Err(ExitCode::FAILURE);
     }
     println!("equivalence:           incremental == full analysis (bit-identical)");
     drop(incr_span);
 
-    // Thread scaling of a full levelized re-propagation.
+    let thread_rows = scaling_sweep(&mut engine, "paper", repeat, threads)?;
+    let best_full = thread_rows
+        .iter()
+        .map(|&(_, ms)| ms)
+        .fold(full_ms, f64::min);
+    Ok((
+        ScaleRow {
+            scale: "paper".into(),
+            gates,
+            nets,
+            build_ms,
+            full_analyze_ms: best_full,
+            thread_rows,
+            edits: plan.len(),
+            avg_retime_ms: incr_ms,
+            avg_cone,
+        },
+        full_ms,
+        speedup,
+    ))
+}
+
+/// Tiled-SoC scale through the arena/SoA pipeline: generator → `map_soa`
+/// → `TimingGraph::new_soa`, then the sharded full-propagation sweep and
+/// an incremental edit sequence, each verified bit-identical.
+fn run_soc(
+    lib: &Library,
+    cfg: &StaConfig,
+    scale: &str,
+    soc_cfg: &SocConfig,
+    edits: usize,
+    repeat: usize,
+    threads: &[usize],
+) -> Result<ScaleRow, ExitCode> {
+    let build_span = varitune_trace::span!("sta_harness.build");
+    let t0 = Instant::now();
+    let netlist = generate_soc(soc_cfg);
+    let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let gates = netlist.gate_count();
+    let nets = netlist.net_count();
+    println!("{scale}: {gates} gates, {nets} nets (generated in {gen_ms:.1} ms); best of {repeat}");
+
+    let constraints = LibraryConstraints::unconstrained();
+    let target = TargetLibrary::new(lib, &constraints);
+    let design = match map_soa(netlist, &target, WireModel::default()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("mapping failed: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+
+    // Engine build over the SoA store (includes the initial sharded full
+    // propagation).
+    let mut build_ms = f64::INFINITY;
+    let mut engine = None;
+    for _ in 0..repeat {
+        let d = design.clone();
+        let t0 = Instant::now();
+        let e = TimingGraph::new_soa(d, lib, cfg).expect("engine builds");
+        build_ms = build_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        engine = Some(e);
+    }
+    let mut engine = engine.expect("repeat >= 1");
+    println!("engine build:          {build_ms:>9.3} ms (once per design)");
+    drop(build_span);
+
+    // Incremental resize re-times, capped: at a million gates a short
+    // sequence already exercises every dirty-cone path.
+    let incr_span = varitune_trace::span!("sta_harness.incremental");
+    let plan = resize_plan(lib, &engine, edits.min(50));
+    if plan.is_empty() {
+        eprintln!("no resizable gates found");
+        return Err(ExitCode::FAILURE);
+    }
+    let t0 = Instant::now();
+    let mut recomputed = 0usize;
+    for (gi, cell) in &plan {
+        engine.resize_gate(*gi, cell).expect("same-family resize");
+        engine.update().expect("incremental update");
+        recomputed += engine.gates_recomputed_in_last_update();
+    }
+    let incr_ms = t0.elapsed().as_secs_f64() * 1e3 / plan.len() as f64;
+    let avg_cone = recomputed as f64 / plan.len() as f64;
+    println!(
+        "incremental re-time:   {incr_ms:>9.3} ms/edit over {} edits \
+         (avg cone {avg_cone:.1} of {gates} gates)",
+        plan.len()
+    );
+
+    // Equivalence proof without materializing an AoS copy: a fresh engine
+    // over the edited SoA design replays the full propagation.
+    let edited = engine.soa_design().expect("soa engine").clone();
+    let fresh = TimingGraph::new_soa(edited, lib, cfg).expect("fresh engine over edited design");
+    if let Err(msg) = reports_bit_identical(&engine.report(), &fresh.report()) {
+        eprintln!("incremental result diverged from fresh analysis: {msg}");
+        return Err(ExitCode::FAILURE);
+    }
+    println!("equivalence:           incremental == fresh analysis (bit-identical)");
+    drop(incr_span);
+
+    let thread_rows = scaling_sweep(&mut engine, scale, repeat, threads)?;
+    let full_analyze_ms = thread_rows
+        .iter()
+        .map(|&(_, ms)| ms)
+        .fold(f64::INFINITY, f64::min);
+    Ok(ScaleRow {
+        scale: scale.into(),
+        gates,
+        nets,
+        build_ms,
+        full_analyze_ms,
+        thread_rows,
+        edits: plan.len(),
+        avg_retime_ms: incr_ms,
+        avg_cone,
+    })
+}
+
+/// Times a full sharded re-propagation at each requested thread count and
+/// enforces bit-identity across all of them.
+fn scaling_sweep(
+    engine: &mut TimingGraph<'_>,
+    scale: &str,
+    repeat: usize,
+    threads: &[usize],
+) -> Result<Vec<(usize, f64)>, ExitCode> {
     let scaling_span = varitune_trace::span!("sta_harness.thread_scaling");
-    let mut scaling: Vec<(usize, f64)> = Vec::new();
+    let mut rows: Vec<(usize, f64)> = Vec::new();
     let mut reference: Option<TimingReport> = None;
     for &t in threads {
         engine.set_threads(t);
@@ -180,31 +477,18 @@ fn run(smoke: bool, edits: usize, repeat: usize, threads: &[usize], out: &str) -
             None => reference = Some(engine.report()),
             Some(r) => {
                 if let Err(msg) = reports_bit_identical(&engine.report(), r) {
-                    eprintln!("thread count {t} diverged: {msg}");
-                    return ExitCode::FAILURE;
+                    eprintln!("{scale}: thread count {t} diverged: {msg}");
+                    return Err(ExitCode::FAILURE);
                 }
             }
         }
         println!("full re-prop @ {t:>2} thr: {dt:>9.3} ms");
-        scaling.push((t, dt));
+        rows.push((t, dt));
     }
     println!("all thread counts produced bit-identical results");
     drop(scaling_span);
-
-    let json = render_json(
-        scale, gates, full_ms, build_ms, &plan, incr_ms, avg_cone, speedup, &scaling,
-    );
-    if let Err(e) = std::fs::write(out, json) {
-        eprintln!("cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
-    println!("wrote {out}");
-
-    if speedup < 5.0 {
-        eprintln!("FAIL: incremental speedup {speedup:.1}x is below the 5x floor");
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
+    engine.set_threads(1);
+    Ok(rows)
 }
 
 /// Deterministic resize schedule: gates spread across the design, each
@@ -270,30 +554,45 @@ fn reports_bit_identical(a: &TimingReport, b: &TimingReport) -> Result<(), Strin
     Ok(())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn render_json(
-    scale: &str,
-    gates: usize,
-    full_ms: f64,
-    build_ms: f64,
-    plan: &[(usize, String)],
-    incr_ms: f64,
-    avg_cone: f64,
-    speedup: f64,
-    scaling: &[(usize, f64)],
-) -> String {
-    let rows: Vec<String> = scaling
+fn render_json(hw: usize, rows: &[ScaleRow], paper_extra: Option<(f64, f64)>) -> String {
+    let scale_rows: Vec<String> = rows
         .iter()
-        .map(|(t, ms)| format!("    {{\"threads\": {t}, \"full_repropagation_ms\": {ms:.3}}}"))
+        .map(|r| {
+            let threads: Vec<String> = r
+                .thread_rows
+                .iter()
+                .map(|(t, ms)| {
+                    format!("        {{\"threads\": {t}, \"full_repropagation_ms\": {ms:.3}}}")
+                })
+                .collect();
+            format!(
+                "    {{\n      \"scale\": \"{}\",\n      \"gates\": {},\n      \"nets\": {},\n      \
+                 \"engine_build_ms\": {:.3},\n      \"full_analyze_ms\": {:.3},\n      \
+                 \"incremental\": {{\"edits\": {}, \"avg_retime_ms\": {:.4}, \
+                 \"avg_gates_recomputed\": {:.1}}},\n      \
+                 \"thread_scaling\": [\n{}\n      ],\n      \"bit_identical\": true\n    }}",
+                r.scale,
+                r.gates,
+                r.nets,
+                r.build_ms,
+                r.full_analyze_ms,
+                r.edits,
+                r.avg_retime_ms,
+                r.avg_cone,
+                threads.join(",\n")
+            )
+        })
         .collect();
+    let paper = paper_extra.map_or(String::new(), |(full_ms, speedup)| {
+        format!(
+            "  \"paper_full_analyze_ms\": {full_ms:.3},\n  \
+             \"paper_incremental_speedup\": {speedup:.1},\n"
+        )
+    });
     format!(
-        "{{\n  \"scale\": \"{scale}\",\n  \"design_gates\": {gates},\n  \
-         \"full_analyze_ms\": {full_ms:.3},\n  \"engine_build_ms\": {build_ms:.3},\n  \
-         \"incremental\": {{\n    \"edits\": {},\n    \"avg_retime_ms\": {incr_ms:.4},\n    \
-         \"avg_gates_recomputed\": {avg_cone:.1},\n    \"speedup_vs_full_analyze\": {speedup:.1}\n  }},\n  \
-         \"thread_scaling\": [\n{}\n  ],\n  \"bit_identical\": true\n}}\n",
-        plan.len(),
-        rows.join(",\n")
+        "{{\n  \"host_hardware_threads\": {hw},\n{paper}  \"scale_rows\": [\n{}\n  ],\n  \
+         \"bit_identical\": true\n}}\n",
+        scale_rows.join(",\n")
     )
 }
 
@@ -306,8 +605,8 @@ fn parse_thread_list(s: String) -> Option<Vec<usize>> {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
     eprintln!(
-        "usage: sta_harness [--smoke] [--edits N] [--threads N,N,...] [--repeat N] [--out PATH] \
-         [--trace PATH]"
+        "usage: sta_harness [--smoke] [--scale paper|x10|x40|all] [--edits N] \
+         [--threads N,N,...] [--repeat N] [--out PATH] [--trace PATH]"
     );
     ExitCode::FAILURE
 }

@@ -30,10 +30,16 @@ pub mod dsp;
 pub mod ir;
 pub mod mcu;
 pub mod sim;
+pub mod soa;
+pub mod soc;
 pub mod stats;
+pub mod view;
 
 pub use dsp::{generate_fir, FirConfig};
 pub use ir::{Gate, GateKind, Net, NetId, Netlist, ValidateNetlistError};
 pub use mcu::{generate_mcu, McuConfig};
 pub use sim::{random_activity, ActivityReport, Simulator};
+pub use soa::SoaNetlist;
+pub use soc::{generate_soc, SocConfig};
 pub use stats::NetlistStats;
+pub use view::{NetlistEdit, NetlistView};

@@ -1,0 +1,508 @@
+//! Arena/SoA netlist storage for million-gate designs.
+//!
+//! [`Netlist`] keeps one heap object per gate (`String` name + two
+//! `Vec<NetId>`s) and one `String` per net — fine at the paper's ~25 k
+//! gates, hostile at the 1 M+ scale the SoC generator produces: millions
+//! of small allocations, pointer-chasing on every traversal, and ~100
+//! bytes of `Vec`/`String` headers per gate before any payload.
+//!
+//! [`SoaNetlist`] stores the same design as a handful of flat arrays:
+//!
+//! * connectivity in CSR form — `in_off[g]..in_off[g+1]` indexes the
+//!   shared `in_net` array (likewise `out_off`/`out_net`), so a gate's
+//!   pins are a slice, not a `Vec`;
+//! * net names in a single string arena (`names` + `name_off`), appended
+//!   via `fmt::Display` so generators can stream `format_args!` names
+//!   without ever materializing a per-net `String`;
+//! * gate names are not stored at all — they are derived on demand as
+//!   `g{index}_{kind}`, the exact scheme [`Netlist::add_gate`] uses, so
+//!   conversions round-trip.
+//!
+//! [`SoaNetlist::validate`] replicates [`Netlist::validate`] (same error
+//! taxonomy, same first-error ordering) with index-based passes instead
+//! of `BTreeMap`s, keeping validation linear at scale.
+
+use std::fmt::{self, Write as _};
+
+use crate::ir::{GateKind, Net, NetId, Netlist, ValidateNetlistError};
+use crate::view::{NetlistEdit, NetlistView};
+
+/// A gate-level design in structure-of-arrays form. Semantically
+/// equivalent to [`Netlist`]; see the module docs for the layout.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SoaNetlist {
+    /// Design name.
+    pub name: String,
+    /// Net-name arena: net `i`'s name is `names[name_off[i]..name_off[i+1]]`.
+    names: String,
+    name_off: Vec<u32>,
+    /// Gate kinds, indexed by gate.
+    kinds: Vec<GateKind>,
+    /// CSR input pins: gate `g` reads `in_net[in_off[g]..in_off[g+1]]`.
+    in_off: Vec<u32>,
+    in_net: Vec<NetId>,
+    /// CSR output pins: gate `g` drives `out_net[out_off[g]..out_off[g+1]]`.
+    out_off: Vec<u32>,
+    out_net: Vec<NetId>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+}
+
+impl SoaNetlist {
+    /// Creates an empty design.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            name_off: vec![0],
+            in_off: vec![0],
+            out_off: vec![0],
+            ..Self::default()
+        }
+    }
+
+    /// Creates an empty design with storage reserved for roughly the
+    /// given shape (counts may be exceeded; this only avoids regrowth).
+    pub fn with_capacity(name: impl Into<String>, gates: usize, nets: usize) -> Self {
+        let mut s = Self::new(name);
+        s.names.reserve(nets * 12);
+        s.name_off.reserve(nets);
+        s.kinds.reserve(gates);
+        s.in_off.reserve(gates);
+        // ~2.2 inputs per gate across the generators.
+        s.in_net.reserve(gates * 2 + gates / 4);
+        s.out_off.reserve(gates);
+        s.out_net.reserve(gates + gates / 8);
+        s
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.name_off.len() - 1
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Adds a net, streaming its name into the arena ([`format_args!`]
+    /// values print straight into the shared buffer — no `String` per
+    /// net), and returns its id.
+    pub fn add_net(&mut self, name: impl fmt::Display) -> NetId {
+        let id = NetId(self.net_count() as u32);
+        write!(self.names, "{name}").expect("writing to String cannot fail");
+        assert!(
+            self.names.len() <= u32::MAX as usize,
+            "net-name arena exceeds u32 offsets"
+        );
+        self.name_off.push(self.names.len() as u32);
+        id
+    }
+
+    /// Adds a primary input net.
+    pub fn add_input(&mut self, name: impl fmt::Display) -> NetId {
+        let id = self.add_net(name);
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Marks an existing net as a primary input.
+    pub fn mark_input(&mut self, net: NetId) {
+        self.primary_inputs.push(net);
+    }
+
+    /// Marks an existing net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        self.primary_outputs.push(net);
+    }
+
+    /// Appends a gate and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection counts violate the kind's arity, exactly
+    /// like [`Netlist::add_gate`].
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NetId], outputs: &[NetId]) -> usize {
+        assert!(
+            kind.input_arity().contains(&inputs.len()),
+            "{kind}: bad input count {}",
+            inputs.len()
+        );
+        assert_eq!(
+            outputs.len(),
+            kind.output_count(),
+            "{kind}: bad output count"
+        );
+        let gi = self.kinds.len();
+        self.kinds.push(kind);
+        self.in_net.extend_from_slice(inputs);
+        self.in_off.push(self.in_net.len() as u32);
+        self.out_net.extend_from_slice(outputs);
+        self.out_off.push(self.out_net.len() as u32);
+        gi
+    }
+
+    /// Kind of gate `gi`.
+    pub fn gate_kind(&self, gi: usize) -> GateKind {
+        self.kinds[gi]
+    }
+
+    /// Input nets of gate `gi`, in pin order.
+    pub fn gate_inputs(&self, gi: usize) -> &[NetId] {
+        &self.in_net[self.in_off[gi] as usize..self.in_off[gi + 1] as usize]
+    }
+
+    /// Output nets of gate `gi`, in pin order.
+    pub fn gate_outputs(&self, gi: usize) -> &[NetId] {
+        &self.out_net[self.out_off[gi] as usize..self.out_off[gi + 1] as usize]
+    }
+
+    /// Derived name of gate `gi` — `g{gi}_{kind}`, matching the scheme
+    /// [`Netlist::add_gate`] assigns, so conversions round-trip.
+    pub fn gate_name(&self, gi: usize) -> String {
+        format!("g{gi}_{}", self.kinds[gi])
+    }
+
+    /// Name of a net.
+    pub fn net_name(&self, id: NetId) -> &str {
+        let i = id.0 as usize;
+        &self.names[self.name_off[i] as usize..self.name_off[i + 1] as usize]
+    }
+
+    /// Primary input nets.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary output nets.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// Payload bytes held by the flat arrays (capacity not counted) — the
+    /// scale benches report this next to gate counts.
+    pub fn payload_bytes(&self) -> usize {
+        self.names.len()
+            + std::mem::size_of_val(&self.name_off[..])
+            + std::mem::size_of_val(&self.kinds[..])
+            + std::mem::size_of_val(&self.in_off[..])
+            + std::mem::size_of_val(&self.in_net[..])
+            + std::mem::size_of_val(&self.out_off[..])
+            + std::mem::size_of_val(&self.out_net[..])
+            + std::mem::size_of_val(&self.primary_inputs[..])
+            + std::mem::size_of_val(&self.primary_outputs[..])
+    }
+
+    /// Converts an AoS netlist (gate names are discarded; they are
+    /// re-derived on demand and round-trip for generator-built designs,
+    /// which always use the auto-naming scheme).
+    pub fn from_netlist(nl: &Netlist) -> Self {
+        let mut s = Self::with_capacity(nl.name.clone(), nl.gates.len(), nl.nets.len());
+        for net in &nl.nets {
+            s.add_net(&net.name);
+        }
+        s.primary_inputs = nl.primary_inputs.clone();
+        s.primary_outputs = nl.primary_outputs.clone();
+        for g in &nl.gates {
+            s.add_gate(g.kind, &g.inputs, &g.outputs);
+        }
+        s
+    }
+
+    /// Converts back to the AoS representation (gate names are the
+    /// derived `g{i}_{kind}` scheme).
+    pub fn to_netlist(&self) -> Netlist {
+        let mut nl = Netlist::new(self.name.clone());
+        nl.nets = (0..self.net_count())
+            .map(|i| Net {
+                name: self.net_name(NetId(i as u32)).to_string(),
+            })
+            .collect();
+        nl.primary_inputs = self.primary_inputs.clone();
+        nl.primary_outputs = self.primary_outputs.clone();
+        for gi in 0..self.gate_count() {
+            nl.add_gate(
+                self.kinds[gi],
+                self.gate_inputs(gi).to_vec(),
+                self.gate_outputs(gi).to_vec(),
+            );
+        }
+        nl
+    }
+
+    /// Structural and acyclicity validation — the same checks, error
+    /// taxonomy and first-error ordering as [`Netlist::validate`], but
+    /// over flat arrays (no `BTreeMap`s), so it stays linear at scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateNetlistError`] found.
+    pub fn validate(&self) -> Result<(), ValidateNetlistError> {
+        let n = self.net_count() as u32;
+        for (port, ids) in [
+            ("input", &self.primary_inputs),
+            ("output", &self.primary_outputs),
+        ] {
+            if let Some(&id) = ids.iter().find(|id| id.0 >= n) {
+                return Err(ValidateNetlistError::DanglingPort { port, net: id });
+            }
+        }
+        let mut drivers: Vec<u8> = vec![0; n as usize];
+        for &pi in &self.primary_inputs {
+            drivers[pi.0 as usize] += 1;
+        }
+        for gi in 0..self.gate_count() {
+            let (inputs, outputs) = (self.gate_inputs(gi), self.gate_outputs(gi));
+            let kind = self.kinds[gi];
+            if !kind.input_arity().contains(&inputs.len()) || outputs.len() != kind.output_count() {
+                return Err(ValidateNetlistError::BadArity {
+                    gate: self.gate_name(gi),
+                });
+            }
+            if inputs.iter().chain(outputs).any(|id| id.0 >= n) {
+                return Err(ValidateNetlistError::DanglingNet {
+                    gate: self.gate_name(gi),
+                });
+            }
+            for &o in outputs {
+                drivers[o.0 as usize] += 1;
+                if drivers[o.0 as usize] > 1 {
+                    return Err(ValidateNetlistError::MultipleDrivers {
+                        net: o,
+                        name: self.net_name(o).to_string(),
+                    });
+                }
+            }
+        }
+        for gi in 0..self.gate_count() {
+            for &i in self.gate_inputs(gi) {
+                if drivers[i.0 as usize] == 0 {
+                    return Err(ValidateNetlistError::Undriven {
+                        net: i,
+                        name: self.net_name(i).to_string(),
+                    });
+                }
+            }
+        }
+        self.check_acyclic()
+    }
+
+    /// Kahn topological check over the combinational subgraph, as
+    /// [`Netlist::validate`] performs it, with a CSR successor table in
+    /// place of per-gate maps.
+    fn check_acyclic(&self) -> Result<(), ValidateNetlistError> {
+        let n_gates = self.gate_count();
+        const NO_DRIVER: u32 = u32::MAX;
+        let mut driver = vec![NO_DRIVER; self.net_count()];
+        for gi in 0..n_gates {
+            for &o in self.gate_outputs(gi) {
+                driver[o.0 as usize] = gi as u32;
+            }
+        }
+        let comb = |gi: usize| !self.kinds[gi].is_sequential();
+        // Comb→comb edge counts per source gate, then a CSR fill.
+        let mut succ_off = vec![0u32; n_gates + 1];
+        let mut indeg = vec![0u32; n_gates];
+        for (gi, deg) in indeg.iter_mut().enumerate() {
+            if !comb(gi) {
+                continue;
+            }
+            for &inp in self.gate_inputs(gi) {
+                let src = driver[inp.0 as usize];
+                if src != NO_DRIVER && comb(src as usize) {
+                    succ_off[src as usize + 1] += 1;
+                    *deg += 1;
+                }
+            }
+        }
+        for i in 0..n_gates {
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut succ = vec![0u32; succ_off[n_gates] as usize];
+        let mut cursor: Vec<u32> = succ_off[..n_gates].to_vec();
+        for gi in 0..n_gates {
+            if !comb(gi) {
+                continue;
+            }
+            for &inp in self.gate_inputs(gi) {
+                let src = driver[inp.0 as usize];
+                if src != NO_DRIVER && comb(src as usize) {
+                    let c = &mut cursor[src as usize];
+                    succ[*c as usize] = gi as u32;
+                    *c += 1;
+                }
+            }
+        }
+        let mut queue: Vec<u32> = (0..n_gates)
+            .filter(|&gi| comb(gi) && indeg[gi] == 0)
+            .map(|gi| gi as u32)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(gi) = queue.pop() {
+            seen += 1;
+            let (lo, hi) = (succ_off[gi as usize], succ_off[gi as usize + 1]);
+            for &s in &succ[lo as usize..hi as usize] {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        let comb_count = (0..n_gates).filter(|&gi| comb(gi)).count();
+        if seen != comb_count {
+            let stuck = (0..n_gates)
+                .find(|&gi| comb(gi) && indeg[gi] > 0)
+                .expect("cycle exists");
+            return Err(ValidateNetlistError::CombinationalCycle {
+                net: self.net_name(self.gate_outputs(stuck)[0]).to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl NetlistView for SoaNetlist {
+    fn design_name(&self) -> &str {
+        &self.name
+    }
+    fn gate_count(&self) -> usize {
+        SoaNetlist::gate_count(self)
+    }
+    fn net_count(&self) -> usize {
+        SoaNetlist::net_count(self)
+    }
+    fn gate_kind(&self, gi: usize) -> GateKind {
+        SoaNetlist::gate_kind(self, gi)
+    }
+    fn gate_inputs(&self, gi: usize) -> &[NetId] {
+        SoaNetlist::gate_inputs(self, gi)
+    }
+    fn gate_outputs(&self, gi: usize) -> &[NetId] {
+        SoaNetlist::gate_outputs(self, gi)
+    }
+    fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+    fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+    fn net_name(&self, net: NetId) -> &str {
+        SoaNetlist::net_name(self, net)
+    }
+    fn validate_view(&self) -> Result<(), ValidateNetlistError> {
+        self.validate()
+    }
+}
+
+impl NetlistEdit for SoaNetlist {
+    fn add_net_named(&mut self, name: String) -> NetId {
+        self.add_net(name)
+    }
+    fn add_gate_at_end(&mut self, kind: GateKind, inputs: &[NetId], outputs: &[NetId]) -> usize {
+        self.add_gate(kind, inputs, outputs)
+    }
+    fn set_gate_input(&mut self, gi: usize, k: usize, net: NetId) {
+        let off = self.in_off[gi] as usize;
+        debug_assert!(k < (self.in_off[gi + 1] as usize - off));
+        self.in_net[off + k] = net;
+    }
+    fn truncate_to(&mut self, n_gates: usize, n_nets: usize) {
+        self.kinds.truncate(n_gates);
+        self.in_off.truncate(n_gates + 1);
+        self.in_net.truncate(self.in_off[n_gates] as usize);
+        self.out_off.truncate(n_gates + 1);
+        self.out_net.truncate(self.out_off[n_gates] as usize);
+        self.name_off.truncate(n_nets + 1);
+        self.names.truncate(self.name_off[n_nets] as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcu::{generate_mcu, McuConfig};
+
+    #[test]
+    fn round_trips_the_mcu() {
+        let mcu = generate_mcu(&McuConfig::small_for_tests());
+        let soa = SoaNetlist::from_netlist(&mcu);
+        assert_eq!(soa.gate_count(), mcu.gates.len());
+        assert_eq!(soa.net_count(), mcu.nets.len());
+        assert_eq!(soa.to_netlist(), mcu);
+    }
+
+    #[test]
+    fn validates_like_the_aos_form() {
+        let mcu = generate_mcu(&McuConfig::small_for_tests());
+        mcu.validate().unwrap();
+        SoaNetlist::from_netlist(&mcu).validate().unwrap();
+    }
+
+    #[test]
+    fn detects_a_combinational_cycle() {
+        let mut s = SoaNetlist::new("cyc");
+        let a = s.add_input("a");
+        let x = s.add_net("x");
+        let y = s.add_net("y");
+        s.add_gate(GateKind::And, &[a, y], &[x]);
+        s.add_gate(GateKind::Inv, &[x], &[y]);
+        let soa_err = s.validate().unwrap_err();
+        let aos_err = s.to_netlist().validate().unwrap_err();
+        assert_eq!(soa_err, aos_err);
+    }
+
+    #[test]
+    fn reports_the_same_errors_as_aos_validate() {
+        // Undriven input.
+        let mut s = SoaNetlist::new("undriven");
+        let a = s.add_net("floating");
+        let z = s.add_net("z");
+        s.add_gate(GateKind::Inv, &[a], &[z]);
+        assert_eq!(
+            s.validate().unwrap_err(),
+            s.to_netlist().validate().unwrap_err()
+        );
+
+        // Multiple drivers.
+        let mut s = SoaNetlist::new("multi");
+        let a = s.add_input("a");
+        let z = s.add_net("z");
+        s.add_gate(GateKind::Inv, &[a], &[z]);
+        s.add_gate(GateKind::Buf, &[a], &[z]);
+        assert_eq!(
+            s.validate().unwrap_err(),
+            s.to_netlist().validate().unwrap_err()
+        );
+
+        // Dangling port.
+        let mut s = SoaNetlist::new("dangle");
+        s.mark_output(NetId(7));
+        assert_eq!(
+            s.validate().unwrap_err(),
+            s.to_netlist().validate().unwrap_err()
+        );
+    }
+
+    #[test]
+    fn edit_surface_matches_aos() {
+        let mut s = SoaNetlist::new("edit");
+        let a = s.add_input("a");
+        let b = s.add_net("b");
+        let z = s.add_net("z");
+        s.add_gate(GateKind::Inv, &[a], &[b]);
+        s.add_gate(GateKind::Inv, &[b], &[z]);
+        let (g0, n0) = (s.gate_count(), s.net_count());
+        let m = s.add_net_named("m".into());
+        let g = s.add_gate_at_end(GateKind::Buf, &[b], &[m]);
+        s.set_gate_input(1, 0, m);
+        assert_eq!(s.gate_inputs(1), &[m]);
+        assert_eq!(s.gate_outputs(g), &[m]);
+        // Roll back.
+        s.truncate_to(g0, n0);
+        s.set_gate_input(1, 0, b);
+        assert_eq!(s.gate_count(), g0);
+        assert_eq!(s.net_count(), n0);
+        assert_eq!(s.gate_inputs(1), &[b]);
+        s.validate().unwrap();
+    }
+}

@@ -1,0 +1,120 @@
+//! Storage-agnostic read/edit access to a gate-level design.
+//!
+//! The million-gate scale-up introduces a second netlist representation
+//! ([`SoaNetlist`]: flat CSR connectivity plus a name arena) next to the
+//! original pointer-rich [`Netlist`]. Everything downstream that walks a
+//! design — technology mapping, the incremental timing engine, hold
+//! analysis — is generic over [`NetlistView`] so both representations feed
+//! the same code paths and stay bit-identical by construction.
+//!
+//! [`NetlistEdit`] adds the small mutation surface the timing engine's
+//! fanout-splitting optimization needs: appending nets/gates, rewiring a
+//! single input pin, and tail truncation for rollback after a failed edit.
+//!
+//! [`SoaNetlist`]: crate::soa::SoaNetlist
+
+use crate::ir::{GateKind, NetId, Netlist, ValidateNetlistError};
+
+/// Read-only view of a gate-level design.
+///
+/// Gate indices are dense `0..gate_count()`, net ids dense
+/// `0..net_count()`, exactly as in [`Netlist`]. Implementations must
+/// return connectivity as contiguous slices so hot loops stay free of
+/// per-gate allocation regardless of the underlying storage.
+pub trait NetlistView {
+    /// Design name.
+    fn design_name(&self) -> &str;
+    /// Number of gates.
+    fn gate_count(&self) -> usize;
+    /// Number of nets.
+    fn net_count(&self) -> usize;
+    /// Kind of gate `gi`.
+    fn gate_kind(&self, gi: usize) -> GateKind;
+    /// Input nets of gate `gi`, in pin order.
+    fn gate_inputs(&self, gi: usize) -> &[NetId];
+    /// Output nets of gate `gi`, in pin order.
+    fn gate_outputs(&self, gi: usize) -> &[NetId];
+    /// Primary input nets.
+    fn primary_inputs(&self) -> &[NetId];
+    /// Primary output nets.
+    fn primary_outputs(&self) -> &[NetId];
+    /// Name of a net.
+    fn net_name(&self, net: NetId) -> &str;
+    /// Structural and acyclicity validation with the same error taxonomy
+    /// (and first-error ordering) as [`Netlist::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateNetlistError`] found.
+    fn validate_view(&self) -> Result<(), ValidateNetlistError>;
+}
+
+/// The mutation surface needed by incremental netlist edits
+/// (fanout splitting in the timing engine).
+pub trait NetlistEdit: NetlistView {
+    /// Adds a net and returns its id.
+    fn add_net_named(&mut self, name: String) -> NetId;
+    /// Appends a gate and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection counts violate the kind's arity, exactly
+    /// like [`Netlist::add_gate`].
+    fn add_gate_at_end(&mut self, kind: GateKind, inputs: &[NetId], outputs: &[NetId]) -> usize;
+    /// Rewires input pin `k` of gate `gi` to `net`.
+    fn set_gate_input(&mut self, gi: usize, k: usize, net: NetId);
+    /// Drops gates/nets past the given counts (rollback of a partial
+    /// append-only edit; only ever called with counts captured before the
+    /// edit started).
+    fn truncate_to(&mut self, n_gates: usize, n_nets: usize);
+}
+
+impl NetlistView for Netlist {
+    fn design_name(&self) -> &str {
+        &self.name
+    }
+    fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+    fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+    fn gate_kind(&self, gi: usize) -> GateKind {
+        self.gates[gi].kind
+    }
+    fn gate_inputs(&self, gi: usize) -> &[NetId] {
+        &self.gates[gi].inputs
+    }
+    fn gate_outputs(&self, gi: usize) -> &[NetId] {
+        &self.gates[gi].outputs
+    }
+    fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+    fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+    fn net_name(&self, net: NetId) -> &str {
+        Netlist::net_name(self, net)
+    }
+    fn validate_view(&self) -> Result<(), ValidateNetlistError> {
+        self.validate()
+    }
+}
+
+impl NetlistEdit for Netlist {
+    fn add_net_named(&mut self, name: String) -> NetId {
+        self.add_net(name)
+    }
+    fn add_gate_at_end(&mut self, kind: GateKind, inputs: &[NetId], outputs: &[NetId]) -> usize {
+        self.add_gate(kind, inputs.to_vec(), outputs.to_vec());
+        self.gates.len() - 1
+    }
+    fn set_gate_input(&mut self, gi: usize, k: usize, net: NetId) {
+        self.gates[gi].inputs[k] = net;
+    }
+    fn truncate_to(&mut self, n_gates: usize, n_nets: usize) {
+        self.gates.truncate(n_gates);
+        self.nets.truncate(n_nets);
+    }
+}

@@ -1,4 +1,4 @@
-//! Incremental interned timing engine.
+//! Incremental interned timing engine over flat CSR storage.
 //!
 //! [`TimingGraph`] is built once per (design, library) pair and then kept
 //! consistent across local edits instead of re-analyzing the whole netlist:
@@ -8,10 +8,29 @@
 //!   propagation hot loop never compares strings or scans `Vec`s. LUT axes
 //!   are validated once at library construction (see
 //!   [`varitune_liberty::Lut::new`]), so interpolation is pure arithmetic.
+//!   Interning is memoized on (cell, pin shape): a million-gate sea holds
+//!   only a few hundred distinct combinations, so arc resolution costs
+//!   O(distinct cells), not O(gates).
+//! * **Flat CSR structure** — connectivity, pin capacitances and arcs
+//!   live in shared offset/payload arrays (`in_off`/`in_net`/`in_cap`,
+//!   `out_off`/`out_net`, `arc_off`/`arcs`) instead of per-gate `Vec`s,
+//!   and net sinks live in a `SinkArena`. Construction at a million
+//!   gates allocates a dozen arrays, not millions of boxes, and the
+//!   propagation loop walks contiguous memory.
 //! * **Levelization** — combinational gates are assigned longest-path
 //!   levels (`level = 1 + max(level of combinational drivers)`). Gates
 //!   within one level are independent, which gives both a cached
 //!   evaluation order and a safe unit of parallelism.
+//! * **Sharded full propagation** — [`TimingGraph::invalidate_all`] arms a
+//!   dedicated full-sweep path: a counting-sort stage schedule (launch
+//!   stage, then one stage per combinational level) evaluated stage by
+//!   stage. Wide stages are split into fixed `SHARD_GATES`-gate
+//!   structural shards dispatched through
+//!   [`varitune_variation::parallel::run_shards`]; each shard evaluates
+//!   against the frozen lower-stage state into a private buffer, and the
+//!   orchestrator then merges shard results into the global net state in
+//!   shard order (the boundary-arrival exchange). Stages narrower than
+//!   `MIN_PARALLEL_WIDTH` run inline — fan-out overhead would dominate.
 //! * **Dirty-cone re-propagation** — [`TimingGraph::resize_gate`],
 //!   [`TimingGraph::split_fanout`] and [`TimingGraph::set_load`] mark only
 //!   the directly affected nets and gates; [`TimingGraph::update`] then
@@ -19,12 +38,12 @@
 //!   and follows a value change into a gate's fanout **only when the
 //!   driving net's arrival or slew actually changed bits**. The cost of an
 //!   edit is O(size of the changed cone), not O(netlist).
-//! * **Deterministic parallelism** — within one level, dirty gates are
-//!   evaluated with [`varitune_variation::parallel::run_trials`]. A gate's
-//!   result depends only on frozen lower-level state, so the outcome is
-//!   bit-identical for every thread count (including errors: results are
-//!   applied in sorted gate order, so the first error is the same
-//!   regardless of schedule).
+//! * **Deterministic parallelism** — the shard decomposition and the
+//!   decision to fan out depend only on the workload (stage width), never
+//!   on the thread count; a gate's result depends only on frozen
+//!   lower-level state; and results are merged in schedule order. The
+//!   outcome — values, errors, and recorded trace metrics — is therefore
+//!   bit-identical for every thread count.
 //!
 //! Equivalence contract: after any edit sequence followed by
 //! [`TimingGraph::update`], [`TimingGraph::report`] is **bit-identical**
@@ -33,68 +52,259 @@
 //! [`MappedDesign::net_loads`], and gate evaluation replays the same
 //! floating-point operations in the same order). The `tests/` tree and
 //! the `sta_harness` bench binary both assert this.
+//!
+//! The engine is storage-agnostic: [`TimingGraph::new`] builds over the
+//! pointer-rich [`MappedDesign`], [`TimingGraph::new_soa`] over the
+//! arena/SoA [`SoaDesign`] — both feed the same internal `Core` through
+//! [`varitune_netlist::NetlistView`], so the two forms of one design are
+//! bit-identical by construction.
+
+use std::collections::HashMap;
 
 use varitune_liberty::{CellId, Library, TimingArc, TimingType};
-use varitune_netlist::{GateKind, NetId, Netlist, ValidateNetlistError};
-use varitune_variation::parallel::{resolve_threads, run_trials};
+use varitune_netlist::{GateKind, NetId, NetlistEdit, NetlistView, ValidateNetlistError};
+use varitune_variation::parallel::{resolve_threads, run_shards, run_trials};
 
 use crate::graph::{Endpoint, EndpointKind, NetTiming, StaConfig, StaError, TimingReport};
-use crate::mapped::{MappedDesign, WireModel};
+use crate::mapped::{MappedDesign, SoaDesign, WireModel};
 
-/// Minimum dirty gates *per worker* in a level before the engine fans
-/// out: `run_trials` spawns scoped threads per call, and a level whose
-/// evaluation is cheaper than the spawn must stay serial. Per-gate
-/// evaluation is a few hundred nanoseconds, so the bar sits where the
-/// saved work clearly beats a worst-case (~ms) thread-spawn cost.
-const PARALLEL_GRAIN: usize = 1024;
+/// Sentinel for "no entry" in the `u32`-typed graph indices (`driver`,
+/// `seq_ep`, `ep_gate`).
+const NONE_U32: u32 = u32::MAX;
 
-/// Interned timing arcs of one gate.
-enum GateArcs<'l> {
-    /// Combinational: `per_output[j][k]` is the arc from input `k` to
-    /// output `j`.
-    Comb { per_output: Vec<Vec<&'l TimingArc>> },
-    /// Sequential: one launch (clock-to-Q) arc per output, plus the setup
-    /// constraint arc on the data pin when the library characterizes one.
-    Seq {
-        launch: Vec<&'l TimingArc>,
-        setup: Option<&'l TimingArc>,
-    },
+/// Gates per structural shard of a wide stage. The decomposition is a
+/// function of the stage width alone, so shard boundaries — and every
+/// metric recorded about them — are identical for all thread counts.
+/// 256 gates is ~100 µs of evaluation: large enough to amortize dispatch,
+/// small enough to load-balance a level across 8+ workers.
+const SHARD_GATES: usize = 256;
+
+/// Minimum stage/level width before the engine fans out (or, equivalently,
+/// routes through the deterministic dispatch primitives at all). Narrow
+/// levels — the overwhelming majority at paper scale — run inline: worker
+/// spawn costs more than the saved evaluation below this width.
+const MIN_PARALLEL_WIDTH: usize = 2048;
+
+/// Per-net sink lists `(gate, input position)` in one flat arena.
+///
+/// Rows are laid out contiguously with explicit capacity; growing a row
+/// past its capacity relocates it to the tail with doubled capacity (the
+/// abandoned slots leak until the next full build — the usual slotted-arena
+/// trade for O(1) amortized growth without a million row `Vec`s). Rows are
+/// kept ascending by `(gate, position)`: the build fills them in gate
+/// order, and the only edit that appends ([`TimingGraph::split_fanout`])
+/// appends a gate with the highest index — so iteration order always
+/// matches the load-accumulation order of [`MappedDesign::net_loads`].
+struct SinkArena {
+    off: Vec<u32>,
+    len: Vec<u32>,
+    cap: Vec<u32>,
+    flat: Vec<(u32, u32)>,
+}
+
+impl SinkArena {
+    /// Exact-capacity arena with empty rows, sized from a counting pass.
+    fn from_counts(counts: &[u32]) -> Self {
+        let mut off = Vec::with_capacity(counts.len());
+        let mut total: u64 = 0;
+        for &c in counts {
+            off.push(total as u32);
+            total += u64::from(c);
+        }
+        assert!(
+            total <= u64::from(u32::MAX),
+            "sink arena exceeds u32 offsets"
+        );
+        Self {
+            off,
+            len: vec![0; counts.len()],
+            cap: counts.to_vec(),
+            flat: vec![(0, 0); total as usize],
+        }
+    }
+
+    fn n_sinks(&self, ni: usize) -> usize {
+        self.len[ni] as usize
+    }
+
+    fn row(&self, ni: usize) -> &[(u32, u32)] {
+        let off = self.off[ni] as usize;
+        &self.flat[off..off + self.len[ni] as usize]
+    }
+
+    /// One sink without borrowing the arena beyond the call (lets callers
+    /// interleave reads with mutation of sibling state).
+    fn get(&self, ni: usize, s: usize) -> (u32, u32) {
+        self.flat[self.off[ni] as usize + s]
+    }
+
+    fn push(&mut self, ni: usize, v: (u32, u32)) {
+        if self.len[ni] == self.cap[ni] {
+            let new_cap = (self.cap[ni] * 2).max(4);
+            let old = self.off[ni] as usize;
+            let n = self.len[ni] as usize;
+            let new_off = self.flat.len();
+            self.flat.extend_from_within(old..old + n);
+            self.flat.resize(new_off + new_cap as usize, (0, 0));
+            assert!(self.flat.len() <= u32::MAX as usize, "sink arena overflow");
+            self.off[ni] = new_off as u32;
+            self.cap[ni] = new_cap;
+        }
+        let at = self.off[ni] as usize + self.len[ni] as usize;
+        self.flat[at] = v;
+        self.len[ni] += 1;
+    }
+
+    /// Appends a whole new row (for a freshly added net) at the tail.
+    fn add_row(&mut self, vals: &[(u32, u32)]) {
+        assert!(self.flat.len() <= u32::MAX as usize, "sink arena overflow");
+        self.off.push(self.flat.len() as u32);
+        self.len.push(vals.len() as u32);
+        self.cap.push(vals.len() as u32);
+        self.flat.extend_from_slice(vals);
+    }
+
+    /// Shortens a row in place (capacity is retained).
+    fn truncate(&mut self, ni: usize, new_len: usize) {
+        debug_assert!(new_len <= self.len[ni] as usize);
+        self.len[ni] = new_len as u32;
+    }
+}
+
+/// One cell resolved against a concrete gate shape: dense cell index,
+/// positional input-pin capacitances, flattened timing arcs
+/// (combinational: output-major `n_out × n_in`; sequential: one launch arc
+/// per output), and the setup constraint arc when characterized.
+struct InternedCell<'l> {
+    ci: u32,
+    caps: Vec<f64>,
+    arcs: Vec<&'l TimingArc>,
+    setup: Option<&'l TimingArc>,
+}
+
+/// Resolves a cell id against a gate shape — a bounds check plus direct
+/// indexing, no name lookup — surfacing the same errors (with the same
+/// gate index) the full analysis would.
+fn intern_cell<'l>(
+    lib: &'l Library,
+    gi: usize,
+    cell: CellId,
+    n_in: usize,
+    n_out: usize,
+    seq: bool,
+) -> Result<InternedCell<'l>, StaError> {
+    let ci = cell.index();
+    if ci >= lib.cells.len() {
+        return Err(StaError::UnknownCell {
+            gate: gi,
+            name: format!("cell#{}", cell.0),
+        });
+    }
+    let cell = &lib.cells[ci];
+    let missing = || StaError::MissingArc {
+        gate: gi,
+        cell: cell.name.clone(),
+    };
+
+    // Input-pin capacitances, positionally; a missing pin contributes 0,
+    // exactly like `MappedDesign::net_loads`.
+    let pins: Vec<_> = cell.input_pins().collect();
+    let caps: Vec<f64> = (0..n_in)
+        .map(|k| pins.get(k).map_or(0.0, |p| p.capacitance))
+        .collect();
+
+    let mut arcs: Vec<&'l TimingArc> = Vec::with_capacity(if seq { n_out } else { n_out * n_in });
+    let mut setup = None;
+    if seq {
+        for j in 0..n_out {
+            let pin = cell.output_pins().nth(j).ok_or_else(missing)?;
+            arcs.push(pin.timing.first().ok_or_else(missing)?);
+        }
+        setup = cell
+            .input_pins()
+            .find(|p| {
+                p.timing
+                    .iter()
+                    .any(|a| a.timing_type == TimingType::SetupRising)
+            })
+            .and_then(|p| {
+                p.timing
+                    .iter()
+                    .find(|a| a.timing_type == TimingType::SetupRising)
+            });
+    } else {
+        if pins.len() < n_in {
+            return Err(missing());
+        }
+        for j in 0..n_out {
+            let pin = cell.output_pins().nth(j).ok_or_else(missing)?;
+            for input_pin in pins.iter().take(n_in) {
+                let arc = pin
+                    .timing
+                    .iter()
+                    .find(|a| a.related_pin == input_pin.name)
+                    .ok_or_else(missing)?;
+                arcs.push(arc);
+            }
+        }
+    }
+    Ok(InternedCell {
+        ci: ci as u32,
+        caps,
+        arcs,
+        setup,
+    })
 }
 
 /// Everything the propagation needs, with the netlist structure copied
-/// into dense integer form. Split from [`TimingGraph`] so `analyze` can
-/// run a full propagation against a borrowed design without cloning it.
+/// into dense CSR form. Split from [`TimingGraph`] so `analyze` can run a
+/// full propagation against a borrowed design without cloning it.
 struct Core<'l> {
     lib: &'l Library,
     config: StaConfig,
     threads: usize,
     wire_model: WireModel,
 
-    // ---- interned structure ----
-    cell_idx: Vec<usize>,
+    // ---- interned structure (per gate, CSR) ----
+    cell_idx: Vec<u32>,
     is_seq: Vec<bool>,
-    arcs: Vec<GateArcs<'l>>,
-    /// `input_caps[g][k]`: capacitance of the cell pin behind gate input
-    /// `k` (0 when the cell declares fewer pins, matching
-    /// [`MappedDesign::net_loads`]).
-    input_caps: Vec<Vec<f64>>,
-    gate_inputs: Vec<Vec<u32>>,
-    gate_outputs: Vec<Vec<u32>>,
     /// Longest-path level per gate; 0 for sequential gates.
     level: Vec<u32>,
-    /// Gate sinks per net as `(gate, input position)`, sorted ascending —
-    /// the exact accumulation order of [`MappedDesign::net_loads`].
-    sinks: Vec<Vec<(u32, u32)>>,
+    /// Input row of gate `g`: `in_net[in_off[g]..in_off[g+1]]`; `in_cap`
+    /// shares the offsets (capacitance of the cell pin behind each input,
+    /// 0 when the cell declares fewer pins, matching
+    /// [`MappedDesign::net_loads`]).
+    in_off: Vec<u32>,
+    in_net: Vec<u32>,
+    in_cap: Vec<f64>,
+    /// Output row of gate `g`: `out_net[out_off[g]..out_off[g+1]]`.
+    out_off: Vec<u32>,
+    out_net: Vec<u32>,
+    /// Arc row of gate `g`: combinational rows hold `n_out × n_in` arcs
+    /// output-major; sequential rows hold one launch arc per output.
+    arc_off: Vec<u32>,
+    arcs: Vec<&'l TimingArc>,
+    /// Setup constraint arc of a sequential gate's data pin (`None` for
+    /// combinational gates or uncharacterized libraries).
+    setup_arc: Vec<Option<&'l TimingArc>>,
+    /// Endpoint index of a sequential gate's data input ([`NONE_U32`] for
+    /// combinational gates).
+    seq_ep: Vec<u32>,
+
+    // ---- interned structure (per net) ----
+    /// Gate sinks per net as `(gate, input position)`, ascending — the
+    /// exact accumulation order of [`MappedDesign::net_loads`].
+    sinks: SinkArena,
     /// Primary-output taps per net (fanout contribution without pin cap).
     po_taps: Vec<u32>,
-    /// Driving `(gate, output position)` per net.
-    driver: Vec<Option<(u32, u32)>>,
-    /// Endpoint indices attached to each net.
+    /// Driving gate per net ([`NONE_U32`] for primary inputs).
+    driver: Vec<u32>,
+    /// Endpoint indices attached to each net (sparse: almost all nets have
+    /// none, so per-net `Vec`s beat an arena here).
     ep_of_net: Vec<Vec<u32>>,
-    /// Capturing flip-flop gate per endpoint (`None` for primary outputs).
-    ep_gate: Vec<Option<usize>>,
-    /// Endpoint index of a sequential gate's data input, per gate.
-    seq_ep: Vec<Option<u32>>,
+    /// Capturing flip-flop gate per endpoint ([`NONE_U32`] for primary
+    /// outputs).
+    ep_gate: Vec<u32>,
 
     // ---- timing state (valid as of the last `update`) ----
     loads: Vec<f64>,
@@ -103,6 +313,9 @@ struct Core<'l> {
     endpoints: Vec<Endpoint>,
 
     // ---- dirty tracking ----
+    /// Armed by [`Core::invalidate_all`]: the next update takes the
+    /// sharded full-sweep path instead of draining dirty lists.
+    all_dirty: bool,
     dirty_gates: Vec<u32>,
     dirty_gate: Vec<bool>,
     dirty_loads: Vec<u32>,
@@ -113,44 +326,79 @@ struct Core<'l> {
 }
 
 impl<'l> Core<'l> {
-    fn build(
-        nl: &Netlist,
+    fn build<V: NetlistView>(
+        nl: &V,
         cells: &[CellId],
         wire_model: WireModel,
         lib: &'l Library,
         config: &StaConfig,
     ) -> Result<Self, StaError> {
-        let n_gates = nl.gates.len();
-        let n_nets = nl.nets.len();
+        let n_gates = nl.gate_count();
+        let n_nets = nl.net_count();
 
-        let mut cell_idx = Vec::with_capacity(n_gates);
-        let mut is_seq = Vec::with_capacity(n_gates);
-        let mut arcs = Vec::with_capacity(n_gates);
-        let mut input_caps = Vec::with_capacity(n_gates);
-        let mut gate_inputs = Vec::with_capacity(n_gates);
-        let mut gate_outputs = Vec::with_capacity(n_gates);
-        for (gi, g) in nl.gates.iter().enumerate() {
-            let (ci, ga, caps) = intern_gate(lib, nl, gi, cells[gi])?;
-            cell_idx.push(ci);
-            is_seq.push(g.kind.is_sequential());
-            arcs.push(ga);
-            input_caps.push(caps);
-            gate_inputs.push(g.inputs.iter().map(|n| n.0).collect());
-            gate_outputs.push(g.outputs.iter().map(|n| n.0).collect());
+        let mut cell_idx: Vec<u32> = Vec::with_capacity(n_gates);
+        let mut is_seq: Vec<bool> = Vec::with_capacity(n_gates);
+        let mut in_off: Vec<u32> = Vec::with_capacity(n_gates + 1);
+        in_off.push(0);
+        let mut in_net: Vec<u32> = Vec::new();
+        let mut in_cap: Vec<f64> = Vec::new();
+        let mut out_off: Vec<u32> = Vec::with_capacity(n_gates + 1);
+        out_off.push(0);
+        let mut out_net: Vec<u32> = Vec::new();
+        let mut arc_off: Vec<u32> = Vec::with_capacity(n_gates + 1);
+        arc_off.push(0);
+        let mut arcs: Vec<&'l TimingArc> = Vec::new();
+        let mut setup_arc: Vec<Option<&'l TimingArc>> = Vec::with_capacity(n_gates);
+
+        // Interning memoized on (cell, shape). The cache holds successes
+        // only, so a failing gate always interns fresh and the error
+        // carries the first failing gate index.
+        let mut cache: HashMap<(usize, usize, usize, bool), InternedCell<'l>> = HashMap::new();
+        assert_eq!(cells.len(), n_gates, "one cell id per gate required");
+        for (gi, &cell) in cells.iter().enumerate() {
+            let seq = nl.gate_kind(gi).is_sequential();
+            let g_in = nl.gate_inputs(gi);
+            let g_out = nl.gate_outputs(gi);
+            let key = (cell.index(), g_in.len(), g_out.len(), seq);
+            if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(key) {
+                let ic = intern_cell(lib, gi, cell, g_in.len(), g_out.len(), seq)?;
+                e.insert(ic);
+            }
+            let ic = &cache[&key];
+            cell_idx.push(ic.ci);
+            is_seq.push(seq);
+            in_net.extend(g_in.iter().map(|n| n.0));
+            in_cap.extend_from_slice(&ic.caps);
+            in_off.push(in_net.len() as u32);
+            out_net.extend(g_out.iter().map(|n| n.0));
+            out_off.push(out_net.len() as u32);
+            arcs.extend_from_slice(&ic.arcs);
+            arc_off.push(arcs.len() as u32);
+            setup_arc.push(ic.setup);
         }
+        assert!(
+            in_net.len() <= u32::MAX as usize && arcs.len() <= u32::MAX as usize,
+            "netlist exceeds u32 CSR offsets"
+        );
 
-        let mut sinks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_nets];
+        // Sinks: exact-capacity arena from a counting pass; filling in
+        // gate order leaves every row ascending by (gate, position).
+        let mut counts = vec![0u32; n_nets];
+        for &inp in &in_net {
+            counts[inp as usize] += 1;
+        }
+        let mut sinks = SinkArena::from_counts(&counts);
+        let mut driver = vec![NONE_U32; n_nets];
+        for gi in 0..n_gates {
+            for (k, idx) in (in_off[gi] as usize..in_off[gi + 1] as usize).enumerate() {
+                sinks.push(in_net[idx] as usize, (gi as u32, k as u32));
+            }
+            for idx in out_off[gi] as usize..out_off[gi + 1] as usize {
+                driver[out_net[idx] as usize] = gi as u32;
+            }
+        }
         let mut po_taps = vec![0u32; n_nets];
-        let mut driver: Vec<Option<(u32, u32)>> = vec![None; n_nets];
-        for (gi, g) in nl.gates.iter().enumerate() {
-            for (k, &inp) in g.inputs.iter().enumerate() {
-                sinks[inp.0 as usize].push((gi as u32, k as u32));
-            }
-            for (j, &out) in g.outputs.iter().enumerate() {
-                driver[out.0 as usize] = Some((gi as u32, j as u32));
-            }
-        }
-        for &po in &nl.primary_outputs {
+        for &po in nl.primary_outputs() {
             po_taps[po.0 as usize] += 1;
         }
 
@@ -158,32 +406,34 @@ impl<'l> Core<'l> {
         // index, then primary outputs.
         let mut endpoints = Vec::new();
         let mut ep_of_net: Vec<Vec<u32>> = vec![Vec::new(); n_nets];
-        let mut ep_gate = Vec::new();
-        let mut seq_ep: Vec<Option<u32>> = vec![None; n_gates];
-        for (gi, g) in nl.gates.iter().enumerate() {
-            if g.kind.is_sequential() {
-                let Some(&d) = g.inputs.first() else {
-                    return Err(StaError::MalformedGate {
-                        gate: gi,
-                        reason: "sequential gate has no data input".into(),
-                    });
-                };
-                let e = endpoints.len() as u32;
-                ep_of_net[d.0 as usize].push(e);
-                ep_gate.push(Some(gi));
-                seq_ep[gi] = Some(e);
-                endpoints.push(Endpoint {
-                    net: d,
-                    kind: EndpointKind::FlipFlopData { gate: gi },
-                    arrival: f64::NEG_INFINITY,
-                    required: 0.0,
-                });
+        let mut ep_gate: Vec<u32> = Vec::new();
+        let mut seq_ep: Vec<u32> = vec![NONE_U32; n_gates];
+        for gi in 0..n_gates {
+            if !is_seq[gi] {
+                continue;
             }
+            let row = &in_net[in_off[gi] as usize..in_off[gi + 1] as usize];
+            let Some(&d) = row.first() else {
+                return Err(StaError::MalformedGate {
+                    gate: gi,
+                    reason: "sequential gate has no data input".into(),
+                });
+            };
+            let e = endpoints.len() as u32;
+            ep_of_net[d as usize].push(e);
+            ep_gate.push(gi as u32);
+            seq_ep[gi] = e;
+            endpoints.push(Endpoint {
+                net: NetId(d),
+                kind: EndpointKind::FlipFlopData { gate: gi },
+                arrival: f64::NEG_INFINITY,
+                required: 0.0,
+            });
         }
-        for &po in &nl.primary_outputs {
+        for &po in nl.primary_outputs() {
             let e = endpoints.len() as u32;
             ep_of_net[po.0 as usize].push(e);
-            ep_gate.push(None);
+            ep_gate.push(NONE_U32);
             endpoints.push(Endpoint {
                 net: po,
                 kind: EndpointKind::PrimaryOutput,
@@ -194,7 +444,7 @@ impl<'l> Core<'l> {
 
         let mut nets = vec![NetTiming::unpropagated(); n_nets];
         // Launch points: primary inputs have fixed boundary timing.
-        for &pi in &nl.primary_inputs {
+        for &pi in nl.primary_inputs() {
             let t = &mut nets[pi.0 as usize];
             t.arrival = 0.0;
             t.slew = config.input_slew;
@@ -208,21 +458,26 @@ impl<'l> Core<'l> {
             wire_model,
             cell_idx,
             is_seq,
-            arcs,
-            input_caps,
-            gate_inputs,
-            gate_outputs,
             level: Vec::new(),
+            in_off,
+            in_net,
+            in_cap,
+            out_off,
+            out_net,
+            arc_off,
+            arcs,
+            setup_arc,
+            seq_ep,
             sinks,
             po_taps,
             driver,
             ep_of_net,
             ep_gate,
-            seq_ep,
             loads: vec![0.0; n_nets],
             load_override: vec![None; n_nets],
             nets,
             endpoints,
+            all_dirty: false,
             dirty_gates: Vec::new(),
             dirty_gate: vec![false; n_gates],
             dirty_loads: Vec::new(),
@@ -237,22 +492,37 @@ impl<'l> Core<'l> {
         Ok(core)
     }
 
+    fn n_gates(&self) -> usize {
+        self.cell_idx.len()
+    }
+
+    fn gate_inputs(&self, gi: usize) -> &[u32] {
+        &self.in_net[self.in_off[gi] as usize..self.in_off[gi + 1] as usize]
+    }
+
+    fn gate_outputs(&self, gi: usize) -> &[u32] {
+        &self.out_net[self.out_off[gi] as usize..self.out_off[gi + 1] as usize]
+    }
+
+    fn gate_arcs(&self, gi: usize) -> &[&'l TimingArc] {
+        &self.arcs[self.arc_off[gi] as usize..self.arc_off[gi + 1] as usize]
+    }
+
     /// Longest-path levelization over the combinational subgraph. The
     /// netlist was validated acyclic; an inconsistency is reported as a
     /// netlist error like [`crate::graph::topo_order`] does.
     fn compute_levels(&mut self) -> Result<(), StaError> {
-        let n = self.cell_idx.len();
+        let n = self.n_gates();
         let mut level = vec![0u32; n];
-        let mut indeg = vec![0usize; n];
+        let mut indeg = vec![0u32; n];
         for (gi, deg) in indeg.iter_mut().enumerate() {
             if self.is_seq[gi] {
                 continue;
             }
-            for &inp in &self.gate_inputs[gi] {
-                if let Some((src, _)) = self.driver[inp as usize] {
-                    if !self.is_seq[src as usize] {
-                        *deg += 1;
-                    }
+            for &inp in self.gate_inputs(gi) {
+                let d = self.driver[inp as usize];
+                if d != NONE_U32 && !self.is_seq[d as usize] {
+                    *deg += 1;
                 }
             }
         }
@@ -262,8 +532,10 @@ impl<'l> Core<'l> {
         let mut processed = 0usize;
         while let Some(gi) = queue.pop() {
             processed += 1;
-            for &out in &self.gate_outputs[gi] {
-                for &(sg, _) in &self.sinks[out as usize] {
+            for oi in self.out_off[gi] as usize..self.out_off[gi + 1] as usize {
+                let out = self.out_net[oi] as usize;
+                for s in 0..self.sinks.n_sinks(out) {
+                    let (sg, _) = self.sinks.get(out, s);
                     let sg = sg as usize;
                     if self.is_seq[sg] {
                         continue;
@@ -309,16 +581,11 @@ impl<'l> Core<'l> {
         }
     }
 
+    /// Arms the full-sweep path: the next [`Core::update`] re-propagates
+    /// the whole graph through the sharded schedule instead of draining
+    /// per-item dirty lists (orders of magnitude cheaper at scale).
     fn invalidate_all(&mut self) {
-        for ni in 0..self.loads.len() {
-            self.mark_load_dirty(ni);
-        }
-        for gi in 0..self.cell_idx.len() {
-            self.mark_gate_dirty(gi);
-        }
-        for e in 0..self.endpoints.len() {
-            self.mark_ep_dirty(e);
-        }
+        self.all_dirty = true;
     }
 
     /// Load of one net in the exact summation order of
@@ -330,24 +597,20 @@ impl<'l> Core<'l> {
             return ov;
         }
         let mut load = 0.0f64;
-        for &(g, k) in &self.sinks[ni] {
-            load += self.input_caps[g as usize][k as usize];
+        for &(g, k) in self.sinks.row(ni) {
+            load += self.in_cap[self.in_off[g as usize] as usize + k as usize];
         }
-        let fanout = self.sinks[ni].len() + self.po_taps[ni] as usize;
+        let fanout = self.sinks.n_sinks(ni) + self.po_taps[ni] as usize;
         load + self.wire_model.wire_cap(fanout)
     }
 
     /// Clock-to-Q launch of a sequential gate (one [`NetTiming`] per
-    /// output), identical arithmetic to the launch block of the full
-    /// analysis.
-    fn eval_seq(&self, gi: usize) -> Result<Vec<NetTiming>, StaError> {
-        let GateArcs::Seq { launch, .. } = &self.arcs[gi] else {
-            unreachable!("eval_seq on a combinational gate");
-        };
-        let mut outs = Vec::with_capacity(launch.len());
-        for (j, arc) in launch.iter().enumerate() {
-            let out = self.gate_outputs[gi][j] as usize;
-            let load = self.loads[out];
+    /// output appended to `outs`), identical arithmetic to the launch
+    /// block of the full analysis.
+    fn eval_seq_into(&self, gi: usize, outs: &mut Vec<NetTiming>) -> Result<(), StaError> {
+        let launch = self.gate_arcs(gi);
+        for (j, (&out, arc)) in self.gate_outputs(gi).iter().zip(launch).enumerate() {
+            let load = self.loads[out as usize];
             let delay = arc.worst_delay(self.config.clock_slew, load)?;
             let slew = arc.worst_transition(self.config.clock_slew, load)?;
             outs.push(NetTiming {
@@ -361,23 +624,21 @@ impl<'l> Core<'l> {
                 crit_input_slew: self.config.clock_slew,
             });
         }
-        Ok(outs)
+        Ok(())
     }
 
     /// Worst-arrival evaluation of a combinational gate (one
-    /// [`NetTiming`] per output), identical arithmetic to the topological
-    /// loop of the full analysis.
-    fn eval_comb(&self, gi: usize) -> Result<Vec<NetTiming>, StaError> {
-        let GateArcs::Comb { per_output } = &self.arcs[gi] else {
-            unreachable!("eval_comb on a sequential gate");
-        };
-        let inputs = &self.gate_inputs[gi];
-        let mut outs = Vec::with_capacity(per_output.len());
-        for (j, input_arcs) in per_output.iter().enumerate() {
-            let out = self.gate_outputs[gi][j] as usize;
-            let load = self.loads[out];
+    /// [`NetTiming`] per output appended to `outs`), identical arithmetic
+    /// to the topological loop of the full analysis.
+    fn eval_comb_into(&self, gi: usize, outs: &mut Vec<NetTiming>) -> Result<(), StaError> {
+        let ins = self.gate_inputs(gi);
+        let n_in = ins.len();
+        let arcs = self.gate_arcs(gi);
+        for (j, &out) in self.gate_outputs(gi).iter().enumerate() {
+            let row = &arcs[j * n_in..(j + 1) * n_in];
+            let load = self.loads[out as usize];
             let mut best: Option<NetTiming> = None;
-            for (k, &inp) in inputs.iter().enumerate() {
+            for (k, &inp) in ins.iter().enumerate() {
                 let in_t = self.nets[inp as usize];
                 if !in_t.arrival.is_finite() {
                     return Err(StaError::MalformedGate {
@@ -388,7 +649,7 @@ impl<'l> Core<'l> {
                         ),
                     });
                 }
-                let arc = input_arcs[k];
+                let arc = row[k];
                 let delay = arc.worst_delay(in_t.slew, load)?;
                 let arrival = in_t.arrival + delay;
                 if best.is_none_or(|b| arrival > b.arrival) {
@@ -407,24 +668,46 @@ impl<'l> Core<'l> {
             }
             outs.push(best.ok_or_else(|| StaError::MissingArc {
                 gate: gi,
-                cell: self.lib.cells[self.cell_idx[gi]].name.clone(),
+                cell: self.lib.cells[self.cell_idx[gi] as usize].name.clone(),
             })?);
         }
+        Ok(())
+    }
+
+    fn eval_gate_into(&self, gi: usize, outs: &mut Vec<NetTiming>) -> Result<(), StaError> {
+        if self.is_seq[gi] {
+            self.eval_seq_into(gi, outs)
+        } else {
+            self.eval_comb_into(gi, outs)
+        }
+    }
+
+    fn eval_seq(&self, gi: usize) -> Result<Vec<NetTiming>, StaError> {
+        let mut outs = Vec::with_capacity(self.gate_outputs(gi).len());
+        self.eval_seq_into(gi, &mut outs)?;
         Ok(outs)
     }
 
-    /// Evaluates one level's dirty gates, across threads when the batch is
-    /// large enough to amortize worker spawn. Results are in `list` order
-    /// either way, so the outcome (including the first error) is
-    /// schedule-independent.
+    fn eval_comb(&self, gi: usize) -> Result<Vec<NetTiming>, StaError> {
+        let mut outs = Vec::with_capacity(self.gate_outputs(gi).len());
+        self.eval_comb_into(gi, &mut outs)?;
+        Ok(outs)
+    }
+
+    /// Evaluates one level's dirty gates. Wide levels route through
+    /// [`run_trials`] — unconditionally on width, never on the thread
+    /// knob, so recorded trace metrics are thread-count-invariant; with
+    /// `threads == 1` the dispatch degenerates to the serial loop.
+    /// Results are in `list` order either way, so the outcome (including
+    /// the first error) is schedule-independent.
     fn eval_comb_batch(&self, list: &[u32]) -> Vec<Result<Vec<NetTiming>, StaError>> {
-        let threads = if self.threads == 1 {
-            1
-        } else {
-            resolve_threads(self.threads)
-        };
-        if threads > 1 && list.len() >= PARALLEL_GRAIN * threads {
-            run_trials(list.len(), threads, |i| self.eval_comb(list[i] as usize))
+        if list.len() >= MIN_PARALLEL_WIDTH {
+            let workers = if self.threads == 1 {
+                1
+            } else {
+                resolve_threads(self.threads)
+            };
+            run_trials(list.len(), workers, |i| self.eval_comb(list[i] as usize))
         } else {
             list.iter().map(|&g| self.eval_comb(g as usize)).collect()
         }
@@ -433,8 +716,9 @@ impl<'l> Core<'l> {
     /// Writes a gate's freshly evaluated outputs and propagates dirtiness
     /// into the fanout of any output whose arrival or slew changed bits.
     fn apply_outputs(&mut self, gi: usize, outs: Vec<NetTiming>, buckets: &mut [Vec<u32>]) {
-        for (j, nt) in outs.into_iter().enumerate() {
-            let ni = self.gate_outputs[gi][j] as usize;
+        let (o_lo, o_hi) = (self.out_off[gi] as usize, self.out_off[gi + 1] as usize);
+        for (idx, nt) in (o_lo..o_hi).zip(outs) {
+            let ni = self.out_net[idx] as usize;
             let old = self.nets[ni];
             self.nets[ni] = nt;
             if old.arrival.to_bits() == nt.arrival.to_bits()
@@ -442,8 +726,8 @@ impl<'l> Core<'l> {
             {
                 continue; // converged: the cone below is clean
             }
-            for s in 0..self.sinks[ni].len() {
-                let (sg, _) = self.sinks[ni][s];
+            for s in 0..self.sinks.n_sinks(ni) {
+                let (sg, _) = self.sinks.get(ni, s);
                 let sg = sg as usize;
                 // Sequential sinks capture (endpoint below); their launch
                 // does not depend on the data input.
@@ -462,26 +746,214 @@ impl<'l> Core<'l> {
     fn recompute_endpoint(&mut self, e: usize) {
         let net = self.endpoints[e].net.0 as usize;
         let arrival = self.nets[net].arrival;
-        let required = match self.ep_gate[e] {
-            Some(gi) => {
-                let data_slew = self.nets[net].slew;
-                let setup = match &self.arcs[gi] {
-                    GateArcs::Seq { setup, .. } => {
-                        setup.and_then(|a| a.worst_delay(data_slew, self.config.clock_slew).ok())
-                    }
-                    GateArcs::Comb { .. } => None,
-                }
+        let required = if self.ep_gate[e] != NONE_U32 {
+            let gi = self.ep_gate[e] as usize;
+            let data_slew = self.nets[net].slew;
+            let setup = self.setup_arc[gi]
+                .and_then(|a| a.worst_delay(data_slew, self.config.clock_slew).ok())
                 .unwrap_or(self.config.setup_time);
-                self.config.effective_period() - setup
-            }
-            None => self.config.effective_period(),
+            self.config.effective_period() - setup
+        } else {
+            self.config.effective_period()
         };
         self.endpoints[e].arrival = arrival;
         self.endpoints[e].required = required;
     }
 
-    /// Re-propagates everything marked dirty; no-op when clean.
+    /// Re-propagates pending changes: the sharded full sweep when
+    /// [`Core::invalidate_all`] armed it, the dirty-cone path otherwise.
     fn update(&mut self) -> Result<(), StaError> {
+        if self.all_dirty {
+            self.update_full()
+        } else {
+            self.update_incremental()
+        }
+    }
+
+    /// Full propagation through the counting-sort stage schedule, sharded
+    /// across workers on wide stages. Bit-identical to draining an
+    /// everything-dirty incremental update: loads are recomputed in
+    /// ascending net order, gates evaluate against frozen lower-stage
+    /// state in ascending order within each stage, and endpoints refresh
+    /// ascending.
+    fn update_full(&mut self) -> Result<(), StaError> {
+        let tracing = varitune_trace::enabled();
+        self.last_recomputed = 0;
+        // The full sweep subsumes incremental dirt accumulated before the
+        // invalidation; drop it so stale flags cannot leak into the next
+        // incremental update.
+        self.dirty_gates.clear();
+        self.dirty_gate.fill(false);
+        self.dirty_loads.clear();
+        self.dirty_load.fill(false);
+        self.dirty_eps.clear();
+        self.dirty_ep.fill(false);
+
+        // 1. Every net load, ascending (summation order per net is fixed
+        //    by `compute_load`).
+        for ni in 0..self.loads.len() {
+            let load = self.compute_load(ni);
+            self.loads[ni] = load;
+            self.nets[ni].load = load;
+        }
+
+        // 2. Counting-sort stage schedule: stage 0 launches the
+        //    sequential gates, stage `v + 1` is combinational level `v`.
+        //    Gates are ascending within each stage.
+        let n = self.n_gates();
+        let max_level = self.level.iter().copied().max().unwrap_or(0) as usize;
+        let n_stages = max_level + 2;
+        let mut stage_off = vec![0u32; n_stages + 1];
+        {
+            let is_seq = &self.is_seq;
+            let level = &self.level;
+            let stage_of = |gi: usize| {
+                if is_seq[gi] {
+                    0
+                } else {
+                    level[gi] as usize + 1
+                }
+            };
+            for gi in 0..n {
+                stage_off[stage_of(gi) + 1] += 1;
+            }
+            for s in 0..n_stages {
+                stage_off[s + 1] += stage_off[s];
+            }
+        }
+        let mut schedule = vec![0u32; n];
+        {
+            let is_seq = &self.is_seq;
+            let level = &self.level;
+            let mut cursor: Vec<u32> = stage_off[..n_stages].to_vec();
+            for gi in 0..n {
+                let s = if is_seq[gi] {
+                    0
+                } else {
+                    level[gi] as usize + 1
+                };
+                schedule[cursor[s] as usize] = gi as u32;
+                cursor[s] += 1;
+            }
+        }
+
+        // 3. Propagate stage by stage; a stage only reads finalized
+        //    lower-stage state, so each is an independent parallel unit.
+        for s in 0..n_stages {
+            let list = &schedule[stage_off[s] as usize..stage_off[s + 1] as usize];
+            if list.is_empty() {
+                continue;
+            }
+            if tracing && s > 0 {
+                varitune_trace::observe("sta.level_width", list.len() as u64);
+            }
+            self.propagate_stage(list, tracing)?;
+        }
+
+        // 4. Every endpoint, ascending.
+        for e in 0..self.endpoints.len() {
+            self.recompute_endpoint(e);
+        }
+
+        if tracing {
+            varitune_trace::add("sta.updates", 1);
+            varitune_trace::add("sta.full_propagations", 1);
+            varitune_trace::add("sta.gates_recomputed", self.last_recomputed as u64);
+            varitune_trace::observe("sta.dirty_cone", self.last_recomputed as u64);
+        }
+        self.all_dirty = false;
+        Ok(())
+    }
+
+    /// Evaluates one stage of the full sweep. Narrow stages run inline
+    /// with a reusable scratch buffer; wide stages are cut into
+    /// [`SHARD_GATES`]-gate structural shards dispatched via
+    /// [`run_shards`], whose per-shard results the orchestrator merges
+    /// into the global net state in shard order (the boundary-arrival
+    /// exchange). Gates within a stage never read each other's outputs,
+    /// so both paths produce identical bits; after an error the net state
+    /// is unspecified (the caller discards the engine).
+    fn propagate_stage(&mut self, list: &[u32], tracing: bool) -> Result<(), StaError> {
+        if list.len() < MIN_PARALLEL_WIDTH {
+            let mut scratch: Vec<NetTiming> = Vec::with_capacity(4);
+            for &g in list {
+                let gi = g as usize;
+                scratch.clear();
+                self.eval_gate_into(gi, &mut scratch)?;
+                let (o_lo, o_hi) = (self.out_off[gi] as usize, self.out_off[gi + 1] as usize);
+                for (idx, nt) in (o_lo..o_hi).zip(&scratch) {
+                    self.nets[self.out_net[idx] as usize] = *nt;
+                }
+                self.last_recomputed += 1;
+            }
+            return Ok(());
+        }
+
+        let n_shards = list.len().div_ceil(SHARD_GATES);
+        if tracing {
+            // Shard metrics are structural — functions of the schedule
+            // and the graph, never of the worker count.
+            for s in 0..n_shards {
+                let lo = s * SHARD_GATES;
+                let hi = (lo + SHARD_GATES).min(list.len());
+                varitune_trace::observe("sta.shard_occupancy", (hi - lo) as u64);
+                let boundary: usize = list[lo..hi]
+                    .iter()
+                    .map(|&g| {
+                        self.gate_outputs(g as usize)
+                            .iter()
+                            .filter(|&&ni| {
+                                let ni = ni as usize;
+                                self.sinks.n_sinks(ni) > 0
+                                    || self.po_taps[ni] > 0
+                                    || !self.ep_of_net[ni].is_empty()
+                            })
+                            .count()
+                    })
+                    .sum();
+                varitune_trace::observe("sta.boundary_exchange", boundary as u64);
+            }
+        }
+
+        // `threads == 1` stays serial without consulting the machine; the
+        // dispatch itself still runs so traces cannot depend on the knob.
+        let workers = if self.threads == 1 {
+            1
+        } else {
+            resolve_threads(self.threads)
+        };
+        let results = {
+            let this = &*self;
+            run_shards(list.len(), SHARD_GATES, workers, |_, range| {
+                let mut out: Vec<NetTiming> = Vec::with_capacity(range.len() + range.len() / 4);
+                for &g in &list[range] {
+                    this.eval_gate_into(g as usize, &mut out)?;
+                }
+                Ok::<_, StaError>(out)
+            })
+        };
+        // Boundary-arrival exchange: merge each shard's private results
+        // into the global net state, in shard order, so writes — and the
+        // first error — match the serial sweep exactly.
+        for (s, r) in results.into_iter().enumerate() {
+            let vals = r?;
+            let lo = s * SHARD_GATES;
+            let hi = (lo + SHARD_GATES).min(list.len());
+            let mut vi = 0usize;
+            for &g in &list[lo..hi] {
+                let gi = g as usize;
+                for idx in self.out_off[gi] as usize..self.out_off[gi + 1] as usize {
+                    self.nets[self.out_net[idx] as usize] = vals[vi];
+                    vi += 1;
+                }
+                self.last_recomputed += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-propagates everything marked dirty; no-op when clean.
+    fn update_incremental(&mut self) -> Result<(), StaError> {
         self.last_recomputed = 0;
         let tracing = varitune_trace::enabled();
 
@@ -498,8 +970,9 @@ impl<'l> Core<'l> {
                 if new.to_bits() != self.loads[ni].to_bits() {
                     self.loads[ni] = new;
                     self.nets[ni].load = new;
-                    if let Some((g, _)) = self.driver[ni] {
-                        self.mark_gate_dirty(g as usize);
+                    let d = self.driver[ni];
+                    if d != NONE_U32 {
+                        self.mark_gate_dirty(d as usize);
                     }
                 }
             }
@@ -575,90 +1048,138 @@ impl<'l> Core<'l> {
         }
         Ok(())
     }
-}
 
-/// Resolves gate `gi`'s cell, timing arcs and input-pin capacitances under
-/// the typed `cell` id — a bounds check plus direct indexing, no name
-/// lookup — surfacing the same errors (with the same gate index) the full
-/// analysis would.
-fn intern_gate<'l>(
-    lib: &'l Library,
-    nl: &Netlist,
-    gi: usize,
-    cell: CellId,
-) -> Result<(usize, GateArcs<'l>, Vec<f64>), StaError> {
-    let g = &nl.gates[gi];
-    let ci = cell.index();
-    if ci >= lib.cells.len() {
-        return Err(StaError::UnknownCell {
-            gate: gi,
-            name: format!("cell#{}", cell.0),
-        });
+    /// Appends the CSR row of a freshly added gate (levels are rebuilt by
+    /// the caller via [`Core::compute_levels`]).
+    fn push_gate_row(&mut self, ic: &InternedCell<'l>, seq: bool, ins: &[u32], outs: &[u32]) {
+        self.cell_idx.push(ic.ci);
+        self.is_seq.push(seq);
+        self.in_net.extend_from_slice(ins);
+        self.in_cap.extend_from_slice(&ic.caps);
+        self.in_off.push(self.in_net.len() as u32);
+        self.out_net.extend_from_slice(outs);
+        self.out_off.push(self.out_net.len() as u32);
+        self.arcs.extend_from_slice(&ic.arcs);
+        self.arc_off.push(self.arcs.len() as u32);
+        self.setup_arc.push(ic.setup);
+        self.seq_ep.push(NONE_U32);
+        self.dirty_gate.push(false);
     }
-    let cell = &lib.cells[ci];
-    let missing = || StaError::MissingArc {
-        gate: gi,
-        cell: cell.name.clone(),
-    };
-
-    // Input-pin capacitances, positionally; a missing pin contributes 0,
-    // exactly like `MappedDesign::net_loads`.
-    let pins: Vec<_> = cell.input_pins().collect();
-    let caps: Vec<f64> = (0..g.inputs.len())
-        .map(|k| pins.get(k).map_or(0.0, |p| p.capacitance))
-        .collect();
-
-    let ga = if g.kind.is_sequential() {
-        let mut launch = Vec::with_capacity(g.outputs.len());
-        for j in 0..g.outputs.len() {
-            let pin = cell.output_pins().nth(j).ok_or_else(missing)?;
-            launch.push(pin.timing.first().ok_or_else(missing)?);
-        }
-        let setup = cell
-            .input_pins()
-            .find(|p| {
-                p.timing
-                    .iter()
-                    .any(|a| a.timing_type == TimingType::SetupRising)
-            })
-            .and_then(|p| {
-                p.timing
-                    .iter()
-                    .find(|a| a.timing_type == TimingType::SetupRising)
-            });
-        GateArcs::Seq { launch, setup }
-    } else {
-        if pins.len() < g.inputs.len() {
-            return Err(missing());
-        }
-        let mut per_output = Vec::with_capacity(g.outputs.len());
-        for j in 0..g.outputs.len() {
-            let pin = cell.output_pins().nth(j).ok_or_else(missing)?;
-            let mut row = Vec::with_capacity(g.inputs.len());
-            for input_pin in pins.iter().take(g.inputs.len()) {
-                let arc = pin
-                    .timing
-                    .iter()
-                    .find(|a| a.related_pin == input_pin.name)
-                    .ok_or_else(missing)?;
-                row.push(arc);
-            }
-            per_output.push(row);
-        }
-        GateArcs::Comb { per_output }
-    };
-    Ok((ci, ga, caps))
 }
 
-/// Build-once incremental timing engine over an owned [`MappedDesign`].
+/// Splits the fanout of `net` behind an INV→INV pair — the engine-side
+/// half of [`TimingGraph::split_fanout_id`], generic over the netlist
+/// storage so the AoS and SoA forms take the identical code path.
+fn split_fanout_impl<'l, V: NetlistEdit>(
+    core: &mut Core<'l>,
+    nl: &mut V,
+    cells: &mut Vec<CellId>,
+    net: NetId,
+    inv_cell: CellId,
+) -> Result<(usize, usize), StaError> {
+    let ni = net.0 as usize;
+    let all: Vec<(u32, u32)> = core.sinks.row(ni).to_vec();
+    let moved: Vec<(u32, u32)> = all[all.len() / 2..].to_vec();
+
+    let n_nets0 = nl.net_count();
+    let base = nl.net_name(net).to_string();
+    let mid = nl.add_net_named(format!("{base}_bufm"));
+    let out = nl.add_net_named(format!("{base}_bufo"));
+    for &(g, k) in &moved {
+        nl.set_gate_input(g as usize, k as usize, out);
+    }
+    let g1 = nl.add_gate_at_end(GateKind::Inv, &[net], &[mid]);
+    let g2 = nl.add_gate_at_end(GateKind::Inv, &[mid], &[out]);
+    cells.push(inv_cell);
+    cells.push(inv_cell);
+
+    // Intern the new inverters (validates `inv_cell`; on failure the
+    // netlist edit must be undone to keep the engine consistent).
+    let interned = intern_cell(core.lib, g1, inv_cell, 1, 1, false)
+        .and_then(|a| intern_cell(core.lib, g2, inv_cell, 1, 1, false).map(|b| (a, b)));
+    let (ic1, ic2) = match interned {
+        Ok(v) => v,
+        Err(e) => {
+            nl.truncate_to(g1, n_nets0);
+            cells.truncate(g1);
+            for &(g, k) in &moved {
+                nl.set_gate_input(g as usize, k as usize, net);
+            }
+            return Err(e);
+        }
+    };
+
+    let (mi, oi) = (mid.0 as usize, out.0 as usize);
+    // Per-net rows for `mid` and `out` (in id order).
+    core.sinks.add_row(&[(g2 as u32, 0)]);
+    core.sinks.add_row(&moved);
+    for _ in 0..2 {
+        core.po_taps.push(0);
+        core.driver.push(NONE_U32);
+        core.ep_of_net.push(Vec::new());
+        core.loads.push(0.0);
+        core.load_override.push(None);
+        core.nets.push(NetTiming::unpropagated());
+        core.dirty_load.push(false);
+    }
+    core.driver[mi] = g1 as u32;
+    core.driver[oi] = g2 as u32;
+    core.sinks.truncate(ni, all.len() / 2);
+    core.sinks.push(ni, (g1 as u32, 0));
+    for &(g, k) in &moved {
+        let i0 = core.in_off[g as usize] as usize;
+        core.in_net[i0 + k as usize] = out.0;
+    }
+
+    // Per-gate CSR rows for the two inverters.
+    core.push_gate_row(&ic1, false, &[net.0], &[mid.0]);
+    core.push_gate_row(&ic2, false, &[mid.0], &[out.0]);
+
+    // Endpoints attached to moved flip-flop data inputs follow their net.
+    for &(g, _) in &moved {
+        let e = core.seq_ep[g as usize];
+        if e != NONE_U32 {
+            let e = e as usize;
+            core.endpoints[e].net = out;
+            core.ep_of_net[ni].retain(|&x| x as usize != e);
+            core.ep_of_net[oi].push(e as u32);
+            core.mark_ep_dirty(e);
+        }
+    }
+
+    // Structure changed: re-level before marking dirt.
+    core.compute_levels()?;
+    core.mark_load_dirty(ni);
+    core.mark_load_dirty(mi);
+    core.mark_load_dirty(oi);
+    core.mark_gate_dirty(g1);
+    core.mark_gate_dirty(g2);
+    for &(g, _) in &moved {
+        if !core.is_seq[g as usize] {
+            core.mark_gate_dirty(g as usize);
+        }
+    }
+    Ok((g1, g2))
+}
+
+/// The design a [`TimingGraph`] owns: either the pointer-rich AoS form or
+/// the arena/SoA form. Both expose the same cell binding; the engine core
+/// never looks inside after build.
+enum DesignStore {
+    Mapped(MappedDesign),
+    Soa(SoaDesign),
+}
+
+/// Build-once incremental timing engine over an owned design.
 ///
-/// Construct with [`TimingGraph::new`] (which runs a full propagation),
-/// then apply local edits and call [`TimingGraph::update`]; queries like
-/// [`TimingGraph::report`], [`TimingGraph::load`] and
+/// Construct with [`TimingGraph::new`] (AoS [`MappedDesign`]) or
+/// [`TimingGraph::new_soa`] (arena/SoA [`SoaDesign`]) — both run a full
+/// propagation — then apply local edits and call [`TimingGraph::update`];
+/// queries like [`TimingGraph::report`], [`TimingGraph::load`] and
 /// [`TimingGraph::net_timing`] return the state **as of the last
 /// `update`** — edits are not visible in timing values until then.
 pub struct TimingGraph<'l> {
-    design: MappedDesign,
+    store: DesignStore,
     core: Core<'l>,
 }
 
@@ -683,7 +1204,38 @@ impl<'l> TimingGraph<'l> {
             config,
         )?;
         core.update()?;
-        Ok(Self { design, core })
+        Ok(Self {
+            store: DesignStore::Mapped(design),
+            core,
+        })
+    }
+
+    /// Builds the engine over an arena/SoA design and runs the initial
+    /// full propagation. The result is bit-identical to
+    /// [`TimingGraph::new`] on the AoS form of the same design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError`] under the same conditions as
+    /// [`TimingGraph::new`].
+    pub fn new_soa(
+        design: SoaDesign,
+        lib: &'l Library,
+        config: &StaConfig,
+    ) -> Result<Self, StaError> {
+        design.netlist.validate()?;
+        let mut core = Core::build(
+            &design.netlist,
+            &design.cells,
+            design.wire_model,
+            lib,
+            config,
+        )?;
+        core.update()?;
+        Ok(Self {
+            store: DesignStore::Soa(design),
+            core,
+        })
     }
 
     /// Worker threads for within-level propagation (`0` = all available
@@ -692,14 +1244,45 @@ impl<'l> TimingGraph<'l> {
         self.core.threads = threads;
     }
 
+    fn cells(&self) -> &[CellId] {
+        match &self.store {
+            DesignStore::Mapped(d) => &d.cells,
+            DesignStore::Soa(d) => &d.cells,
+        }
+    }
+
     /// The design in its current (edited) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine was built with [`TimingGraph::new_soa`];
+    /// use [`TimingGraph::soa_design`] there.
     pub fn design(&self) -> &MappedDesign {
-        &self.design
+        match &self.store {
+            DesignStore::Mapped(d) => d,
+            DesignStore::Soa(_) => panic!("engine owns a SoaDesign; use soa_design()"),
+        }
+    }
+
+    /// The arena/SoA design in its current (edited) state, when the
+    /// engine was built with [`TimingGraph::new_soa`].
+    pub fn soa_design(&self) -> Option<&SoaDesign> {
+        match &self.store {
+            DesignStore::Soa(d) => Some(d),
+            DesignStore::Mapped(_) => None,
+        }
     }
 
     /// Consumes the engine, returning the edited design.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine was built with [`TimingGraph::new_soa`].
     pub fn into_design(self) -> MappedDesign {
-        self.design
+        match self.store {
+            DesignStore::Mapped(d) => d,
+            DesignStore::Soa(_) => panic!("engine owns a SoaDesign; use soa_design()"),
+        }
     }
 
     /// The library the engine was built against.
@@ -714,18 +1297,18 @@ impl<'l> TimingGraph<'l> {
 
     /// Number of gates (grows as buffers are inserted).
     pub fn gate_count(&self) -> usize {
-        self.design.netlist.gates.len()
+        self.core.n_gates()
     }
 
     /// Cell name of gate `gi`, resolved through the library (ids always
     /// resolve here: they were validated when the gate was interned).
     pub fn cell_name(&self, gi: usize) -> &str {
-        &self.core.lib.cells[self.core.cell_idx[gi]].name
+        &self.core.lib.cells[self.core.cell_idx[gi] as usize].name
     }
 
     /// Cell id of gate `gi`.
     pub fn cell_id(&self, gi: usize) -> CellId {
-        self.design.cells[gi]
+        self.cells()[gi]
     }
 
     /// Load on `net` as of the last [`TimingGraph::update`].
@@ -761,12 +1344,13 @@ impl<'l> TimingGraph<'l> {
     /// reflects edits immediately.
     pub fn fanout(&self, net: NetId) -> usize {
         let ni = net.0 as usize;
-        self.core.sinks[ni].len() + self.core.po_taps[ni] as usize
+        self.core.sinks.n_sinks(ni) + self.core.po_taps[ni] as usize
     }
 
     /// Driving gate of `net`; reflects edits immediately.
     pub fn driver(&self, net: NetId) -> Option<usize> {
-        self.core.driver[net.0 as usize].map(|(g, _)| g as usize)
+        let d = self.core.driver[net.0 as usize];
+        (d != NONE_U32).then_some(d as usize)
     }
 
     /// Gates re-evaluated by the last [`TimingGraph::update`] — the dirty
@@ -787,7 +1371,8 @@ impl<'l> TimingGraph<'l> {
         }
     }
 
-    /// Re-propagates the dirty cone; cheap no-op when nothing changed.
+    /// Re-propagates the dirty cone (or runs the sharded full sweep after
+    /// [`TimingGraph::invalidate_all`]); cheap no-op when nothing changed.
     ///
     /// # Errors
     ///
@@ -798,7 +1383,8 @@ impl<'l> TimingGraph<'l> {
     }
 
     /// Marks the whole graph dirty so the next [`TimingGraph::update`] is
-    /// a full propagation — used by benches to time full re-analysis.
+    /// a full propagation through the sharded stage schedule — used by
+    /// benches to time full re-analysis.
     pub fn invalidate_all(&mut self) {
         self.core.invalidate_all();
     }
@@ -823,29 +1409,41 @@ impl<'l> TimingGraph<'l> {
     }
 
     /// Id-based [`TimingGraph::resize_gate`] — the sizing-loop entry
-    /// point: no name lookup, no string compare.
+    /// point: no name lookup, no string compare, and (because gate shape
+    /// lives in the CSR) no netlist access at all.
     ///
     /// # Errors
     ///
     /// As [`TimingGraph::resize_gate`]; an out-of-range id reports
     /// [`StaError::UnknownCell`] with a `cell#<id>` label.
     pub fn resize_gate_id(&mut self, gi: usize, cell: CellId) -> Result<(), StaError> {
-        if self.design.cells[gi] == cell {
+        if self.cells()[gi] == cell {
             return Ok(());
         }
-        let (ci, ga, caps) = intern_gate(self.core.lib, &self.design.netlist, gi, cell)?;
-        self.design.cells[gi] = cell;
-        self.core.cell_idx[gi] = ci;
-        self.core.arcs[gi] = ga;
-        self.core.input_caps[gi] = caps;
-        for k in 0..self.core.gate_inputs[gi].len() {
-            let inp = self.core.gate_inputs[gi][k] as usize;
-            self.core.mark_load_dirty(inp);
+        let n_in = self.core.gate_inputs(gi).len();
+        let n_out = self.core.gate_outputs(gi).len();
+        let seq = self.core.is_seq[gi];
+        let ic = intern_cell(self.core.lib, gi, cell, n_in, n_out, seq)?;
+        match &mut self.store {
+            DesignStore::Mapped(d) => d.cells[gi] = cell,
+            DesignStore::Soa(d) => d.cells[gi] = cell,
         }
-        self.core.mark_gate_dirty(gi);
-        if let Some(e) = self.core.seq_ep[gi] {
+        let core = &mut self.core;
+        core.cell_idx[gi] = ic.ci;
+        let a0 = core.arc_off[gi] as usize;
+        core.arcs[a0..a0 + ic.arcs.len()].copy_from_slice(&ic.arcs);
+        let i0 = core.in_off[gi] as usize;
+        core.in_cap[i0..i0 + ic.caps.len()].copy_from_slice(&ic.caps);
+        core.setup_arc[gi] = ic.setup;
+        for k in 0..n_in {
+            let inp = core.in_net[i0 + k] as usize;
+            core.mark_load_dirty(inp);
+        }
+        core.mark_gate_dirty(gi);
+        if core.seq_ep[gi] != NONE_U32 {
             // The setup constraint arc changed with the cell.
-            self.core.mark_ep_dirty(e as usize);
+            let e = core.seq_ep[gi] as usize;
+            core.mark_ep_dirty(e);
         }
         Ok(())
     }
@@ -868,7 +1466,7 @@ impl<'l> TimingGraph<'l> {
     /// [`StaError::UnknownCell`]/[`StaError::MissingArc`] if `inv_cell`
     /// cannot be interned; the engine is unchanged on error.
     pub fn split_fanout(&mut self, net: NetId, inv_cell: &str) -> Result<(usize, usize), StaError> {
-        let gate = self.design.netlist.gates.len();
+        let gate = self.core.n_gates();
         let id = self
             .core
             .lib
@@ -891,109 +1489,15 @@ impl<'l> TimingGraph<'l> {
         net: NetId,
         inv_cell: CellId,
     ) -> Result<(usize, usize), StaError> {
-        let ni = net.0 as usize;
-        let all = self.core.sinks[ni].clone();
-        let moved: Vec<(u32, u32)> = all[all.len() / 2..].to_vec();
-
-        let nl = &mut self.design.netlist;
-        let mid = nl.add_net(format!("{}_bufm", nl.net_name(net)));
-        let out = nl.add_net(format!("{}_bufo", nl.net_name(net)));
-        for &(g, k) in &moved {
-            nl.gates[g as usize].inputs[k as usize] = out;
-        }
-        let g1 = nl.gates.len();
-        nl.add_gate(GateKind::Inv, vec![net], vec![mid]);
-        let g2 = nl.gates.len();
-        nl.add_gate(GateKind::Inv, vec![mid], vec![out]);
-        self.design.cells.push(inv_cell);
-        self.design.cells.push(inv_cell);
-
-        // Intern the new inverters (validates `inv_cell`; on failure the
-        // netlist edit must be undone to keep the engine consistent).
-        let interned =
-            intern_gate(self.core.lib, &self.design.netlist, g1, inv_cell).and_then(|a| {
-                intern_gate(self.core.lib, &self.design.netlist, g2, inv_cell).map(|b| (a, b))
-            });
-        let ((ci1, ga1, caps1), (ci2, ga2, caps2)) = match interned {
-            Ok(v) => v,
-            Err(e) => {
-                let nl = &mut self.design.netlist;
-                nl.gates.truncate(g1);
-                nl.nets.truncate(mid.0 as usize);
-                self.design.cells.truncate(g1);
-                for &(g, k) in &moved {
-                    self.design.netlist.gates[g as usize].inputs[k as usize] = net;
-                }
-                return Err(e);
+        let Self { store, core } = self;
+        match store {
+            DesignStore::Mapped(d) => {
+                split_fanout_impl(core, &mut d.netlist, &mut d.cells, net, inv_cell)
             }
-        };
-
-        let core = &mut self.core;
-        // Per-net arrays for `mid` and `out`.
-        for _ in 0..2 {
-            core.sinks.push(Vec::new());
-            core.po_taps.push(0);
-            core.driver.push(None);
-            core.ep_of_net.push(Vec::new());
-            core.loads.push(0.0);
-            core.load_override.push(None);
-            core.nets.push(NetTiming::unpropagated());
-            core.dirty_load.push(false);
-        }
-        let (mi, oi) = (mid.0 as usize, out.0 as usize);
-        core.driver[mi] = Some((g1 as u32, 0));
-        core.driver[oi] = Some((g2 as u32, 0));
-        core.sinks[mi] = vec![(g2 as u32, 0)];
-        core.sinks[oi] = moved.clone();
-        core.sinks[ni].truncate(all.len() / 2);
-        core.sinks[ni].push((g1 as u32, 0));
-        for &(g, k) in &moved {
-            core.gate_inputs[g as usize][k as usize] = out.0;
-        }
-
-        // Per-gate arrays for the two inverters.
-        core.cell_idx.push(ci1);
-        core.cell_idx.push(ci2);
-        core.is_seq.push(false);
-        core.is_seq.push(false);
-        core.arcs.push(ga1);
-        core.arcs.push(ga2);
-        core.input_caps.push(caps1);
-        core.input_caps.push(caps2);
-        core.gate_inputs.push(vec![net.0]);
-        core.gate_inputs.push(vec![mid.0]);
-        core.gate_outputs.push(vec![mid.0]);
-        core.gate_outputs.push(vec![out.0]);
-        core.seq_ep.push(None);
-        core.seq_ep.push(None);
-        core.dirty_gate.push(false);
-        core.dirty_gate.push(false);
-
-        // Endpoints attached to moved flip-flop data inputs follow their
-        // net.
-        for &(g, _) in &moved {
-            if let Some(e) = core.seq_ep[g as usize] {
-                let e = e as usize;
-                core.endpoints[e].net = out;
-                core.ep_of_net[ni].retain(|&x| x as usize != e);
-                core.ep_of_net[oi].push(e as u32);
-                core.mark_ep_dirty(e);
+            DesignStore::Soa(d) => {
+                split_fanout_impl(core, &mut d.netlist, &mut d.cells, net, inv_cell)
             }
         }
-
-        // Structure changed: re-level before marking dirt.
-        core.compute_levels()?;
-        core.mark_load_dirty(ni);
-        core.mark_load_dirty(mi);
-        core.mark_load_dirty(oi);
-        core.mark_gate_dirty(g1);
-        core.mark_gate_dirty(g2);
-        for &(g, _) in &moved {
-            if !core.is_seq[g as usize] {
-                core.mark_gate_dirty(g as usize);
-            }
-        }
-        Ok((g1, g2))
     }
 
     /// Backward required-time propagation over the interned graph,
@@ -1012,24 +1516,23 @@ impl<'l> TimingGraph<'l> {
         }
         // Any reverse topological order gives bit-identical results (the
         // per-net fold is a min); descending level is one.
-        let mut order: Vec<u32> = (0..core.cell_idx.len() as u32)
+        let mut order: Vec<u32> = (0..core.n_gates() as u32)
             .filter(|&g| !core.is_seq[g as usize])
             .collect();
         order.sort_unstable_by_key(|&g| (core.level[g as usize], g));
         for &g in order.iter().rev() {
             let gi = g as usize;
-            let GateArcs::Comb { per_output } = &core.arcs[gi] else {
-                unreachable!("order holds combinational gates only");
-            };
-            for (j, input_arcs) in per_output.iter().enumerate() {
-                let out = core.gate_outputs[gi][j] as usize;
-                let out_req = req[out];
+            let ins = core.gate_inputs(gi);
+            let n_in = ins.len();
+            let arcs = core.gate_arcs(gi);
+            for (j, &out) in core.gate_outputs(gi).iter().enumerate() {
+                let out_req = req[out as usize];
                 if !out_req.is_finite() {
                     continue;
                 }
-                let load = core.nets[out].load;
-                for (k, arc) in input_arcs.iter().enumerate() {
-                    let inp = core.gate_inputs[gi][k] as usize;
+                let load = core.nets[out as usize].load;
+                for (k, &arc) in arcs[j * n_in..(j + 1) * n_in].iter().enumerate() {
+                    let inp = ins[k] as usize;
                     let delay = arc.worst_delay(core.nets[inp].slew, load)?;
                     let r = &mut req[inp];
                     *r = r.min(out_req - delay);
@@ -1069,7 +1572,7 @@ mod tests {
     use crate::graph::analyze;
     use crate::mapped::WireModel;
     use varitune_libchar::{generate_nominal, GenerateConfig};
-    use varitune_netlist::{GateKind, Netlist};
+    use varitune_netlist::{GateKind, Netlist, SoaNetlist};
 
     fn lib() -> Library {
         generate_nominal(&GenerateConfig::small_for_tests())
@@ -1266,16 +1769,13 @@ mod tests {
         assert_reports_bit_identical(&engine.report(), &before);
     }
 
-    #[test]
-    fn parallel_levels_are_bit_identical() {
-        let lib = lib();
-        let cfg = StaConfig::with_clock_period(5.0);
-        // Wide design: enough independent inverters in one level to cross
-        // the per-worker grain at 8 threads (1024 * 8 = 8192).
+    /// One wide level: enough independent inverters to cross
+    /// `MIN_PARALLEL_WIDTH` and span many `SHARD_GATES` shards.
+    fn wide(n: usize, lib: &Library) -> MappedDesign {
         let mut nl = Netlist::new("wide");
         let a = nl.add_input("a");
         let mut names = Vec::new();
-        for i in 0..8448 {
+        for i in 0..n {
             let z = nl.add_net(format!("z{i}"));
             nl.add_gate(GateKind::Inv, vec![a], vec![z]);
             nl.mark_output(z);
@@ -1285,7 +1785,17 @@ mod tests {
                 "INV_2".into()
             });
         }
-        let d = MappedDesign::from_names(nl, &names, &lib, WireModel::default()).unwrap();
+        MappedDesign::from_names(nl, &names, lib, WireModel::default()).unwrap()
+    }
+
+    #[test]
+    fn parallel_levels_are_bit_identical() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(5.0);
+        // 8448 gates in one level: well past MIN_PARALLEL_WIDTH (2048),
+        // 33 structural shards — the full sweep takes the run_shards
+        // dispatch at every thread count.
+        let d = wide(8448, &lib);
         let reference = TimingGraph::new(d.clone(), &lib, &cfg).unwrap().report();
         for threads in [2, 8] {
             let mut engine = TimingGraph::new(d.clone(), &lib, &cfg).unwrap();
@@ -1294,5 +1804,70 @@ mod tests {
             engine.update().unwrap();
             assert_reports_bit_identical(&engine.report(), &reference);
         }
+    }
+
+    #[test]
+    fn wide_incremental_updates_are_bit_identical() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(5.0);
+        // Dirty every gate of the wide level through load overrides so the
+        // *incremental* path (eval_comb_batch -> run_trials) crosses
+        // MIN_PARALLEL_WIDTH; results must agree across thread counts.
+        let d = wide(3000, &lib);
+        let run = |threads: usize| {
+            let mut engine = TimingGraph::new(d.clone(), &lib, &cfg).unwrap();
+            engine.set_threads(threads);
+            for gi in 0..engine.gate_count() {
+                let out = NetId(engine.design().netlist.gates[gi].outputs[0].0);
+                engine.set_load(out, Some(0.031));
+            }
+            engine.update().unwrap();
+            assert_eq!(engine.gates_recomputed_in_last_update(), 3000);
+            engine.report()
+        };
+        let one = run(1);
+        assert_reports_bit_identical(&one, &run(2));
+        assert_reports_bit_identical(&one, &run(8));
+    }
+
+    #[test]
+    fn soa_engine_matches_mapped_engine_through_edits() {
+        let lib = lib();
+        let cfg = StaConfig::with_clock_period(5.0);
+        // Mixed fanout + flip-flops, analyzed through both storage forms.
+        let mut nl = Netlist::new("soa_eq");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        nl.add_gate(GateKind::Inv, vec![a], vec![x]);
+        let mut names = vec!["INV_1".to_string()];
+        for i in 0..6 {
+            let z = nl.add_net(format!("z{i}"));
+            nl.add_gate(GateKind::Inv, vec![x], vec![z]);
+            names.push("INV_2".into());
+            let q = nl.add_net(format!("q{i}"));
+            nl.add_gate(GateKind::Dff, vec![z], vec![q]);
+            nl.mark_output(q);
+            names.push("DF_1".into());
+        }
+        let d = MappedDesign::from_names(nl, &names, &lib, WireModel::default()).unwrap();
+        let soa = SoaDesign::new(
+            SoaNetlist::from_netlist(&d.netlist),
+            d.cells.clone(),
+            d.wire_model,
+        );
+        let mut aos_engine = TimingGraph::new(d, &lib, &cfg).unwrap();
+        let mut soa_engine = TimingGraph::new_soa(soa, &lib, &cfg).unwrap();
+        assert!(soa_engine.soa_design().is_some());
+        assert_reports_bit_identical(&aos_engine.report(), &soa_engine.report());
+        // The same edit sequence through both forms stays bit-identical:
+        // resize, buffer the fanout net, update.
+        for engine in [&mut aos_engine, &mut soa_engine] {
+            engine.resize_gate(3, "INV_8").unwrap();
+            engine.split_fanout(x, "INV_2").unwrap();
+            engine.update().unwrap();
+        }
+        assert_reports_bit_identical(&aos_engine.report(), &soa_engine.report());
+        // The SoA netlist stayed structurally valid through the edits.
+        soa_engine.soa_design().unwrap().netlist.validate().unwrap();
     }
 }

@@ -13,11 +13,11 @@
 //! fastest (minimum) arc delays, and the *steepest* slew (which produces
 //! the smallest delays, making the check conservative).
 
-use varitune_liberty::Library;
-use varitune_netlist::NetId;
+use varitune_liberty::{Cell, CellId, Library};
+use varitune_netlist::{NetId, NetlistView, ValidateNetlistError};
 
-use crate::graph::{topo_order, StaConfig, StaError};
-use crate::mapped::MappedDesign;
+use crate::graph::{StaConfig, StaError};
+use crate::mapped::{net_loads_view, MappedDesign, SoaDesign, WireModel};
 
 /// Hold-check configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,27 +108,115 @@ pub fn analyze_hold(
     lib: &Library,
     config: &HoldConfig,
 ) -> Result<HoldReport, StaError> {
-    let nl = &design.netlist;
-    nl.validate()?;
-    let loads = design.net_loads(lib);
+    design.netlist.validate()?;
+    analyze_hold_view(
+        &design.netlist,
+        &design.cells,
+        design.wire_model,
+        lib,
+        config,
+    )
+}
 
-    let mut arrival = vec![f64::INFINITY; nl.nets.len()];
-    let mut slew = vec![0.0f64; nl.nets.len()];
-    for &pi in &nl.primary_inputs {
+/// [`analyze_hold`] over the arena/SoA design form — same propagation
+/// through the same view-generic core, so the two forms of one design
+/// report bit-identical hold slacks.
+///
+/// # Errors
+///
+/// Returns [`StaError`] under the same conditions as [`analyze_hold`].
+pub fn analyze_hold_soa(
+    design: &SoaDesign,
+    lib: &Library,
+    config: &HoldConfig,
+) -> Result<HoldReport, StaError> {
+    design.netlist.validate()?;
+    analyze_hold_view(
+        &design.netlist,
+        &design.cells,
+        design.wire_model,
+        lib,
+        config,
+    )
+}
+
+/// Topological order of the combinational gates over any netlist view —
+/// the view-generic sibling of `graph::topo_order`. Any topological order
+/// gives bit-identical hold results (each gate reads only finalized
+/// inputs and folds them in input order), but this mirrors the original's
+/// Kahn traversal anyway.
+fn topo_order_view<V: NetlistView>(nl: &V) -> Result<Vec<usize>, StaError> {
+    let n = nl.gate_count();
+    let mut driver = vec![usize::MAX; nl.net_count()];
+    for gi in 0..n {
+        for &out in nl.gate_outputs(gi) {
+            driver[out.0 as usize] = gi;
+        }
+    }
+    let is_comb = |gi: usize| !nl.gate_kind(gi).is_sequential();
+    let mut indeg = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (gi, deg) in indeg.iter_mut().enumerate() {
+        if !is_comb(gi) {
+            continue;
+        }
+        for &inp in nl.gate_inputs(gi) {
+            let src = driver[inp.0 as usize];
+            if src != usize::MAX && is_comb(src) {
+                *deg += 1;
+                succs[src].push(gi);
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&gi| is_comb(gi) && indeg[gi] == 0).collect();
+    let mut order = Vec::with_capacity(queue.len());
+    while let Some(gi) = queue.pop() {
+        order.push(gi);
+        for &s in &succs[gi] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    let comb_count = (0..n).filter(|&gi| is_comb(gi)).count();
+    if order.len() != comb_count {
+        return Err(StaError::Netlist(
+            ValidateNetlistError::CombinationalCycle {
+                net: "unknown".to_string(),
+            },
+        ));
+    }
+    Ok(order)
+}
+
+/// The hold propagation itself, generic over netlist storage.
+fn analyze_hold_view<V: NetlistView>(
+    nl: &V,
+    cells: &[CellId],
+    wire_model: WireModel,
+    lib: &Library,
+    config: &HoldConfig,
+) -> Result<HoldReport, StaError> {
+    let loads = net_loads_view(nl, cells, wire_model, lib);
+    let cell_of = |gi: usize| -> Option<&Cell> { lib.cells.get(cells[gi].index()) };
+    let unknown = |gi: usize| StaError::UnknownCell {
+        gate: gi,
+        name: format!("cell#{}", cells[gi].0),
+    };
+
+    let mut arrival = vec![f64::INFINITY; nl.net_count()];
+    let mut slew = vec![0.0f64; nl.net_count()];
+    for &pi in nl.primary_inputs() {
         arrival[pi.0 as usize] = 0.0;
         slew[pi.0 as usize] = config.input_slew;
     }
-    for (gi, g) in nl.gates.iter().enumerate() {
-        if !g.kind.is_sequential() {
+    for gi in 0..nl.gate_count() {
+        if !nl.gate_kind(gi).is_sequential() {
             continue;
         }
-        let cell = design
-            .cell_of(gi, lib)
-            .ok_or_else(|| StaError::UnknownCell {
-                gate: gi,
-                name: design.cell_label(gi, lib),
-            })?;
-        for (j, &out) in g.outputs.iter().enumerate() {
+        let cell = cell_of(gi).ok_or_else(|| unknown(gi))?;
+        for (j, &out) in nl.gate_outputs(gi).iter().enumerate() {
             let pin = cell.output_pins().nth(j).ok_or(StaError::MissingArc {
                 gate: gi,
                 cell: cell.name.clone(),
@@ -143,16 +231,10 @@ pub fn analyze_hold(
         }
     }
 
-    for gi in topo_order(nl)? {
-        let g = &nl.gates[gi];
-        let cell = design
-            .cell_of(gi, lib)
-            .ok_or_else(|| StaError::UnknownCell {
-                gate: gi,
-                name: design.cell_label(gi, lib),
-            })?;
+    for gi in topo_order_view(nl)? {
+        let cell = cell_of(gi).ok_or_else(|| unknown(gi))?;
         let input_pin_names: Vec<&str> = cell.input_pins().map(|p| p.name.as_str()).collect();
-        for (j, &out) in g.outputs.iter().enumerate() {
+        for (j, &out) in nl.gate_outputs(gi).iter().enumerate() {
             let pin = cell.output_pins().nth(j).ok_or(StaError::MissingArc {
                 gate: gi,
                 cell: cell.name.clone(),
@@ -160,7 +242,7 @@ pub fn analyze_hold(
             let load = loads[out.0 as usize];
             let mut best_arr = f64::INFINITY;
             let mut best_slew = f64::INFINITY;
-            for (k, &inp) in g.inputs.iter().enumerate() {
+            for (k, &inp) in nl.gate_inputs(gi).iter().enumerate() {
                 let arc = pin
                     .timing
                     .iter()
@@ -184,16 +266,15 @@ pub fn analyze_hold(
     // The hold requirement comes from the capturing flip-flop's
     // characterized HoldRising arc when present.
     let mut endpoints = Vec::new();
-    for (gi, g) in nl.gates.iter().enumerate() {
-        if g.kind.is_sequential() {
-            let Some(&d) = g.inputs.first() else {
+    for gi in 0..nl.gate_count() {
+        if nl.gate_kind(gi).is_sequential() {
+            let Some(&d) = nl.gate_inputs(gi).first() else {
                 return Err(StaError::MalformedGate {
                     gate: gi,
                     reason: "sequential gate has no data input".into(),
                 });
             };
-            let hold_time = design
-                .cell_of(gi, lib)
+            let hold_time = cell_of(gi)
                 .and_then(|cell| {
                     crate::graph::constraint_of(
                         cell,
@@ -322,6 +403,24 @@ mod tests {
         let ep2 = r2.endpoints.iter().max_by_key(|e| e.gate).expect("two FFs");
         assert_eq!(ep2.hold_time, 10.0);
         assert!(ep2.slack() < 0.0);
+    }
+
+    #[test]
+    fn soa_hold_matches_mapped_hold_bit_for_bit() {
+        let lib = lib();
+        let d = reg_chain(5);
+        let soa = SoaDesign::new(
+            varitune_netlist::SoaNetlist::from_netlist(&d.netlist),
+            d.cells.clone(),
+            d.wire_model,
+        );
+        let a = analyze_hold(&d, &lib, &HoldConfig::default()).unwrap();
+        let b = analyze_hold_soa(&soa, &lib, &HoldConfig::default()).unwrap();
+        assert_eq!(a.min_arrivals.len(), b.min_arrivals.len());
+        for (i, (x, y)) in a.min_arrivals.iter().zip(&b.min_arrivals).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "net {i}");
+        }
+        assert_eq!(a.endpoints, b.endpoints);
     }
 
     #[test]

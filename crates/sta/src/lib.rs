@@ -61,8 +61,8 @@ pub mod sdf;
 
 pub use engine::TimingGraph;
 pub use graph::{analyze, required_times, StaConfig, StaError, TimingReport};
-pub use hold::{analyze_hold, HoldConfig, HoldReport};
-pub use mapped::{MappedDesign, WireModel};
+pub use hold::{analyze_hold, analyze_hold_soa, HoldConfig, HoldReport};
+pub use mapped::{MappedDesign, SoaDesign, WireModel};
 pub use mc::{mc_cells, simulate_worst_paths, PathMcResult};
 pub use paths::{deadline_at_yield, timing_yield, DesignTiming, PathTiming};
 pub use power::{estimate_power, estimate_power_with_activity, PowerConfig, PowerReport};

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use varitune_liberty::{Cell, CellId, Library};
-use varitune_netlist::{NetId, Netlist};
+use varitune_netlist::{NetId, Netlist, NetlistView, SoaNetlist};
 
 /// Lumped wire-load model: every net contributes a base capacitance plus a
 /// per-fanout increment (pF). This stands in for the pre-layout wire-load
@@ -158,26 +158,7 @@ impl MappedDesign {
     /// Unknown cell names contribute no pin capacitance (the analysis layer
     /// reports them as errors before loads matter).
     pub fn net_loads(&self, lib: &Library) -> Vec<f64> {
-        let mut loads = vec![0.0f64; self.netlist.nets.len()];
-        let mut fanouts = vec![0usize; self.netlist.nets.len()];
-        for (gi, g) in self.netlist.gates.iter().enumerate() {
-            let cell = self.cell_of(gi, lib);
-            for (k, &inp) in g.inputs.iter().enumerate() {
-                fanouts[inp.0 as usize] += 1;
-                if let Some(c) = cell {
-                    if let Some(pin) = c.input_pins().nth(k) {
-                        loads[inp.0 as usize] += pin.capacitance;
-                    }
-                }
-            }
-        }
-        for &po in &self.netlist.primary_outputs {
-            fanouts[po.0 as usize] += 1;
-        }
-        for (i, l) in loads.iter_mut().enumerate() {
-            *l += self.wire_model.wire_cap(fanouts[i]);
-        }
-        loads
+        net_loads_view(&self.netlist, &self.cells, self.wire_model, lib)
     }
 
     /// Load on one net (recomputes all loads; use [`MappedDesign::net_loads`]
@@ -205,6 +186,86 @@ impl MappedDesign {
             .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
+    }
+}
+
+/// [`MappedDesign::net_loads`] over any [`NetlistView`]: the exact same
+/// accumulation order (per-gate pin caps in gate order, then wire caps in
+/// ascending net order), so loads are bit-identical across the AoS and
+/// SoA representations of one design.
+pub(crate) fn net_loads_view<V: NetlistView>(
+    nl: &V,
+    cells: &[CellId],
+    wire_model: WireModel,
+    lib: &Library,
+) -> Vec<f64> {
+    debug_assert_eq!(cells.len(), nl.gate_count(), "one cell id per gate");
+    let mut loads = vec![0.0f64; nl.net_count()];
+    let mut fanouts = vec![0usize; nl.net_count()];
+    for (gi, cell_id) in cells.iter().enumerate() {
+        let cell = lib.cells.get(cell_id.index());
+        for (k, &inp) in nl.gate_inputs(gi).iter().enumerate() {
+            fanouts[inp.0 as usize] += 1;
+            if let Some(c) = cell {
+                if let Some(pin) = c.input_pins().nth(k) {
+                    loads[inp.0 as usize] += pin.capacitance;
+                }
+            }
+        }
+    }
+    for &po in nl.primary_outputs() {
+        fanouts[po.0 as usize] += 1;
+    }
+    for (i, l) in loads.iter_mut().enumerate() {
+        *l += wire_model.wire_cap(fanouts[i]);
+    }
+    loads
+}
+
+/// A SoA netlist bound to concrete library cells — the million-gate
+/// counterpart of [`MappedDesign`] (same positional pin-binding
+/// contract), consumed by [`crate::engine::TimingGraph::new_soa`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaDesign {
+    /// The underlying arena/SoA netlist.
+    pub netlist: SoaNetlist,
+    /// Library cell id per gate index.
+    pub cells: Vec<CellId>,
+    /// Wire-load model used for net capacitances.
+    pub wire_model: WireModel,
+}
+
+impl SoaDesign {
+    /// Creates a mapped SoA design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` does not have one entry per gate.
+    pub fn new(netlist: SoaNetlist, cells: Vec<CellId>, wire_model: WireModel) -> Self {
+        assert_eq!(
+            netlist.gate_count(),
+            cells.len(),
+            "one cell id per gate required"
+        );
+        Self {
+            netlist,
+            cells,
+            wire_model,
+        }
+    }
+
+    /// Total cell area of the design under `lib`.
+    pub fn total_area(&self, lib: &Library) -> f64 {
+        self.cells
+            .iter()
+            .map(|id| lib.cells.get(id.index()).map_or(0.0, |c| c.area))
+            .sum()
+    }
+
+    /// Capacitive load on every net — bit-identical to
+    /// [`MappedDesign::net_loads`] on the AoS form of the same design.
+    pub fn net_loads(&self, lib: &Library) -> Vec<f64> {
+        net_loads_view(&self.netlist, &self.cells, self.wire_model, lib)
     }
 }
 

@@ -13,8 +13,8 @@ use std::error::Error;
 use std::fmt;
 
 use varitune_liberty::{CellId, FamilyId, Library};
-use varitune_netlist::{GateKind, Netlist};
-use varitune_sta::{MappedDesign, WireModel};
+use varitune_netlist::{GateKind, Netlist, NetlistView, SoaNetlist};
+use varitune_sta::{MappedDesign, SoaDesign, WireModel};
 
 use crate::constraint::LibraryConstraints;
 
@@ -288,22 +288,60 @@ pub fn map_netlist(
     target: &TargetLibrary<'_>,
     wire_model: WireModel,
 ) -> Result<MappedDesign, MapError> {
+    let cells = choose_cells(netlist, target)?;
+    Ok(MappedDesign::new(netlist.clone(), cells, wire_model))
+}
+
+/// [`map_netlist`] for the arena/SoA netlist form — takes the netlist by
+/// value (the million-gate SoC generator hands its output straight here;
+/// cloning flat arrays just to wrap them would double peak memory).
+///
+/// The cell choice goes through the same view-generic [`choose_cells`],
+/// so the SoA and AoS forms of one netlist always map identically.
+///
+/// # Errors
+///
+/// Returns [`MapError::MissingFamily`] under the same conditions as
+/// [`map_netlist`].
+pub fn map_soa(
+    netlist: SoaNetlist,
+    target: &TargetLibrary<'_>,
+    wire_model: WireModel,
+) -> Result<SoaDesign, MapError> {
+    let cells = choose_cells(&netlist, target)?;
+    Ok(SoaDesign::new(netlist, cells, wire_model))
+}
+
+/// The mapping decision itself, generic over netlist storage: every gate
+/// gets the smallest variant of its family with drive ≥ 1, resolved once
+/// per distinct `(kind, input count)` shape.
+///
+/// # Errors
+///
+/// Returns [`MapError::MissingFamily`] when the library lacks a family for
+/// a gate function present in the netlist.
+pub fn choose_cells<V: NetlistView>(
+    netlist: &V,
+    target: &TargetLibrary<'_>,
+) -> Result<Vec<CellId>, MapError> {
     let mut by_shape: BTreeMap<(GateKind, usize), CellId> = BTreeMap::new();
-    let mut cells = Vec::with_capacity(netlist.gates.len());
-    for g in &netlist.gates {
-        let shape = (g.kind, g.inputs.len());
+    let mut cells = Vec::with_capacity(netlist.gate_count());
+    for gi in 0..netlist.gate_count() {
+        let kind = netlist.gate_kind(gi);
+        let n_in = netlist.gate_inputs(gi).len();
+        let shape = (kind, n_in);
         let id = match by_shape.get(&shape) {
             Some(&id) => id,
             None => {
-                let mut family = TargetLibrary::family_for(g.kind, g.inputs.len());
+                let mut family = TargetLibrary::family_for(kind, n_in);
                 let mut fid = target.family_id(&family);
-                if g.kind == GateKind::Buf && fid.is_none() {
+                if kind == GateKind::Buf && fid.is_none() {
                     family = "INV".to_string();
                     fid = target.family_id(&family);
                 }
                 let fid = fid.ok_or_else(|| MapError::MissingFamily {
                     family,
-                    kind: g.kind.to_string(),
+                    kind: kind.to_string(),
                 })?;
                 let id = target.initial_variant(fid).id;
                 by_shape.insert(shape, id);
@@ -312,7 +350,7 @@ pub fn map_netlist(
         };
         cells.push(id);
     }
-    Ok(MappedDesign::new(netlist.clone(), cells, wire_model))
+    Ok(cells)
 }
 
 #[cfg(test)]
@@ -425,6 +463,27 @@ mod tests {
         let d = map_netlist(&nl, &t, WireModel::default()).unwrap();
         assert_eq!(d.cell_label(0, &lib), "ND2_1");
         assert_eq!(d.cell_label(1, &lib), "DF_1");
+    }
+
+    #[test]
+    fn soa_mapping_matches_aos_mapping() {
+        let lib = full_lib();
+        let c = LibraryConstraints::unconstrained();
+        let t = TargetLibrary::new(&lib, &c);
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        let q = nl.add_net("q");
+        nl.add_gate(GateKind::Nand, vec![a, b], vec![x]);
+        nl.add_gate(GateKind::Inv, vec![x], vec![y]);
+        nl.add_gate(GateKind::Dff, vec![y], vec![q]);
+        nl.mark_output(q);
+        let aos = map_netlist(&nl, &t, WireModel::default()).unwrap();
+        let soa = map_soa(SoaNetlist::from_netlist(&nl), &t, WireModel::default()).unwrap();
+        assert_eq!(aos.cells, soa.cells);
+        assert_eq!(soa.netlist.to_netlist(), nl);
     }
 
     #[test]

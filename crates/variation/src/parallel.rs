@@ -134,6 +134,59 @@ where
     })
 }
 
+/// Runs `f(shard_index, item_range)` over `0..n_items` split into
+/// **fixed-size structural shards** of `shard` items (the last shard may
+/// be short) and returns the per-shard results in shard order.
+///
+/// The shard decomposition depends only on `(n_items, shard)` — never on
+/// `threads` — so per-shard results, their order, and anything recorded
+/// about the shard structure are bit-identical for every thread count.
+/// Workers process contiguous runs of shards; within a shard `f` owns a
+/// whole item range at once, which is what lets callers reuse one scratch
+/// buffer per shard instead of allocating per item. This is the dispatch
+/// primitive behind the sharded levelized propagation in `varitune-sta`.
+///
+/// # Panics
+///
+/// Panics if `shard == 0`; propagates a panic from any shard.
+pub fn run_shards<T, F>(n_items: usize, shard: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+{
+    assert!(shard > 0, "shard size must be positive");
+    let n_shards = n_items.div_ceil(shard);
+    // Workload-derived only (see `record_trial_batch`): the shard count is
+    // a function of the item count, never of the worker count.
+    varitune_trace::add("variation.shard_calls", 1);
+    varitune_trace::add("variation.shards", n_shards as u64);
+    varitune_trace::observe("variation.shards_per_call", n_shards as u64);
+    let range_of = move |s: usize| s * shard..((s + 1) * shard).min(n_items);
+    let threads = resolve_threads(threads).min(n_shards.max(1));
+    if threads <= 1 {
+        return (0..n_shards).map(|s| f(s, range_of(s))).collect();
+    }
+    let base = n_shards / threads;
+    let rem = n_shards % threads;
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0;
+        for w in 0..threads {
+            let len = base + usize::from(w < rem);
+            let shards = start..start + len;
+            start += len;
+            handles
+                .push(scope.spawn(move || shards.map(|s| f(s, range_of(s))).collect::<Vec<T>>()));
+        }
+        let mut out = Vec::with_capacity(n_shards);
+        for h in handles {
+            out.extend(h.join().expect("shard worker panicked"));
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +237,37 @@ mod tests {
         let b = sum(fold_trials(500, 4, |k| k as u64, || 0u64, |a, t| a + t));
         assert_eq!(a, 499 * 500 / 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shards_are_structural_and_bit_identical() {
+        // Shard boundaries depend on (n, shard) only; results and their
+        // order agree across thread counts to the bit.
+        let eval = |s: usize, r: std::ops::Range<usize>| {
+            let sum: f64 = r
+                .map(|k| rng_from(7, "shard-test", k as u64).standard_normal())
+                .sum();
+            (s, sum)
+        };
+        let one = run_shards(1000, 96, 1, eval);
+        let two = run_shards(1000, 96, 2, eval);
+        let eight = run_shards(1000, 96, 8, eval);
+        assert_eq!(one.len(), 1000usize.div_ceil(96));
+        assert!(one
+            .iter()
+            .zip(&two)
+            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()));
+        assert!(one
+            .iter()
+            .zip(&eight)
+            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()));
+    }
+
+    #[test]
+    fn shards_cover_every_item_exactly_once() {
+        let covered = run_shards(103, 10, 4, |_, r| r.collect::<Vec<_>>());
+        let flat: Vec<usize> = covered.into_iter().flatten().collect();
+        assert_eq!(flat, (0..103).collect::<Vec<_>>());
     }
 
     #[test]
