@@ -1,0 +1,307 @@
+//! Offline optimizer-backend harness: runs the full Table-2 grid through
+//! the `Optimizer` trait, then the deterministic evolutionary Pareto
+//! search, and commits the front next to the paper points.
+//!
+//! ```text
+//! optimize_harness [--smoke] [--threads LIST] [--seed N] [--out PATH]
+//!                  [--trace PATH]
+//! ```
+//!
+//! Everything runs on the golden small-scale flow
+//! (`FlowConfig::small_for_tests()` at the golden suite's 6 ns clock), so
+//! the emitted paper points are the exact operating points the golden
+//! snapshot pins. The evolutionary search runs once per thread count in
+//! `--threads` (default `1,2,8`) and the harness **asserts** — before
+//! writing anything — that the fronts are f64-bit-identical across thread
+//! counts and that a rerun reproduces the front byte-identically. In full
+//! (non-smoke) mode it additionally gates on the front carrying at least
+//! five points with at least one matching-or-dominating a Table-2 point.
+//! `--trace` writes a `varitune-trace` flow trace as the other harnesses
+//! do.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use varitune_bench::trace::run_traced;
+use varitune_core::flow::{Flow, FlowConfig};
+use varitune_core::{
+    EvolutionConfig, EvolutionaryOptimizer, PaperMethodOptimizer, TuningMethod, TuningParams,
+};
+use varitune_synth::SynthConfig;
+
+/// Clock period of the golden small-scale grid (`tests/golden_experiments.rs`).
+const PERIOD_NS: f64 = 6.0;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut threads: Vec<usize> = vec![1, 2, 8];
+    let mut seed = EvolutionConfig::default().seed;
+    let mut out = "BENCH_optimize.json".to_string();
+    let mut trace: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => match it.next().map(|v| parse_threads(&v)) {
+                Some(Some(list)) => threads = list,
+                _ => return usage("--threads expects a comma-separated list of positive integers"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed expects an integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = p,
+                None => return usage("--out expects a path"),
+            },
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(p),
+                None => return usage("--trace expects a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: optimize_harness [--smoke] [--threads LIST] [--seed N] [--out PATH] \
+                     [--trace PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    run_traced(trace.as_deref(), || run(smoke, &threads, seed, &out))
+}
+
+struct Point {
+    label: String,
+    sigma: f64,
+    area: f64,
+    restricted_pins: usize,
+}
+
+fn run(smoke: bool, threads: &[usize], seed: u64, out: &str) -> ExitCode {
+    let scale = if smoke { "smoke" } else { "full" };
+    println!("optimizer-backend harness (offline) — {scale} scale, golden small-scale grid");
+
+    // Smoke bounds the search to fit the CI budget; full mode is what the
+    // committed BENCH_optimize.json carries.
+    let (population, generations) = if smoke { (6, 2) } else { (16, 8) };
+
+    let prepare_span = varitune_trace::span!("optimize_harness.prepare");
+    let flow = match Flow::prepare(FlowConfig::small_for_tests()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("flow preparation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let synth = SynthConfig::with_clock_period(PERIOD_NS);
+    drop(prepare_span);
+
+    // The five paper methods × four Table-2 parameters, all routed through
+    // the Optimizer trait — the same 20 operating points the golden
+    // snapshot suite pins.
+    let grid_span = varitune_trace::span!("optimize_harness.paper_grid");
+    let t0 = Instant::now();
+    let mut paper: Vec<Point> = Vec::with_capacity(20);
+    for method in TuningMethod::ALL {
+        for params in TuningParams::table2_sweep(method) {
+            let backend = PaperMethodOptimizer { method, params };
+            let candidate = match flow.optimize(&backend, &synth) {
+                Ok(mut cands) if cands.len() == 1 => cands.remove(0),
+                Ok(_) => {
+                    eprintln!("paper backend returned an unexpected candidate count");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("paper method {method} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            paper.push(Point {
+                label: format!("{method} ({})", params.varied_value(method)),
+                sigma: candidate.sigma(),
+                area: candidate.area(),
+                restricted_pins: candidate.tuned.restricted_pins,
+            });
+        }
+    }
+    let paper_grid_ms = ms(t0);
+    drop(grid_span);
+    println!(
+        "paper grid:   {} points through PaperMethodOptimizer in {paper_grid_ms:.1} ms",
+        paper.len()
+    );
+
+    // Evolutionary search, once per requested thread count. The fronts
+    // must agree to the bit; a rerun must reproduce the first byte for
+    // byte. Both are checked before anything is written.
+    let search_span = varitune_trace::span!("optimize_harness.search");
+    let t0 = Instant::now();
+    let mut fronts: Vec<Vec<Point>> = Vec::with_capacity(threads.len() + 1);
+    let mut runs: Vec<usize> = threads.to_vec();
+    runs.push(threads[0]); // determinism rerun
+    for &t in &runs {
+        let config = EvolutionConfig {
+            seed,
+            population,
+            generations,
+            threads: t,
+            seed_paper_methods: true,
+        };
+        let front = match flow.optimize(&EvolutionaryOptimizer::new(config), &synth) {
+            Ok(cands) => cands
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Point {
+                    label: format!("front #{i}"),
+                    sigma: c.sigma(),
+                    area: c.area(),
+                    restricted_pins: c.tuned.restricted_pins,
+                })
+                .collect::<Vec<_>>(),
+            Err(e) => {
+                eprintln!("evolutionary search (threads = {t}) failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        fronts.push(front);
+    }
+    let search_ms = ms(t0);
+    drop(search_span);
+
+    for (front, &t) in fronts.iter().zip(&runs).skip(1) {
+        if !bit_identical(&fronts[0], front) {
+            eprintln!(
+                "determinism violation: front at threads = {t} differs from threads = {}",
+                runs[0]
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if render_points(&fronts[fronts.len() - 1]) != render_points(&fronts[0]) {
+        eprintln!("determinism violation: rerun did not reproduce the front byte-identically");
+        return ExitCode::FAILURE;
+    }
+    let front = &fronts[0];
+    println!(
+        "search:       {} front points in {search_ms:.1} ms, bit-identical across threads {:?} \
+         and a rerun",
+        front.len(),
+        threads
+    );
+
+    let matched = paper
+        .iter()
+        .filter(|p| front.iter().any(|f| f.sigma <= p.sigma && f.area <= p.area))
+        .count();
+    println!(
+        "coverage:     front matches-or-dominates {matched}/{} paper points",
+        paper.len()
+    );
+    if !smoke {
+        if front.len() < 5 {
+            eprintln!("acceptance: front has {} points, need >= 5", front.len());
+            return ExitCode::FAILURE;
+        }
+        if matched < 1 {
+            eprintln!("acceptance: no front point matches-or-dominates a Table-2 point");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let json = render_json(
+        scale,
+        seed,
+        population,
+        generations,
+        threads,
+        &paper,
+        front,
+        matched,
+        paper_grid_ms,
+        search_ms,
+    );
+    if let Err(e) = std::fs::write(out, json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn bit_identical(a: &[Point], b: &[Point]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.sigma.to_bits() == y.sigma.to_bits()
+                && x.area.to_bits() == y.area.to_bits()
+                && x.restricted_pins == y.restricted_pins
+        })
+}
+
+/// Deterministic JSON fragment for a point list. `{}` on `f64` prints the
+/// shortest round-trip representation, so equal strings ⇔ equal bits.
+fn render_points(points: &[Point]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"label\": \"{}\", \"sigma_ns\": {}, \"area_um2\": {}, \
+                 \"restricted_pins\": {}}}",
+                p.label, p.sigma, p.area, p.restricted_pins
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: &str,
+    seed: u64,
+    population: usize,
+    generations: usize,
+    threads: &[usize],
+    paper: &[Point],
+    front: &[Point],
+    matched: usize,
+    paper_grid_ms: f64,
+    search_ms: f64,
+) -> String {
+    let threads: Vec<String> = threads.iter().map(ToString::to_string).collect();
+    format!(
+        "{{\n  \"scale\": \"{scale}\",\n  \"clock_period_ns\": {PERIOD_NS},\n  \
+         \"seed\": {seed},\n  \"population\": {population},\n  \
+         \"generations\": {generations},\n  \"threads_checked\": [{}],\n  \
+         \"paper_methods\": [\n{}\n  ],\n  \"front\": [\n{}\n  ],\n  \
+         \"paper_points_matched_or_dominated\": {matched},\n  \
+         \"determinism\": {{\"bit_identical_across_threads\": true, \
+         \"rerun_byte_identical\": true}},\n  \
+         \"timing\": {{\"paper_grid_ms\": {paper_grid_ms:.1}, \
+         \"search_ms\": {search_ms:.1}}}\n}}\n",
+        threads.join(", "),
+        render_points(paper),
+        render_points(front),
+    )
+}
+
+fn ms(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn parse_threads(s: &str) -> Option<Vec<usize>> {
+    let list: Option<Vec<usize>> = s
+        .split(',')
+        .map(|p| p.trim().parse().ok().filter(|&t: &usize| t > 0))
+        .collect();
+    list.filter(|l| !l.is_empty())
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: optimize_harness [--smoke] [--threads LIST] [--seed N] [--out PATH] [--trace PATH]"
+    );
+    ExitCode::FAILURE
+}

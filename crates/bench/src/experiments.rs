@@ -356,7 +356,10 @@ pub fn tab2(_ctx: &Ctx) -> String {
 /// Fig. 9 — cell usage, baseline vs best sigma-ceiling tuning, at the high
 /// and low performance periods.
 pub fn fig9(ctx: &Ctx) -> String {
-    let mut s = String::from("Fig. 9 — cell use, baseline vs tuned (sigma ceiling)\n");
+    let mut s = format!(
+        "Fig. 9 — cell use, baseline vs tuned ({})\n",
+        TuningMethod::SigmaCeiling
+    );
     for (label, period) in [
         ("(a) high performance", ctx.periods.high),
         ("(b) low performance", ctx.periods.low),
@@ -504,8 +507,9 @@ pub fn fig11(ctx: &Ctx) -> String {
         ]);
     }
     let mut s = format!(
-        "Fig. 11 — sigma vs area trade-off, sigma ceiling @ {period:.2} ns\n\
-         (tighter ceilings cut more sigma but cost more area)\n"
+        "Fig. 11 — sigma vs area trade-off, {} @ {period:.2} ns\n\
+         (tighter ceilings cut more sigma but cost more area)\n",
+        TuningMethod::SigmaCeiling
     );
     s.push_str(&table(
         &[
@@ -533,7 +537,9 @@ pub fn fig12(ctx: &Ctx) -> String {
     let _ = writeln!(
         s,
         "{:>5}  {:<24} {:<24}",
-        "depth", "baseline", "sigma ceiling"
+        "depth",
+        "baseline",
+        TuningMethod::SigmaCeiling
     );
     for d in 0..maxd {
         let b = hb.get(d).copied().unwrap_or(0);
@@ -590,9 +596,10 @@ pub fn fig13(ctx: &Ctx) -> String {
         rows
     };
     let mut s = format!("Fig. 13 — path sigma vs path depth @ {period:.2} ns\n");
+    let ceiling = TuningMethod::SigmaCeiling.to_string();
     for (label, paths) in [
         ("baseline", &baseline.paths),
-        ("sigma ceiling", &tuned.paths),
+        (ceiling.as_str(), &tuned.paths),
     ] {
         let _ = writeln!(s, "\n{label}:");
         let rows: Vec<Vec<String>> = bucket(paths)
@@ -621,9 +628,10 @@ pub fn fig14(ctx: &Ctx) -> String {
         "Fig. 14 — mean + 3 sigma path delay vs depth @ {period:.2} ns\n\
          (effective period after guard band: {eff:.2} ns)\n"
     );
+    let ceiling = format!("(b) {}", TuningMethod::SigmaCeiling);
     for (label, run) in [
         ("(a) baseline", ctx.baseline(period)),
-        ("(b) sigma ceiling", best_ceiling_run(ctx, period)),
+        (ceiling.as_str(), best_ceiling_run(ctx, period)),
     ] {
         let mut paths: Vec<&PathTiming> = run.paths.iter().collect();
         paths.sort_by_key(|p| p.depth());
@@ -1040,7 +1048,8 @@ pub fn abl_power(ctx: &Ctx) -> String {
     let tuned = best_ceiling_run(ctx, period);
     let cfg = PowerConfig::with_clock_period(period);
     let mut rows = Vec::new();
-    for (label, run) in [("baseline", &baseline), ("sigma ceiling", &tuned)] {
+    let ceiling = TuningMethod::SigmaCeiling.to_string();
+    for (label, run) in [("baseline", &baseline), (ceiling.as_str(), &tuned)] {
         // Activity measured by simulating the mapped netlist (buffers
         // included) with random vectors.
         let activity = random_activity(&run.synthesis.design.netlist, 256, ctx.flow.config.seed)
@@ -1165,7 +1174,7 @@ pub fn abl_fir(ctx: &Ctx) -> String {
             tuned_area: synth.area,
         };
         rows.push(vec![
-            "sigma ceiling".to_string(),
+            TuningMethod::SigmaCeiling.to_string(),
             format!("{ceiling}"),
             f3(design_t.sigma),
             format!("{:.0}", synth.area),

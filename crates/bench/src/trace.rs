@@ -66,6 +66,19 @@ pub mod stages {
     ];
     /// `fault_harness` runs all corruption scenarios under one span.
     pub const FAULT_HARNESS: &[&str] = &["fault_harness.scenarios"];
+    /// `optimize_harness` prepares the golden small-scale flow, runs the
+    /// Table-2 grid through the `Optimizer` trait and then the
+    /// evolutionary Pareto search, whose own spans
+    /// (`varitune_core::OPTIMIZER_SPANS`) ride along.
+    pub const OPTIMIZE_HARNESS: &[&str] = &[
+        "optimize_harness.prepare",
+        "optimize_harness.paper_grid",
+        "optimize_harness.search",
+        "optimize.search",
+        "optimize.generation",
+        "optimize.evaluate",
+        "optimize.front",
+    ];
     /// `parse_harness` generates its libraries, benches classic vs
     /// zero-copy ingestion, and differentially checks them over the
     /// fault corpora.

@@ -154,6 +154,35 @@ fn parse_harness_trace_matches_schema() {
 }
 
 #[test]
+fn optimize_harness_trace_matches_schema() {
+    let out = std::env::temp_dir().join(format!("varitune_optimize_{}.json", std::process::id()));
+    let trace = traced_run(
+        env!("CARGO_BIN_EXE_optimize_harness"),
+        "optimize_harness",
+        &[
+            "--smoke",
+            "--threads",
+            "2",
+            "--out",
+            out.to_str().expect("utf-8 tmp path"),
+        ],
+    );
+    let _ = std::fs::remove_file(&out);
+    assert_stages("optimize_harness", &trace, stages::OPTIMIZE_HARNESS);
+    // The paper grid routes all 20 Table-2 points through the trait (the
+    // determinism rerun makes it 20 more per extra search, but tune runs
+    // once per paper point plus once per paper-seeded genome per search).
+    assert!(trace.counter("core.tune_calls") >= 20);
+    // The searches evaluated genomes and produced non-empty fronts.
+    assert!(trace.counter("optimize.evaluations") > 0);
+    assert!(trace.counter("optimize.generations") > 0);
+    assert!(trace.counter("optimize.front_size") > 0);
+    // Worker-side flow runs record no spans: the only flow spans present
+    // come from the paper grid on the orchestration thread.
+    assert!(trace.counter("optimize.cache_hits") > 0);
+}
+
+#[test]
 fn experiments_trace_matches_schema() {
     let trace = traced_run(
         env!("CARGO_BIN_EXE_experiments"),

@@ -19,8 +19,9 @@ use varitune_sta::{DesignTiming, PathTiming, StaError};
 use varitune_synth::{synthesize, LibraryConstraints, SynthConfig, SynthError, SynthesisResult};
 
 use crate::methods::{TuningMethod, TuningParams};
+use crate::optimize::{Candidate, Objective, Optimizer, PaperMethodOptimizer};
 use crate::quarantine::{screen_library, FlowReport, Strictness};
-use crate::tuning::{tune, TunedLibrary};
+use crate::tuning::TunedLibrary;
 
 /// Span names of the documented flow stages, in the order a full
 /// baseline-plus-tuned run opens them. Pinned here so the trace-schema
@@ -281,7 +282,9 @@ impl Flow {
     }
 
     /// Tunes the library with `method`/`params` and runs synthesis under
-    /// the resulting windows.
+    /// the resulting windows. Routed through [`PaperMethodOptimizer`] so
+    /// every tuning strategy goes through the one [`Optimizer`] entry
+    /// point; the output is byte-identical to the pre-trait path.
     ///
     /// # Errors
     ///
@@ -292,14 +295,26 @@ impl Flow {
         params: TuningParams,
         synth_cfg: &SynthConfig,
     ) -> Result<(TunedLibrary, FlowRun), FlowError> {
-        let tuned = {
-            let _stage = varitune_trace::span!("flow.tune");
-            tune(&self.stat, method, params)
-        };
-        varitune_trace::add("core.tunes", 1);
-        varitune_trace::add("core.restricted_pins", tuned.restricted_pins as u64);
-        let run = self.run(&tuned.constraints, synth_cfg)?;
-        Ok((tuned, run))
+        let mut candidates = self.optimize(&PaperMethodOptimizer { method, params }, synth_cfg)?;
+        match candidates.pop() {
+            Some(c) if candidates.is_empty() => Ok((c.tuned, c.run)),
+            _ => Err(FlowError::Stat(
+                "paper-method optimizer must yield exactly one candidate".to_string(),
+            )),
+        }
+    }
+
+    /// Runs any [`Optimizer`] backend against this flow under `synth_cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlowError`] from candidate evaluation.
+    pub fn optimize(
+        &self,
+        optimizer: &dyn Optimizer,
+        synth_cfg: &SynthConfig,
+    ) -> Result<Vec<Candidate>, FlowError> {
+        optimizer.optimize(&Objective::new(self, *synth_cfg))
     }
 }
 

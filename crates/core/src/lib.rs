@@ -17,6 +17,9 @@
 //!   subsetting) the paper's method improves on,
 //! * [`flow`] — the end-to-end experiment flow (characterize → synthesize →
 //!   tune → re-synthesize → compare),
+//! * [`optimize`] — pluggable [`Optimizer`] backends over that flow: the
+//!   paper methods behind one trait, plus a deterministic evolutionary
+//!   Pareto search over operating-window genomes,
 //! * [`quarantine`] — ingestion screening for external libraries: the
 //!   [`Strictness`] policies, cell quarantine with the drive-family
 //!   feasibility fallback, and the [`Degradation`] ledger.
@@ -55,6 +58,7 @@
 pub mod exclusion;
 pub mod flow;
 pub mod methods;
+pub mod optimize;
 pub mod quarantine;
 pub mod rectangle;
 pub mod slope;
@@ -63,6 +67,10 @@ pub mod tuning;
 pub use exclusion::{apply_exclusion, tune_by_exclusion, ExclusionTuning};
 pub use flow::{Comparison, Flow, FlowConfig, FlowError, FlowRun, FLOW_STAGE_SPANS};
 pub use methods::{TuningMethod, TuningParams};
+pub use optimize::{
+    dominates, pareto_front_indices, Candidate, EvolutionConfig, EvolutionaryOptimizer, Objective,
+    Optimizer, PaperMethodOptimizer, OPTIMIZER_SPANS,
+};
 pub use quarantine::{screen_library, Degradation, FlowReport, Strictness};
 pub use rectangle::{largest_rectangle, largest_rectangle_bruteforce, Rect};
-pub use tuning::{tune, ClusterThreshold, TunedLibrary};
+pub use tuning::{tune, ClusterThreshold, TunedLibrary, TuningProvenance};

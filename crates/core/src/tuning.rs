@@ -36,23 +36,75 @@ pub struct ClusterThreshold {
     pub sigma_threshold: Option<f64>,
 }
 
+/// Where a [`TunedLibrary`] came from. Every optimizer backend stamps its
+/// candidates so reports can label them without guessing from shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TuningProvenance {
+    /// One of the paper's five Table-2 methods (§VI.A) run through the
+    /// two-stage [`tune`] pipeline.
+    Paper {
+        /// Method that produced this tuning.
+        method: TuningMethod,
+        /// Parameters used.
+        params: TuningParams,
+    },
+    /// A member of the evolutionary optimizer's Pareto front.
+    Evolutionary {
+        /// Master seed of the search that produced it.
+        seed: u64,
+        /// Position in the final front, sorted by ascending sigma.
+        front_index: usize,
+    },
+}
+
+impl std::fmt::Display for TuningProvenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuningProvenance::Paper { method, params } => {
+                write!(f, "{method} ({})", params.varied_value(*method))
+            }
+            TuningProvenance::Evolutionary { seed, front_index } => {
+                write!(f, "evolutionary seed {seed} front #{front_index}")
+            }
+        }
+    }
+}
+
 /// Result of tuning a statistical library.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TunedLibrary {
-    /// Method that produced this tuning.
-    pub method: TuningMethod,
-    /// Parameters used.
-    pub params: TuningParams,
+    /// Backend and parameters that produced this tuning.
+    pub provenance: TuningProvenance,
     /// Per-pin operating windows for synthesis.
     pub constraints: LibraryConstraints,
-    /// Stage-1 thresholds per cluster.
+    /// Stage-1 thresholds per cluster (empty for backends without a
+    /// cluster stage, e.g. the evolutionary search).
     pub cluster_thresholds: Vec<ClusterThreshold>,
     /// Output pins that received a restriction.
     pub restricted_pins: usize,
     /// Output pins left unrestricted (no acceptable rectangle, or the whole
     /// LUT was acceptable).
     pub unrestricted_pins: usize,
+}
+
+impl TunedLibrary {
+    /// The paper method behind this tuning, when there is one.
+    pub fn method(&self) -> Option<TuningMethod> {
+        match self.provenance {
+            TuningProvenance::Paper { method, .. } => Some(method),
+            TuningProvenance::Evolutionary { .. } => None,
+        }
+    }
+
+    /// The paper parameters behind this tuning, when there are any.
+    pub fn params(&self) -> Option<TuningParams> {
+        match self.provenance {
+            TuningProvenance::Paper { params, .. } => Some(params),
+            TuningProvenance::Evolutionary { .. } => None,
+        }
+    }
 }
 
 /// Runs the full tuning pipeline on `stat` with `method` and `params`.
@@ -129,8 +181,7 @@ pub fn tune(stat: &StatLibrary, method: TuningMethod, params: TuningParams) -> T
     }
 
     TunedLibrary {
-        method,
-        params,
+        provenance: TuningProvenance::Paper { method, params },
         constraints,
         cluster_thresholds,
         restricted_pins: restricted,
@@ -198,33 +249,20 @@ fn extract_cluster_threshold(
     Some(equiv.at(rect.row_hi, rect.col_hi))
 }
 
-/// Translates rectangle indices to an operating window over the LUT axes.
-/// A rectangle edge on the table boundary imposes no bound in that
-/// direction (operation beyond the characterized grid is already governed
-/// by `max_capacitance`/`max_transition`).
+/// Translates rectangle indices to an operating window over the LUT axes
+/// via [`OperatingWindow::from_grid`], which owns the boundary-edge rules
+/// (a rectangle edge on the table boundary imposes no bound in that
+/// direction). Sharing that constructor keeps windows built from the same
+/// rectangle bit-identical across every backend that emits them.
 fn rect_to_window(lut: &Lut, rect: &Rect) -> OperatingWindow {
-    OperatingWindow {
-        min_slew: if rect.row_lo == 0 {
-            0.0
-        } else {
-            lut.index_slew[rect.row_lo]
-        },
-        max_slew: if rect.row_hi + 1 == lut.rows() {
-            f64::INFINITY
-        } else {
-            lut.index_slew[rect.row_hi]
-        },
-        min_load: if rect.col_lo == 0 {
-            0.0
-        } else {
-            lut.index_load[rect.col_lo]
-        },
-        max_load: if rect.col_hi + 1 == lut.cols() {
-            f64::INFINITY
-        } else {
-            lut.index_load[rect.col_hi]
-        },
-    }
+    OperatingWindow::from_grid(
+        &lut.index_slew,
+        &lut.index_load,
+        rect.row_lo,
+        rect.row_hi,
+        rect.col_lo,
+        rect.col_hi,
+    )
 }
 
 /// A rectangle covering the entire LUT restricts nothing.

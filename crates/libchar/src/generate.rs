@@ -114,6 +114,8 @@ fn build_cell(cfg: &GenerateConfig, arch: &Archetype, drive: f64) -> Cell {
         // clock. The constraint tables are indexed (data slew, clock slew):
         // the Lut's load axis holds the clock slew for these arcs.
         if arch.sequential == SequentialKind::FlipFlop && input == "D" {
+            // Every sequential archetype in `arch` declares its clock pin.
+            #[allow(clippy::expect_used)]
             let clock = arch.clock.as_deref().expect("ff has clock");
             let data_axis = tech.slew_axis();
             let clock_axis = vec![0.01, 0.03, 0.08, 0.2];
@@ -152,7 +154,10 @@ fn build_cell(cfg: &GenerateConfig, arch: &Archetype, drive: f64) -> Cell {
     for output in &arch.outputs {
         let mut pin = Pin::output(output.pin.clone(), output.function.clone());
         pin.max_capacitance = Some(tech.max_load(drive));
-        pin.max_transition = Some(*slew_axis.last().expect("non-empty slew axis"));
+        // The technology's slew axis is a fixed non-empty constant.
+        #[allow(clippy::expect_used)]
+        let max_slew = *slew_axis.last().expect("non-empty slew axis");
+        pin.max_transition = Some(max_slew);
 
         // Sequential cells time from the clock pin; combinational cells get
         // one arc per data input.
@@ -162,12 +167,15 @@ fn build_cell(cfg: &GenerateConfig, arch: &Archetype, drive: f64) -> Cell {
                 .iter()
                 .map(|i| (i.as_str(), TimingType::Combinational))
                 .collect(),
+            // Every sequential archetype in `arch` declares its clock pin.
+            #[allow(clippy::expect_used)]
             SequentialKind::FlipFlop => {
                 vec![(
                     arch.clock.as_deref().expect("ff has clock"),
                     TimingType::RisingEdge,
                 )]
             }
+            #[allow(clippy::expect_used)]
             SequentialKind::Latch => {
                 vec![(
                     arch.clock.as_deref().expect("latch has clock"),

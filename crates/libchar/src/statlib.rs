@@ -340,6 +340,8 @@ impl StructureIndex {
     fn gather(&self, lib: &Library, column: &mut Vec<f64>) {
         column.clear();
         for slot in &self.slots {
+            // Slots were built from this library's structure (doc above).
+            #[allow(clippy::expect_used)]
             let t = slot_table(lib, slot).expect("structure validated");
             for row in &t.values {
                 column.extend_from_slice(row);
@@ -350,6 +352,8 @@ impl StructureIndex {
     /// Writes `column` back into `lib`'s tables, inverse of `gather`.
     fn scatter(&self, lib: &mut Library, column: &[f64]) {
         for slot in &self.slots {
+            // Slots were built from this library's structure (doc above).
+            #[allow(clippy::expect_used)]
             let t = slot_table_mut(lib, slot).expect("structure validated");
             let mut k = slot.offset;
             for row in &mut t.values {

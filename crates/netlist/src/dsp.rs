@@ -104,6 +104,8 @@ pub fn generate_fir(cfg: &FirConfig) -> Netlist {
                 }
             });
         }
+        // Coefficients are odd by construction, so bit 0 always contributes.
+        #[allow(clippy::expect_used)]
         let product = product.expect("coefficient always has bit 0 set");
         let (sum, _) = ripple_adder(&mut nl, &format!("t{tap}_acc"), &acc, &product, zero);
         acc = register_word(&mut nl, &format!("t{tap}"), &sum);

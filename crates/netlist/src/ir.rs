@@ -259,6 +259,7 @@ impl Netlist {
             inputs,
             outputs,
         });
+        #[allow(clippy::expect_used)] // pushed on the line above
         self.gates.last().expect("just pushed")
     }
 
@@ -379,7 +380,10 @@ impl Netlist {
             for &inp in &self.gates[gi].inputs {
                 if let Some(&src) = driver.get(&inp) {
                     if !self.gates[src].kind.is_sequential() {
-                        *indeg.get_mut(&gi).expect("comb gate") += 1;
+                        // `indeg` was seeded from `comb`, which `gi` iterates.
+                        #[allow(clippy::expect_used)]
+                        let d = indeg.get_mut(&gi).expect("comb gate");
+                        *d += 1;
                         succs.entry(src).or_default().push(gi);
                     }
                 }
@@ -395,6 +399,8 @@ impl Netlist {
             seen += 1;
             if let Some(next) = succs.get(&gi) {
                 for &s in next {
+                    // Successors were only ever recorded for `indeg` keys.
+                    #[allow(clippy::expect_used)]
                     let d = indeg.get_mut(&s).expect("comb gate");
                     *d -= 1;
                     if *d == 0 {
@@ -404,6 +410,9 @@ impl Netlist {
             }
         }
         if seen != comb.len() {
+            // `seen != comb.len()` means Kahn's algorithm stalled, which
+            // requires at least one gate with positive in-degree.
+            #[allow(clippy::expect_used)]
             let stuck = indeg
                 .iter()
                 .find(|(_, &d)| d > 0)

@@ -25,6 +25,11 @@
 //! assert!(stats.flip_flops > 50);
 //! ```
 
+// Panics must not be reachable from user input in this crate; every
+// non-test `unwrap`/`expect` needs an `#[allow]` with an invariant note.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod build;
 pub mod dsp;
 pub mod ir;

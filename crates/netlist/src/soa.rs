@@ -90,6 +90,7 @@ impl SoaNetlist {
     /// net), and returns its id.
     pub fn add_net(&mut self, name: impl fmt::Display) -> NetId {
         let id = NetId(self.net_count() as u32);
+        #[allow(clippy::expect_used)] // fmt::Write into a String is infallible
         write!(self.names, "{name}").expect("writing to String cannot fail");
         assert!(
             self.names.len() <= u32::MAX as usize,
@@ -350,6 +351,10 @@ impl SoaNetlist {
         }
         let comb_count = (0..n_gates).filter(|&gi| comb(gi)).count();
         if seen != comb_count {
+            // `seen != comb_count` means Kahn's algorithm stalled, which
+            // requires at least one combinational gate with positive
+            // in-degree.
+            #[allow(clippy::expect_used)]
             let stuck = (0..n_gates)
                 .find(|&gi| comb(gi) && indeg[gi] > 0)
                 .expect("cycle exists");

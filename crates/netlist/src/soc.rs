@@ -89,6 +89,9 @@ pub fn generate_soc(cfg: &SocConfig) -> SoaNetlist {
         "templates must expose outputs for the bus fabric"
     );
 
+    // Overflow here means the caller asked for more gates than fit in
+    // usize — no SoC that large is representable anyway, so panic loudly.
+    #[allow(clippy::expect_used)]
     let est_gates: usize = cfg
         .tiles
         .checked_mul(mcu.gates.len().max(fir.gates.len()) + mcu.primary_inputs.len())

@@ -44,6 +44,59 @@ impl OperatingWindow {
         }
     }
 
+    /// Builds the window selecting the inclusive index rectangle
+    /// `[row_lo, row_hi] × [col_lo, col_hi]` of a LUT characterized over
+    /// `slew_axis` (rows) and `load_axis` (columns).
+    ///
+    /// A rectangle edge on the table boundary imposes no bound in that
+    /// direction (operation beyond the characterized grid is already
+    /// governed by `max_capacitance`/`max_transition`): the lower edge at
+    /// index 0 maps to `0.0`, the upper edge at the last index maps to
+    /// `f64::INFINITY`. Interior edges map to the exact axis value, so
+    /// windows built here from the same rectangle are bit-identical
+    /// however the caller obtained it — tuning's largest-rectangle search
+    /// and the evolutionary optimizer's window genomes share this one
+    /// constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range for its axis or a `lo` exceeds
+    /// its `hi` (the result would be an empty window, which
+    /// [`LibraryConstraints::set`] rejects anyway).
+    pub fn from_grid(
+        slew_axis: &[f64],
+        load_axis: &[f64],
+        row_lo: usize,
+        row_hi: usize,
+        col_lo: usize,
+        col_hi: usize,
+    ) -> Self {
+        assert!(
+            row_lo <= row_hi && row_hi < slew_axis.len(),
+            "slew rows {row_lo}..={row_hi} out of range for axis of {}",
+            slew_axis.len()
+        );
+        assert!(
+            col_lo <= col_hi && col_hi < load_axis.len(),
+            "load cols {col_lo}..={col_hi} out of range for axis of {}",
+            load_axis.len()
+        );
+        Self {
+            min_slew: if row_lo == 0 { 0.0 } else { slew_axis[row_lo] },
+            max_slew: if row_hi + 1 == slew_axis.len() {
+                f64::INFINITY
+            } else {
+                slew_axis[row_hi]
+            },
+            min_load: if col_lo == 0 { 0.0 } else { load_axis[col_lo] },
+            max_load: if col_hi + 1 == load_axis.len() {
+                f64::INFINITY
+            } else {
+                load_axis[col_hi]
+            },
+        }
+    }
+
     /// Whether an operating point satisfies the window.
     pub fn contains(&self, slew: f64, load: f64) -> bool {
         slew >= self.min_slew
@@ -239,6 +292,32 @@ mod tests {
         assert!(!w.contains(0.21, 0.005));
         assert!(!w.contains(0.1, 0.02));
         assert!(!w.contains(0.005, 0.005));
+    }
+
+    #[test]
+    fn from_grid_boundary_edges_are_unbounded() {
+        let slew = [0.01, 0.02, 0.05, 0.1];
+        let load = [0.001, 0.004, 0.016];
+        // Full coverage: every edge on the boundary, so no bound at all.
+        let full = OperatingWindow::from_grid(&slew, &load, 0, 3, 0, 2);
+        assert_eq!(full, OperatingWindow::unbounded());
+        // Interior upper edges pick the exact axis values.
+        let w = OperatingWindow::from_grid(&slew, &load, 0, 2, 0, 1);
+        assert_eq!(w.min_slew, 0.0);
+        assert_eq!(w.max_slew.to_bits(), 0.05f64.to_bits());
+        assert_eq!(w.max_load.to_bits(), 0.004f64.to_bits());
+        // Interior lower edges too.
+        let w = OperatingWindow::from_grid(&slew, &load, 1, 3, 1, 2);
+        assert_eq!(w.min_slew.to_bits(), 0.02f64.to_bits());
+        assert!(w.max_slew.is_infinite());
+        assert_eq!(w.min_load.to_bits(), 0.004f64.to_bits());
+        assert!(w.max_load.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_grid_rejects_out_of_range_rows() {
+        let _ = OperatingWindow::from_grid(&[0.1, 0.2], &[0.1], 0, 2, 0, 0);
     }
 
     #[test]

@@ -36,6 +36,11 @@
 //! # }
 //! ```
 
+// Panics must not be reachable from user input in this crate; every
+// non-test `unwrap`/`expect` needs an `#[allow]` with an invariant note.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod constraint;
 pub mod map;
 pub mod optimize;

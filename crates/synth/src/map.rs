@@ -261,6 +261,8 @@ impl<'a> TargetLibrary<'a> {
     /// falling back to the family's largest.
     fn initial_variant(&self, family: FamilyId) -> &Variant {
         let vs = self.family_variants(family);
+        // `family_variants` ranges are built non-empty by construction.
+        #[allow(clippy::expect_used)]
         vs.iter()
             .find(|v| v.drive >= 1.0)
             .unwrap_or_else(|| vs.last().expect("families are non-empty"))

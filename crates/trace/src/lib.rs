@@ -63,7 +63,7 @@ pub use metrics::{bucket_index, Histogram, Metrics, HISTOGRAM_BUCKETS};
 pub use report::{FlowTrace, SCHEMA};
 pub use span::{SpanGuard, SpanNode};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use span::SpanArena;
@@ -76,6 +76,9 @@ struct Recorder {
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Depth of nested [`pause_spans`] guards. While positive, [`open_span`]
+/// records nothing; counters and histograms are unaffected.
+static SPAN_PAUSE_DEPTH: AtomicUsize = AtomicUsize::new(0);
 static RECORDER: Mutex<Recorder> = Mutex::new(Recorder {
     metrics: Metrics::new(),
     spans: SpanArena::new(),
@@ -132,10 +135,43 @@ pub fn merge_metrics(local: &Metrics) {
     }
 }
 
+/// Whether span recording is currently suspended by a [`pause_spans`]
+/// guard. Counters and histograms keep recording regardless.
+#[must_use]
+pub fn spans_paused() -> bool {
+    SPAN_PAUSE_DEPTH.load(Ordering::Relaxed) > 0
+}
+
+/// Suspends span recording until the returned guard drops. Nests; the
+/// innermost guard keeps spans paused until every guard is gone.
+///
+/// Spans belong to the single orchestration thread ([`mod@span`] docs);
+/// a stage that hands whole flow invocations to worker threads — the
+/// evolutionary optimizer evaluating a population in parallel — must pause
+/// span recording around **all** of those invocations, including the
+/// inline `threads = 1` case, so the span tree is identical (empty) at
+/// every thread count. Metrics are untouched: counters and histograms are
+/// commutative and may be recorded from any thread.
+#[must_use = "spans resume when the guard drops; binding it to _ resumes immediately"]
+pub fn pause_spans() -> SpanPauseGuard {
+    SPAN_PAUSE_DEPTH.fetch_add(1, Ordering::Relaxed);
+    SpanPauseGuard(())
+}
+
+/// RAII guard returned by [`pause_spans`]; resumes span recording on drop.
+#[derive(Debug)]
+pub struct SpanPauseGuard(());
+
+impl Drop for SpanPauseGuard {
+    fn drop(&mut self) {
+        SPAN_PAUSE_DEPTH.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Opens a stage span (prefer the [`span!`] macro). The guard closes it
-/// on drop; inert while disabled.
+/// on drop; inert while disabled or while spans are paused.
 pub fn open_span(name: &'static str) -> SpanGuard {
-    let index = if enabled() {
+    let index = if enabled() && !spans_paused() {
         Some(recorder().spans.open(name))
     } else {
         None
@@ -222,6 +258,29 @@ mod tests {
             observe("b", 7);
         });
         assert_eq!(merged.metrics, direct.metrics);
+    }
+
+    #[test]
+    fn paused_spans_record_nothing_but_metrics_flow() {
+        let ((), trace) = capture(|| {
+            let _outer = span!("outer");
+            {
+                let _pause = pause_spans();
+                assert!(spans_paused());
+                let _hidden = span!("hidden");
+                add("counted", 1);
+                {
+                    // Nested pauses stack.
+                    let _pause2 = pause_spans();
+                    let _hidden2 = span!("hidden2");
+                }
+                assert!(spans_paused());
+            }
+            assert!(!spans_paused());
+            let _after = span!("after");
+        });
+        assert_eq!(trace.span_names(), ["outer", "after"]);
+        assert_eq!(trace.counter("counted"), 1);
     }
 
     #[test]

@@ -90,6 +90,25 @@ where
     })
 }
 
+/// Maps `f` over a slice of items in parallel and returns the results in
+/// item order — [`run_trials`] for workloads whose "trials" are existing
+/// values rather than indices. This is the population-evaluation primitive
+/// of the evolutionary optimizer: each item is one genome, `f` is the
+/// (pure) fitness function, and because `f` sees only the item — never the
+/// schedule — the result vector is bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from any evaluation.
+pub fn map_items<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    run_trials(items.len(), threads, |k| f(&items[k]))
+}
+
 /// Runs trials like [`run_trials`] and folds each worker's chunk before the
 /// main thread combines them in chunk order — for trials whose per-result
 /// materialization would dominate (e.g. accumulating summary statistics
@@ -228,6 +247,19 @@ mod tests {
         let r = run_trials(100, 0, |k| k + 1);
         assert_eq!(r.len(), 100);
         assert_eq!(r[99], 100);
+    }
+
+    #[test]
+    fn map_items_preserves_order_and_bits() {
+        let items: Vec<u64> = (0..257).collect();
+        let eval = |&k: &u64| rng_from(3, "map-test", k).standard_normal();
+        let one = map_items(&items, 1, eval);
+        let eight = map_items(&items, 8, eval);
+        assert_eq!(one.len(), items.len());
+        assert!(one
+            .iter()
+            .zip(&eight)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

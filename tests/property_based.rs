@@ -138,6 +138,95 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Pareto front (optimizer backends): the dominance filter behind the
+// evolutionary search's archive. Fixed-input versions run offline in
+// `tests/optimize_backend.rs`.
+// ---------------------------------------------------------------------
+
+fn point_cloud() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.01f64..10.0, 0.01f64..10.0), 1..64)
+}
+
+proptest! {
+    #[test]
+    fn front_members_are_mutually_non_dominated(points in point_cloud()) {
+        use varitune::core::{dominates, pareto_front_indices};
+        let front = pareto_front_indices(&points);
+        prop_assert!(!front.is_empty());
+        for &i in &front {
+            for &j in &front {
+                prop_assert!(
+                    i == j || !dominates(points[i], points[j]),
+                    "front member {} dominates member {}", i, j
+                );
+            }
+        }
+        // Every excluded point is dominated by or duplicates a survivor.
+        for k in 0..points.len() {
+            if front.contains(&k) {
+                continue;
+            }
+            prop_assert!(front.iter().any(|&i| {
+                dominates(points[i], points[k])
+                    || (points[i].0.to_bits() == points[k].0.to_bits()
+                        && points[i].1.to_bits() == points[k].1.to_bits())
+            }));
+        }
+    }
+
+    #[test]
+    fn front_is_insertion_order_independent(points in point_cloud().prop_shuffle()) {
+        use varitune::core::pareto_front_indices;
+        let keys = |pts: &[(f64, f64)]| -> std::collections::BTreeSet<(u64, u64)> {
+            pareto_front_indices(pts)
+                .into_iter()
+                .map(|i| (pts[i].0.to_bits(), pts[i].1.to_bits()))
+                .collect()
+        };
+        let mut reversed = points.clone();
+        reversed.reverse();
+        prop_assert_eq!(keys(&points), keys(&reversed));
+    }
+}
+
+// The full search is expensive (each fitness evaluation synthesizes and
+// times a design), so the seed-reproducibility property runs a handful of
+// cases over a shared prepared flow: identical seeds must reproduce the
+// front to the f64 bit at 1, 2 and 8 threads.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    #[test]
+    fn identical_seeds_reproduce_front_across_thread_counts(seed in 0u64..1_000) {
+        use varitune::core::flow::{Flow, FlowConfig};
+        use varitune::core::{EvolutionConfig, EvolutionaryOptimizer};
+        use varitune::synth::SynthConfig;
+        static FLOW: std::sync::OnceLock<Flow> = std::sync::OnceLock::new();
+        let flow = FLOW.get_or_init(|| {
+            Flow::prepare(FlowConfig::small_for_tests()).expect("small flow prepares")
+        });
+        let synth = SynthConfig::with_clock_period(6.0);
+        let front = |threads: usize| -> Vec<(u64, u64)> {
+            let config = EvolutionConfig {
+                seed,
+                population: 3,
+                generations: 1,
+                threads,
+                seed_paper_methods: false,
+            };
+            flow.optimize(&EvolutionaryOptimizer::new(config), &synth)
+                .expect("search succeeds")
+                .iter()
+                .map(|c| (c.sigma().to_bits(), c.area().to_bits()))
+                .collect()
+        };
+        let one = front(1);
+        prop_assert_eq!(&one, &front(2));
+        prop_assert_eq!(&one, &front(8));
+        prop_assert_eq!(&one, &front(1), "rerun with the same seed diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Streaming statistics.
 // ---------------------------------------------------------------------
 
