@@ -29,6 +29,16 @@ pub const LIBERTY_OPS: &[&str] = &[
 /// Corruption operators over netlists.
 pub const NETLIST_OPS: &[&str] = &["dangling-port", "comb-cycle", "arity-break"];
 
+/// Corruption operators over protocol frames (the `varitune-serve` wire
+/// format: 4-byte big-endian length + UTF-8 JSON). Each renders an attack
+/// the server must survive with at most one connection lost.
+pub const FRAME_OPS: &[&str] = &[
+    "truncate-length-prefix",
+    "oversized-length",
+    "invalid-utf8-payload",
+    "mid-frame-disconnect",
+];
+
 fn pick(rng: &mut Xoshiro256PlusPlus, n: usize) -> usize {
     debug_assert!(n > 0);
     (rng.next_u64() % n as u64) as usize
@@ -155,6 +165,56 @@ pub fn corrupt_liberty(op: &str, text: &str, rng: &mut Xoshiro256PlusPlus) -> St
     s
 }
 
+/// Renders `payload` as a corrupted wire frame: the bytes an attacking
+/// client writes before hanging up. The server must answer with a
+/// structured `bad_request` where the socket still works (oversized
+/// length, invalid UTF-8) and must simply drop the connection on the
+/// truncation operators — in every case without dying.
+///
+/// # Panics
+///
+/// Panics on an operator name outside [`FRAME_OPS`] — callers iterate
+/// that constant, so an unknown name is a harness bug.
+#[must_use]
+pub fn corrupt_frame(op: &str, payload: &str, rng: &mut Xoshiro256PlusPlus) -> Vec<u8> {
+    let header = (payload.len() as u32).to_be_bytes();
+    match op {
+        "truncate-length-prefix" => {
+            // Only 1–3 of the 4 header bytes arrive before the disconnect.
+            header[..1 + pick(rng, 3)].to_vec()
+        }
+        "oversized-length" => {
+            // A hostile prefix beyond the frame cap, with junk behind it.
+            // The server must reject it without allocating the claimed size.
+            let claim =
+                (varitune_serve::MAX_FRAME as u32).saturating_add(1 + pick(rng, 1 << 20) as u32);
+            let mut out = claim.to_be_bytes().to_vec();
+            out.extend_from_slice(b"@#%$");
+            out
+        }
+        "invalid-utf8-payload" => {
+            // Correct framing, but one payload byte is clobbered with 0xff
+            // (never valid in UTF-8 at any position).
+            let mut bytes = payload.as_bytes().to_vec();
+            if bytes.is_empty() {
+                bytes.push(b'x');
+            }
+            let at = pick(rng, bytes.len());
+            bytes[at] = 0xff;
+            let mut out = (bytes.len() as u32).to_be_bytes().to_vec();
+            out.extend_from_slice(&bytes);
+            out
+        }
+        "mid-frame-disconnect" => {
+            // Correct header, partial payload, then hang up.
+            let mut out = header.to_vec();
+            out.extend_from_slice(&payload.as_bytes()[..pick(rng, payload.len().max(1))]);
+            out
+        }
+        other => unreachable!("unknown frame operator {other}"),
+    }
+}
+
 /// Applies the named netlist corruption operator to `nl` in place.
 ///
 /// # Panics
@@ -238,6 +298,44 @@ mod tests {
             let damaged = corrupt_liberty(op, &text, &mut rng_from(7, "fault", 5));
             assert_ne!(damaged, text, "operator {op} left the text untouched");
         }
+    }
+
+    #[test]
+    fn frame_operators_are_deterministic_and_each_breaks_the_frame() {
+        let payload = "{\"kind\":\"ping\",\"id\":\"x\"}";
+        for op in FRAME_OPS {
+            let a = corrupt_frame(op, payload, &mut rng_from(7, "frame", 1));
+            let b = corrupt_frame(op, payload, &mut rng_from(7, "frame", 1));
+            assert_eq!(a, b, "operator {op} must be seed-deterministic");
+            // None of them round-trips as a well-formed frame.
+            let parsed = varitune_serve::read_frame(&mut &a[..]);
+            assert!(
+                !matches!(parsed, Ok(Some(_))),
+                "operator {op} produced a readable frame"
+            );
+        }
+        // Shape checks per operator.
+        let trunc = corrupt_frame(
+            "truncate-length-prefix",
+            payload,
+            &mut rng_from(7, "frame", 2),
+        );
+        assert!(trunc.len() < 4);
+        let over = corrupt_frame("oversized-length", payload, &mut rng_from(7, "frame", 2));
+        let claim = u32::from_be_bytes([over[0], over[1], over[2], over[3]]);
+        assert!(claim as usize > varitune_serve::MAX_FRAME);
+        let utf8 = corrupt_frame(
+            "invalid-utf8-payload",
+            payload,
+            &mut rng_from(7, "frame", 2),
+        );
+        assert!(String::from_utf8(utf8[4..].to_vec()).is_err());
+        let cut = corrupt_frame(
+            "mid-frame-disconnect",
+            payload,
+            &mut rng_from(7, "frame", 2),
+        );
+        assert!(cut.len() < 4 + payload.len());
     }
 
     #[test]

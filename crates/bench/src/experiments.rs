@@ -6,6 +6,12 @@
 //! design); the *shapes* — who wins, by roughly what factor, where the
 //! crossovers fall — are the reproduction target.
 
+// Invariant behind every `expect` below: experiments run exclusively on
+// generator-produced libraries and designs, so a failed lookup or synthesis
+// is a harness bug worth crashing over, never an input condition. Each
+// message names the invariant it asserts.
+#![allow(clippy::expect_used)]
+
 use std::fmt::Write as _;
 
 use varitune_core::{TuningMethod, TuningParams};

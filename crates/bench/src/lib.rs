@@ -6,6 +6,9 @@
 //! The `experiments` binary drives them from the command line; the Criterion
 //! benches in `benches/` measure the underlying kernels.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod corrupt;
 pub mod experiments;
 pub mod text;
@@ -112,9 +115,14 @@ impl Ctx {
     /// these run on generator-produced inputs, so a failure is a bug worth
     /// crashing the harness over.
     pub fn new(scale: Scale) -> Self {
+        // Invariant (documented under `# Panics`): the scales feed
+        // generator-produced inputs, so preparation and the period search
+        // cannot fail without a harness bug.
+        #[allow(clippy::expect_used)]
         let flow = Flow::prepare(scale.flow.clone()).expect("flow preparation");
         // First pass: minimum period without a guard band, to size the
         // guard (the paper uses 300 ps on a 2.41 ns clock, ~12 %).
+        #[allow(clippy::expect_used)] // same invariant as above
         let (p0, _) = find_min_period(
             &flow.netlist,
             &flow.stat.mean,
@@ -162,6 +170,9 @@ impl Ctx {
         if let Some(r) = self.baselines.borrow().get(&key) {
             return Rc::clone(r);
         }
+        // Invariant (`# Panics`): synthesis over generator-produced inputs
+        // fails only on a harness bug.
+        #[allow(clippy::expect_used)]
         let run = Rc::new(
             self.flow
                 .run_baseline(&self.synth_config(period))
@@ -191,6 +202,8 @@ impl Ctx {
         if let Some(r) = self.tuned.borrow().get(&key) {
             return Rc::clone(r);
         }
+        // Invariant (`# Panics`): as for `baseline`.
+        #[allow(clippy::expect_used)]
         let run = Rc::new(
             self.flow
                 .run_tuned(method, params, &self.synth_config(period))
@@ -242,6 +255,8 @@ fn bisect_min_period(flow: &Flow, uncertainty: f64, mut lo: f64, mut hi: f64, to
     let meets = |period: f64| {
         let mut cfg = SynthConfig::with_clock_period(period);
         cfg.sta.clock_uncertainty = uncertainty;
+        // Invariant: the bisection probes generator-produced inputs.
+        #[allow(clippy::expect_used)]
         flow.run_baseline(&cfg)
             .expect("baseline synthesis")
             .synthesis

@@ -66,6 +66,10 @@ pub mod stages {
     ];
     /// `fault_harness` runs all corruption scenarios under one span.
     pub const FAULT_HARNESS: &[&str] = &["fault_harness.scenarios"];
+    /// `serve_harness` wraps each server run (one worker-count sweep
+    /// entry) in a span; the jobs themselves trace into the *server's*
+    /// per-job recorders, not the harness capture.
+    pub const SERVE_HARNESS: &[&str] = &["serve_harness.run"];
     /// `optimize_harness` prepares the golden small-scale flow, runs the
     /// Table-2 grid through the `Optimizer` trait and then the
     /// evolutionary Pareto search, whose own spans

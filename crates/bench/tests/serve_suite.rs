@@ -1,0 +1,51 @@
+//! Frame-corruption survival: every operator in [`FRAME_OPS`] is thrown at
+//! a live server, which must keep serving afterwards. Lives in `bench`
+//! (not `serve`) because the operators are part of the shared corruption
+//! vocabulary the fault harness uses.
+
+use std::io::{Read as _, Write as _};
+use std::net::{Shutdown, TcpStream};
+
+use varitune_bench::corrupt::{corrupt_frame, FRAME_OPS};
+use varitune_serve::{read_frame, Client, ServeConfig, Server};
+use varitune_variation::rng::rng_from;
+
+#[test]
+fn server_survives_every_frame_corruption_with_structured_errors() {
+    let server = Server::start(ServeConfig::for_tests()).expect("server starts");
+    let addr = server.addr();
+    let payload = "{\"kind\":\"ping\",\"id\":\"atk\"}";
+    for (i, op) in FRAME_OPS.iter().enumerate() {
+        let mut rng = rng_from(11, "frame", i as u64);
+        let bytes = corrupt_frame(op, payload, &mut rng);
+        let mut attacker = TcpStream::connect(addr).expect("attacker connects");
+        attacker.write_all(&bytes).expect("attack bytes sent");
+        let _ = attacker.shutdown(Shutdown::Write);
+        // The server either answers a structured bad_request (when the
+        // socket still works) or just drops the connection; read whatever
+        // comes back until EOF.
+        let mut answer = Vec::new();
+        let _ = attacker.read_to_end(&mut answer);
+        if !answer.is_empty() {
+            let response = read_frame(&mut &answer[..])
+                .expect("well-framed error answer")
+                .expect("non-empty answer");
+            assert_eq!(
+                varitune_serve::protocol::response_error_code(&response).as_deref(),
+                Some("bad_request"),
+                "operator {op} answered {response}"
+            );
+        }
+        // Only the attacking connection died: a fresh client still works.
+        let mut client = Client::connect(addr).expect("healthy client connects");
+        let pong = client.call(payload).expect("ping after attack");
+        assert!(pong.contains("pong"), "after {op}: {pong}");
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.protocol_errors,
+        FRAME_OPS.len() as u64,
+        "every operator counted as a protocol error"
+    );
+    let _ = server.shutdown();
+}

@@ -139,6 +139,26 @@ fn fault_harness_trace_matches_schema() {
 }
 
 #[test]
+fn serve_harness_trace_matches_schema() {
+    let out = std::env::temp_dir().join(format!("varitune_serve_{}.json", std::process::id()));
+    let trace = traced_run(
+        env!("CARGO_BIN_EXE_serve_harness"),
+        "serve_harness",
+        &["--smoke", "--out", out.to_str().expect("utf-8 tmp path")],
+    );
+    let _ = std::fs::remove_file(&out);
+    assert_stages("serve_harness", &trace, stages::SERVE_HARNESS);
+    // The mix's flow work runs inside *server worker* threads under
+    // per-job recorders, so the harness capture must stay free of flow
+    // spans — leaking them here would mean job isolation broke.
+    let names = trace.span_names();
+    assert!(
+        !names.iter().any(|n| n.starts_with("flow.")),
+        "server-side job spans leaked into the harness capture: {names:?}"
+    );
+}
+
+#[test]
 fn parse_harness_trace_matches_schema() {
     let out = std::env::temp_dir().join(format!("varitune_parse_{}.json", std::process::id()));
     let trace = traced_run(

@@ -106,6 +106,12 @@ pub enum FlowError {
         /// Human-readable account of the first disqualifying problem.
         reason: String,
     },
+    /// The surrounding scope's [`varitune_variation::CancelToken`] fired —
+    /// a deadline passed or a caller requested cancellation — and the flow
+    /// abandoned work at the next checkpoint. Transient by construction:
+    /// re-running the same inputs without the token succeeds and is
+    /// bit-identical to an uncancelled run.
+    Cancelled,
 }
 
 impl fmt::Display for FlowError {
@@ -115,6 +121,7 @@ impl fmt::Display for FlowError {
             FlowError::Sta(e) => write!(f, "timing failed: {e}"),
             FlowError::Stat(e) => write!(f, "statistical library failed: {e}"),
             FlowError::Rejected { reason } => write!(f, "library rejected: {reason}"),
+            FlowError::Cancelled => write!(f, "flow cancelled: deadline passed or caller aborted"),
         }
     }
 }
@@ -130,6 +137,12 @@ impl From<SynthError> for FlowError {
 impl From<StaError> for FlowError {
     fn from(e: StaError) -> Self {
         FlowError::Sta(e)
+    }
+}
+
+impl From<varitune_variation::Cancelled> for FlowError {
+    fn from(_: varitune_variation::Cancelled) -> Self {
+        FlowError::Cancelled
     }
 }
 
@@ -196,24 +209,46 @@ impl Flow {
         Self::finish_prepare(config, screened, report)
     }
 
+    /// Prepares the flow from a library that has **already** passed
+    /// screening, together with the [`FlowReport`] that screening produced.
+    /// This is the re-preparation path for callers that cache screened
+    /// libraries (the serving registry): the screen's verdict is a pure
+    /// function of `(library, strictness)`, so replaying it on a cache hit
+    /// would only burn time. The result is identical to
+    /// [`Flow::prepare_from_library`] on the original input.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Cancelled`] if the current scope's cancel token fires
+    /// during characterization.
+    pub fn prepare_screened(
+        config: FlowConfig,
+        screened: Library,
+        report: FlowReport,
+    ) -> Result<Self, FlowError> {
+        Self::finish_prepare(config, screened, report)
+    }
+
     fn finish_prepare(
         config: FlowConfig,
         nominal: Library,
         mut report: FlowReport,
     ) -> Result<Self, FlowError> {
         let span = varitune_trace::span!("flow.prepare");
+        varitune_variation::cancel::check()?;
         // Streaming characterization: perturbed values flow column-wise
         // straight into the Welford merge, bit-identical to materializing
         // `mc_libraries` full libraries and calling `from_libraries`.
         let stat = {
             let _stage = varitune_trace::span!("flow.characterize");
-            StatLibrary::from_monte_carlo(
+            StatLibrary::try_from_monte_carlo(
                 &nominal,
                 &config.generate,
                 config.mc_libraries,
                 config.seed,
                 config.threads,
-            )
+                true,
+            )?
         };
         let netlist = {
             let _stage = varitune_trace::span!("flow.generate_design");
@@ -221,7 +256,7 @@ impl Flow {
         };
         varitune_trace::add("core.flows_prepared", 1);
         drop(span);
-        if varitune_trace::enabled() {
+        if varitune_trace::is_recording() {
             // The ledger carries the counter totals as of the end of
             // preparation, so harnesses that only keep the FlowReport
             // still see what ingestion and characterization did.
@@ -251,10 +286,12 @@ impl Flow {
         let mut synth_cfg = *synth_cfg;
         synth_cfg.threads = self.config.threads;
         let _span = varitune_trace::span!("flow.run");
+        varitune_variation::cancel::check()?;
         let synthesis = {
             let _stage = varitune_trace::span!("flow.synthesize");
             synthesize(&self.netlist, &self.stat.mean, constraints, &synth_cfg)?
         };
+        varitune_variation::cancel::check()?;
         let (paths, design) = {
             let _stage = varitune_trace::span!("flow.sta");
             worst_paths(
@@ -491,6 +528,51 @@ mod tests {
         let one = sigma_at(1);
         assert_eq!(one.to_bits(), sigma_at(2).to_bits());
         assert_eq!(one.to_bits(), sigma_at(8).to_bits());
+    }
+
+    #[test]
+    fn fired_token_cancels_prepare_and_run() {
+        let token = varitune_variation::CancelToken::new();
+        token.cancel();
+        let err = varitune_variation::cancel::with_token(&token, || {
+            Flow::prepare(FlowConfig::small_for_tests())
+        })
+        .unwrap_err();
+        assert_eq!(err, FlowError::Cancelled);
+
+        let flow = flow_fixture();
+        let err = varitune_variation::cancel::with_token(&token, || {
+            flow.run_baseline(&SynthConfig::with_clock_period(8.0))
+        })
+        .unwrap_err();
+        assert_eq!(err, FlowError::Cancelled);
+    }
+
+    #[test]
+    fn run_under_live_token_matches_uncancelled_run() {
+        // Checkpoints must only abort, never perturb: a run that completes
+        // under a token is bit-identical to one without.
+        let flow = flow_fixture();
+        let cfg = SynthConfig::with_clock_period(8.0);
+        let plain = flow.run_baseline(&cfg).unwrap();
+        let token = varitune_variation::CancelToken::new();
+        let under =
+            varitune_variation::cancel::with_token(&token, || flow.run_baseline(&cfg)).unwrap();
+        assert_eq!(plain.sigma().to_bits(), under.sigma().to_bits());
+        assert_eq!(plain.paths, under.paths);
+    }
+
+    #[test]
+    fn prepare_screened_matches_prepare_from_library() {
+        let cfg = FlowConfig::small_for_tests();
+        let nominal = generate_nominal(&cfg.generate);
+        let via_screen = Flow::prepare_from_library(cfg.clone(), &nominal).unwrap();
+        let resumed =
+            Flow::prepare_screened(cfg, via_screen.nominal.clone(), via_screen.report.clone())
+                .unwrap();
+        assert_eq!(resumed.stat.sigma, via_screen.stat.sigma);
+        assert_eq!(resumed.netlist, via_screen.netlist);
+        assert_eq!(resumed.report, via_screen.report);
     }
 
     #[test]

@@ -616,6 +616,9 @@ impl Optimizer for EvolutionaryOptimizer {
             if archive.is_empty() {
                 break;
             }
+            // A served optimize job's deadline aborts between generations;
+            // the checkpoint never perturbs a run that survives it.
+            varitune_variation::cancel::check()?;
             let gen_span = varitune_trace::span!("optimize.generation");
             varitune_trace::add("optimize.generations", 1);
             let mut offspring = Vec::with_capacity(cfg.population);

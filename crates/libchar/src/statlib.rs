@@ -20,7 +20,6 @@ use std::error::Error;
 use std::fmt;
 
 use varitune_liberty::{CellId, InterpolateError, Library, Lut, PinId, TimingArc};
-use varitune_variation::parallel::run_trials;
 use varitune_variation::rng::rng_from;
 
 /// Which of an arc's four tables a query refers to.
@@ -583,6 +582,35 @@ impl StatLibrary {
         seed: u64,
         threads: usize,
     ) -> Self {
+        #[allow(clippy::expect_used)] // infallible: no cancel scope is consulted here
+        Self::try_from_monte_carlo(nominal, cfg, n, seed, threads, false)
+            .expect("uncancellable characterization cannot be cancelled")
+    }
+
+    /// Cancellable form of [`Self::from_monte_carlo`]: when `cancellable`
+    /// is true, every Monte-Carlo trial starts with a
+    /// [`varitune_variation::cancel::check`] checkpoint against the current
+    /// scope's [`varitune_variation::CancelToken`], so a served request's
+    /// deadline can abandon the characterization between trials. A run that
+    /// completes is bit-identical to [`Self::from_monte_carlo`] — the
+    /// checkpoint only ever aborts, never perturbs.
+    ///
+    /// # Errors
+    ///
+    /// [`varitune_variation::Cancelled`] once the current scope's token has
+    /// fired (only possible with `cancellable == true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn try_from_monte_carlo(
+        nominal: &Library,
+        cfg: &crate::GenerateConfig,
+        n: usize,
+        seed: u64,
+        threads: usize,
+        cancellable: bool,
+    ) -> Result<Self, varitune_variation::Cancelled> {
         assert!(n > 0, "need at least one MC library");
         let _span = varitune_trace::span!("libchar.mc_characterize");
         // The perturbation leaves structure (and all non-slot state except
@@ -596,7 +624,10 @@ impl StatLibrary {
         varitune_trace::add("libchar.mc_trials", n as u64);
         varitune_trace::add("libchar.column_values_merged", (n as u64) * (total as u64));
         varitune_trace::observe("libchar.column_entries", total as u64);
-        let columns = run_trials(n, threads, |k| {
+        let columns = varitune_variation::try_run_trials(n, threads, |k| {
+            if cancellable {
+                varitune_variation::cancel::check()?;
+            }
             let mut column = Vec::with_capacity(total);
             crate::generate::perturb_into_column(
                 nominal,
@@ -604,8 +635,8 @@ impl StatLibrary {
                 rng_from(seed, "mc-lib", k as u64),
                 &mut column,
             );
-            column
-        });
+            Ok(column)
+        })?;
 
         let mut mean_col = vec![0.0f64; total];
         let mut m2 = vec![0.0f64; total];
@@ -634,12 +665,12 @@ impl StatLibrary {
         index.scatter(&mut mean, &mean_col);
         index.scatter(&mut sigma, &sigma_col);
 
-        Self {
+        Ok(Self {
             mean,
             sigma,
             sample_count: n,
             columns: ColumnsCache::default(),
-        }
+        })
     }
 
     /// Assembles a statistical library from already-built mean/sigma
@@ -955,6 +986,34 @@ mod tests {
             assert_eq!(fused.sigma, reference.sigma, "threads = {threads}");
             assert_eq!(fused.sample_count, reference.sample_count);
         }
+    }
+
+    #[test]
+    fn cancellable_characterization_matches_uncancellable_when_it_completes() {
+        let cfg = GenerateConfig::small_for_tests();
+        let nominal = generate_nominal(&cfg);
+        let reference = StatLibrary::from_monte_carlo(&nominal, &cfg, 7, 1234, 2);
+        let cancellable =
+            StatLibrary::try_from_monte_carlo(&nominal, &cfg, 7, 1234, 2, true).unwrap();
+        assert_eq!(cancellable.mean, reference.mean);
+        assert_eq!(cancellable.sigma, reference.sigma);
+    }
+
+    #[test]
+    fn fired_token_aborts_cancellable_characterization() {
+        let cfg = GenerateConfig::small_for_tests();
+        let nominal = generate_nominal(&cfg);
+        let token = varitune_variation::CancelToken::new();
+        token.cancel();
+        let result = varitune_variation::cancel::with_token(&token, || {
+            StatLibrary::try_from_monte_carlo(&nominal, &cfg, 7, 1234, 2, true)
+        });
+        assert_eq!(result.unwrap_err(), varitune_variation::Cancelled);
+        // An uncancellable run under the same fired token still completes.
+        let ok = varitune_variation::cancel::with_token(&token, || {
+            StatLibrary::try_from_monte_carlo(&nominal, &cfg, 7, 1234, 2, false)
+        });
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Blocking client with seeded-deterministic retry.
+//!
+//! [`Client`] speaks the frame protocol over one connection.
+//! [`RetryPolicy`] implements exponential backoff with jitter for shed
+//! (`overloaded`) responses; the jitter derives from the workspace's
+//! deterministic seed streams ([`varitune_variation::rng`]), so a harness
+//! replaying the same seed sees the same retry schedule — load tests are
+//! reproducible down to the sleep pattern.
+
+use std::io::{self};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use varitune_variation::rng::rng_from;
+
+use crate::protocol::{
+    read_frame, response_error_code, response_retry_after_ms, write_frame, FrameError,
+};
+
+/// Exponential-backoff-with-jitter retry schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// First backoff in milliseconds (before jitter).
+    pub base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub max_ms: u64,
+    /// Attempts after the first (0 = never retry).
+    pub max_retries: u32,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base_ms: 2,
+            max_ms: 200,
+            max_retries: 8,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based) of the request
+    /// identified by `salt`: `min(base·2^attempt, max)` plus jitter in
+    /// `[0, base)` drawn from the `(seed, salt, attempt)` stream. The
+    /// server's `retry_after_ms` hint, when larger, takes precedence as
+    /// the pre-jitter floor.
+    #[must_use]
+    pub fn backoff_ms(&self, attempt: u32, salt: u64, server_hint_ms: Option<u64>) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.max_ms);
+        let floor = exp.max(server_hint_ms.unwrap_or(0)).min(self.max_ms);
+        let mut rng = rng_from(self.seed, "serve-retry", salt ^ (u64::from(attempt) << 48));
+        let jitter = if self.base_ms == 0 {
+            0
+        } else {
+            rng.next_u64() % self.base_ms
+        };
+        floor + jitter
+    }
+}
+
+/// What a retried call ended with.
+#[derive(Debug, Clone)]
+pub struct CallOutcome {
+    /// The final response payload.
+    pub response: String,
+    /// Retries performed (0 = first attempt answered).
+    pub retries: u32,
+    /// Total backoff slept, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+/// A blocking connection to a server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request payload and waits for the response frame.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures; a server-side connection close surfaces as
+    /// `UnexpectedEof`.
+    pub fn call(&mut self, payload: &str) -> io::Result<String> {
+        write_frame(&mut self.stream, payload)?;
+        match read_frame(&mut self.stream) {
+            Ok(Some(response)) => Ok(response),
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Err(FrameError::Io(e)) => Err(e),
+            Err(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                other.to_string(),
+            )),
+        }
+    }
+
+    /// Sends a request, retrying shed (`overloaded`) responses under
+    /// `policy`. `salt` identifies the request in the jitter stream (use a
+    /// stable per-job number).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures. Exhausted retries are not an error: the last
+    /// `overloaded` response is returned for the caller to inspect.
+    pub fn call_with_retry(
+        &mut self,
+        payload: &str,
+        policy: &RetryPolicy,
+        salt: u64,
+    ) -> io::Result<CallOutcome> {
+        let mut retries = 0;
+        let mut backoff_total = 0;
+        loop {
+            let response = self.call(payload)?;
+            let shed = response_error_code(&response).as_deref() == Some("overloaded");
+            if !shed || retries >= policy.max_retries {
+                return Ok(CallOutcome {
+                    response,
+                    retries,
+                    backoff_ms: backoff_total,
+                });
+            }
+            let hint = response_retry_after_ms(&response);
+            let sleep = policy.backoff_ms(retries, salt, hint);
+            backoff_total += sleep;
+            std::thread::sleep(Duration::from_millis(sleep));
+            retries += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            base_ms: 4,
+            max_ms: 50,
+            max_retries: 10,
+            seed: 1,
+        };
+        let b0 = policy.backoff_ms(0, 9, None);
+        let b3 = policy.backoff_ms(3, 9, None);
+        let b10 = policy.backoff_ms(10, 9, None);
+        assert!((4..8).contains(&b0), "base+jitter: {b0}");
+        assert!((32..36).contains(&b3), "4*2^3+jitter: {b3}");
+        assert!((50..54).contains(&b10), "capped+jitter: {b10}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_salt() {
+        let policy = RetryPolicy {
+            base_ms: 100,
+            max_ms: 1000,
+            max_retries: 3,
+            seed: 42,
+        };
+        assert_eq!(policy.backoff_ms(2, 7, None), policy.backoff_ms(2, 7, None));
+        // Different salts decorrelate concurrent clients.
+        let same: Vec<u64> = (0..16).map(|s| policy.backoff_ms(0, s, None)).collect();
+        let distinct: std::collections::BTreeSet<_> = same.iter().collect();
+        assert!(distinct.len() > 8, "jitter spreads: {same:?}");
+    }
+
+    #[test]
+    fn server_hint_raises_the_floor() {
+        let policy = RetryPolicy {
+            base_ms: 2,
+            max_ms: 500,
+            max_retries: 1,
+            seed: 0,
+        };
+        let hinted = policy.backoff_ms(0, 1, Some(100));
+        assert!(hinted >= 100, "hint respected: {hinted}");
+    }
+}

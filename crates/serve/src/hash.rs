@@ -1,0 +1,42 @@
+//! Content hashing for cache keys.
+//!
+//! FNV-1a over the raw bytes: stable across platforms and Rust versions
+//! (unlike `std::hash`'s randomized `SipHash`), so a library's hash — which
+//! appears in responses and keys every cache layer — is the same in every
+//! process that ever serves it.
+
+/// 64-bit FNV-1a of `bytes`.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The hash rendered the way responses carry it: fixed-width lowercase hex.
+#[must_use]
+pub fn hex64(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex64(0x2a), "000000000000002a");
+        assert_eq!(hex64(u64::MAX), "ffffffffffffffff");
+    }
+}

@@ -1,0 +1,559 @@
+//! Wire protocol: length-prefixed JSON frames, requests, and responses.
+//!
+//! A frame is a 4-byte big-endian length followed by that many bytes of
+//! UTF-8 JSON in the [`varitune_trace::json`] subset (objects, arrays,
+//! strings, unsigned integers — no floats or booleans). Floating-point
+//! results are therefore rendered twice in responses: as a shortest
+//! round-trip decimal *string* for humans and as the IEEE-754 bit pattern
+//! in a `*_bits` integer for machines; both are deterministic.
+//!
+//! Request numerics arrive in integer units for the same reason: clock
+//! periods in picoseconds (`clock_period_ps`), tuning parameters in
+//! millionths (`param_micro`), deadlines in milliseconds (`deadline_ms`).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use varitune_core::quarantine::Strictness;
+use varitune_core::TuningMethod;
+use varitune_trace::json::{self, Json};
+
+/// Hard ceiling on a frame's payload size. A length prefix above this is a
+/// protocol error (the connection is told so and closed), not an
+/// allocation: a hostile 4 GiB prefix costs the server nothing.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Error from [`read_frame`].
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed (including mid-frame disconnects,
+    /// surfaced as `UnexpectedEof`).
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(u32),
+    /// The payload is not valid UTF-8.
+    Utf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o failed: {e}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Utf8 => f.write_str("frame payload is not valid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the payload.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds u32 length"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` on a clean EOF *before* any header byte — a
+/// peer hanging up between requests is not an error.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] on socket failure or a disconnect after the frame
+/// started (`UnexpectedEof`), [`FrameError::TooLarge`] on a hostile length
+/// prefix, [`FrameError::Utf8`] on a non-UTF-8 payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, FrameError> {
+    let mut header = [0u8; 4];
+    match r.read(&mut header)? {
+        0 => return Ok(None),
+        mut got => {
+            while got < 4 {
+                let n = r.read(&mut header[got..])?;
+                if n == 0 {
+                    return Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "disconnect inside frame header",
+                    )));
+                }
+                got += n;
+            }
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len as usize > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        FrameError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("disconnect inside frame payload: {e}"),
+        ))
+    })?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| FrameError::Utf8)
+}
+
+/// What a request asks the server to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Prepare (or hit the cache for) the library's flow and report its
+    /// baseline statistical timing.
+    Sta,
+    /// Tune the library with a paper method and compare against baseline.
+    Tune,
+    /// Baseline run plus the ingestion/screening ledger.
+    Signoff,
+    /// Evolutionary Pareto search; responds with the front.
+    Optimize,
+    /// Liveness probe; answered inline, never queued.
+    Ping,
+    /// Server counters; answered inline. Volatile by design (the only
+    /// non-deterministic response kind).
+    Stats,
+    /// Begin a graceful drain.
+    Shutdown,
+    /// Deliberately panics inside the worker — exercises panic isolation.
+    /// Only honored when [`crate::ServeConfig::allow_poison`] is set.
+    Poison,
+}
+
+impl JobKind {
+    /// Whether this kind goes through the bounded work queue (as opposed to
+    /// being answered inline on the connection thread).
+    #[must_use]
+    pub fn is_work(self) -> bool {
+        matches!(
+            self,
+            JobKind::Sta | JobKind::Tune | JobKind::Signoff | JobKind::Optimize | JobKind::Poison
+        )
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "sta" => JobKind::Sta,
+            "tune" => JobKind::Tune,
+            "signoff" => JobKind::Signoff,
+            "optimize" => JobKind::Optimize,
+            "ping" => JobKind::Ping,
+            "stats" => JobKind::Stats,
+            "shutdown" => JobKind::Shutdown,
+            "poison" => JobKind::Poison,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed job request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// What to do.
+    pub kind: JobKind,
+    /// Caller-chosen id, echoed in the response.
+    pub id: String,
+    /// Liberty text of the library to serve. Required for work kinds.
+    pub library: String,
+    /// Master seed for characterization / search.
+    pub seed: u64,
+    /// Monte-Carlo libraries behind the statistical library.
+    pub mc_libraries: usize,
+    /// Worker threads *inside* the job (characterization, synthesis
+    /// re-propagation). Results are bit-identical for any value.
+    pub threads: usize,
+    /// Ingestion policy.
+    pub strictness: Strictness,
+    /// Clock period in picoseconds.
+    pub clock_period_ps: u64,
+    /// Tuning method (tune jobs).
+    pub method: TuningMethod,
+    /// Tuning parameter in millionths (tune jobs): the sigma ceiling or
+    /// slope threshold times 1e6.
+    pub param_micro: u64,
+    /// Per-request deadline in milliseconds, enforced cooperatively at flow
+    /// checkpoints.
+    pub deadline_ms: Option<u64>,
+    /// Generations after the initial evaluation (optimize jobs).
+    pub generations: usize,
+    /// Random genomes seeded into the initial population (optimize jobs).
+    pub population: usize,
+}
+
+fn parse_strictness(s: &str) -> Option<Strictness> {
+    Some(match s {
+        "strict" => Strictness::Strict,
+        "quarantine" => Strictness::Quarantine,
+        "best-effort" => Strictness::BestEffort,
+        _ => return None,
+    })
+}
+
+fn parse_method(s: &str) -> Option<TuningMethod> {
+    TuningMethod::ALL
+        .iter()
+        .copied()
+        .find(|m| m.to_string() == s)
+}
+
+impl Request {
+    /// Parses a request payload. Missing optional fields take documented
+    /// defaults; a missing `kind`, unknown enum string, or non-object
+    /// payload is an error (answered as `bad_request`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem.
+    pub fn parse(payload: &str) -> Result<Self, String> {
+        let root = json::parse(payload).map_err(|e| e.to_string())?;
+        if root.members().is_none() {
+            return Err("request must be a JSON object".to_string());
+        }
+        let str_field = |key: &str| root.get(key).and_then(Json::as_str);
+        let num_field = |key: &str| root.get(key).and_then(Json::as_u64);
+        let kind = str_field("kind").ok_or("missing \"kind\"")?;
+        let kind = JobKind::parse(kind).ok_or_else(|| format!("unknown kind {kind:?}"))?;
+        let id = str_field("id").unwrap_or("").to_string();
+        let library = str_field("library").unwrap_or("").to_string();
+        if kind.is_work() && kind != JobKind::Poison && library.is_empty() {
+            return Err(format!("kind {kind:?} requires a \"library\""));
+        }
+        let strictness = match str_field("strictness") {
+            None => Strictness::Strict,
+            Some(s) => parse_strictness(s).ok_or_else(|| format!("unknown strictness {s:?}"))?,
+        };
+        let method = match str_field("method") {
+            None => TuningMethod::SigmaCeiling,
+            Some(s) => parse_method(s).ok_or_else(|| format!("unknown method {s:?}"))?,
+        };
+        Ok(Self {
+            kind,
+            id,
+            library,
+            seed: num_field("seed").unwrap_or(7),
+            mc_libraries: num_field("mc_libraries").unwrap_or(6).clamp(1, 1024) as usize,
+            threads: num_field("threads").unwrap_or(1).min(64) as usize,
+            strictness,
+            clock_period_ps: num_field("clock_period_ps").unwrap_or(8000).max(1),
+            method,
+            param_micro: num_field("param_micro").unwrap_or(20_000),
+            deadline_ms: num_field("deadline_ms"),
+            generations: num_field("generations").unwrap_or(2).min(64) as usize,
+            population: num_field("population").unwrap_or(4).min(256) as usize,
+        })
+    }
+
+    /// Clock period in nanoseconds.
+    #[must_use]
+    pub fn clock_period_ns(&self) -> f64 {
+        self.clock_period_ps as f64 / 1000.0
+    }
+
+    /// Tuning parameter as a float (`param_micro` / 1e6).
+    #[must_use]
+    pub fn param(&self) -> f64 {
+        self.param_micro as f64 / 1e6
+    }
+}
+
+/// Structured failure codes a response can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame parsed as JSON but is not a valid request.
+    BadRequest,
+    /// Screening refused the library under the requested strictness
+    /// (permanent for this (library, strictness) pair; negatively cached).
+    Rejected,
+    /// The bounded queue is full; retry after `retry_after_ms`.
+    Overloaded,
+    /// The request's own deadline expired mid-flow.
+    Deadline,
+    /// Cancelled without a deadline (drain-time abort).
+    Cancelled,
+    /// The job panicked; the worker caught it and lives on.
+    Panic,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// The flow failed (synthesis / timing / statistics error).
+    Failed,
+    /// The request kind is recognized but disabled on this server.
+    Unsupported,
+}
+
+impl ErrorCode {
+    /// The wire string for this code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Rejected => "rejected",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::Panic => "panic",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Failed => "failed",
+            ErrorCode::Unsupported => "unsupported",
+        }
+    }
+
+    /// Whether a client retry can possibly succeed.
+    #[must_use]
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded)
+    }
+}
+
+/// A structured job failure, rendered into the `error` member of a
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable account.
+    pub message: String,
+    /// For [`ErrorCode::Overloaded`]: how long the client should back off
+    /// (its retry policy adds deterministic jitter on top).
+    pub retry_after_ms: Option<u64>,
+}
+
+impl JobError {
+    /// A failure with just a code and message.
+    #[must_use]
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+}
+
+/// Renders a float deterministically for a response: shortest round-trip
+/// decimal. Pair with [`bits`] so machines never re-parse decimals.
+#[must_use]
+pub fn fmt_f64(x: f64) -> String {
+    format!("{x:?}")
+}
+
+/// IEEE-754 bit pattern of `x` for the `*_bits` response fields.
+#[must_use]
+pub fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+/// Builder for the deterministic response JSON: fields render in insertion
+/// order, strings escape through the shared trace escaper.
+#[derive(Debug, Default)]
+pub struct Body {
+    out: String,
+}
+
+impl Body {
+    /// An empty object body.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.out.is_empty() {
+            self.out.push(',');
+        }
+    }
+
+    /// Adds a string member.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        json::write_escaped(&mut self.out, key);
+        self.out.push(':');
+        json::write_escaped(&mut self.out, value);
+        self
+    }
+
+    /// Adds an unsigned integer member.
+    pub fn num(&mut self, key: &str, value: u64) -> &mut Self {
+        self.sep();
+        json::write_escaped(&mut self.out, key);
+        self.out.push_str(&format!(":{value}"));
+        self
+    }
+
+    /// Adds the decimal-string + `_bits` pair for a float.
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        self.str(key, &fmt_f64(value));
+        self.num(&format!("{key}_bits"), bits(value))
+    }
+
+    /// Adds a raw, already-rendered JSON value.
+    pub fn raw(&mut self, key: &str, rendered: &str) -> &mut Self {
+        self.sep();
+        json::write_escaped(&mut self.out, key);
+        self.out.push(':');
+        self.out.push_str(rendered);
+        self
+    }
+
+    /// The rendered object.
+    #[must_use]
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.out)
+    }
+}
+
+/// Renders a success response: `{"id":…,"ok":<body>}`.
+#[must_use]
+pub fn ok_response(id: &str, body: &str) -> String {
+    let mut out = String::with_capacity(body.len() + id.len() + 16);
+    out.push_str("{\"id\":");
+    json::write_escaped(&mut out, id);
+    out.push_str(",\"ok\":");
+    out.push_str(body);
+    out.push('}');
+    out
+}
+
+/// Renders a failure response: `{"id":…,"error":{…}}`.
+#[must_use]
+pub fn error_response(id: &str, error: &JobError) -> String {
+    let mut body = Body::new();
+    body.str("code", error.code.as_str());
+    body.str("message", &error.message);
+    if let Some(ms) = error.retry_after_ms {
+        body.num("retry_after_ms", ms);
+    }
+    let mut out = String::new();
+    out.push_str("{\"id\":");
+    json::write_escaped(&mut out, id);
+    out.push_str(",\"error\":");
+    out.push_str(&body.finish());
+    out.push('}');
+    out
+}
+
+/// Pulls the error code string out of a rendered response, if it is an
+/// error response.
+#[must_use]
+pub fn response_error_code(payload: &str) -> Option<String> {
+    let root = json::parse(payload).ok()?;
+    let code = root.get("error")?.get("code")?.as_str()?;
+    Some(code.to_string())
+}
+
+/// Pulls `retry_after_ms` out of a rendered error response.
+#[must_use]
+pub fn response_retry_after_ms(payload: &str) -> Option<u64> {
+    let root = json::parse(payload).ok()?;
+    root.get("error")?.get("retry_after_ms")?.as_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"kind\":\"ping\"}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"kind\":\"ping\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let mut buf = u32::MAX.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(FrameError::TooLarge(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_io_errors() {
+        let buf = [0u8, 0, 1]; // 3 of 4 header bytes
+        assert!(matches!(read_frame(&mut &buf[..]), Err(FrameError::Io(_))));
+        let mut buf = 5u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc"); // 3 of 5 payload bytes
+        assert!(matches!(read_frame(&mut &buf[..]), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_payload_is_detected() {
+        let mut buf = 2u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(read_frame(&mut &buf[..]), Err(FrameError::Utf8)));
+    }
+
+    #[test]
+    fn request_parses_with_defaults() {
+        let req = Request::parse(r#"{"kind":"sta","id":"j1","library":"library (x) {}"}"#).unwrap();
+        assert_eq!(req.kind, JobKind::Sta);
+        assert_eq!(req.id, "j1");
+        assert_eq!(req.seed, 7);
+        assert_eq!(req.strictness, Strictness::Strict);
+        assert_eq!(req.clock_period_ps, 8000);
+        assert!(req.deadline_ms.is_none());
+    }
+
+    #[test]
+    fn request_rejects_bad_inputs() {
+        assert!(Request::parse("[]").is_err());
+        assert!(Request::parse(r#"{"id":"x"}"#).is_err());
+        assert!(Request::parse(r#"{"kind":"dance"}"#).is_err());
+        assert!(
+            Request::parse(r#"{"kind":"sta"}"#).is_err(),
+            "library required"
+        );
+        assert!(Request::parse(r#"{"kind":"sta","library":"l","strictness":"??"}"#).is_err());
+        assert!(Request::parse(r#"{"kind":"tune","library":"l","method":"??"}"#).is_err());
+    }
+
+    #[test]
+    fn method_strings_round_trip() {
+        for m in TuningMethod::ALL {
+            assert_eq!(parse_method(&m.to_string()), Some(m));
+        }
+    }
+
+    #[test]
+    fn responses_render_deterministically() {
+        let mut body = Body::new();
+        body.str("kind", "sta")
+            .float("sigma", 0.125)
+            .num("paths", 3);
+        let ok = ok_response("j\"7", &body.finish());
+        assert_eq!(
+            ok,
+            "{\"id\":\"j\\\"7\",\"ok\":{\"kind\":\"sta\",\"sigma\":\"0.125\",\"sigma_bits\":4593671619917905920,\"paths\":3}}"
+        );
+        // The rendered response stays inside the trace JSON subset.
+        assert!(json::parse(&ok).is_ok());
+        let err = error_response(
+            "j2",
+            &JobError {
+                code: ErrorCode::Overloaded,
+                message: "queue full".to_string(),
+                retry_after_ms: Some(5),
+            },
+        );
+        assert_eq!(response_error_code(&err).as_deref(), Some("overloaded"));
+        assert_eq!(response_retry_after_ms(&err), Some(5));
+    }
+}

@@ -1,0 +1,416 @@
+//! Content-hash-keyed cache layers for served artifacts.
+//!
+//! Three single-flight layers, each keyed by the FNV-1a hash of the
+//! Liberty text plus whatever request parameters shape the result:
+//!
+//! 1. **Libraries** — parsed + screened [`Library`] per (text hash,
+//!    strictness). A strict-screening rejection is cached too, as a
+//!    *negative* entry ([`LibEntry::Rejected`]): the same hostile library
+//!    resubmitted is refused without re-parsing, and — because rejection
+//!    is a separate enum variant, not a sentinel value — it can never be
+//!    served as a positive result.
+//! 2. **Flows** — the prepared [`Flow`] (nominal + statistical library +
+//!    design) per (library, seed, MC count, threads). Characterization is
+//!    the expensive step; the `characterizations` counter increments only
+//!    when one *completes*, so its total equals the number of distinct
+//!    cached flows regardless of how many requests raced or how many
+//!    deadline-cancelled attempts aborted mid-way.
+//! 3. **Baselines** — the unconstrained synthesis run plus its
+//!    [`TimingGraph`] per (flow, clock period).
+//!
+//! # Why `Box::leak`
+//!
+//! [`TimingGraph`] borrows the [`Library`] it times against, so a cache
+//! entry holding both would be self-referential. Instead of `unsafe`
+//! pinning, each cached value is leaked to `&'static` — a deliberate,
+//! *bounded* leak: the capacity caps of the underlying [`SfCache`] layers
+//! refuse new keys once full ([`SfError::Full`]), at which point callers
+//! compute transient owned values instead (see `server::handle_job`), so
+//! leaked memory never exceeds `capacity × entry size`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use varitune_core::quarantine::Strictness;
+use varitune_core::{Flow, FlowConfig, FlowError, FlowReport, FlowRun};
+use varitune_libchar::GenerateConfig;
+use varitune_liberty::Library;
+use varitune_netlist::McuConfig;
+use varitune_sta::{StaConfig, TimingGraph};
+
+use crate::cache::{SfCache, SfError};
+use crate::hash::fnv1a64;
+
+fn strictness_tag(s: Strictness) -> u8 {
+    match s {
+        Strictness::Strict => 0,
+        Strictness::Quarantine => 1,
+        Strictness::BestEffort => 2,
+    }
+}
+
+/// Key of the library layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LibKey {
+    /// FNV-1a of the Liberty text.
+    pub text_hash: u64,
+    strictness: u8,
+}
+
+impl LibKey {
+    /// The key a given text hash and strictness map to (for cache
+    /// inspection in tests and harnesses).
+    #[must_use]
+    pub fn new(text_hash: u64, strictness: Strictness) -> Self {
+        Self {
+            text_hash,
+            strictness: strictness_tag(strictness),
+        }
+    }
+}
+
+/// Key of the flow layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// FNV-1a of the Liberty text.
+    pub text_hash: u64,
+    strictness: u8,
+    seed: u64,
+    mc_libraries: usize,
+    threads: usize,
+}
+
+/// Key of the baseline layer: a flow plus the clock period in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BaselineKey {
+    flow: FlowKey,
+    clock_period_ps: u64,
+}
+
+/// A cached screening outcome. `Clone` is two pointer copies.
+#[derive(Debug, Clone, Copy)]
+pub enum LibEntry {
+    /// The library passed screening (possibly with degradations under
+    /// tolerant policies).
+    Screened {
+        /// The surviving cells.
+        lib: &'static Library,
+        /// What screening did.
+        report: &'static FlowReport,
+    },
+    /// Screening refused the library — the negative cache. Requests for
+    /// the same (text, strictness) are rejected from memory.
+    Rejected {
+        /// The screen's account of the first disqualifying problem.
+        reason: &'static str,
+    },
+}
+
+/// A baseline: the unconstrained run and a live timing graph over the
+/// flow's mean library. Cached as `&'static Baseline<'static>`; the
+/// over-capacity fallback builds a transient `Baseline<'l>` instead.
+pub struct Baseline<'l> {
+    /// The synthesized-and-measured baseline.
+    pub run: FlowRun,
+    /// Worst setup slack from the retained timing graph.
+    pub worst_slack: f64,
+    /// The levelized graph itself, for future incremental queries.
+    pub graph: TimingGraph<'l>,
+}
+
+/// Parameters every served flow shares (fixed per server instance);
+/// per-request knobs live in the cache keys.
+#[derive(Debug, Clone)]
+pub struct FlowTemplate {
+    /// Library-generation parameters (shapes characterization).
+    pub generate: GenerateConfig,
+    /// Design-generation parameters.
+    pub mcu: McuConfig,
+    /// Inter-cell correlation for path sigma.
+    pub rho: f64,
+}
+
+/// The three cache layers plus the characterization ledger.
+pub struct Registry {
+    template: FlowTemplate,
+    /// Layer 1: screened libraries (positive and negative entries).
+    pub libs: SfCache<LibKey, LibEntry>,
+    /// Layer 2: prepared flows.
+    pub flows: SfCache<FlowKey, &'static Flow>,
+    /// Layer 3: baseline runs + timing graphs.
+    pub baselines: SfCache<BaselineKey, &'static Baseline<'static>>,
+    /// Completed Monte-Carlo characterizations. Equals the number of
+    /// distinct flows ever cached (single flight + count-on-success).
+    pub characterizations: AtomicU64,
+}
+
+/// Per-request knobs that key the flow layer.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Ingestion policy.
+    pub strictness: Strictness,
+    /// Characterization master seed.
+    pub seed: u64,
+    /// Monte-Carlo libraries behind the statistical library.
+    pub mc_libraries: usize,
+    /// Worker threads inside the flow (results are thread-invariant).
+    pub threads: usize,
+}
+
+/// Failure from a registry lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchError {
+    /// The relevant cache layer is full; the caller should compute a
+    /// transient, uncached value instead.
+    CacheFull,
+    /// The underlying flow computation failed (screening rejection comes
+    /// back as `FlowError::Rejected`, cancellation as
+    /// `FlowError::Cancelled`).
+    Flow(FlowError),
+}
+
+impl From<SfError<FlowError>> for FetchError {
+    fn from(e: SfError<FlowError>) -> Self {
+        match e {
+            SfError::Full => FetchError::CacheFull,
+            SfError::Failed(f) => FetchError::Flow(f),
+        }
+    }
+}
+
+impl Registry {
+    /// A registry serving flows shaped by `template`, with per-layer
+    /// capacity caps.
+    #[must_use]
+    pub fn new(
+        template: FlowTemplate,
+        lib_cap: usize,
+        flow_cap: usize,
+        baseline_cap: usize,
+    ) -> Self {
+        Self {
+            template,
+            libs: SfCache::new(lib_cap),
+            flows: SfCache::new(flow_cap),
+            baselines: SfCache::new(baseline_cap),
+            characterizations: AtomicU64::new(0),
+        }
+    }
+
+    /// The flow configuration a spec resolves to under this registry's
+    /// template.
+    #[must_use]
+    pub fn flow_config(&self, spec: FlowSpec) -> FlowConfig {
+        FlowConfig {
+            generate: self.template.generate.clone(),
+            mcu: self.template.mcu.clone(),
+            mc_libraries: spec.mc_libraries,
+            seed: spec.seed,
+            rho: self.template.rho,
+            threads: spec.threads,
+            strictness: spec.strictness,
+        }
+    }
+
+    /// Layer 1: the screened library for `text` under `strictness`.
+    /// Parses and screens on first sight; hits (positive *or* negative)
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::CacheFull`] at capacity (the caller screens without
+    /// caching).
+    pub fn screened(
+        &self,
+        text: &str,
+        strictness: Strictness,
+        threads: usize,
+    ) -> Result<LibEntry, FetchError> {
+        let key = LibKey {
+            text_hash: fnv1a64(text.as_bytes()),
+            strictness: strictness_tag(strictness),
+        };
+        let outcome = self.libs.get_or_compute(&key, || {
+            Ok::<LibEntry, FlowError>(match screen_once(text, strictness, threads) {
+                Ok((lib, report)) => LibEntry::Screened {
+                    lib: Box::leak(Box::new(lib)),
+                    report: Box::leak(Box::new(report)),
+                },
+                Err(FlowError::Rejected { reason }) => LibEntry::Rejected {
+                    reason: Box::leak(reason.into_boxed_str()),
+                },
+                // Screening is pure and non-cancellable; other FlowError
+                // variants cannot come out of it. Propagate uncached if
+                // the invariant ever breaks.
+                Err(other) => return Err(other),
+            })
+        });
+        Ok(outcome?.into_value())
+    }
+
+    /// Layer 2: the prepared flow for `text` under `spec`. Characterizes
+    /// (cancellably, under the caller's cancel scope) on first sight.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::Flow`] with `FlowError::Rejected` when screening
+    /// refuses the library (served from the negative cache on repeats),
+    /// `FlowError::Cancelled` when the caller's deadline fires
+    /// mid-characterization (not cached — a later attempt recomputes), or
+    /// [`FetchError::CacheFull`].
+    pub fn flow(&self, text: &str, spec: FlowSpec) -> Result<&'static Flow, FetchError> {
+        let entry = self.screened(text, spec.strictness, spec.threads)?;
+        let (lib, report) = match entry {
+            LibEntry::Rejected { reason } => {
+                return Err(FetchError::Flow(FlowError::Rejected {
+                    reason: reason.to_string(),
+                }))
+            }
+            LibEntry::Screened { lib, report } => (lib, report),
+        };
+        let key = FlowKey {
+            text_hash: fnv1a64(text.as_bytes()),
+            strictness: strictness_tag(spec.strictness),
+            seed: spec.seed,
+            mc_libraries: spec.mc_libraries,
+            threads: spec.threads,
+        };
+        let outcome = self.flows.get_or_compute(&key, || {
+            let flow = Flow::prepare_screened(self.flow_config(spec), lib.clone(), report.clone())?;
+            // Count only completed characterizations: a deadline-cancelled
+            // attempt above returns before this line.
+            self.characterizations.fetch_add(1, Ordering::Relaxed);
+            Ok::<&'static Flow, FlowError>(Box::leak(Box::new(flow)))
+        })?;
+        Ok(outcome.into_value())
+    }
+
+    /// Layer 3: the baseline run + timing graph for a cached flow at
+    /// `clock_period_ps`.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError`] as for [`Registry::flow`], plus synthesis/timing
+    /// failures as `FetchError::Flow`.
+    pub fn baseline(
+        &self,
+        text: &str,
+        spec: FlowSpec,
+        clock_period_ps: u64,
+    ) -> Result<&'static Baseline<'static>, FetchError> {
+        let flow = self.flow(text, spec)?;
+        let key = BaselineKey {
+            flow: FlowKey {
+                text_hash: fnv1a64(text.as_bytes()),
+                strictness: strictness_tag(spec.strictness),
+                seed: spec.seed,
+                mc_libraries: spec.mc_libraries,
+                threads: spec.threads,
+            },
+            clock_period_ps,
+        };
+        let outcome = self.baselines.get_or_compute(&key, || {
+            let baseline = compute_baseline(flow, clock_period_ps)?;
+            Ok::<&'static Baseline<'static>, FlowError>(Box::leak(Box::new(baseline)))
+        })?;
+        Ok(outcome.into_value())
+    }
+}
+
+/// Parses and screens once, outside any cache.
+///
+/// # Errors
+///
+/// `FlowError::Rejected` when the screen refuses the library.
+pub fn screen_once(
+    text: &str,
+    strictness: Strictness,
+    threads: usize,
+) -> Result<(Library, FlowReport), FlowError> {
+    let (parsed, diagnostics) = varitune_liberty::parse_library_recovering_threads(text, threads);
+    varitune_core::screen_library(&parsed, &diagnostics, strictness)
+}
+
+/// Builds a baseline (run + graph) for `flow` at `clock_period_ps`,
+/// outside any cache. Used both by the registry and by the over-capacity
+/// fallback path.
+///
+/// # Errors
+///
+/// Propagates [`FlowError`] from synthesis / timing / cancellation.
+pub fn compute_baseline(flow: &Flow, clock_period_ps: u64) -> Result<Baseline<'_>, FlowError> {
+    let period_ns = clock_period_ps as f64 / 1000.0;
+    let synth_cfg = varitune_synth::SynthConfig::with_clock_period(period_ns);
+    let run = flow.run_baseline(&synth_cfg)?;
+    varitune_variation::cancel::check()?;
+    let sta_cfg = StaConfig::with_clock_period(period_ns);
+    let graph = TimingGraph::new(run.synthesis.design.clone(), &flow.stat.mean, &sta_cfg)
+        .map_err(FlowError::Sta)?;
+    let worst_slack = graph.worst_slack();
+    Ok(Baseline {
+        run,
+        worst_slack,
+        graph,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varitune_libchar::generate_nominal;
+
+    pub(crate) fn test_template() -> FlowTemplate {
+        // Full library, small design: the reduced generator config lacks
+        // cell families the MCU mapper needs.
+        FlowTemplate {
+            generate: GenerateConfig::full(),
+            mcu: McuConfig::small_for_tests(),
+            rho: 0.0,
+        }
+    }
+
+    fn spec() -> FlowSpec {
+        FlowSpec {
+            strictness: Strictness::Strict,
+            seed: 7,
+            mc_libraries: 3,
+            threads: 1,
+        }
+    }
+
+    fn liberty_text() -> String {
+        let lib = generate_nominal(&GenerateConfig::full());
+        varitune_liberty::write_library(&lib).unwrap()
+    }
+
+    #[test]
+    fn flow_layer_characterizes_once_per_distinct_text() {
+        let reg = Registry::new(test_template(), 8, 8, 8);
+        let text = liberty_text();
+        let a = reg.flow(&text, spec()).unwrap();
+        let b = reg.flow(&text, spec()).unwrap();
+        assert!(std::ptr::eq(a, b), "same leaked flow");
+        assert_eq!(reg.characterizations.load(Ordering::Relaxed), 1);
+        // A different seed is a different flow.
+        let mut other = spec();
+        other.seed = 8;
+        let c = reg.flow(&text, other).unwrap();
+        assert!(!std::ptr::eq(a, c));
+        assert_eq!(reg.characterizations.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn baseline_layer_reuses_graph_and_matches_direct_run() {
+        let reg = Registry::new(test_template(), 8, 8, 8);
+        let text = liberty_text();
+        let base = reg.baseline(&text, spec(), 8000).unwrap();
+        let again = reg.baseline(&text, spec(), 8000).unwrap();
+        assert!(std::ptr::eq(base, again));
+        // Bit-identical to an uncached flow run.
+        let flow = Flow::prepare(reg.flow_config(spec())).unwrap();
+        let run = flow
+            .run_baseline(&varitune_synth::SynthConfig::with_clock_period(8.0))
+            .unwrap();
+        assert_eq!(base.run.sigma().to_bits(), run.sigma().to_bits());
+        assert_eq!(base.run.paths, run.paths);
+    }
+}

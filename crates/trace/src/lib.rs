@@ -70,9 +70,99 @@ use span::SpanArena;
 
 /// Global recorder state. `Mutex::new` is const, so no lazy init is
 /// needed; the fast path (tracing disabled) never touches the lock.
+#[derive(Debug)]
 struct Recorder {
     metrics: Metrics,
     spans: SpanArena,
+}
+
+impl Recorder {
+    const fn empty() -> Self {
+        Self {
+            metrics: Metrics::new(),
+            spans: SpanArena::new(),
+        }
+    }
+
+    fn to_trace(&self) -> FlowTrace {
+        FlowTrace {
+            spans: self.spans.to_tree(),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+/// A private flight recorder for one job: the scoped alternative to the
+/// process-global recorder, so concurrent jobs (e.g. a serving worker
+/// pool) each capture their own spans and metrics without interleaving or
+/// serializing on [`capture`]'s process-wide lock.
+///
+/// Install it for a lexical scope with [`capture_job`]; worker threads a
+/// job spawns through `varitune-variation::parallel` inherit the handle,
+/// so metrics recorded inside parallel trials land in the owning job's
+/// capture. Spans stay subject to the single-orchestration-thread
+/// discipline (and [`pause_spans`]) exactly as with the global recorder.
+#[derive(Debug, Clone)]
+pub struct JobRecorder {
+    inner: std::sync::Arc<Mutex<Recorder>>,
+}
+
+impl JobRecorder {
+    fn new() -> Self {
+        Self {
+            inner: std::sync::Arc::new(Mutex::new(Recorder::empty())),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Recorder> {
+        // Same poisoning argument as the global recorder: a panic
+        // mid-record leaves structurally valid state.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+std::thread_local! {
+    static CURRENT_JOB: std::cell::RefCell<Option<JobRecorder>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The job recorder installed on this thread, if any. Used by parallel
+/// drivers to hand the scope to worker threads via [`with_job_scope`].
+#[must_use]
+pub fn current_job() -> Option<JobRecorder> {
+    CURRENT_JOB.with(|c| c.borrow().clone())
+}
+
+/// Runs `f` with `job` installed as this thread's recorder (or with no
+/// job recorder when `None`), restoring the previous scope afterwards —
+/// including on unwind, so a caught panic cannot leak one job's recorder
+/// into the next job on the same worker thread.
+pub fn with_job_scope<R>(job: Option<JobRecorder>, f: impl FnOnce() -> R) -> R {
+    let previous = CURRENT_JOB.with(|c| c.replace(job));
+    struct Restore(Option<JobRecorder>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            CURRENT_JOB.with(|c| *c.borrow_mut() = previous);
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Runs `f` under a fresh private recorder and returns its result along
+/// with the captured [`FlowTrace`].
+///
+/// Unlike [`capture`], job captures do not serialize against each other
+/// and never touch the process-global recorder: any number may run
+/// concurrently on different threads, each seeing exactly its own spans
+/// and metrics. The global recorder's enabled/disabled state is
+/// irrelevant inside the scope.
+pub fn capture_job<R>(f: impl FnOnce() -> R) -> (R, FlowTrace) {
+    let job = JobRecorder::new();
+    let result = with_job_scope(Some(job.clone()), f);
+    let trace = job.lock().to_trace();
+    (result, trace)
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -100,6 +190,16 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Whether *anything* is recording on this thread: a scoped job recorder
+/// if installed, otherwise the process-global recorder. Instrumented code
+/// that snapshots state conditionally (e.g. `FlowReport::counters`)
+/// should gate on this, not on [`enabled`], so it works under both
+/// capture modes.
+#[must_use]
+pub fn is_recording() -> bool {
+    enabled() || CURRENT_JOB.with(|c| c.borrow().is_some())
+}
+
 /// Turns the flight recorder on or off. Prefer [`capture`] in harnesses.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
@@ -112,25 +212,38 @@ pub fn reset() {
     rec.spans.clear();
 }
 
-/// Adds `delta` to the global counter `name`. No-op while disabled.
+/// Adds `delta` to the counter `name` in this thread's job recorder if
+/// one is installed, else in the global recorder. No-op while nothing
+/// records.
 pub fn add(name: &str, delta: u64) {
-    if enabled() {
+    if let Some(job) = current_job() {
+        job.lock().metrics.add(name, delta);
+    } else if enabled() {
         recorder().metrics.add(name, delta);
     }
 }
 
-/// Records `value` in the global histogram `name`. No-op while disabled.
+/// Records `value` in the histogram `name` (job recorder first, like
+/// [`add`]). No-op while nothing records.
 pub fn observe(name: &str, value: u64) {
-    if enabled() {
+    if let Some(job) = current_job() {
+        job.lock().metrics.observe(name, value);
+    } else if enabled() {
         recorder().metrics.observe(name, value);
     }
 }
 
-/// Folds a locally accumulated [`Metrics`] set into the global recorder.
-/// No-op while disabled. This is the hook for parallel workers: build a
+/// Folds a locally accumulated [`Metrics`] set into this thread's job
+/// recorder if one is installed, else into the global recorder. No-op
+/// while nothing records. This is the hook for parallel workers: build a
 /// private set per shard, merge once — order does not matter.
 pub fn merge_metrics(local: &Metrics) {
-    if enabled() && !local.is_empty() {
+    if local.is_empty() {
+        return;
+    }
+    if let Some(job) = current_job() {
+        job.lock().metrics.merge(local);
+    } else if enabled() {
         recorder().metrics.merge(local);
     }
 }
@@ -168,32 +281,52 @@ impl Drop for SpanPauseGuard {
     }
 }
 
-/// Opens a stage span (prefer the [`span!`] macro). The guard closes it
-/// on drop; inert while disabled or while spans are paused.
+/// Where a live span was recorded, so its guard closes it in the same
+/// arena it was opened in even if the thread's job scope changes in
+/// between.
+#[derive(Debug)]
+pub(crate) enum SpanTarget {
+    Global,
+    Job(JobRecorder),
+}
+
+/// Opens a stage span (prefer the [`span!`] macro) in this thread's job
+/// recorder if one is installed, else in the global recorder. The guard
+/// closes it on drop; inert while nothing records or while spans are
+/// paused.
 pub fn open_span(name: &'static str) -> SpanGuard {
-    let index = if enabled() && !spans_paused() {
-        Some(recorder().spans.open(name))
+    let slot = if spans_paused() {
+        None
+    } else if let Some(job) = current_job() {
+        let index = job.lock().spans.open(name);
+        Some((SpanTarget::Job(job), index))
+    } else if enabled() {
+        Some((SpanTarget::Global, recorder().spans.open(name)))
     } else {
         None
     };
     SpanGuard {
-        index,
+        slot,
         #[cfg(feature = "wall-clock")]
         start: std::time::Instant::now(),
     }
 }
 
-pub(crate) fn close_span(index: usize, nanos: Option<u64>) {
-    recorder().spans.close(index, nanos);
+pub(crate) fn close_span(target: &SpanTarget, index: usize, nanos: Option<u64>) {
+    match target {
+        SpanTarget::Global => recorder().spans.close(index, nanos),
+        SpanTarget::Job(job) => job.lock().spans.close(index, nanos),
+    }
 }
 
-/// Copies the current recorder contents into a [`FlowTrace`].
+/// Copies the current recorder contents into a [`FlowTrace`] — the job
+/// recorder when this thread is inside a [`capture_job`] scope, the
+/// global recorder otherwise.
 #[must_use]
 pub fn snapshot() -> FlowTrace {
-    let rec = recorder();
-    FlowTrace {
-        spans: rec.spans.to_tree(),
-        metrics: rec.metrics.clone(),
+    match current_job() {
+        Some(job) => job.lock().to_trace(),
+        None => recorder().to_trace(),
     }
 }
 
@@ -281,6 +414,86 @@ mod tests {
         });
         assert_eq!(trace.span_names(), ["outer", "after"]);
         assert_eq!(trace.counter("counted"), 1);
+    }
+
+    #[test]
+    fn job_captures_are_isolated_and_concurrent() {
+        // The original flight recorder was process-global behind one
+        // AtomicBool: two simultaneous traced jobs either serialized on
+        // the capture lock or interleaved their spans. Job captures must
+        // do neither — each sees exactly its own events.
+        let traces: Vec<FlowTrace> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|j| {
+                    scope.spawn(move || {
+                        let ((), trace) = capture_job(|| {
+                            let _outer = span!("job.outer");
+                            for _ in 0..100 {
+                                add("job.count", j + 1);
+                            }
+                            let _inner = span!("job.inner");
+                            observe("job.h", j);
+                        });
+                        trace
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (j, trace) in traces.iter().enumerate() {
+            assert_eq!(trace.span_names(), ["job.outer", "job.inner"]);
+            assert_eq!(trace.counter("job.count"), 100 * (j as u64 + 1));
+            assert_eq!(trace.metrics.histogram("job.h").map(|h| h.count), Some(1));
+        }
+    }
+
+    #[test]
+    fn job_capture_does_not_touch_global_recorder() {
+        let ((), global) = capture(|| {
+            add("global.before", 1);
+            let ((), job) = capture_job(|| {
+                let _s = span!("job.span");
+                add("job.only", 7);
+            });
+            assert_eq!(job.counter("job.only"), 7);
+            assert_eq!(job.span_names(), ["job.span"]);
+            add("global.after", 1);
+        });
+        assert_eq!(global.counter("job.only"), 0);
+        assert_eq!(global.counter("global.before"), 1);
+        assert_eq!(global.counter("global.after"), 1);
+        assert!(global.span_names().is_empty());
+    }
+
+    #[test]
+    fn job_scope_propagates_to_threads_and_restores_on_panic() {
+        let ((), trace) = capture_job(|| {
+            let job = current_job();
+            assert!(job.is_some());
+            std::thread::scope(|scope| {
+                let job = job.clone();
+                scope.spawn(move || with_job_scope(job, || add("worker.n", 5)));
+            });
+            let caught = std::panic::catch_unwind(|| {
+                with_job_scope(None, || panic!("boom"));
+            });
+            assert!(caught.is_err());
+            // The panic inside the inner scope must not have cleared the
+            // outer job scope.
+            assert!(current_job().is_some());
+            add("after.panic", 1);
+        });
+        assert_eq!(trace.counter("worker.n"), 5);
+        assert_eq!(trace.counter("after.panic"), 1);
+        assert!(current_job().is_none());
+    }
+
+    #[test]
+    fn is_recording_reflects_both_modes() {
+        assert!(!is_recording());
+        let ((), _t) = capture_job(|| assert!(is_recording()));
+        let ((), _t) = capture(|| assert!(is_recording()));
+        assert!(!is_recording());
     }
 
     #[test]

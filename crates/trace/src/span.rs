@@ -131,23 +131,25 @@ impl SpanArena {
 
 /// RAII guard returned by [`crate::span!`]; closes the span on drop.
 ///
-/// Inert (records nothing) when tracing is disabled at open time.
+/// Inert (records nothing) when tracing is disabled at open time. The
+/// guard remembers which recorder (global or per-job) opened the span, so
+/// it closes in the right arena even across scope changes.
 #[derive(Debug)]
 #[must_use = "a span guard closes its span when dropped; binding it to _ closes immediately"]
 pub struct SpanGuard {
-    pub(crate) index: Option<usize>,
+    pub(crate) slot: Option<(crate::SpanTarget, usize)>,
     #[cfg(feature = "wall-clock")]
     pub(crate) start: std::time::Instant,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(index) = self.index {
+        if let Some((target, index)) = self.slot.take() {
             #[cfg(feature = "wall-clock")]
             let nanos = Some(u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             #[cfg(not(feature = "wall-clock"))]
             let nanos = None;
-            crate::close_span(index, nanos);
+            crate::close_span(&target, index, nanos);
         }
     }
 }

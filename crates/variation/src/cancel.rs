@@ -1,0 +1,243 @@
+//! Cooperative cancellation for long-running flows.
+//!
+//! A [`CancelToken`] carries an explicit cancellation flag plus an
+//! optional wall-clock deadline. Work that should be interruptible
+//! installs the token for a lexical scope with [`with_token`]; checkpoints
+//! deep inside the flow — stage boundaries in `varitune-core::flow`, the
+//! per-trial loop of [`crate::parallel::try_run_trials`] — consult the
+//! *current* token via [`check`] and bail with [`Cancelled`] once it
+//! fires. Code that never installs a token pays one thread-local read per
+//! checkpoint and can never be cancelled, so every pre-existing caller is
+//! unaffected.
+//!
+//! # Determinism
+//!
+//! Checkpoints only ever *abort* a computation whose result the caller
+//! then discards; they never alter the values a surviving computation
+//! produces. A run that completes under a token is bit-identical to the
+//! same run without one.
+//!
+//! The token is propagated across [`crate::parallel`] worker threads
+//! automatically, so a deadline set around a parallel characterization is
+//! honored inside every chunk.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Error returned by cancellation checkpoints once the scope's token has
+/// been cancelled or its deadline has passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("cancelled: deadline passed or cancellation requested")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shareable cancellation handle: cheap to clone, safe to poll from any
+/// thread.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that only fires on an explicit [`CancelToken::cancel`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// A token that additionally fires once `deadline` has passed.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self::build(Some(deadline))
+    }
+
+    fn build(deadline: Option<Instant>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+            }),
+        }
+    }
+
+    /// Requests cancellation; every checkpoint under this token fails from
+    /// now on.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// The deadline, if one was set.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Checkpoint against this specific token.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] once [`CancelToken::is_cancelled`] is true.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+std::thread_local! {
+    static CURRENT: std::cell::RefCell<Option<CancelToken>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with `token` installed as the current token for this thread,
+/// restoring the previous one afterwards (scopes nest).
+pub fn with_token<R>(token: &CancelToken, f: impl FnOnce() -> R) -> R {
+    with_scope(Some(token.clone()), f)
+}
+
+/// Like [`with_token`] but accepts an optional token — the propagation
+/// form used by [`crate::parallel`] workers, which must mirror whatever
+/// scope (token or none) their spawning thread had.
+pub fn with_scope<R>(token: Option<CancelToken>, f: impl FnOnce() -> R) -> R {
+    let previous = CURRENT.with(|c| c.replace(token));
+    // Restore on unwind too: a caught panic inside a scope must not leak
+    // the token into unrelated work on this thread.
+    struct Restore(Option<CancelToken>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = previous);
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The token installed on this thread, if any.
+#[must_use]
+pub fn current() -> Option<CancelToken> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether the current scope has been cancelled. `false` when no token is
+/// installed.
+#[must_use]
+pub fn cancelled() -> bool {
+    CURRENT.with(|c| c.borrow().as_ref().is_some_and(CancelToken::is_cancelled))
+}
+
+/// The cooperative checkpoint: cheap enough for per-trial use.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the current scope's token has fired; always `Ok`
+/// outside any scope.
+pub fn check() -> Result<(), Cancelled> {
+    if cancelled() {
+        Err(Cancelled)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn no_scope_never_cancels() {
+        assert!(!cancelled());
+        assert_eq!(check(), Ok(()));
+    }
+
+    #[test]
+    fn explicit_cancel_fires_checkpoints_in_scope() {
+        let token = CancelToken::new();
+        with_token(&token, || {
+            assert_eq!(check(), Ok(()));
+            token.cancel();
+            assert_eq!(check(), Err(Cancelled));
+        });
+        // Scope ended: the thread is clean again.
+        assert_eq!(check(), Ok(()));
+    }
+
+    #[test]
+    fn deadline_in_the_past_cancels_immediately() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(token.is_cancelled());
+        with_token(&token, || assert_eq!(check(), Err(Cancelled)));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let token = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        with_token(&token, || assert_eq!(check(), Ok(())));
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        outer.cancel();
+        with_token(&outer, || {
+            assert!(cancelled());
+            with_token(&inner, || assert!(!cancelled()));
+            assert!(cancelled());
+        });
+    }
+
+    #[test]
+    fn token_propagates_through_parallel_workers() {
+        let token = CancelToken::new();
+        token.cancel();
+        let seen = with_token(&token, || {
+            crate::parallel::run_trials(8, 4, |_| cancelled())
+        });
+        assert!(seen.iter().all(|&c| c), "workers must inherit the token");
+    }
+
+    #[test]
+    fn scope_restores_after_panic() {
+        let token = CancelToken::new();
+        token.cancel();
+        let caught = std::panic::catch_unwind(|| with_token(&token, || panic!("boom")));
+        assert!(caught.is_err());
+        assert!(!cancelled(), "panic must not leak the token");
+    }
+}

@@ -58,6 +58,9 @@ impl ProcessCorner {
     }
 
     /// Samples one die's global delay factor at this corner.
+    // Invariant: delay_factor/global_rel_sigma are compile-time constants
+    // per corner, all finite and non-negative.
+    #[allow(clippy::expect_used)]
     pub fn sample_die_factor(self, rng: &mut Xoshiro256PlusPlus) -> f64 {
         let n = Normal::new(
             self.delay_factor(),

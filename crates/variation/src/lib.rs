@@ -13,6 +13,9 @@
 //! * [`parallel`] — the deterministic parallel trial driver: Monte-Carlo
 //!   work chunks across scoped threads with bit-identical results for any
 //!   thread count,
+//! * [`cancel`] — cooperative cancellation tokens with optional deadlines,
+//!   scoped per thread and inherited by [`parallel`] workers, so a served
+//!   request can abandon a characterization mid-flight,
 //! * [`mismatch`] — the Pelgrom local-mismatch model: matching improves with
 //!   device area, so delay sigma shrinks with the square root of drive
 //!   strength,
@@ -39,6 +42,12 @@
 //! assert!((d - s * 2f64.sqrt()).abs() < 1e-12);
 //! ```
 
+// Panics must not be reachable from user input in this crate; every
+// non-test `unwrap`/`expect` needs an `#[allow]` with an invariant note.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cancel;
 pub mod convolve;
 pub mod corner;
 pub mod mc;
@@ -48,8 +57,9 @@ pub mod rng;
 pub mod sampler;
 pub mod stats;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use corner::ProcessCorner;
 pub use mismatch::PelgromModel;
-pub use parallel::run_trials;
+pub use parallel::{run_trials, try_run_trials};
 pub use sampler::Xoshiro256PlusPlus;
 pub use stats::Summary;

@@ -131,6 +131,9 @@ pub fn simulate_path_threaded(
     assert!(n > 0, "need at least one MC sample");
     assert!(!path.is_empty(), "path must contain at least one cell");
     let stream = derive_seed(seed, "path-mc", corner as u64 ^ ((mode as u64) << 8));
+    // Invariant: PathCell sigmas are caller-constructed model constants,
+    // finite and non-negative by the type's documented contract.
+    #[allow(clippy::expect_used)]
     let locals: Vec<Normal> = path
         .iter()
         .map(|c| Normal::new(1.0, c.local_rel_sigma).expect("finite sigma"))
@@ -148,6 +151,8 @@ pub fn simulate_path_threaded(
         }
         delay
     });
+    // Invariant: the `n > 0` assert at function entry guarantees samples.
+    #[allow(clippy::expect_used)]
     let summary = Summary::from_samples(&samples).expect("n > 0");
     McResult {
         corner,

@@ -80,6 +80,9 @@ impl PelgromModel {
     /// deep MC tails).
     pub fn sample_factor(&self, drive: f64, stress: f64, rng: &mut Xoshiro256PlusPlus) -> f64 {
         let sigma = self.relative_sigma(drive, stress);
+        // Invariant: relative_sigma clamps drive/stress into its model
+        // range and returns a finite non-negative value by construction.
+        #[allow(clippy::expect_used)]
         let normal = Normal::new(1.0, sigma).expect("sigma is finite and non-negative");
         normal.sample(rng).max(0.05)
     }

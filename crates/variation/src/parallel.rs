@@ -36,6 +36,31 @@ fn record_trial_batch(n: usize) {
     varitune_trace::observe("variation.trials_per_call", n as u64);
 }
 
+/// The ambient scopes a worker thread must inherit from its spawner: the
+/// cooperative [`crate::cancel`] token (so deadlines reach every chunk)
+/// and the per-job trace recorder (so metrics recorded inside a trial land
+/// in the job's capture, not a concurrent job's). Both are `None` in
+/// plain CLI flows, where inheriting costs two thread-local reads per
+/// spawn.
+#[derive(Clone)]
+struct Inherited {
+    token: Option<crate::cancel::CancelToken>,
+    job: Option<varitune_trace::JobRecorder>,
+}
+
+impl Inherited {
+    fn capture() -> Self {
+        Self {
+            token: crate::cancel::current(),
+            job: varitune_trace::current_job(),
+        }
+    }
+
+    fn run<R>(self, f: impl FnOnce() -> R) -> R {
+        crate::cancel::with_scope(self.token, || varitune_trace::with_job_scope(self.job, f))
+    }
+}
+
 /// Resolves a thread-count knob: `0` means "use the machine", anything else
 /// is taken literally.
 pub fn resolve_threads(threads: usize) -> usize {
@@ -73,6 +98,7 @@ where
     let base = n / threads;
     let rem = n % threads;
     let trial = &trial;
+    let inherited = Inherited::capture();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         let mut start = 0;
@@ -80,13 +106,76 @@ where
             let len = base + usize::from(w < rem);
             let range = start..start + len;
             start += len;
-            handles.push(scope.spawn(move || range.map(trial).collect::<Vec<T>>()));
+            let inherited = inherited.clone();
+            handles
+                .push(scope.spawn(move || inherited.run(|| range.map(trial).collect::<Vec<T>>())));
         }
         let mut out = Vec::with_capacity(n);
         for h in handles {
+            // Invariant: re-raising a worker panic on the join is the
+            // contract — trial closures own their error handling, so a
+            // panic here is a caller bug that must stay observable.
+            #[allow(clippy::expect_used)]
             out.extend(h.join().expect("Monte-Carlo worker panicked"));
         }
         out
+    })
+}
+
+/// Fallible [`run_trials`]: every trial may bail (typically with
+/// [`crate::cancel::Cancelled`] from a cooperative checkpoint), and the
+/// first error aborts the remaining trials of every chunk.
+///
+/// On the `Ok` path the result is element-for-element identical to
+/// [`run_trials`] with the same closure — the error plumbing adds no
+/// schedule dependence. On the `Err` path the reported error is the one
+/// from the lowest-indexed failing chunk, so even failures are
+/// deterministic for a deterministic closure.
+///
+/// # Errors
+///
+/// The first `Err` any trial returns, in chunk order.
+///
+/// # Panics
+///
+/// Propagates a panic from any trial.
+pub fn try_run_trials<T, E, F>(n: usize, threads: usize, trial: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    record_trial_batch(n);
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(trial).collect();
+    }
+    let base = n / threads;
+    let rem = n % threads;
+    let trial = &trial;
+    let inherited = Inherited::capture();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0;
+        for w in 0..threads {
+            let len = base + usize::from(w < rem);
+            let range = start..start + len;
+            start += len;
+            let inherited = inherited.clone();
+            handles.push(
+                scope.spawn(move || {
+                    inherited.run(|| range.map(trial).collect::<Result<Vec<T>, E>>())
+                }),
+            );
+        }
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            // Invariant: fallible trials report errors through `Result`;
+            // an actual panic is a caller bug re-raised on the join.
+            #[allow(clippy::expect_used)]
+            out.extend(h.join().expect("Monte-Carlo worker panicked")?);
+        }
+        Ok(out)
     })
 }
 
@@ -137,6 +226,7 @@ where
     }
     let base = n / threads;
     let rem = n % threads;
+    let inherited = Inherited::capture();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         let mut start = 0;
@@ -144,8 +234,13 @@ where
             let len = base + usize::from(w < rem);
             let range = start..start + len;
             start += len;
-            handles.push(scope.spawn(move || range.map(trial).fold(init(), fold)));
+            let inherited = inherited.clone();
+            handles
+                .push(scope.spawn(move || inherited.run(|| range.map(trial).fold(init(), fold))));
         }
+        // Invariant: fold workers only run caller code; a panic there is
+        // a caller bug re-raised on the join.
+        #[allow(clippy::expect_used)]
         handles
             .into_iter()
             .map(|h| h.join().expect("Monte-Carlo worker panicked"))
@@ -188,6 +283,7 @@ where
     let base = n_shards / threads;
     let rem = n_shards % threads;
     let f = &f;
+    let inherited = Inherited::capture();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         let mut start = 0;
@@ -195,11 +291,16 @@ where
             let len = base + usize::from(w < rem);
             let shards = start..start + len;
             start += len;
-            handles
-                .push(scope.spawn(move || shards.map(|s| f(s, range_of(s))).collect::<Vec<T>>()));
+            let inherited = inherited.clone();
+            handles.push(scope.spawn(move || {
+                inherited.run(|| shards.map(|s| f(s, range_of(s))).collect::<Vec<T>>())
+            }));
         }
         let mut out = Vec::with_capacity(n_shards);
         for h in handles {
+            // Invariant: shard closures own their error handling; a panic
+            // is a caller bug re-raised on the join.
+            #[allow(clippy::expect_used)]
             out.extend(h.join().expect("shard worker panicked"));
         }
         out
@@ -300,6 +401,41 @@ mod tests {
         let covered = run_shards(103, 10, 4, |_, r| r.collect::<Vec<_>>());
         let flat: Vec<usize> = covered.into_iter().flatten().collect();
         assert_eq!(flat, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_run_trials_ok_path_matches_run_trials() {
+        let draw = |k: usize| rng_from(11, "try-test", k as u64).standard_normal();
+        let plain = run_trials(300, 4, draw);
+        let tried = try_run_trials::<_, (), _>(300, 4, |k| Ok(draw(k))).unwrap();
+        assert!(plain
+            .iter()
+            .zip(&tried)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn try_run_trials_reports_first_chunk_error() {
+        // Trials 100.. fail; chunk order makes the lowest-indexed failing
+        // chunk's error the reported one, at any thread count.
+        let failing = |k: usize| if k >= 100 { Err(k) } else { Ok(k) };
+        for threads in [1, 2, 8] {
+            let err = try_run_trials(400, threads, failing).unwrap_err();
+            assert!(err >= 100, "error must come from a failing trial");
+        }
+        let ok: Result<Vec<usize>, usize> = try_run_trials(50, 4, failing);
+        assert_eq!(ok.unwrap(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_checkpoints_abort_try_run_trials() {
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let out: Result<Vec<usize>, crate::cancel::Cancelled> =
+            crate::cancel::with_token(&token, || {
+                try_run_trials(64, 4, |k| crate::cancel::check().map(|()| k))
+            });
+        assert_eq!(out, Err(crate::cancel::Cancelled));
     }
 
     #[test]
