@@ -928,8 +928,8 @@ pub fn abl_yield(ctx: &Ctx) -> String {
     let baseline = ctx.baseline(period);
     let tuned = best_ceiling_run(ctx, period);
     let mut s = format!("Ablation D — parametric timing yield @ {period:.2} ns synthesis\n");
-    let d99_base = deadline_at_yield(&baseline.paths, 0.99, 1e-4);
-    let d99_tuned = deadline_at_yield(&tuned.paths, 0.99, 1e-4);
+    let d99_base = deadline_at_yield(&baseline.paths, 0.99, 1e-4).expect("valid yield query");
+    let d99_tuned = deadline_at_yield(&tuned.paths, 0.99, 1e-4).expect("valid yield query");
     let sweep_hi = d99_base.max(d99_tuned) * 1.05;
     let sweep_lo = sweep_hi * 0.8;
     let mut rows = Vec::new();
@@ -952,8 +952,8 @@ pub fn abl_yield(ctx: &Ctx) -> String {
         f3(d99_tuned),
         pct(100.0 * (d99_tuned / d99_base - 1.0)),
     );
-    let d999_base = deadline_at_yield(&baseline.paths, 0.999, 1e-4);
-    let d999_tuned = deadline_at_yield(&tuned.paths, 0.999, 1e-4);
+    let d999_base = deadline_at_yield(&baseline.paths, 0.999, 1e-4).expect("valid yield query");
+    let d999_tuned = deadline_at_yield(&tuned.paths, 0.999, 1e-4).expect("valid yield query");
     let _ = writeln!(
         s,
         "deadline for 99.9% yield: baseline {} ns, tuned {} ns ({})",

@@ -64,6 +64,17 @@ pub mod stages {
         "sta_harness.incremental",
         "sta_harness.thread_scaling",
     ];
+    /// `ssta_harness` characterizes + builds, runs the statistical
+    /// propagation sweep, and samples the Monte-Carlo oracle; the SSTA
+    /// engine's own spans (`sta.ssta.*`) ride along.
+    pub const SSTA_HARNESS: &[&str] = &[
+        "ssta_harness.build",
+        "ssta_harness.analyze",
+        "ssta_harness.mc",
+        "sta.ssta.build",
+        "sta.ssta.analyze",
+        "sta.ssta.mc",
+    ];
     /// `fault_harness` runs all corruption scenarios under one span.
     pub const FAULT_HARNESS: &[&str] = &["fault_harness.scenarios"];
     /// `serve_harness` wraps each server run (one worker-count sweep

@@ -117,6 +117,33 @@ fn sta_harness_trace_matches_schema() {
 }
 
 #[test]
+fn ssta_harness_trace_matches_schema() {
+    let out = std::env::temp_dir().join(format!("varitune_ssta_{}.json", std::process::id()));
+    let trace = traced_run(
+        env!("CARGO_BIN_EXE_ssta_harness"),
+        "ssta_harness",
+        &[
+            "--smoke",
+            "--trials",
+            "300",
+            "--threads",
+            "1,2",
+            "--repeat",
+            "1",
+            "--out",
+            out.to_str().expect("utf-8 tmp path"),
+        ],
+    );
+    let _ = std::fs::remove_file(&out);
+    assert_stages("ssta_harness", &trace, stages::SSTA_HARNESS);
+    // The statistical model covered every timing arc, the propagation ran
+    // once per thread count (plus the rerun), and the oracle sampled.
+    assert!(trace.counter("sta.ssta.arcs_modeled") > 0);
+    assert!(trace.counter("sta.ssta.analyses") >= 3);
+    assert!(trace.counter("sta.ssta.mc_trials") >= 300);
+}
+
+#[test]
 fn fault_harness_trace_matches_schema() {
     let out = std::env::temp_dir().join(format!("varitune_fault_{}.json", std::process::id()));
     let trace = traced_run(

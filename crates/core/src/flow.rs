@@ -15,7 +15,9 @@ use varitune_libchar::{generate_nominal, GenerateConfig, StatLibrary};
 use varitune_liberty::{parse_library_recovering_threads, Library};
 use varitune_netlist::{generate_mcu, McuConfig, Netlist};
 use varitune_sta::paths::worst_paths;
-use varitune_sta::{DesignTiming, PathTiming, StaError};
+use varitune_sta::{
+    analyze_ssta, DesignTiming, PathTiming, SstaOptions, SstaReport, StaError, TimingGraph,
+};
 use varitune_synth::{synthesize, LibraryConstraints, SynthConfig, SynthError, SynthesisResult};
 
 use crate::methods::{TuningMethod, TuningParams};
@@ -318,6 +320,31 @@ impl Flow {
         self.run(&LibraryConstraints::unconstrained(), synth_cfg)
     }
 
+    /// Statistical timing of a finished run: builds a [`TimingGraph`] over
+    /// the synthesized design (against the statistical library's mean
+    /// tables, like every other analysis in the flow) and propagates
+    /// canonical first-order forms through it. The report carries
+    /// per-endpoint mean/sigma, per-gate criticality and the
+    /// yield-at-target-period metric — the statistical replacement for the
+    /// paper's corner-plus-path-MC signoff (ROADMAP item 3).
+    ///
+    /// Deterministic and bit-identical at any `config.threads`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StaError`] from the graph build or the statistical
+    /// propagation.
+    pub fn ssta(&self, run: &FlowRun, opts: SstaOptions) -> Result<SstaReport, FlowError> {
+        let _stage = varitune_trace::span!("flow.ssta");
+        let mut graph = TimingGraph::new(
+            run.synthesis.design.clone(),
+            &self.stat.mean,
+            &run.synthesis.report.config,
+        )?;
+        graph.set_threads(self.config.threads);
+        Ok(analyze_ssta(&graph, &self.stat, opts)?)
+    }
+
     /// Tunes the library with `method`/`params` and runs synthesis under
     /// the resulting windows. Routed through [`PaperMethodOptimizer`] so
     /// every tuning strategy goes through the one [`Optimizer`] entry
@@ -452,6 +479,37 @@ pub fn best_tuning_under_area_cap(
     Ok(best)
 }
 
+/// Sweeps `candidates` for `method` and returns the outcome with the best
+/// SSTA timing yield at `target_period` — the statistical selection rule:
+/// instead of minimizing design sigma under an area cap, pick the window
+/// set most likely to meet the target clock on silicon.
+///
+/// Ties (bit-equal yields, common once every candidate saturates at 1)
+/// break toward the earlier candidate, so the sweep is deterministic.
+///
+/// # Errors
+///
+/// Propagates the first [`FlowError`].
+#[allow(clippy::type_complexity)]
+pub fn best_tuning_by_yield(
+    flow: &Flow,
+    method: TuningMethod,
+    candidates: &[TuningParams],
+    synth_cfg: &SynthConfig,
+    target_period: f64,
+    opts: SstaOptions,
+) -> Result<Option<(TuningParams, FlowRun, f64)>, FlowError> {
+    let mut best: Option<(TuningParams, FlowRun, f64)> = None;
+    for &params in candidates {
+        let (_tuned, run) = flow.run_tuned(method, params, synth_cfg)?;
+        let y = flow.ssta(&run, opts)?.yield_at(target_period);
+        if best.as_ref().is_none_or(|(_, _, b)| y > *b) {
+            best = Some((params, run, y));
+        }
+    }
+    Ok(best)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,6 +586,73 @@ mod tests {
         let one = sigma_at(1);
         assert_eq!(one.to_bits(), sigma_at(2).to_bits());
         assert_eq!(one.to_bits(), sigma_at(8).to_bits());
+    }
+
+    #[test]
+    fn ssta_on_a_flow_run_is_consistent_and_thread_deterministic() {
+        // The statistical sign-off surface: endpoint moments, criticality
+        // normalization and yield behave, and the digest is bit-identical
+        // whether the flow propagates on 1 or 8 workers.
+        let digest_at = |threads: usize| {
+            let mut cfg = FlowConfig::small_for_tests();
+            cfg.threads = threads;
+            let flow = Flow::prepare(cfg).unwrap();
+            let run = flow
+                .run_baseline(&SynthConfig::with_clock_period(8.0))
+                .unwrap();
+            let rep = flow.ssta(&run, SstaOptions::default()).unwrap();
+            assert!(!rep.endpoints.is_empty());
+            assert!(rep.design_sigma() > 0.0);
+            assert!(
+                (rep.criticality_sum() - 1.0).abs() < 1e-9,
+                "criticalities must sum to 1, got {}",
+                rep.criticality_sum()
+            );
+            let mu = rep.design_mean();
+            let s = rep.design_sigma();
+            assert!(rep.yield_at(mu + 5.0 * s) > 0.99);
+            assert!(rep.yield_at(mu - 5.0 * s) < 0.01);
+            rep.digest()
+        };
+        let one = digest_at(1);
+        assert_eq!(one, digest_at(8));
+    }
+
+    #[test]
+    fn yield_selection_picks_a_candidate_deterministically() {
+        let flow = flow_fixture();
+        let cfg = SynthConfig::with_clock_period(8.0);
+        let sweep = [
+            TuningParams::with_sigma_ceiling(0.02),
+            TuningParams::with_sigma_ceiling(0.05),
+        ];
+        let pick = best_tuning_by_yield(
+            &flow,
+            TuningMethod::SigmaCeiling,
+            &sweep,
+            &cfg,
+            8.0,
+            SstaOptions::default(),
+        )
+        .unwrap()
+        .expect("non-empty sweep yields a pick");
+        let (params, run, y) = pick;
+        assert!(sweep.contains(&params));
+        assert!((0.0..=1.0).contains(&y));
+        assert!(run.synthesis.met_timing);
+        // Rerun: same pick, bit-identical yield.
+        let again = best_tuning_by_yield(
+            &flow,
+            TuningMethod::SigmaCeiling,
+            &sweep,
+            &cfg,
+            8.0,
+            SstaOptions::default(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(params, again.0);
+        assert_eq!(y.to_bits(), again.2.to_bits());
     }
 
     #[test]

@@ -65,11 +65,13 @@ pub mod slope;
 pub mod tuning;
 
 pub use exclusion::{apply_exclusion, tune_by_exclusion, ExclusionTuning};
-pub use flow::{Comparison, Flow, FlowConfig, FlowError, FlowRun, FLOW_STAGE_SPANS};
+pub use flow::{
+    best_tuning_by_yield, Comparison, Flow, FlowConfig, FlowError, FlowRun, FLOW_STAGE_SPANS,
+};
 pub use methods::{TuningMethod, TuningParams};
 pub use optimize::{
     dominates, pareto_front_indices, Candidate, EvolutionConfig, EvolutionaryOptimizer, Objective,
-    Optimizer, PaperMethodOptimizer, OPTIMIZER_SPANS,
+    Optimizer, PaperMethodOptimizer, YieldTargetOptimizer, OPTIMIZER_SPANS,
 };
 pub use quarantine::{screen_library, Degradation, FlowReport, Strictness};
 pub use rectangle::{largest_rectangle, largest_rectangle_bruteforce, Rect};

@@ -43,6 +43,7 @@ use std::collections::BTreeMap;
 
 use varitune_libchar::{StatLibrary, TableKind};
 use varitune_liberty::Lut;
+use varitune_sta::SstaOptions;
 use varitune_synth::{LibraryConstraints, OperatingWindow, SynthConfig};
 use varitune_variation::parallel::map_items;
 use varitune_variation::rng::rng_from;
@@ -212,6 +213,70 @@ impl Optimizer for PaperMethodOptimizer {
         varitune_trace::add("core.restricted_pins", tuned.restricted_pins as u64);
         let run = objective.evaluate(&tuned.constraints)?;
         Ok(vec![Candidate { tuned, run }])
+    }
+}
+
+/// Statistical-yield backend: sweeps one Table-2 method's parameter
+/// candidates and keeps the tuning with the **highest SSTA timing yield at
+/// a target clock period**, the paper's sigma-ceiling objective restated
+/// in sign-off terms ("which window set most probably meets the clock?").
+///
+/// Each candidate is tuned and synthesized exactly like
+/// [`PaperMethodOptimizer`] (same spans, same counters), then scored with
+/// [`Flow::ssta`] instead of the deterministic design sigma. Ties in
+/// yield — common once candidates saturate at 1.0 — break toward the
+/// earlier sweep entry, so the selection is deterministic and independent
+/// of thread count (the SSTA report itself is bit-identical at any
+/// `threads`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldTargetOptimizer {
+    /// Which Table-2 method to sweep.
+    pub method: TuningMethod,
+    /// Parameter candidates, tried in order.
+    pub sweep: Vec<TuningParams>,
+    /// Clock period (ns) the yield is evaluated at.
+    pub target_period: f64,
+    /// Corner / variation-mode / sigma-scale the SSTA runs under.
+    pub opts: SstaOptions,
+}
+
+impl YieldTargetOptimizer {
+    /// A backend sweeping `method`'s full Table-2 grid under default SSTA
+    /// options.
+    pub fn table2(method: TuningMethod, target_period: f64) -> Self {
+        Self {
+            method,
+            sweep: TuningParams::table2_sweep(method),
+            target_period,
+            opts: SstaOptions::default(),
+        }
+    }
+}
+
+impl Optimizer for YieldTargetOptimizer {
+    fn name(&self) -> String {
+        format!("yield@{}:{}", self.target_period, self.method)
+    }
+
+    fn optimize(&self, objective: &Objective<'_>) -> Result<Vec<Candidate>, FlowError> {
+        let mut best: Option<(f64, Candidate)> = None;
+        for &params in &self.sweep {
+            let tuned = {
+                let _stage = varitune_trace::span!("flow.tune");
+                tune(objective.stat(), self.method, params)
+            };
+            varitune_trace::add("core.tunes", 1);
+            varitune_trace::add("core.restricted_pins", tuned.restricted_pins as u64);
+            let run = objective.evaluate(&tuned.constraints)?;
+            let y = objective
+                .flow()
+                .ssta(&run, self.opts)?
+                .yield_at(self.target_period);
+            if best.as_ref().is_none_or(|(b, _)| y > *b) {
+                best = Some((y, Candidate { tuned, run }));
+            }
+        }
+        Ok(best.into_iter().map(|(_, c)| c).collect())
     }
 }
 

@@ -115,6 +115,10 @@ pub enum JobKind {
     /// Prepare (or hit the cache for) the library's flow and report its
     /// baseline statistical timing.
     Sta,
+    /// Statistical STA on the baseline: per-endpoint moments propagated as
+    /// canonical first-order forms, criticality, and yield at the
+    /// requested clock.
+    Ssta,
     /// Tune the library with a paper method and compare against baseline.
     Tune,
     /// Baseline run plus the ingestion/screening ledger.
@@ -140,13 +144,19 @@ impl JobKind {
     pub fn is_work(self) -> bool {
         matches!(
             self,
-            JobKind::Sta | JobKind::Tune | JobKind::Signoff | JobKind::Optimize | JobKind::Poison
+            JobKind::Sta
+                | JobKind::Ssta
+                | JobKind::Tune
+                | JobKind::Signoff
+                | JobKind::Optimize
+                | JobKind::Poison
         )
     }
 
     fn parse(s: &str) -> Option<Self> {
         Some(match s {
             "sta" => JobKind::Sta,
+            "ssta" => JobKind::Ssta,
             "tune" => JobKind::Tune,
             "signoff" => JobKind::Signoff,
             "optimize" => JobKind::Optimize,

@@ -666,6 +666,7 @@ fn handle_job(request: &Request, shared: &Arc<Shared>) -> Result<String, JobErro
             ))
         }
         JobKind::Sta => handle_sta(request, shared),
+        JobKind::Ssta => handle_ssta(request, shared),
         JobKind::Signoff => handle_signoff(request, shared),
         JobKind::Tune => handle_tune(request, shared),
         JobKind::Optimize => handle_optimize(request, shared),
@@ -749,6 +750,50 @@ fn handle_sta(request: &Request, shared: &Arc<Shared>) -> Result<String, JobErro
             );
         body.finish()
     })
+}
+
+/// `ssta` job: statistical STA of the (cached) baseline — endpoint count,
+/// design mean/sigma, criticality normalization, yield at the requested
+/// clock, and the bit-exact report digest (identical for any `threads`).
+fn handle_ssta(request: &Request, shared: &Arc<Shared>) -> Result<String, JobError> {
+    let spec = spec_of(request);
+    let period_ns = request.clock_period_ns();
+    let render = |report: &varitune_sta::SstaReport| {
+        let mut body = Body::new();
+        body.str("kind", "ssta")
+            .str("lib_hash", &hex64(fnv1a64(request.library.as_bytes())))
+            .num("clock_period_ps", request.clock_period_ps)
+            .num("endpoints", report.endpoints.len() as u64)
+            .float("design_mean", report.design_mean())
+            .float("design_sigma", report.design_sigma())
+            .float("yield_at_clock", report.yield_at(period_ns))
+            .float("criticality_sum", report.criticality_sum())
+            .num("digest", report.digest());
+        body.finish()
+    };
+    let opts = varitune_sta::SstaOptions::default();
+    match shared
+        .registry
+        .baseline(&request.library, spec, request.clock_period_ps)
+    {
+        Ok(baseline) => {
+            let flow = shared
+                .registry
+                .flow(&request.library, spec)
+                .map_err(fetch_error)?;
+            let report = flow.ssta(&baseline.run, opts).map_err(flow_error)?;
+            Ok(render(&report))
+        }
+        Err(FetchError::CacheFull) => {
+            let flow = transient_flow(request, shared)?;
+            let baseline_run = flow
+                .run_baseline(&varitune_synth::SynthConfig::with_clock_period(period_ns))
+                .map_err(flow_error)?;
+            let report = flow.ssta(&baseline_run, opts).map_err(flow_error)?;
+            Ok(render(&report))
+        }
+        Err(FetchError::Flow(e)) => Err(flow_error(e)),
+    }
 }
 
 /// `signoff` job: baseline run plus the ingestion/screening ledger.

@@ -368,3 +368,46 @@ fn ping_and_stats_answer_inline() {
         .is_some());
     let _ = server.shutdown();
 }
+
+#[test]
+fn ssta_job_reports_consistent_statistics_and_a_thread_stable_digest() {
+    let server = Server::start(fast_config()).unwrap();
+    let text = variant(&liberty_text(), 31);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let first = client
+        .call(&request("ssta", "s1", &text, ",\"mc_libraries\":3"))
+        .unwrap();
+    let body = ok_body(&first);
+    assert_eq!(body.get("kind").and_then(Json::as_str), Some("ssta"));
+    assert!(body.get("endpoints").and_then(Json::as_u64).unwrap() > 0);
+    let f64_field = |b: &Json, key: &str| {
+        f64::from_bits(
+            b.get(&format!("{key}_bits"))
+                .and_then(Json::as_u64)
+                .unwrap(),
+        )
+    };
+    assert!(f64_field(&body, "design_sigma") > 0.0);
+    let y = f64_field(&body, "yield_at_clock");
+    assert!((0.0..=1.0).contains(&y), "yield {y} out of range");
+    let crit = f64_field(&body, "criticality_sum");
+    assert!((crit - 1.0).abs() < 1e-9, "criticality sum {crit}");
+    let digest = body.get("digest").and_then(Json::as_u64).unwrap();
+    // Same request at 8 worker threads inside the job: a different flow
+    // cache entry, the same bit-exact report digest.
+    let eight = client
+        .call(&request(
+            "ssta",
+            "s8",
+            &text,
+            ",\"mc_libraries\":3,\"threads\":8",
+        ))
+        .unwrap();
+    let body8 = ok_body(&eight);
+    assert_eq!(body8.get("digest").and_then(Json::as_u64), Some(digest));
+    assert_eq!(
+        f64_field(&body8, "design_mean").to_bits(),
+        f64_field(&body, "design_mean").to_bits()
+    );
+    let _ = server.shutdown();
+}

@@ -70,20 +70,20 @@ use crate::mapped::{MappedDesign, SoaDesign, WireModel};
 
 /// Sentinel for "no entry" in the `u32`-typed graph indices (`driver`,
 /// `seq_ep`, `ep_gate`).
-const NONE_U32: u32 = u32::MAX;
+pub(crate) const NONE_U32: u32 = u32::MAX;
 
 /// Gates per structural shard of a wide stage. The decomposition is a
 /// function of the stage width alone, so shard boundaries — and every
 /// metric recorded about them — are identical for all thread counts.
 /// 256 gates is ~100 µs of evaluation: large enough to amortize dispatch,
 /// small enough to load-balance a level across 8+ workers.
-const SHARD_GATES: usize = 256;
+pub(crate) const SHARD_GATES: usize = 256;
 
 /// Minimum stage/level width before the engine fans out (or, equivalently,
 /// routes through the deterministic dispatch primitives at all). Narrow
 /// levels — the overwhelming majority at paper scale — run inline: worker
 /// spawn costs more than the saved evaluation below this width.
-const MIN_PARALLEL_WIDTH: usize = 2048;
+pub(crate) const MIN_PARALLEL_WIDTH: usize = 2048;
 
 /// Per-net sink lists `(gate, input position)` in one flat arena.
 ///
@@ -258,32 +258,34 @@ fn intern_cell<'l>(
 
 /// Everything the propagation needs, with the netlist structure copied
 /// into dense CSR form. Split from [`TimingGraph`] so `analyze` can run a
-/// full propagation against a borrowed design without cloning it.
-struct Core<'l> {
-    lib: &'l Library,
-    config: StaConfig,
-    threads: usize,
+/// full propagation against a borrowed design without cloning it, and
+/// exposed `pub(crate)` so [`crate::ssta`] can propagate canonical forms
+/// over the identical structure and schedule.
+pub(crate) struct Core<'l> {
+    pub(crate) lib: &'l Library,
+    pub(crate) config: StaConfig,
+    pub(crate) threads: usize,
     wire_model: WireModel,
 
     // ---- interned structure (per gate, CSR) ----
-    cell_idx: Vec<u32>,
-    is_seq: Vec<bool>,
+    pub(crate) cell_idx: Vec<u32>,
+    pub(crate) is_seq: Vec<bool>,
     /// Longest-path level per gate; 0 for sequential gates.
-    level: Vec<u32>,
+    pub(crate) level: Vec<u32>,
     /// Input row of gate `g`: `in_net[in_off[g]..in_off[g+1]]`; `in_cap`
     /// shares the offsets (capacitance of the cell pin behind each input,
     /// 0 when the cell declares fewer pins, matching
     /// [`MappedDesign::net_loads`]).
-    in_off: Vec<u32>,
-    in_net: Vec<u32>,
+    pub(crate) in_off: Vec<u32>,
+    pub(crate) in_net: Vec<u32>,
     in_cap: Vec<f64>,
     /// Output row of gate `g`: `out_net[out_off[g]..out_off[g+1]]`.
-    out_off: Vec<u32>,
-    out_net: Vec<u32>,
+    pub(crate) out_off: Vec<u32>,
+    pub(crate) out_net: Vec<u32>,
     /// Arc row of gate `g`: combinational rows hold `n_out × n_in` arcs
     /// output-major; sequential rows hold one launch arc per output.
-    arc_off: Vec<u32>,
-    arcs: Vec<&'l TimingArc>,
+    pub(crate) arc_off: Vec<u32>,
+    pub(crate) arcs: Vec<&'l TimingArc>,
     /// Setup constraint arc of a sequential gate's data pin (`None` for
     /// combinational gates or uncharacterized libraries).
     setup_arc: Vec<Option<&'l TimingArc>>,
@@ -298,7 +300,7 @@ struct Core<'l> {
     /// Primary-output taps per net (fanout contribution without pin cap).
     po_taps: Vec<u32>,
     /// Driving gate per net ([`NONE_U32`] for primary inputs).
-    driver: Vec<u32>,
+    pub(crate) driver: Vec<u32>,
     /// Endpoint indices attached to each net (sparse: almost all nets have
     /// none, so per-net `Vec`s beat an arena here).
     ep_of_net: Vec<Vec<u32>>,
@@ -307,10 +309,10 @@ struct Core<'l> {
     ep_gate: Vec<u32>,
 
     // ---- timing state (valid as of the last `update`) ----
-    loads: Vec<f64>,
+    pub(crate) loads: Vec<f64>,
     load_override: Vec<Option<f64>>,
-    nets: Vec<NetTiming>,
-    endpoints: Vec<Endpoint>,
+    pub(crate) nets: Vec<NetTiming>,
+    pub(crate) endpoints: Vec<Endpoint>,
 
     // ---- dirty tracking ----
     /// Armed by [`Core::invalidate_all`]: the next update takes the
@@ -492,15 +494,15 @@ impl<'l> Core<'l> {
         Ok(core)
     }
 
-    fn n_gates(&self) -> usize {
+    pub(crate) fn n_gates(&self) -> usize {
         self.cell_idx.len()
     }
 
-    fn gate_inputs(&self, gi: usize) -> &[u32] {
+    pub(crate) fn gate_inputs(&self, gi: usize) -> &[u32] {
         &self.in_net[self.in_off[gi] as usize..self.in_off[gi + 1] as usize]
     }
 
-    fn gate_outputs(&self, gi: usize) -> &[u32] {
+    pub(crate) fn gate_outputs(&self, gi: usize) -> &[u32] {
         &self.out_net[self.out_off[gi] as usize..self.out_off[gi + 1] as usize]
     }
 
@@ -760,6 +762,39 @@ impl<'l> Core<'l> {
         self.endpoints[e].required = required;
     }
 
+    /// Counting-sort stage schedule used by the full sweep (and by the
+    /// statistical propagation in [`crate::ssta`]): stage 0 holds the
+    /// sequential (launch) gates, stage `v + 1` combinational level `v`,
+    /// gates ascending within each stage. Returns `(stage_off, schedule)`
+    /// with stage `s` occupying `schedule[stage_off[s]..stage_off[s + 1]]`.
+    pub(crate) fn stage_schedule(&self) -> (Vec<u32>, Vec<u32>) {
+        let n = self.n_gates();
+        let max_level = self.level.iter().copied().max().unwrap_or(0) as usize;
+        let n_stages = max_level + 2;
+        let stage_of = |gi: usize| {
+            if self.is_seq[gi] {
+                0
+            } else {
+                self.level[gi] as usize + 1
+            }
+        };
+        let mut stage_off = vec![0u32; n_stages + 1];
+        for gi in 0..n {
+            stage_off[stage_of(gi) + 1] += 1;
+        }
+        for s in 0..n_stages {
+            stage_off[s + 1] += stage_off[s];
+        }
+        let mut schedule = vec![0u32; n];
+        let mut cursor: Vec<u32> = stage_off[..n_stages].to_vec();
+        for gi in 0..n {
+            let s = stage_of(gi);
+            schedule[cursor[s] as usize] = gi as u32;
+            cursor[s] += 1;
+        }
+        (stage_off, schedule)
+    }
+
     /// Re-propagates pending changes: the sharded full sweep when
     /// [`Core::invalidate_all`] armed it, the dirty-cone path otherwise.
     fn update(&mut self) -> Result<(), StaError> {
@@ -800,42 +835,8 @@ impl<'l> Core<'l> {
         // 2. Counting-sort stage schedule: stage 0 launches the
         //    sequential gates, stage `v + 1` is combinational level `v`.
         //    Gates are ascending within each stage.
-        let n = self.n_gates();
-        let max_level = self.level.iter().copied().max().unwrap_or(0) as usize;
-        let n_stages = max_level + 2;
-        let mut stage_off = vec![0u32; n_stages + 1];
-        {
-            let is_seq = &self.is_seq;
-            let level = &self.level;
-            let stage_of = |gi: usize| {
-                if is_seq[gi] {
-                    0
-                } else {
-                    level[gi] as usize + 1
-                }
-            };
-            for gi in 0..n {
-                stage_off[stage_of(gi) + 1] += 1;
-            }
-            for s in 0..n_stages {
-                stage_off[s + 1] += stage_off[s];
-            }
-        }
-        let mut schedule = vec![0u32; n];
-        {
-            let is_seq = &self.is_seq;
-            let level = &self.level;
-            let mut cursor: Vec<u32> = stage_off[..n_stages].to_vec();
-            for gi in 0..n {
-                let s = if is_seq[gi] {
-                    0
-                } else {
-                    level[gi] as usize + 1
-                };
-                schedule[cursor[s] as usize] = gi as u32;
-                cursor[s] += 1;
-            }
-        }
+        let (stage_off, schedule) = self.stage_schedule();
+        let n_stages = stage_off.len() - 1;
 
         // 3. Propagate stage by stage; a stage only reads finalized
         //    lower-stage state, so each is an independent parallel unit.
@@ -1242,6 +1243,12 @@ impl<'l> TimingGraph<'l> {
     /// cores, `1` = serial). Results are bit-identical for any value.
     pub fn set_threads(&mut self, threads: usize) {
         self.core.threads = threads;
+    }
+
+    /// The interned CSR core — shared with [`crate::ssta`] so statistical
+    /// propagation reuses the identical structure and stage schedule.
+    pub(crate) fn core(&self) -> &Core<'l> {
+        &self.core
     }
 
     fn cells(&self) -> &[CellId] {

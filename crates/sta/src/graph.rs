@@ -91,6 +91,13 @@ pub enum StaError {
         /// What was inconsistent.
         reason: String,
     },
+    /// A caller-supplied statistical parameter (yield target, sample
+    /// count, tolerance) is outside its valid domain. Statistical
+    /// quantities are data, not invariants — they must never panic.
+    InvalidParameter {
+        /// Which parameter, and what its valid domain is.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StaError {
@@ -109,6 +116,9 @@ impl fmt::Display for StaError {
             }
             StaError::MismatchedInput { reason } => {
                 write!(f, "sign-off input mismatch: {reason}")
+            }
+            StaError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
             }
         }
     }

@@ -58,6 +58,7 @@ pub mod paths;
 pub mod power;
 pub mod report;
 pub mod sdf;
+pub mod ssta;
 
 pub use engine::TimingGraph;
 pub use graph::{analyze, required_times, StaConfig, StaError, TimingReport};
@@ -68,3 +69,7 @@ pub use paths::{deadline_at_yield, timing_yield, DesignTiming, PathTiming};
 pub use power::{estimate_power, estimate_power_with_activity, PowerConfig, PowerReport};
 pub use report::report_timing;
 pub use sdf::write_sdf;
+pub use ssta::{
+    analyze_ssta, CanonicalForm, GraphMcResult, SstaEndpoint, SstaModel, SstaOptions, SstaReport,
+    GLOBAL_SOURCE,
+};

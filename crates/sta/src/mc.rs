@@ -66,13 +66,11 @@ pub struct PathMcResult {
 ///
 /// # Errors
 ///
-/// Propagates the first [`StaError`] from [`mc_cells`].
-///
-/// # Panics
-///
-/// Panics if `n == 0` (propagated from the MC engine) — empty paths are
-/// skipped rather than panicking, since flip-flop-only endpoints can
-/// legitimately produce depth-0 paths.
+/// [`StaError::InvalidParameter`] if `n == 0` (a sample count is data,
+/// not an invariant — it must not panic); otherwise propagates the first
+/// [`StaError`] from [`mc_cells`]. Empty paths are skipped rather than
+/// rejected, since flip-flop-only endpoints can legitimately produce
+/// depth-0 paths.
 pub fn simulate_worst_paths(
     paths: &[PathTiming],
     stat: &StatLibrary,
@@ -82,6 +80,11 @@ pub fn simulate_worst_paths(
     seed: u64,
     threads: usize,
 ) -> Result<Vec<PathMcResult>, StaError> {
+    if n == 0 {
+        return Err(StaError::InvalidParameter {
+            reason: "Monte Carlo sample count must be at least 1, got 0".to_string(),
+        });
+    }
     // Table lookups are cheap and fallible: do them up front, sequentially,
     // so the parallel section is infallible.
     let mut jobs: Vec<(usize, Vec<PathCell>)> = Vec::new();
@@ -202,6 +205,22 @@ mod tests {
         let eight = run(8);
         assert_eq!(one, two);
         assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn zero_samples_is_an_error_not_a_panic() {
+        let (stat, paths) = fixture_paths();
+        let err = simulate_worst_paths(
+            &paths,
+            &stat,
+            ProcessCorner::Typical,
+            VariationMode::LocalOnly,
+            0,
+            1,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StaError::InvalidParameter { .. }), "{err}");
     }
 
     #[test]

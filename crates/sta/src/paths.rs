@@ -216,15 +216,30 @@ pub fn timing_yield(paths: &[PathTiming], deadline: f64) -> f64 {
 /// (bisection to `tol`). This converts a sigma reduction into the paper's
 /// ultimate currency: a faster usable clock at equal yield.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `target` is not in `(0, 1)` or `paths` is empty.
-pub fn deadline_at_yield(paths: &[PathTiming], target: f64, tol: f64) -> f64 {
-    assert!(
-        target > 0.0 && target < 1.0,
-        "yield target must be in (0, 1)"
-    );
-    assert!(!paths.is_empty(), "need at least one path");
+/// [`StaError::InvalidParameter`] if `target` is not in `(0, 1)`, `tol`
+/// is not finite and positive, or `paths` is empty. These are
+/// caller-supplied statistical quantities — data, not invariants — so
+/// they must never panic.
+pub fn deadline_at_yield(paths: &[PathTiming], target: f64, tol: f64) -> Result<f64, StaError> {
+    if !(target > 0.0 && target < 1.0) {
+        return Err(StaError::InvalidParameter {
+            reason: format!("yield target must be in (0, 1), got {target}"),
+        });
+    }
+    // `tol <= 0.0` is false for NaN, but the finiteness check rejects NaN
+    // on its own.
+    if tol <= 0.0 || !tol.is_finite() {
+        return Err(StaError::InvalidParameter {
+            reason: format!("bisection tolerance must be finite and > 0, got {tol}"),
+        });
+    }
+    if paths.is_empty() {
+        return Err(StaError::InvalidParameter {
+            reason: "need at least one path to bisect a deadline".to_string(),
+        });
+    }
     let mut lo = 0.0f64;
     let mut hi = paths
         .iter()
@@ -239,7 +254,7 @@ pub fn deadline_at_yield(paths: &[PathTiming], target: f64, tol: f64) -> f64 {
             lo = mid;
         }
     }
-    hi
+    Ok(hi)
 }
 
 /// Path-depth histogram: `depths[d]` = number of worst paths with depth `d`
@@ -467,7 +482,7 @@ mod tests {
             synthetic_path(1.4, 0.05),
             synthetic_path(0.9, 0.12),
         ];
-        let d = deadline_at_yield(&paths, 0.99, 1e-5);
+        let d = deadline_at_yield(&paths, 0.99, 1e-5).unwrap();
         let y = timing_yield(&paths, d);
         assert!((y - 0.99).abs() < 1e-3, "yield at recovered deadline: {y}");
         // Lower sigma paths reach the same yield earlier.
@@ -475,13 +490,20 @@ mod tests {
             .iter()
             .map(|p| synthetic_path(p.mean, p.sigma * 0.5))
             .collect();
-        assert!(deadline_at_yield(&calm, 0.99, 1e-5) < d);
+        assert!(deadline_at_yield(&calm, 0.99, 1e-5).unwrap() < d);
     }
 
     #[test]
-    #[should_panic(expected = "yield target")]
-    fn deadline_at_yield_rejects_bad_target() {
-        let _ = deadline_at_yield(&[synthetic_path(1.0, 0.1)], 1.5, 1e-3);
+    fn deadline_at_yield_rejects_bad_inputs_without_panicking() {
+        let one = [synthetic_path(1.0, 0.1)];
+        for bad in [0.0, 1.0, 1.5, -0.2, f64::NAN] {
+            let err = deadline_at_yield(&one, bad, 1e-3).unwrap_err();
+            assert!(matches!(err, StaError::InvalidParameter { .. }), "{err}");
+        }
+        let err = deadline_at_yield(&one, 0.9, 0.0).unwrap_err();
+        assert!(matches!(err, StaError::InvalidParameter { .. }));
+        let err = deadline_at_yield(&[], 0.9, 1e-3).unwrap_err();
+        assert!(matches!(err, StaError::InvalidParameter { .. }));
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Parametric yield: the clock the design could actually ship at.
-    let d99 = deadline_at_yield(&run.paths, 0.99, 1e-4);
+    let d99 = deadline_at_yield(&run.paths, 0.99, 1e-4)?;
     println!("  99% parametric-yield deadline: {d99:.3} ns");
 
     // Hand-off files.

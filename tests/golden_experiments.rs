@@ -22,6 +22,7 @@ use varitune::core::flow::{Comparison, Flow, FlowConfig};
 use varitune::core::{TuningMethod, TuningParams};
 use varitune::libchar::TableKind;
 use varitune::liberty::CellKind;
+use varitune::sta::SstaOptions;
 use varitune::synth::SynthConfig;
 
 /// Clock period for the snapshot runs: relaxed enough that the small
@@ -141,8 +142,43 @@ fn render_snapshot() -> String {
     }
     let _ = write!(
         out,
-        "\n  ],\n  \"fig4_sigma_trend_decreasing\": {trend_decreasing}\n}}\n"
+        "\n  ],\n  \"fig4_sigma_trend_decreasing\": {trend_decreasing},\n"
     );
+
+    // SSTA sign-off on the baseline run: design-level moments, every
+    // endpoint's first-order (mean, sigma, criticality), and the top-10
+    // gate criticalities — all pinned bit-exact like the rest of the
+    // snapshot (the canonical-form propagation is thread-invariant).
+    let ssta = flow
+        .ssta(&baseline, SstaOptions::default())
+        .expect("ssta analysis");
+    out.push_str("  \"ssta\": {\n    \"design\": {");
+    pinned(&mut out, "mean", ssta.design_mean());
+    out.push_str(", ");
+    pinned(&mut out, "sigma", ssta.design_sigma());
+    out.push_str("},\n    \"endpoints\": [\n");
+    for (i, ep) in ssta.endpoints.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "      {{\"net\": {}, ", ep.net.0);
+        pinned(&mut out, "mean", ep.mean);
+        out.push_str(", ");
+        pinned(&mut out, "sigma", ep.sigma);
+        out.push_str(", ");
+        pinned(&mut out, "criticality", ep.criticality);
+        out.push('}');
+    }
+    out.push_str("\n    ],\n    \"top10_gate_criticality\": [\n");
+    for (i, (gate, crit)) in ssta.top_gate_criticalities(10).into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "      {{\"gate\": {gate}, ");
+        pinned(&mut out, "criticality", crit);
+        out.push('}');
+    }
+    out.push_str("\n    ]\n  }\n}\n");
     out
 }
 

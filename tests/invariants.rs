@@ -238,3 +238,98 @@ fn liberty_round_trips_fixed_table() {
     let parsed = varitune::liberty::parse_library(&text).expect("round trip parses");
     assert_eq!(parsed, lib);
 }
+
+// ---------------------------------------------------------------------
+// SSTA canonical-form algebra on fixed inputs (offline mirror of the
+// proptest suite in `tests/property_based.rs`).
+// ---------------------------------------------------------------------
+
+fn ssta_fixture_forms() -> Vec<varitune::sta::ssta::CanonicalForm> {
+    use varitune::sta::ssta::CanonicalForm;
+    vec![
+        CanonicalForm::deterministic(1.5),
+        CanonicalForm {
+            mean: 3.0,
+            sens: vec![(0, 0.12), (2, 0.05), (7, 0.3)],
+            resid: 0.04,
+        },
+        CanonicalForm {
+            mean: 2.8,
+            sens: vec![(0, 0.2), (3, 0.11)],
+            resid: 0.0,
+        },
+        CanonicalForm {
+            mean: -0.5,
+            sens: vec![(2, 0.4), (5, 0.02), (9, 0.15)],
+            resid: 0.33,
+        },
+    ]
+}
+
+#[test]
+fn ssta_add_commutative_and_associative_fixed() {
+    let forms = ssta_fixture_forms();
+    for a in &forms {
+        for b in &forms {
+            assert_eq!(a.add(b), b.add(a));
+            for c in &forms {
+                let lhs = a.add(b).add(c);
+                let rhs = a.add(&b.add(c));
+                assert!((lhs.mean - rhs.mean).abs() < 1e-12);
+                assert!((lhs.sigma() - rhs.sigma()).abs() < 1e-12);
+                assert_eq!(
+                    lhs.sens.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+                    rhs.sens.iter().map(|&(k, _)| k).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ssta_max_monotone_and_shift_covariant_fixed() {
+    let forms = ssta_fixture_forms();
+    for a in &forms {
+        for b in &forms {
+            let (m, t) = a.max(b);
+            assert!(m.mean >= a.mean.max(b.mean) - 1e-12);
+            assert!((0.0..=1.0).contains(&t));
+            assert!(m.sigma() >= 0.0);
+            // Shifting both operands shifts the max and keeps tightness.
+            let (ms, ts) = a.shift(2.25).max(&b.shift(2.25));
+            assert!((ts - t).abs() < 1e-9);
+            assert!((ms.mean - (m.mean + 2.25)).abs() < 1e-9);
+            assert!((ms.sigma() - m.sigma()).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn ssta_truncation_preserves_variance_fixed() {
+    let forms = ssta_fixture_forms();
+    for a in &forms {
+        let var = a.variance();
+        let t = a.clone().truncated(1);
+        assert!((t.variance() - var).abs() <= 1e-12 * var.max(1.0));
+        assert!(t.sens.iter().filter(|&&(k, _)| k != 0).count() <= 1);
+        // The global source survives truncation whenever present.
+        let had_global = a.sens.iter().any(|&(k, _)| k == 0);
+        assert_eq!(t.sens.iter().any(|&(k, _)| k == 0), had_global);
+    }
+}
+
+#[test]
+fn ssta_degenerate_forms_match_deterministic_sta_fixed() {
+    use varitune::sta::ssta::CanonicalForm;
+    let a = CanonicalForm::deterministic(4.0);
+    let b = CanonicalForm::deterministic(4.0);
+    let (m, t) = a.max(&b);
+    // Exact tie: the accumulator (`self`) wins, mirroring the engine's
+    // strict `>` replacement rule.
+    assert_eq!(m.mean, 4.0);
+    assert_eq!(t, 1.0);
+    assert_eq!(m.sigma(), 0.0);
+    let sum = a.add(&CanonicalForm::deterministic(-1.25));
+    assert_eq!(sum.mean, 2.75);
+    assert_eq!(sum.sigma(), 0.0);
+}

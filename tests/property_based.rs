@@ -346,3 +346,124 @@ proptest! {
         prop_assert_eq!(parsed, lib);
     }
 }
+
+// ---------------------------------------------------------------------
+// SSTA canonical-form algebra (mean + sparse sensitivities + residual).
+// ---------------------------------------------------------------------
+
+use varitune::sta::ssta::CanonicalForm;
+
+fn canonical_form() -> impl Strategy<Value = CanonicalForm> {
+    (
+        -5.0f64..20.0,
+        proptest::collection::btree_map(0u32..12, 0.01f64..0.6, 0..6),
+        0.0f64..0.5,
+    )
+        .prop_map(|(mean, sens, resid)| CanonicalForm {
+            mean,
+            sens: sens.into_iter().collect(),
+            resid,
+        })
+}
+
+fn forms_close(a: &CanonicalForm, b: &CanonicalForm, tol: f64) -> bool {
+    // Compare only sensitivities above the tolerance: a term whose weight
+    // underflows to exactly zero is dropped from the sparse vector, so the
+    // two sides may legitimately differ by entries of magnitude <= tol.
+    let keep = |f: &CanonicalForm| -> Vec<(u32, f64)> {
+        f.sens
+            .iter()
+            .copied()
+            .filter(|&(_, v)| v.abs() > tol)
+            .collect()
+    };
+    let (sa, sb) = (keep(a), keep(b));
+    (a.mean - b.mean).abs() <= tol
+        && (a.sigma() - b.sigma()).abs() <= tol
+        && sa.len() == sb.len()
+        && sa
+            .iter()
+            .zip(&sb)
+            .all(|(&(ka, va), &(kb, vb))| ka == kb && (va - vb).abs() <= tol)
+}
+
+proptest! {
+    /// `add` is commutative: the sorted merge is symmetric in its inputs.
+    #[test]
+    fn ssta_add_is_commutative(a in canonical_form(), b in canonical_form()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    /// `add` is associative up to floating-point roundoff.
+    #[test]
+    fn ssta_add_is_associative(
+        a in canonical_form(),
+        b in canonical_form(),
+        c in canonical_form(),
+    ) {
+        let lhs = a.add(&b).add(&c);
+        let rhs = a.add(&b.add(&c));
+        prop_assert!(forms_close(&lhs, &rhs, 1e-9), "{lhs:?} vs {rhs:?}");
+    }
+
+    /// Clark's max is monotone: its mean dominates both operand means,
+    /// and the tightness is a probability.
+    #[test]
+    fn ssta_max_is_monotone(a in canonical_form(), b in canonical_form()) {
+        let (m, t) = a.max(&b);
+        prop_assert!(m.mean >= a.mean.max(b.mean) - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&t));
+    }
+
+    /// Shifting both operands by a constant commutes with `max`: the max
+    /// form shifts by the same constant and the tightness is unchanged.
+    #[test]
+    fn ssta_max_commutes_with_shift(
+        a in canonical_form(),
+        b in canonical_form(),
+        c in -10.0f64..10.0,
+    ) {
+        let (m, t) = a.max(&b);
+        let (ms, ts) = a.shift(c).max(&b.shift(c));
+        prop_assert!((ts - t).abs() < 1e-9);
+        prop_assert!(forms_close(&ms, &m.shift(c), 1e-9), "{ms:?} vs {m:?} + {c}");
+    }
+
+    /// Every algebra result has non-negative variance and sigma.
+    #[test]
+    fn ssta_sigma_is_non_negative(a in canonical_form(), b in canonical_form()) {
+        prop_assert!(a.sigma() >= 0.0);
+        prop_assert!(a.add(&b).sigma() >= 0.0);
+        prop_assert!(a.max(&b).0.sigma() >= 0.0);
+        prop_assert!(a.truncated(2).sigma() >= 0.0);
+    }
+
+    /// Truncation preserves total variance exactly (dropped locals fold
+    /// into the residual in quadrature) and keeps the global source.
+    #[test]
+    fn ssta_truncation_preserves_variance(a in canonical_form()) {
+        let var = a.variance();
+        let t = a.truncated(2);
+        prop_assert!((t.variance() - var).abs() <= 1e-12 * var.max(1.0));
+        prop_assert!(t.sens.iter().filter(|&&(k, _)| k != 0).count() <= 2);
+    }
+
+    /// Degenerate (zero-sensitivity) forms reduce exactly to deterministic
+    /// STA: `add` is plain addition, `max` is the plain max with the
+    /// accumulator (`self`) winning ties.
+    #[test]
+    fn ssta_degenerate_forms_reduce_to_deterministic(
+        x in -10.0f64..10.0,
+        y in -10.0f64..10.0,
+    ) {
+        let a = CanonicalForm::deterministic(x);
+        let b = CanonicalForm::deterministic(y);
+        let sum = a.add(&b);
+        prop_assert_eq!(sum.mean, x + y);
+        prop_assert_eq!(sum.sigma(), 0.0);
+        let (m, t) = a.max(&b);
+        prop_assert_eq!(m.mean, if y > x { y } else { x });
+        prop_assert_eq!(m.sigma(), 0.0);
+        prop_assert_eq!(t, if y > x { 0.0 } else { 1.0 });
+    }
+}

@@ -60,8 +60,8 @@ fn tuning_reduces_the_99_percent_yield_deadline() {
             &SynthConfig::with_clock_period(6.0),
         )
         .expect("tuned run");
-    let d_base = deadline_at_yield(&baseline.paths, 0.99, 1e-4);
-    let d_tuned = deadline_at_yield(&tuned.paths, 0.99, 1e-4);
+    let d_base = deadline_at_yield(&baseline.paths, 0.99, 1e-4).expect("valid yield query");
+    let d_tuned = deadline_at_yield(&tuned.paths, 0.99, 1e-4).expect("valid yield query");
     assert!(
         d_tuned < d_base,
         "tuned 99% deadline {d_tuned} should beat baseline {d_base}"
